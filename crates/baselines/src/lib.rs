@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Reimplementations of the prior symmetry-constraint detectors the
+//! paper compares against:
+//!
+//! * [`s3det`] — S³DET (ASP-DAC'20 \[20\]): system-level detection via
+//!   normalized-Laplacian spectra + Kolmogorov–Smirnov graph similarity
+//!   (Table V / Fig. 6 comparator);
+//! * [`sfa`] — MAGICAL's signal-flow-analysis heuristic patterns
+//!   (ICCAD'19 \[6\]): device-level detection (Table VI / Fig. 7
+//!   comparator).
+//!
+//! Both reuse [`ancstr_core`]'s candidate enumeration and scoring types
+//! so that [`ancstr_core::pipeline::evaluate_detection`] applies
+//! uniformly to every detector.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ancstr_baselines::sfa::{sfa_extract, SfaConfig};
+//! use ancstr_netlist::{parse::parse_spice, flat::FlatCircuit};
+//!
+//! let nl = parse_spice("\
+//! .subckt dp inp inn o1 o2 t vss
+//! M1 o1 inp t vss nch w=4u l=0.2u
+//! M2 o2 inn t vss nch w=4u l=0.2u
+//! .ends
+//! ")?;
+//! let flat = FlatCircuit::elaborate(&nl)?;
+//! let result = sfa_extract(&flat, &SfaConfig::default());
+//! assert_eq!(result.detection.constraints.len(), 1); // the diff pair
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ged;
+pub mod s3det;
+pub mod sfa;
+pub mod stats;
+
+pub use ged::{ged_extract, ged_similarity, GedConfig};
+pub use s3det::{s3det_extract, S3detConfig};
+pub use sfa::{sfa_extract, SfaConfig};
+pub use stats::ks_statistic;

@@ -1,0 +1,90 @@
+//! Statistical utilities for the baselines: the two-sample
+//! Kolmogorov–Smirnov statistic S³DET uses to compare spectra.
+
+/// The two-sample Kolmogorov–Smirnov statistic
+/// `D = sup_x |F₁(x) − F₂(x)|` between two samples.
+///
+/// Returns a value in `[0, 1]`; 0 means identical empirical
+/// distributions. Empty samples are treated as maximally distant from
+/// non-empty ones and identical to each other.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_baselines::stats::ks_statistic;
+///
+/// let a = [0.0, 1.0, 2.0];
+/// assert_eq!(ks_statistic(&a, &a), 0.0);
+/// let far = ks_statistic(&[0.0, 0.1], &[10.0, 10.1]);
+/// assert_eq!(far, 1.0);
+/// ```
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        (false, false) => {}
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = [3.0, 1.0, 2.0];
+        assert_eq!(ks_statistic(&a, &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn disjoint_supports_have_distance_one() {
+        assert_eq!(ks_statistic(&[0.0, 1.0], &[5.0, 6.0]), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_intermediate() {
+        let d = ks_statistic(&[0.0, 1.0, 2.0, 3.0], &[2.0, 3.0, 4.0, 5.0]);
+        assert!(d > 0.0 && d < 1.0, "d = {d}");
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.1, 0.5, 0.9, 1.5];
+        let b = [0.2, 0.6, 1.2];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+        assert_eq!(ks_statistic(&[], &[1.0]), 1.0);
+    }
+
+    #[test]
+    fn different_sizes_same_distribution() {
+        // Same uniform grid at two densities: small distance.
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let b: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        assert!(ks_statistic(&a, &b) < 0.05);
+    }
+}

@@ -1,0 +1,223 @@
+//! `ancstr` — command-line symmetry-constraint extraction.
+//!
+//! ```text
+//! ancstr extract <netlist.sp> [-o constraints.txt] [--model model.txt]
+//!                [--epochs N] [--seed S] [--groups]
+//! ancstr train   <netlist.sp>... --model-out model.txt [--epochs N]
+//! ancstr stats   <netlist.sp>
+//! ```
+//!
+//! `extract` trains on the input itself unless `--model` supplies a
+//! pre-trained model (the inductive mode). `train` fits one universal
+//! model over several netlists and saves it.
+
+use std::fs;
+use std::process::ExitCode;
+
+use ancstr_core::{
+    render_groups, write_constraints, ExtractorConfig, SymmetryExtractor,
+};
+use ancstr_core::groups::merge_groups;
+use ancstr_gnn::GnnModel;
+use ancstr_netlist::flat::FlatCircuit;
+use ancstr_netlist::parse::parse_spice_file;
+
+fn usage() -> &'static str {
+    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S]\n  ancstr stats <netlist.sp>"
+}
+
+fn load(path: &str) -> Result<FlatCircuit, String> {
+    let nl = parse_spice_file(path).map_err(|e| format!("{path}: {e}"))?;
+    FlatCircuit::elaborate(&nl).map_err(|e| format!("{path}: {e}"))
+}
+
+fn config_with(epochs: Option<usize>, seed: Option<u64>) -> ExtractorConfig {
+    let mut cfg = ExtractorConfig::default();
+    if let Some(e) = epochs {
+        cfg.train.epochs = e;
+    }
+    if let Some(s) = seed {
+        cfg.train.seed = s;
+        cfg.gnn.seed = s;
+    }
+    cfg
+}
+
+struct Args {
+    positional: Vec<String>,
+    output: Option<String>,
+    model: Option<String>,
+    model_out: Option<String>,
+    epochs: Option<usize>,
+    seed: Option<u64>,
+    groups: bool,
+    dot: Option<String>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        output: None,
+        model: None,
+        model_out: None,
+        epochs: None,
+        seed: None,
+        groups: false,
+        dot: None,
+    };
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "-o" | "--output" => args.output = Some(take("-o")?),
+            "--model" => args.model = Some(take("--model")?),
+            "--model-out" => args.model_out = Some(take("--model-out")?),
+            "--epochs" => {
+                args.epochs = Some(take("--epochs")?.parse().map_err(|_| "bad --epochs")?)
+            }
+            "--seed" => args.seed = Some(take("--seed")?.parse().map_err(|_| "bad --seed")?),
+            "--groups" => args.groups = true,
+            "--dot" => args.dot = Some(take("--dot")?),
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            other => args.positional.push(other.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_extract(args: Args) -> Result<(), String> {
+    let [input] = args.positional.as_slice() else {
+        return Err("extract needs exactly one netlist".to_owned());
+    };
+    let flat = load(input)?;
+    eprintln!(
+        "{} devices, {} nets, {} hierarchy nodes",
+        flat.devices().len(),
+        flat.net_count(),
+        flat.nodes().len()
+    );
+
+    let mut extractor = SymmetryExtractor::new(config_with(args.epochs, args.seed));
+    if let Some(model_path) = &args.model {
+        let text = fs::read_to_string(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+        let model = GnnModel::from_text(&text).map_err(|e| e.to_string())?;
+        extractor = extractor.with_model(model).map_err(|e| e.to_string())?;
+        eprintln!("loaded pre-trained model from {model_path}");
+    } else {
+        eprintln!("training on the input netlist ...");
+        let report = extractor.fit(&[&flat]);
+        eprintln!("final loss {:.4}", report.final_loss());
+    }
+
+    let result = extractor.extract(&flat);
+    eprintln!(
+        "{} constraints in {:.1} ms",
+        result.detection.constraints.len(),
+        result.runtime.as_secs_f64() * 1e3
+    );
+
+    if let Some(dot_path) = &args.dot {
+        use ancstr_graph::dot::{to_dot, DotOptions};
+        use ancstr_graph::{BuildOptions, HetMultigraph};
+        let g = HetMultigraph::from_circuit(&flat, &BuildOptions { max_net_degree: Some(64) });
+        let constrained: std::collections::HashSet<_> = result
+            .detection
+            .constraints
+            .iter()
+            .flat_map(|c| [c.pair.lo(), c.pair.hi()])
+            .collect();
+        let dot = to_dot(
+            &g,
+            &DotOptions::default(),
+            |v| flat.devices()[g.device_index(v)].path.clone(),
+            |v| constrained.contains(&flat.devices()[g.device_index(v)].node),
+        );
+        fs::write(dot_path, dot).map_err(|e| format!("{dot_path}: {e}"))?;
+        eprintln!("wrote {dot_path}");
+    }
+
+    let text = if args.groups {
+        render_groups(&flat, &merge_groups(&result.detection.constraints))
+    } else {
+        write_constraints(&flat, &result.detection.constraints)
+    };
+    match args.output {
+        Some(path) => {
+            fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_train(args: Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("train needs at least one netlist".to_owned());
+    }
+    let Some(model_out) = &args.model_out else {
+        return Err("train needs --model-out".to_owned());
+    };
+    let circuits: Vec<FlatCircuit> = args
+        .positional
+        .iter()
+        .map(|p| load(p))
+        .collect::<Result<_, _>>()?;
+    let refs: Vec<&FlatCircuit> = circuits.iter().collect();
+    let mut extractor = SymmetryExtractor::new(config_with(args.epochs, args.seed));
+    eprintln!("training on {} circuits ...", refs.len());
+    let report = extractor.fit(&refs);
+    eprintln!("final loss {:.4}", report.final_loss());
+    fs::write(model_out, extractor.model().to_text())
+        .map_err(|e| format!("{model_out}: {e}"))?;
+    eprintln!("wrote {model_out}");
+    Ok(())
+}
+
+fn cmd_stats(args: Args) -> Result<(), String> {
+    let [input] = args.positional.as_slice() else {
+        return Err("stats needs exactly one netlist".to_owned());
+    };
+    let flat = load(input)?;
+    let stats = ancstr_core::pair_stats(&flat);
+    println!("devices      {}", flat.devices().len());
+    println!("nets         {}", flat.net_count());
+    println!("blocks       {}", flat.blocks().count());
+    println!("valid pairs  {}", stats.total);
+    println!("  system     {}", stats.system);
+    println!("  device     {}", stats.device);
+    println!("ground truth {}", stats.positives);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = raw.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "extract" => cmd_extract(args),
+        "train" => cmd_train(args),
+        "stats" => cmd_stats(args),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

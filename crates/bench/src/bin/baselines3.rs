@@ -1,0 +1,64 @@
+//! Three-way system-level comparison (extension beyond the paper's
+//! Table V, which compares only against S³DET): S³DET vs a GED-based
+//! detector in the spirit of ICCAD'20 \[21\] vs this work, on the five
+//! ADCs.
+//!
+//! ```text
+//! cargo run -p ancstr-bench --bin baselines3 --release
+//! ```
+
+use ancstr_baselines::{ged_extract, s3det_extract, GedConfig, S3detConfig};
+use ancstr_bench::{
+    adc_dataset, experiment_config, metric_header, render_average, train_extractor, MetricRow,
+};
+use ancstr_core::pipeline::evaluate_detection;
+
+fn main() {
+    println!("System-level extraction: S3DET vs GED [21]-style vs this work");
+    println!();
+    let dataset = adc_dataset();
+
+    println!("[1/3] S3DET (spectra + K-S) ...");
+    let mut s3_rows = Vec::new();
+    for b in &dataset {
+        let ex = s3det_extract(&b.flat, &S3detConfig { cache_spectra: true, ..Default::default() });
+        let eval = evaluate_detection(&b.flat, ex);
+        s3_rows.push(MetricRow::from_evaluation(b.name, &eval, |e| e.system));
+    }
+
+    println!("[2/3] GED (greedy assignment) ...");
+    let mut ged_rows = Vec::new();
+    for b in &dataset {
+        let ex = ged_extract(&b.flat, &GedConfig::default());
+        let eval = evaluate_detection(&b.flat, ex);
+        ged_rows.push(MetricRow::from_evaluation(b.name, &eval, |e| e.system));
+    }
+
+    println!("[3/3] this work (trained on all five ADCs) ...");
+    let extractor = train_extractor(&dataset, experiment_config());
+    let mut our_rows = Vec::new();
+    for b in &dataset {
+        let eval = extractor.evaluate(&b.flat);
+        our_rows.push(MetricRow::from_evaluation(b.name, &eval, |e| e.system));
+    }
+
+    for (title, rows) in [
+        ("S3DET [20]", &s3_rows),
+        ("GED [21]-style", &ged_rows),
+        ("This work", &our_rows),
+    ] {
+        println!();
+        println!("== {title} ==");
+        println!("{}", metric_header());
+        for r in rows {
+            println!("{}", r.render());
+        }
+        println!("{}", render_average(rows));
+    }
+    println!();
+    println!(
+        "Both prior detectors are sizing-blind, so both false-alarm on the\n\
+         scaled-integrator and unequal-bank decoys; the GNN's sizing-aware\n\
+         features keep its FPR near zero (Table I's comparison row)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Fig. 6**: ROC curves of S³DET and this work on the
+//! merged dataset of the five ADCs (system-level pairs).
+//!
+//! Prints the two curves as CSV (`series,threshold,fpr,tpr`) plus the
+//! AUCs, and writes `fig6.csv` into the working directory for plotting.
+//!
+//! ```text
+//! cargo run -p ancstr-bench --bin fig6 --release
+//! ```
+
+use std::fs;
+
+use ancstr_baselines::{s3det_extract, S3detConfig};
+use ancstr_bench::{adc_dataset, experiment_config, train_extractor};
+use ancstr_core::pipeline::evaluate_detection;
+use ancstr_core::{roc_curve, RocCurve};
+
+fn render(series: &str, curve: &RocCurve, out: &mut String) {
+    for p in &curve.points {
+        out.push_str(&format!(
+            "{series},{:.6},{:.6},{:.6}\n",
+            p.threshold, p.fpr, p.tpr
+        ));
+    }
+}
+
+fn main() {
+    println!("Fig. 6: ROC curves on the merged 5-ADC dataset (system level)");
+    println!();
+    let dataset = adc_dataset();
+
+    // Merged S3DET samples.
+    println!("[1/2] scoring with S3DET ...");
+    let mut s3_samples = Vec::new();
+    for b in &dataset {
+        // Spectra caching changes runtime only, not scores — fine for a
+        // score-only figure.
+        let ex = s3det_extract(&b.flat, &S3detConfig { cache_spectra: true, ..Default::default() });
+        let eval = evaluate_detection(&b.flat, ex);
+        s3_samples.extend(eval.system_samples);
+    }
+    let s3_roc = roc_curve(&s3_samples);
+
+    // Merged GNN samples.
+    println!("[2/2] scoring with the trained GNN ...");
+    let extractor = train_extractor(&dataset, experiment_config());
+    let mut our_samples = Vec::new();
+    for b in &dataset {
+        let eval = extractor.evaluate(&b.flat);
+        our_samples.extend(eval.system_samples);
+    }
+    let our_roc = roc_curve(&our_samples);
+
+    let mut csv = String::from("series,threshold,fpr,tpr\n");
+    render("s3det", &s3_roc, &mut csv);
+    render("this_work", &our_roc, &mut csv);
+    print!("{csv}");
+
+    println!();
+    println!("AUC S3DET      = {:.3}", s3_roc.auc);
+    println!("AUC this work  = {:.3}", our_roc.auc);
+    println!("(paper: our curve fully encloses S3DET's; our AUC is larger)");
+
+    if let Err(e) = fs::write("fig6.csv", &csv) {
+        eprintln!("note: could not write fig6.csv: {e}");
+    } else {
+        println!("wrote fig6.csv");
+    }
+}

@@ -1,0 +1,50 @@
+//! Diagnostic: list mismatching system-level pairs (false negatives and
+//! false positives, with scores and thresholds) for one ADC benchmark.
+//!
+//! ```text
+//! cargo run -p ancstr-bench --bin probe --release [-- ADC1..ADC5]
+//! ```
+
+use ancstr_bench::{adc_dataset, experiment_config, train_extractor};
+use ancstr_netlist::SymmetryKind;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "ADC4".to_owned());
+    let dataset = adc_dataset();
+    let Some(b) = dataset.iter().find(|b| b.name.eq_ignore_ascii_case(&which)) else {
+        eprintln!("unknown benchmark `{which}`; use ADC1..ADC5");
+        std::process::exit(1);
+    };
+    let extractor = train_extractor(&dataset, experiment_config());
+    let eval = extractor.evaluate(&b.flat);
+    let gt = b.flat.ground_truth();
+
+    println!("== {} system-level mismatches ==", b.name);
+    let mut clean = true;
+    for s in &eval.extraction.detection.scored {
+        if s.candidate.kind != SymmetryKind::System {
+            continue;
+        }
+        let actual = gt.contains_key(s.candidate.pair);
+        let tag = match (s.accepted, actual) {
+            (false, true) => "FN",
+            (true, false) => "FP",
+            _ => continue,
+        };
+        clean = false;
+        println!(
+            "{tag} {:.4} (th {:.3}) {} <-> {}",
+            s.score,
+            s.threshold,
+            b.flat.node(s.candidate.pair.lo()).path,
+            b.flat.node(s.candidate.pair.hi()).path
+        );
+    }
+    if clean {
+        println!("(none — perfect system-level detection)");
+    }
+    println!(
+        "\nsystem confusion: TP {} FP {} TN {} FN {}",
+        eval.system.tp, eval.system.fp, eval.system.tn, eval.system.fn_
+    );
+}

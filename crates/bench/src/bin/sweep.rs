@@ -1,0 +1,63 @@
+//! Threshold sensitivity sweep: how the Eq. 4/5 decision thresholds
+//! trade TPR against FPR around the paper's operating points
+//! (device λ = 0.99; system α = β = 0.95).
+//!
+//! Prints two CSV blocks (`level,threshold,tpr,fpr,f1`) over the merged
+//! block dataset (device level) and merged ADC dataset (system level).
+//!
+//! ```text
+//! cargo run -p ancstr-bench --bin sweep --release
+//! ```
+
+use ancstr_bench::{
+    adc_dataset, block_dataset, experiment_config, train_extractor, Benchmark,
+};
+use ancstr_core::{Confusion, SymmetryExtractor};
+
+fn sweep(
+    dataset: &[Benchmark],
+    extractor: &SymmetryExtractor,
+    level_system: bool,
+    thresholds: &[f64],
+) {
+    // Collect scores once; re-threshold cheaply.
+    let mut samples: Vec<(f64, bool)> = Vec::new();
+    for b in dataset {
+        let eval = extractor.evaluate(&b.flat);
+        samples.extend(if level_system {
+            eval.system_samples
+        } else {
+            eval.device_samples
+        });
+    }
+    let level = if level_system { "system" } else { "device" };
+    for &th in thresholds {
+        let mut c = Confusion::default();
+        for &(score, actual) in &samples {
+            c.record(score > th, actual);
+        }
+        println!(
+            "{level},{th:.3},{:.4},{:.4},{:.4}",
+            c.tpr(),
+            c.fpr(),
+            c.f1()
+        );
+    }
+}
+
+fn main() {
+    println!("level,threshold,tpr,fpr,f1");
+
+    let blocks = block_dataset();
+    let block_extractor = train_extractor(&blocks, experiment_config());
+    let device_ths: Vec<f64> = (80..100).map(|i| i as f64 / 100.0).collect();
+    sweep(&blocks, &block_extractor, false, &device_ths);
+
+    let adcs = adc_dataset();
+    let adc_extractor = train_extractor(&adcs, experiment_config());
+    let system_ths: Vec<f64> = (86..100).map(|i| i as f64 / 100.0).collect();
+    sweep(&adcs, &adc_extractor, true, &system_ths);
+
+    eprintln!();
+    eprintln!("paper operating points: device 0.99, system ~0.95 (Eq. 4)");
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Table III**: statistics of the five ADC benchmarks
+//! (architecture, #devices, #nets, #valid pairs).
+//!
+//! ```text
+//! cargo run -p ancstr-bench --bin table3 --release
+//! ```
+
+use ancstr_bench::{adc_dataset, stats_header, stats_line};
+
+/// Paper reference values: (name, architecture, devices, nets, valid pairs).
+const PAPER: [(&str, &str, usize, usize, usize); 5] = [
+    ("ADC1", "2nd-order CT dsm", 285, 122, 148),
+    ("ADC2", "3rd-order CT dsm", 345, 162, 104),
+    ("ADC3", "3rd-order CT dsm", 347, 163, 82),
+    ("ADC4", "SAR", 731, 372, 776),
+    ("ADC5", "Hybrid CT dsm SAR", 1233, 586, 1177),
+];
+
+fn main() {
+    println!("Table III: statistics of the five ADC benchmarks");
+    println!("(paper reference values in parentheses)");
+    println!();
+    println!("{}", stats_header());
+    let dataset = adc_dataset();
+    for (b, paper) in dataset.iter().zip(&PAPER) {
+        println!("{}", stats_line(b));
+        println!(
+            "{:<8} {:>9} {:>6} {:>12}   (paper: {} / {} devices, {} nets, {} valid pairs)",
+            "", "", "", "", paper.1, paper.2, paper.3, paper.4
+        );
+    }
+}

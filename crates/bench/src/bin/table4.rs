@@ -1,0 +1,78 @@
+//! Regenerates **Table IV**: statistics of the block-level circuit
+//! benchmarks (aggregated per class, like the paper, plus per-circuit
+//! detail rows).
+//!
+//! ```text
+//! cargo run -p ancstr-bench --bin table4 --release
+//! ```
+
+use ancstr_bench::{block_dataset, stats_header, stats_line};
+use ancstr_core::pair_stats;
+
+/// Paper reference rows: (class, #circuits, #devices, #nets, #valid pairs).
+const PAPER: [(&str, usize, usize, usize, usize); 5] = [
+    ("OTA", 6, 133, 109, 770),
+    ("COMP", 6, 145, 109, 1060),
+    ("DAC", 2, 22, 30, 43),
+    ("LATCH", 1, 24, 14, 132),
+    ("Total", 15, 324, 262, 2005),
+];
+
+fn main() {
+    println!("Table IV: statistics of the block-level circuit benchmarks");
+    println!();
+    let dataset = block_dataset();
+
+    println!("Per-circuit detail:");
+    println!("{}", stats_header());
+    for b in &dataset {
+        println!("{}", stats_line(b));
+    }
+
+    println!();
+    println!("Aggregated per class (paper reference in parentheses):");
+    println!(
+        "{:<8} {:>9} {:>9} {:>6} {:>12}",
+        "Class", "#Circuits", "#Devices", "#Nets", "#ValidPairs"
+    );
+    let classes: [(&str, &[usize]); 4] = [
+        ("OTA", &[0, 1, 2, 3, 4, 5]),
+        ("COMP", &[6, 7, 8, 9, 10, 11]),
+        ("DAC", &[12, 13]),
+        ("LATCH", &[14]),
+    ];
+    let mut tot = (0usize, 0usize, 0usize, 0usize);
+    for (class, idx) in classes {
+        let mut dev = 0;
+        let mut nets = 0;
+        let mut pairs = 0;
+        for &i in idx {
+            let b = &dataset[i];
+            dev += b.flat.devices().len();
+            nets += b.flat.net_count();
+            pairs += pair_stats(&b.flat).total;
+        }
+        tot.0 += idx.len();
+        tot.1 += dev;
+        tot.2 += nets;
+        tot.3 += pairs;
+        let p = PAPER.iter().find(|p| p.0 == class).expect("class listed");
+        println!(
+            "{:<8} {:>9} {:>9} {:>6} {:>12}   (paper: {} / {} / {} / {})",
+            class,
+            idx.len(),
+            dev,
+            nets,
+            pairs,
+            p.1,
+            p.2,
+            p.3,
+            p.4
+        );
+    }
+    let p = PAPER[4];
+    println!(
+        "{:<8} {:>9} {:>9} {:>6} {:>12}   (paper: {} / {} / {} / {})",
+        "Total", tot.0, tot.1, tot.2, tot.3, p.1, p.2, p.3, p.4
+    );
+}

@@ -1,0 +1,113 @@
+//! Regenerates **Table V**: system-level symmetry constraint extraction
+//! — S³DET vs this work on the five ADCs (TPR, FPR, PPV, ACC, F₁,
+//! runtime).
+//!
+//! The GNN is trained once on the full corpus (training time excluded
+//! from the reported runtimes, like the paper's footnote).
+//!
+//! ```text
+//! cargo run -p ancstr-bench --bin table5 --release
+//! ```
+
+use ancstr_baselines::{s3det_extract, S3detConfig};
+use ancstr_bench::{
+    adc_dataset, experiment_config, metric_header, render_average, train_extractor, MetricRow,
+};
+use ancstr_core::pipeline::evaluate_detection;
+
+/// Paper reference averages: (detector, TPR, FPR, PPV, ACC, F1, runtime s).
+const PAPER_AVG: [(&str, f64, f64, f64, f64, f64, f64); 2] = [
+    ("S3DET", 0.897, 0.048, 0.759, 0.915, 0.794, 726.12),
+    ("ours", 0.943, 0.007, 0.965, 0.977, 0.952, 3.32),
+];
+
+/// Paper per-design rows for S³DET: (TPR, FPR, PPV, ACC, F1, runtime).
+const PAPER_S3DET: [(f64, f64, f64, f64, f64, f64); 5] = [
+    (1.000, 0.036, 0.667, 0.966, 0.800, 36.70),
+    (1.000, 0.044, 0.765, 0.962, 0.867, 30.98),
+    (1.000, 0.125, 0.526, 0.890, 0.690, 49.58),
+    (0.619, 0.000, 1.000, 0.812, 0.765, 1717.81),
+    (0.864, 0.036, 0.836, 0.946, 0.850, 1795.52),
+];
+
+/// Paper per-design rows for this work.
+const PAPER_OURS: [(f64, f64, f64, f64, f64, f64); 5] = [
+    (1.000, 0.000, 1.000, 1.000, 1.000, 2.71),
+    (1.000, 0.000, 1.000, 1.000, 1.000, 2.45),
+    (1.000, 0.014, 0.909, 0.988, 0.952, 2.74),
+    (0.880, 0.005, 0.994, 0.938, 0.934, 3.55),
+    (0.835, 0.015, 0.920, 0.958, 0.875, 5.14),
+];
+
+fn paper_line(p: &(f64, f64, f64, f64, f64, f64)) -> String {
+    format!(
+        "{:<8} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>8.3} {:>10.2}",
+        " paper", p.0, p.1, p.2, p.3, p.4, p.5
+    )
+}
+
+fn main() {
+    println!("Table V: system-level symmetry constraint extraction");
+    println!();
+    let dataset = adc_dataset();
+
+    println!("[1/2] running S3DET (spectral + K-S) ...");
+    let mut s3_rows = Vec::new();
+    for b in &dataset {
+        let extraction = s3det_extract(&b.flat, &S3detConfig::default());
+        let eval = evaluate_detection(&b.flat, extraction);
+        let row = MetricRow::from_evaluation(b.name, &eval, |e| e.system);
+        println!("  {}", row.render());
+        s3_rows.push(row);
+    }
+
+    println!("[2/2] training the GNN on all five ADCs ...");
+    let extractor = train_extractor(&dataset, experiment_config());
+    let mut our_rows = Vec::new();
+    for b in &dataset {
+        let eval = extractor.evaluate(&b.flat);
+        let row = MetricRow::from_evaluation(b.name, &eval, |e| e.system);
+        our_rows.push(row);
+    }
+
+    println!();
+    println!("== S3DET [20] ==  (indented lines: paper's values)");
+    println!("{}", metric_header());
+    for (r, p) in s3_rows.iter().zip(&PAPER_S3DET) {
+        println!("{}", r.render());
+        println!("{}", paper_line(p));
+    }
+    println!("{}", render_average(&s3_rows));
+    let p = PAPER_AVG[0];
+    println!(
+        "(paper avg: TPR {} FPR {} PPV {} ACC {} F1 {} runtime {}s)",
+        p.1, p.2, p.3, p.4, p.5, p.6
+    );
+
+    println!();
+    println!("== This work ==  (indented lines: paper's values)");
+    println!("{}", metric_header());
+    for (r, p) in our_rows.iter().zip(&PAPER_OURS) {
+        println!("{}", r.render());
+        println!("{}", paper_line(p));
+    }
+    println!("{}", render_average(&our_rows));
+    let p = PAPER_AVG[1];
+    println!(
+        "(paper avg: TPR {} FPR {} PPV {} ACC {} F1 {} runtime {}s)",
+        p.1, p.2, p.3, p.4, p.5, p.6
+    );
+
+    let speedup = s3_rows
+        .iter()
+        .zip(&our_rows)
+        .map(|(s, o)| s.runtime.as_secs_f64() / o.runtime.as_secs_f64().max(1e-9))
+        .collect::<Vec<_>>();
+    let avg_speedup = speedup.iter().sum::<f64>() / speedup.len() as f64;
+    println!();
+    println!(
+        "Runtime ratio S3DET / ours per design: {:?}",
+        speedup.iter().map(|s| format!("{s:.0}x")).collect::<Vec<_>>()
+    );
+    println!("Average speedup: {avg_speedup:.0}x (paper: ~218x average, up to 483x)");
+}

@@ -1,0 +1,642 @@
+//! The five large-scale ADC benchmarks of Table III:
+//!
+//! | Benchmark | Architecture            | paper #Devices |
+//! |-----------|-------------------------|----------------|
+//! | ADC1      | 2nd-order CT ΔΣ         | 285            |
+//! | ADC2      | 3rd-order CT ΔΣ         | 345            |
+//! | ADC3      | 3rd-order CT ΔΣ variant | 347            |
+//! | ADC4      | SAR                     | 731            |
+//! | ADC5      | Hybrid CT ΔΣ + SAR      | 1233           |
+//!
+//! The paper's designs are proprietary tapeouts; these assemblers build
+//! synthetic equivalents from the same structural motifs (differential
+//! integrators, matched feedback-DAC slice pairs per Fig. 3(a),
+//! comparators, unit-capacitor DAC arrays, SAR logic, clock trees, decap
+//! banks) and fill with matched decoupling-capacitor banks to land on
+//! the published device counts exactly.
+
+use ancstr_netlist::{CircuitClass, DeviceType, Element, Netlist, Subckt};
+
+use crate::builder::CellBuilder;
+use crate::clock;
+use crate::comparator;
+use crate::dac::{self, CURRENT_DAC};
+use crate::digital::{self, inv_name, DFF};
+use crate::latch;
+use crate::ota;
+
+/// Copy every template of `src` that `dst` does not already define.
+pub fn import_netlist(dst: &mut Netlist, src: &Netlist) {
+    for sub in src.iter() {
+        if dst.subckt(&sub.name).is_none() {
+            dst.add_subckt(sub.clone()).expect("checked absent");
+        }
+    }
+}
+
+/// Recursively count the primitive devices one instance of `name`
+/// elaborates to.
+pub fn template_device_count(nl: &Netlist, name: &str) -> usize {
+    let Some(sub) = nl.subckt(name) else { return 0 };
+    sub.elements
+        .iter()
+        .map(|e| match e {
+            Element::Device(_) => 1,
+            Element::Instance(i) => template_device_count(nl, &i.subckt),
+        })
+        .sum()
+}
+
+/// A bias-generation cell: mirror ladder distributing `ibias` — 10
+/// devices.
+fn bias_cell() -> Subckt {
+    CellBuilder::new("biasgen", ["ibias", "vb1", "vb2", "vbn", "vdd", "vss"])
+        .class(CircuitClass::Bias)
+        .mos("M1", DeviceType::Nch, "ibias", "ibias", "vss", "vss", 2.0, 0.5)
+        .mos("M2", DeviceType::Nch, "x1", "ibias", "vss", "vss", 2.0, 0.5)
+        .mos("M3", DeviceType::Pch, "x1", "x1", "vdd", "vdd", 4.0, 0.5)
+        .mos("M4", DeviceType::Pch, "vb1", "x1", "vdd", "vdd", 4.0, 0.5)
+        .mos("M5", DeviceType::Nch, "vb1", "vb1", "vss", "vss", 2.0, 0.5)
+        .mos("M6", DeviceType::Pch, "vb2", "x1", "vdd", "vdd", 4.0, 0.5)
+        .mos("M7", DeviceType::Pch, "vb2", "vb2", "x2", "vdd", 4.0, 0.25)
+        .mos("M8", DeviceType::Nch, "x2", "vb1", "vss", "vss", 2.0, 0.5)
+        .mos("M9", DeviceType::Nch, "vbn", "ibias", "vss", "vss", 2.0, 0.5)
+        .res("Rb", "vbn", "vss", 10e3)
+        .build()
+}
+
+/// A bootstrapped sampling switch — 10 devices.
+fn bootstrap_cell() -> Subckt {
+    CellBuilder::new("bootsw", ["in", "out", "ck", "ckb", "vdd", "vss"])
+        .class(CircuitClass::Switch)
+        .mos("Msw", DeviceType::NchLvt, "out", "g", "in", "vss", 8.0, 0.1)
+        .mos("M1", DeviceType::Nch, "g", "ckb", "vss", "vss", 1.0, 0.1)
+        .mos("M2", DeviceType::Nch, "cb", "ck", "vss", "vss", 1.0, 0.1)
+        .mos("M3", DeviceType::Pch, "g", "x", "ct", "vdd", 2.0, 0.1)
+        .mos("M4", DeviceType::Nch, "x", "ck", "vss", "vss", 1.0, 0.1)
+        .mos("M5", DeviceType::Pch, "x", "ckb", "vdd", "vdd", 2.0, 0.1)
+        .mos("M6", DeviceType::Nch, "ct", "g", "in", "vss", 1.5, 0.1)
+        .mos("M7", DeviceType::Pch, "ct", "ckb", "vdd", "vdd", 1.5, 0.1)
+        .cfmom("Cb1", "ct", "cb", 4.0, 4.0, 4)
+        .cfmom("Cb2", "ct", "cb", 4.0, 4.0, 4)
+        .sym("Cb1", "Cb2")
+        .build()
+}
+
+/// An active-RC integrator template wrapping an OTA instance with
+/// matched input resistors and integration capacitors.
+fn integrator_cell(name: &str, ota_template: &str, r_kohm: f64, c_pf: f64) -> Subckt {
+    CellBuilder::new(
+        name,
+        ["inp", "inn", "outp", "outn", "vcm", "ibias", "vdd", "vss"],
+    )
+    .class(CircuitClass::Integrator)
+    .res("Rin1", "inp", "vip", r_kohm * 1e3)
+    .res("Rin2", "inn", "vin", r_kohm * 1e3)
+    .inst(
+        "Xota",
+        ota_template,
+        ["vip", "vin", "outp", "outn", "vcm", "ibias", "vdd", "vss"],
+    )
+    .cap("Ci1", "vip", "outn", c_pf * 1e-12)
+    .cap("Ci2", "vin", "outp", c_pf * 1e-12)
+    .sym("Rin1", "Rin2")
+    .sym("Ci1", "Ci2")
+    .build()
+}
+
+/// A matched decap bank template holding `units` unit capacitors between
+/// two rails (all pairs are designer-matched).
+fn decap_cell(name: &str, units: usize) -> Subckt {
+    let mut b = CellBuilder::new(name, ["p", "n"]).class(CircuitClass::PassiveArray);
+    let mut names = Vec::new();
+    for i in 0..units {
+        let c = format!("Cd{i}");
+        b = b.cfmom(&c, "p", "n", 5.0, 5.0, 5);
+        names.push(c);
+    }
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    b.sym_group(&refs).build()
+}
+
+/// SAR logic: a DFF shift register (`dffs` stages, the comparator
+/// decision rippling through, low bits exposed on `d0..d3`) plus a chain
+/// of control inverters.
+///
+/// As a pure-digital block it carries *no* analog symmetry annotations:
+/// its repeated cells get placement regularity from digital P&R, and
+/// `ancstr-core` correspondingly excludes Logic-classed hierarchies from
+/// the valid-pair enumeration.
+fn sar_logic_cell(name: &str, dffs: usize, invs: usize) -> Subckt {
+    let mut b = CellBuilder::new(
+        name,
+        ["ck", "cmp", "d0", "d1", "d2", "d3", "vdd", "vss"],
+    )
+    .class(CircuitClass::Logic);
+    let outs = ["d0", "d1", "d2", "d3"];
+    let mut prev_q = "cmp".to_owned();
+    for i in 0..dffs {
+        let q = if i < outs.len() { outs[i].to_owned() } else { format!("s{i}") };
+        b = b.inst(
+            &format!("Xff{i}"),
+            DFF,
+            [
+                prev_q.clone(),
+                "ck".to_owned(),
+                q.clone(),
+                format!("qb{i}"),
+                "vdd".to_owned(),
+                "vss".to_owned(),
+            ],
+        );
+        prev_q = q;
+    }
+    for i in 0..invs {
+        let a = if i == 0 { "ck".to_owned() } else { format!("c{}", i - 1) };
+        b = b.inst(
+            &format!("Xi{i}"),
+            &inv_name(1),
+            [a, format!("c{i}"), "vdd".to_owned(), "vss".to_owned()],
+        );
+    }
+    b.build()
+}
+
+/// A digital decimation/serializer block for the hybrid ADC: DFF bank,
+/// NAND combiners, output inverters. Pure digital — no symmetry
+/// annotations (see [`sar_logic_cell`]).
+fn decimator_cell(name: &str) -> Subckt {
+    let mut b = CellBuilder::new(name, ["ck", "din", "dout", "vdd", "vss"])
+        .class(CircuitClass::Logic);
+    let mut prev = "din".to_owned();
+    for i in 0..8 {
+        let q = format!("t{i}");
+        b = b.inst(
+            &format!("Xff{i}"),
+            DFF,
+            [
+                prev.clone(),
+                "ck".to_owned(),
+                q.clone(),
+                format!("tb{i}"),
+                "vdd".to_owned(),
+                "vss".to_owned(),
+            ],
+        );
+        prev = q;
+    }
+    for i in 0..8 {
+        b = b.inst(
+            &format!("Xg{i}"),
+            &crate::digital::nand2_name(1),
+            [
+                format!("t{i}"),
+                format!("tb{}", (i + 1) % 8),
+                format!("g{i}"),
+                "vdd".to_owned(),
+                "vss".to_owned(),
+            ],
+        );
+    }
+    for i in 0..4 {
+        let y = if i == 3 { "dout".to_owned() } else { format!("o{i}") };
+        let a = if i == 0 { "g0".to_owned() } else { format!("o{}", i - 1) };
+        b = b.inst(
+            &format!("Xo{i}"),
+            &inv_name(2),
+            [a, y, "vdd".to_owned(), "vss".to_owned()],
+        );
+    }
+    b.build()
+}
+
+/// A 4-unit capacitor array, all units in parallel between `a` and `b`.
+fn cap_array_parallel(name: &str) -> Subckt {
+    let mut b = CellBuilder::new(name, ["a", "b"]).class(CircuitClass::PassiveArray);
+    for i in 0..4 {
+        b = b.cfmom(&format!("Cu{i}"), "a", "b", 3.0, 3.0, 4);
+    }
+    b.sym_group(&["Cu0", "Cu1", "Cu2", "Cu3"]).build()
+}
+
+/// A 4-unit capacitor array with a *different interconnection*: two
+/// parallel units plus a series chain of two (same unit count, type,
+/// and sizing — the Section IV-D "nonidentical subcircuits that still
+/// require symmetry matching" case).
+fn cap_array_mixed(name: &str) -> Subckt {
+    CellBuilder::new(name, ["a", "b"])
+        .class(CircuitClass::PassiveArray)
+        .cfmom("Cu0", "a", "b", 3.0, 3.0, 4)
+        .cfmom("Cu1", "a", "b", 3.0, 3.0, 4)
+        .cfmom("Cu2", "a", "m", 3.0, 3.0, 4)
+        .cfmom("Cu3", "m", "b", 3.0, 3.0, 4)
+        .sym("Cu0", "Cu1")
+        .sym("Cu2", "Cu3")
+        .build()
+}
+
+/// Maximum units per decap bank: keeps the quadratic pair blow-up of
+/// matched arrays in check, like real floorplans that split decap into
+/// per-rail clusters.
+const DECAP_BANK_UNITS: usize = 12;
+
+/// Add enough decap banks to `nl` to contribute exactly `fill` devices,
+/// returning `(template, instance)` names for the top cell to wire to
+/// alternating rails.
+fn decap_banks(nl: &mut Netlist, prefix: &str, fill: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut remaining = fill;
+    let mut idx = 0;
+    while remaining > 0 {
+        let units = remaining.min(DECAP_BANK_UNITS);
+        let tname = format!("decap_{prefix}{idx}");
+        nl.add_subckt(decap_cell(&tname, units)).expect("fresh decap name");
+        out.push((tname, format!("Xdecap{idx}")));
+        remaining -= units;
+        idx += 1;
+    }
+    out
+}
+
+/// Probe the device count of `top`, add decap banks covering the gap to
+/// `target`, instantiate them, and finish the netlist.
+fn finish_with_fill(
+    mut nl: Netlist,
+    mut top: CellBuilder,
+    name: &str,
+    target: usize,
+) -> Netlist {
+    let mut probe = nl.clone();
+    probe.add_subckt(top.clone_subckt()).expect("fresh top name");
+    let current = template_device_count(&probe, name);
+    assert!(
+        current <= target,
+        "{name} base design has {current} devices (target {target})"
+    );
+    let banks = decap_banks(&mut nl, name, target - current);
+    for (template, inst) in &banks {
+        top = top.inst(inst, template, ["vdd", "vss"]);
+    }
+    // Equal-sized banks are matched arrays (designers align them); the
+    // trailing partial bank, if any, stays unmatched.
+    let full: Vec<&str> = banks
+        .iter()
+        .filter(|(t, _)| template_device_count(&nl, t) == DECAP_BANK_UNITS)
+        .map(|(_, i)| i.as_str())
+        .collect();
+    if full.len() >= 2 {
+        top = top.sym_group(&full);
+    }
+    nl.add_subckt(top.build()).expect("fresh top name");
+    nl
+}
+
+/// Install the templates every CT ΔΣ system shares.
+fn ctdsm_common(nl: &mut Netlist) {
+    import_netlist(nl, &ota::ota4(11));
+    import_netlist(nl, &ota::ota2(12));
+    import_netlist(nl, &comparator::comp1(13));
+    import_netlist(nl, &clock::clock_circuit());
+    nl.add_subckt(dac::current_dac_cell(4.0)).expect("fresh");
+    nl.add_subckt(bias_cell()).expect("fresh");
+}
+
+/// ADC1: 2nd-order continuous-time ΔΣ modulator — 285 devices.
+pub fn adc1() -> Netlist {
+    let mut nl = Netlist::new("adc1");
+    ctdsm_common(&mut nl);
+    nl.add_subckt(integrator_cell("integ_a", "ota4", 20.0, 2.0)).expect("fresh");
+    nl.add_subckt(integrator_cell("integ_b", "ota4", 10.0, 1.0)).expect("fresh");
+    import_netlist(&mut nl, &latch::latch1(14));
+
+    let top = CellBuilder::new(
+        "adc1",
+        ["vinp", "vinn", "dout", "doutb", "clk", "ibias", "vcm", "vdd", "vss"],
+    )
+    .class(CircuitClass::Custom("adc".into()))
+    // Signal path: two integrators (scaled differently — a same-class
+    // decoy pair that must NOT match).
+    .inst("Xint1", "integ_a", ["vinp", "vinn", "i1p", "i1n", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xint2", "integ_b", ["i1p", "i1n", "i2p", "i2n", "vcm", "vb1", "vdd", "vss"])
+    // Feedback DAC slice pairs (Fig. 3(a)): matched within each pair.
+    .inst("Xdac1a", CURRENT_DAC, ["dout", "doutb", "vinp", "vinn", "vb1", "vb2", "vdd"])
+    .inst("Xdac1b", CURRENT_DAC, ["doutb", "dout", "vinn", "vinp", "vb1", "vb2", "vdd"])
+    .inst("Xdac2a", CURRENT_DAC, ["dout", "doutb", "i1p", "i1n", "vb1", "vb2", "vdd"])
+    .inst("Xdac2b", CURRENT_DAC, ["doutb", "dout", "i1n", "i1p", "vb1", "vb2", "vdd"])
+    // Quantizer, retimer, clocking, biasing.
+    .inst("Xq", "comp1", ["i2p", "i2n", "q", "qb", "ckp", "vbn", "vdd", "vss"])
+    .inst("Xrt", "latch1", ["q", "qb", "dout", "doutb", "ckp", "ckn", "vdd", "vss"])
+    .inst("Xclk", "clkgen", ["clk", "ckp", "ckn", "ckc", "vdd", "vss"])
+    .inst("Xbias", "biasgen", ["ibias", "vb1", "vb2", "vbn", "vdd", "vss"])
+    // Reference buffers: a matched OTA pair (system-level GT).
+    .inst("Xrefp", "ota2", ["vcm", "refp", "refp", "rfp2", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xrefn", "ota2", ["vcm", "refn", "refn", "rfn2", "vcm", "vb1", "vdd", "vss"])
+    // Top-level matched passives (system-level, Fig. 1's resistor pair).
+    .res("Rff1", "vinp", "i2p", 40e3)
+    .res("Rff2", "vinn", "i2n", 40e3)
+    .cap("Cff1", "vinp", "i2p", 100e-15)
+    .cap("Cff2", "vinn", "i2n", 100e-15)
+    .res("Rt1", "refp", "vcm", 5e3)
+    .res("Rt2", "refn", "vcm", 5e3)
+    .sym("Xdac1a", "Xdac1b")
+    .sym("Xdac2a", "Xdac2b")
+    .sym("Xrefp", "Xrefn")
+    .sym("Rff1", "Rff2")
+    .sym("Cff1", "Cff2")
+    .sym("Rt1", "Rt2");
+
+    // Fill to the published device count with matched decap banks.
+    finish_with_fill(nl, top, "adc1", 285)
+}
+
+/// ADC2: 3rd-order CT ΔΣ with a 1.5-bit flash quantizer — 345 devices.
+pub fn adc2() -> Netlist {
+    third_order_ctdsm("adc2", 345, false)
+}
+
+/// ADC3: 3rd-order CT ΔΣ variant with input choppers — 347 devices.
+pub fn adc3() -> Netlist {
+    third_order_ctdsm("adc3", 347, true)
+}
+
+fn third_order_ctdsm(name: &str, target: usize, chopper: bool) -> Netlist {
+    let mut nl = Netlist::new(name);
+    ctdsm_common(&mut nl);
+    import_netlist(&mut nl, &comparator::comp5(15));
+    import_netlist(&mut nl, &latch::latch1(16));
+    if chopper {
+        nl.add_subckt(digital::tgate()).expect("fresh");
+    }
+    nl.add_subckt(integrator_cell("integ_a", "ota4", 20.0, 2.0)).expect("fresh");
+    nl.add_subckt(integrator_cell("integ_b", "ota4", 10.0, 1.0)).expect("fresh");
+    nl.add_subckt(integrator_cell("integ_c", "ota4", 5.0, 0.5)).expect("fresh");
+    // Matched load arrays with nonidentical interconnections (Sec. IV-D).
+    nl.add_subckt(cap_array_parallel("carr_par")).expect("fresh");
+    nl.add_subckt(cap_array_mixed("carr_mix")).expect("fresh");
+
+    let mut top = CellBuilder::new(
+        name,
+        ["vinp", "vinn", "dout", "doutb", "clk", "ibias", "vcm", "vdd", "vss"],
+    )
+    .class(CircuitClass::Custom("adc".into()))
+    .inst("Xint1", "integ_a", ["vinp", "vinn", "i1p", "i1n", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xint2", "integ_b", ["i1p", "i1n", "i2p", "i2n", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xint3", "integ_c", ["i2p", "i2n", "i3p", "i3n", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xdac1a", CURRENT_DAC, ["dout", "doutb", "vinp", "vinn", "vb1", "vb2", "vdd"])
+    .inst("Xdac1b", CURRENT_DAC, ["doutb", "dout", "vinn", "vinp", "vb1", "vb2", "vdd"])
+    .inst("Xdac2a", CURRENT_DAC, ["dout", "doutb", "i2p", "i2n", "vb1", "vb2", "vdd"])
+    .inst("Xdac2b", CURRENT_DAC, ["doutb", "dout", "i2n", "i2p", "vb1", "vb2", "vdd"])
+    // 1.5-bit flash: two matched comparators (system-level GT pair).
+    .inst("Xq1", "comp5", ["i3p", "i3n", "q1", "q1b", "ckp", "vdd", "vss"])
+    .inst("Xq2", "comp5", ["i3n", "i3p", "q2", "q2b", "ckp", "vdd", "vss"])
+    .inst("Xrt", "latch1", ["q1", "q2", "dout", "doutb", "ckp", "ckn", "vdd", "vss"])
+    .inst("Xclk", "clkgen", ["clk", "ckp", "ckn", "ckc", "vdd", "vss"])
+    .inst("Xbias", "biasgen", ["ibias", "vb1", "vb2", "vbn", "vdd", "vss"])
+    .inst("Xrefp", "ota2", ["vcm", "refp", "refp", "rfp2", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xrefn", "ota2", ["vcm", "refn", "refn", "rfn2", "vcm", "vb1", "vdd", "vss"])
+    .res("Rff1", "vinp", "i3p", 60e3)
+    .res("Rff2", "vinn", "i3n", 60e3)
+    .res("Rfb1", "i1p", "i3p", 80e3)
+    .res("Rfb2", "i1n", "i3n", 80e3)
+    .cap("Cff1", "vinp", "i3p", 80e-15)
+    .cap("Cff2", "vinn", "i3n", 80e-15)
+    .res("Rt1", "refp", "vcm", 5e3)
+    .res("Rt2", "refn", "vcm", 5e3)
+    // Matched output-load arrays whose internal wiring differs.
+    .inst("Xla", "carr_par", ["i3p", "vcm"])
+    .inst("Xlb", "carr_mix", ["i3n", "vcm"])
+    .sym("Xla", "Xlb")
+    .sym("Xdac1a", "Xdac1b")
+    .sym("Xdac2a", "Xdac2b")
+    .sym("Xq1", "Xq2")
+    .sym("Xrefp", "Xrefn")
+    .sym("Rff1", "Rff2")
+    .sym("Rfb1", "Rfb2")
+    .sym("Cff1", "Cff2")
+    .sym("Rt1", "Rt2");
+
+    if chopper {
+        top = top
+            .inst("Xch1", digital::TGATE, ["vinp", "chp", "ckp", "ckn", "vdd", "vss"])
+            .inst("Xch2", digital::TGATE, ["vinn", "chn", "ckp", "ckn", "vdd", "vss"])
+            .inst("Xch3", digital::TGATE, ["vinp", "chn", "ckn", "ckp", "vdd", "vss"])
+            .inst("Xch4", digital::TGATE, ["vinn", "chp", "ckn", "ckp", "vdd", "vss"])
+            .sym("Xch1", "Xch2")
+            .sym("Xch3", "Xch4");
+    }
+
+    finish_with_fill(nl, top, name, target)
+}
+
+/// ADC4: a SAR ADC with segmented (coarse + fine) differential 4-bit
+/// unit-capacitor DACs and a 20-stage SAR register — 731 devices.
+pub fn adc4() -> Netlist {
+    let mut nl = Netlist::new("adc4");
+    import_netlist(&mut nl, &comparator::comp1(17));
+    import_netlist(&mut nl, &clock::clock_circuit());
+    digital::install_digital_library(&mut nl, &[1, 2], true);
+    nl.add_subckt(dac::cap_dac_cell("capdac4", 4)).expect("fresh");
+    nl.add_subckt(bootstrap_cell()).expect("fresh");
+    nl.add_subckt(sar_logic_cell("sarlogic", 16, 10)).expect("fresh");
+    // A test/scan chain: a second Logic-class block at the top level, so
+    // same-class block comparison includes one large-vs-medium pair (the
+    // kind that dominates a spectral detector's runtime).
+    nl.add_subckt(sar_logic_cell("scanchain", 4, 2)).expect("fresh");
+
+    let dac_ports = |side: &str, seg: &str| -> Vec<String> {
+        (0..4)
+            .map(|i| format!("{seg}{i}"))
+            .chain([
+                format!("top{side}"),
+                "vref".into(),
+                "vdd".into(),
+                "vss".into(),
+            ])
+            .collect()
+    };
+    let mut top = CellBuilder::new(
+        "adc4",
+        ["vinp", "vinn", "vref", "clk", "d0", "d1", "d2", "d3", "vdd", "vss"],
+    )
+    .class(CircuitClass::Custom("adc".into()))
+    // Segmented differential cap DACs: the P/N banks of each segment are
+    // the dominant system-level constraints.
+    .inst("Xdacpc", "capdac4", dac_ports("p", "d"))
+    .inst("Xdacnc", "capdac4", dac_ports("n", "d"))
+    .inst("Xdacpf", "capdac4", dac_ports("p", "f"))
+    .inst("Xdacnf", "capdac4", dac_ports("n", "f"))
+    // Bootstrapped sampling switches (matched pair).
+    .inst("Xswp", "bootsw", ["vinp", "topp", "ckp", "ckn", "vdd", "vss"])
+    .inst("Xswn", "bootsw", ["vinn", "topn", "ckp", "ckn", "vdd", "vss"])
+    .inst("Xcmp", "comp1", ["topp", "topn", "q", "qb", "ckc", "vbn", "vdd", "vss"])
+    .inst("Xsar", "sarlogic", ["ckp", "q", "d0", "d1", "d2", "d3", "vdd", "vss"])
+    .inst("Xscan", "scanchain", ["ckp", "q", "s0", "s1", "s2", "s3", "vdd", "vss"])
+    .inst("Xclk", "clkgen", ["clk", "ckp", "ckn", "ckc", "vdd", "vss"])
+    // Output drivers: a matched bank of eight x2 inverters.
+    .inst("Xb0", &inv_name(2), ["d0", "o0", "vdd", "vss"])
+    .inst("Xb1", &inv_name(2), ["d1", "o1", "vdd", "vss"])
+    .inst("Xb2", &inv_name(2), ["d2", "o2", "vdd", "vss"])
+    .inst("Xb3", &inv_name(2), ["d3", "o3", "vdd", "vss"])
+    .inst("Xb4", &inv_name(2), ["o0", "p0", "vdd", "vss"])
+    .inst("Xb5", &inv_name(2), ["o1", "p1", "vdd", "vss"])
+    .inst("Xb6", &inv_name(2), ["o2", "p2", "vdd", "vss"])
+    .inst("Xb7", &inv_name(2), ["o3", "p3", "vdd", "vss"])
+    // Reference series resistors.
+    .res("Rref1", "vref", "topp", 1e3)
+    .res("Rref2", "vref", "topn", 1e3)
+    .sym("Xswp", "Xswn")
+    .sym("Rref1", "Rref2")
+    // Drivers match within a stage (first-stage and second-stage cells
+    // see different fanout environments and are sized per stage).
+    .sym_group(&["Xb0", "Xb1", "Xb2", "Xb3"])
+    .sym_group(&["Xb4", "Xb5", "Xb6", "Xb7"]);
+    // All four cap-DAC banks are instances of the same layout-matched
+    // template used symmetrically — one matched group.
+    top = top.sym_group(&["Xdacpc", "Xdacnc", "Xdacpf", "Xdacnf"]);
+
+    finish_with_fill(nl, top, "adc4", 731)
+}
+
+/// ADC5: hybrid — a 3rd-order CT ΔΣ front end whose quantizer combines
+/// a SAR with a flash comparator bank, plus a digital decimator — 1233
+/// devices.
+pub fn adc5() -> Netlist {
+    let mut nl = Netlist::new("adc5");
+    ctdsm_common(&mut nl);
+    import_netlist(&mut nl, &comparator::comp5(15));
+    import_netlist(&mut nl, &latch::latch1(18));
+    digital::install_digital_library(&mut nl, &[1, 2], true);
+    nl.add_subckt(integrator_cell("integ_a", "ota4", 20.0, 2.0)).expect("fresh");
+    nl.add_subckt(integrator_cell("integ_b", "ota4", 10.0, 1.0)).expect("fresh");
+    nl.add_subckt(integrator_cell("integ_c", "ota4", 5.0, 0.5)).expect("fresh");
+    nl.add_subckt(dac::cap_dac_cell("capdac4", 4)).expect("fresh");
+    nl.add_subckt(bootstrap_cell()).expect("fresh");
+    nl.add_subckt(sar_logic_cell("sarlogic", 16, 8)).expect("fresh");
+    nl.add_subckt(decimator_cell("decim")).expect("fresh");
+
+    let dac_ports = |side: &str| -> Vec<String> {
+        (0..4)
+            .map(|i| format!("d{i}"))
+            .chain([
+                format!("top{side}"),
+                "vref".into(),
+                "vdd".into(),
+                "vss".into(),
+            ])
+            .collect()
+    };
+    let top = CellBuilder::new(
+        "adc5",
+        ["vinp", "vinn", "vref", "clk", "d0", "d1", "d2", "d3", "ibias", "vcm", "vdd", "vss"],
+    )
+    .class(CircuitClass::Custom("adc".into()))
+    // ΔΣ front end.
+    .inst("Xint1", "integ_a", ["vinp", "vinn", "i1p", "i1n", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xint2", "integ_b", ["i1p", "i1n", "i2p", "i2n", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xint3", "integ_c", ["i2p", "i2n", "i3p", "i3n", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xdac1a", CURRENT_DAC, ["d0", "d1", "vinp", "vinn", "vb1", "vb2", "vdd"])
+    .inst("Xdac1b", CURRENT_DAC, ["d1", "d0", "vinn", "vinp", "vb1", "vb2", "vdd"])
+    .inst("Xdac2a", CURRENT_DAC, ["d0", "d1", "i1p", "i1n", "vb1", "vb2", "vdd"])
+    .inst("Xdac2b", CURRENT_DAC, ["d1", "d0", "i1n", "i1p", "vb1", "vb2", "vdd"])
+    // Interstage amplifier driving the SAR.
+    .inst("Xisa", "ota2", ["i3p", "i3n", "sp", "sn", "vcm", "vb1", "vdd", "vss"])
+    // SAR back end.
+    .inst("Xdacp", "capdac4", dac_ports("p"))
+    .inst("Xdacn", "capdac4", dac_ports("n"))
+    .inst("Xswp", "bootsw", ["sp", "topp", "ckp", "ckn", "vdd", "vss"])
+    .inst("Xswn", "bootsw", ["sn", "topn", "ckp", "ckn", "vdd", "vss"])
+    .inst("Xcmp", "comp1", ["topp", "topn", "q", "qb", "ckc", "vbn", "vdd", "vss"])
+    .inst("Xsar", "sarlogic", ["ckp", "q", "d0", "d1", "d2", "d3", "vdd", "vss"])
+    .inst("Xrt", "latch1", ["q", "qb", "dp", "dn", "ckp", "ckn", "vdd", "vss"])
+    // Flash comparator bank refining the SAR decision (matched group).
+    .inst("Xfl0", "comp5", ["topp", "topn", "f0", "f0b", "ckc", "vdd", "vss"])
+    .inst("Xfl1", "comp5", ["topp", "topn", "f1", "f1b", "ckc", "vdd", "vss"])
+    .inst("Xfl2", "comp5", ["topp", "topn", "f2", "f2b", "ckc", "vdd", "vss"])
+    .inst("Xfl3", "comp5", ["topp", "topn", "f3", "f3b", "ckc", "vdd", "vss"])
+    .inst("Xfl4", "comp5", ["topn", "topp", "f4", "f4b", "ckc", "vdd", "vss"])
+    .inst("Xfl5", "comp5", ["topn", "topp", "f5", "f5b", "ckc", "vdd", "vss"])
+    .inst("Xfl6", "comp5", ["topn", "topp", "f6", "f6b", "ckc", "vdd", "vss"])
+    .inst("Xfl7", "comp5", ["topn", "topp", "f7", "f7b", "ckc", "vdd", "vss"])
+    .sym_group(&["Xfl0", "Xfl1", "Xfl2", "Xfl3", "Xfl4", "Xfl5", "Xfl6", "Xfl7"])
+    // Digital decimator on the output.
+    .inst("Xdec", "decim", ["ckp", "dp", "dec_out", "vdd", "vss"])
+    .inst("Xclk", "clkgen", ["clk", "ckp", "ckn", "ckc", "vdd", "vss"])
+    .inst("Xbias", "biasgen", ["ibias", "vb1", "vb2", "vbn", "vdd", "vss"])
+    .inst("Xrefp", "ota2", ["vcm", "refp", "refp", "rfp2", "vcm", "vb1", "vdd", "vss"])
+    .inst("Xrefn", "ota2", ["vcm", "refn", "refn", "rfn2", "vcm", "vb1", "vdd", "vss"])
+    .res("Rff1", "vinp", "i3p", 60e3)
+    .res("Rff2", "vinn", "i3n", 60e3)
+    .cap("Cff1", "vinp", "i3p", 80e-15)
+    .cap("Cff2", "vinn", "i3n", 80e-15)
+    .res("Rt1", "refp", "vcm", 5e3)
+    .res("Rt2", "refn", "vcm", 5e3)
+    .sym("Xdac1a", "Xdac1b")
+    .sym("Xdac2a", "Xdac2b")
+    .sym("Xdacp", "Xdacn")
+    .sym("Xswp", "Xswn")
+    .sym("Xrefp", "Xrefn")
+    .sym("Rff1", "Rff2")
+    .sym("Cff1", "Cff2")
+    .sym("Rt1", "Rt2");
+
+    finish_with_fill(nl, top, "adc5", 1233)
+}
+
+/// All five ADC benchmarks, in Table III order.
+pub fn adc_benchmarks() -> Vec<Netlist> {
+    vec![adc1(), adc2(), adc3(), adc4(), adc5()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::flat::FlatCircuit;
+    use ancstr_netlist::SymmetryKind;
+
+    #[test]
+    fn device_counts_match_table3() {
+        let expect = [285usize, 345, 347, 731, 1233];
+        for (nl, &n) in adc_benchmarks().iter().zip(&expect) {
+            let flat = FlatCircuit::elaborate(nl).unwrap();
+            assert_eq!(flat.devices().len(), n, "{}", nl.top());
+        }
+    }
+
+    #[test]
+    fn adc1_has_system_level_dac_pairs() {
+        let flat = FlatCircuit::elaborate(&adc1()).unwrap();
+        let a = flat.node_by_path("adc1/Xdac1a").unwrap().id;
+        let b = flat.node_by_path("adc1/Xdac1b").unwrap().id;
+        let c = flat.ground_truth().get(a, b).unwrap();
+        assert_eq!(c.kind, SymmetryKind::System);
+        // Top-level resistor pairs next to blocks are system-level too.
+        let r1 = flat.node_by_path("adc1/Rff1").unwrap().id;
+        let r2 = flat.node_by_path("adc1/Rff2").unwrap().id;
+        assert_eq!(flat.ground_truth().get(r1, r2).unwrap().kind, SymmetryKind::System);
+    }
+
+    #[test]
+    fn adc_hierarchies_are_deep() {
+        let flat = FlatCircuit::elaborate(&adc5()).unwrap();
+        let max_depth = flat.nodes().iter().map(|n| n.depth).max().unwrap();
+        assert!(max_depth >= 3, "expected nested hierarchy, depth {max_depth}");
+        assert!(flat.blocks().count() > 30);
+    }
+
+    #[test]
+    fn integrators_are_same_class_decoys() {
+        let flat = FlatCircuit::elaborate(&adc1()).unwrap();
+        let i1 = flat.node_by_path("adc1/Xint1").unwrap().id;
+        let i2 = flat.node_by_path("adc1/Xint2").unwrap().id;
+        // Same module type (both integrators), but not ground truth.
+        assert_eq!(flat.module_type(i1), flat.module_type(i2));
+        assert!(flat.ground_truth().get(i1, i2).is_none());
+    }
+
+    #[test]
+    fn ground_truth_grows_with_system_size() {
+        let small = FlatCircuit::elaborate(&adc1()).unwrap().ground_truth().len();
+        let large = FlatCircuit::elaborate(&adc5()).unwrap().ground_truth().len();
+        assert!(large > small);
+    }
+}

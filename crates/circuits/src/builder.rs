@@ -1,0 +1,259 @@
+//! A small fluent builder for subcircuit templates, so the generators
+//! read like schematics.
+
+use ancstr_netlist::{
+    CircuitClass, Device, DeviceType, Geometry, Instance, Subckt,
+};
+
+/// Fluent construction of a [`Subckt`].
+///
+/// Element names must be unique; the builder panics on duplicates since
+/// generators are static code (a duplicate is a bug in the generator,
+/// not bad input).
+///
+/// # Example
+///
+/// ```
+/// use ancstr_circuits::builder::CellBuilder;
+/// use ancstr_netlist::{CircuitClass, DeviceType};
+///
+/// let inv = CellBuilder::new("inv", ["in", "out", "vdd", "vss"])
+///     .class(CircuitClass::Inverter)
+///     .mos("Mp", DeviceType::PchLvt, "out", "in", "vdd", "vdd", 2.0, 0.1)
+///     .mos("Mn", DeviceType::NchLvt, "out", "in", "vss", "vss", 1.0, 0.1)
+///     .build();
+/// assert_eq!(inv.devices().count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CellBuilder {
+    sub: Subckt,
+}
+
+impl CellBuilder {
+    /// Start a template with the given ports.
+    pub fn new<I, S>(name: impl Into<String>, ports: I) -> CellBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        CellBuilder { sub: Subckt::new(name, ports) }
+    }
+
+    /// Set the functional class.
+    #[must_use]
+    pub fn class(mut self, class: CircuitClass) -> CellBuilder {
+        self.sub.class = class;
+        self
+    }
+
+    /// Add a MOS transistor (`d g s b`, W/L in µm).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate element name.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // mirrors the SPICE card order
+    pub fn mos(
+        mut self,
+        name: &str,
+        dtype: DeviceType,
+        d: &str,
+        g: &str,
+        s: &str,
+        b: &str,
+        w: f64,
+        l: f64,
+    ) -> CellBuilder {
+        assert!(dtype.is_mos(), "mos() requires a MOS device type");
+        let mut dev = Device::new(
+            name,
+            dtype,
+            vec![d.into(), g.into(), s.into()],
+            Geometry::new(l, w),
+        )
+        .expect("3 pins for MOS");
+        dev.bulk = Some(b.into());
+        self.sub.push_device(dev).expect("generator element names are unique");
+        self
+    }
+
+    /// Add a resistor with a value (Ω) and a value-derived geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate element name.
+    #[must_use]
+    pub fn res(mut self, name: &str, a: &str, b: &str, ohms: f64) -> CellBuilder {
+        let mut dev = Device::new(
+            name,
+            DeviceType::Resistor,
+            vec![a.into(), b.into()],
+            Geometry::from_value(ohms, 1e3),
+        )
+        .expect("2 pins for resistor");
+        dev.value = Some(ohms);
+        self.sub.push_device(dev).expect("generator element names are unique");
+        self
+    }
+
+    /// Add a capacitor with a value (F).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate element name.
+    #[must_use]
+    pub fn cap(mut self, name: &str, a: &str, b: &str, farads: f64) -> CellBuilder {
+        let mut dev = Device::new(
+            name,
+            DeviceType::Capacitor,
+            vec![a.into(), b.into()],
+            Geometry::from_value(farads, 1e-15),
+        )
+        .expect("2 pins for capacitor");
+        dev.value = Some(farads);
+        self.sub.push_device(dev).expect("generator element names are unique");
+        self
+    }
+
+    /// Add a finger-MOM capacitor with explicit geometry and layer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate element name.
+    #[must_use]
+    pub fn cfmom(
+        mut self,
+        name: &str,
+        a: &str,
+        b: &str,
+        w: f64,
+        l: f64,
+        layers: u32,
+    ) -> CellBuilder {
+        let dev = Device::new(
+            name,
+            DeviceType::CfmomCapacitor,
+            vec![a.into(), b.into()],
+            Geometry::with_layers(l, w, layers),
+        )
+        .expect("2 pins for capacitor");
+        self.sub.push_device(dev).expect("generator element names are unique");
+        self
+    }
+
+    /// Add a child instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate element name.
+    #[must_use]
+    pub fn inst<I, S>(mut self, name: &str, subckt: &str, connections: I) -> CellBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.sub
+            .push_instance(Instance {
+                name: name.into(),
+                subckt: subckt.into(),
+                connections: connections.into_iter().map(Into::into).collect(),
+            })
+            .expect("generator element names are unique");
+        self
+    }
+
+    /// Annotate a designer symmetry pair (ground truth).
+    #[must_use]
+    pub fn sym(mut self, a: &str, b: &str) -> CellBuilder {
+        self.sub.annotate_symmetry(a, b);
+        self
+    }
+
+    /// Annotate a matched *group* (e.g. a unit-capacitor array): every
+    /// unordered pair within the group becomes a symmetry annotation,
+    /// which is how designers constrain common-centroid arrays.
+    #[must_use]
+    pub fn sym_group(mut self, names: &[&str]) -> CellBuilder {
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                self.sub.annotate_symmetry(names[i], names[j]);
+            }
+        }
+        self
+    }
+
+    /// Annotate a self-symmetric element.
+    #[must_use]
+    pub fn self_sym(mut self, a: &str) -> CellBuilder {
+        self.sub.self_sym.push(a.into());
+        self
+    }
+
+    /// Clone the template in its current (possibly unfinished) state —
+    /// used by the system assemblers to probe device counts before
+    /// adding fill banks.
+    pub fn clone_subckt(&self) -> Subckt {
+        self.sub.clone()
+    }
+
+    /// Finish, validating the annotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an annotation references a missing element (generator
+    /// bug).
+    pub fn build(self) -> Subckt {
+        self.sub
+            .validate_annotations()
+            .expect("generator annotations reference real elements");
+        self.sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_valid_cell() {
+        let cell = CellBuilder::new("dp", ["inp", "inn", "o1", "o2", "tail", "vss"])
+            .class(CircuitClass::Ota)
+            .mos("M1", DeviceType::NchLvt, "o1", "inp", "tail", "vss", 4.0, 0.2)
+            .mos("M2", DeviceType::NchLvt, "o2", "inn", "tail", "vss", 4.0, 0.2)
+            .sym("M1", "M2")
+            .build();
+        assert_eq!(cell.devices().count(), 2);
+        assert_eq!(cell.sym_pairs.len(), 1);
+        assert_eq!(cell.class, CircuitClass::Ota);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_names_panic() {
+        let _ = CellBuilder::new("x", ["a"])
+            .res("R1", "a", "a2", 1e3)
+            .res("R1", "a", "a3", 1e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "real elements")]
+    fn bad_annotation_panics() {
+        let _ = CellBuilder::new("x", ["a"])
+            .res("R1", "a", "b", 1e3)
+            .sym("R1", "Rmissing")
+            .build();
+    }
+
+    #[test]
+    fn passives_carry_values_and_geometry() {
+        let cell = CellBuilder::new("rc", ["a", "b"])
+            .res("R1", "a", "m", 10e3)
+            .cap("C1", "m", "b", 50e-15)
+            .cfmom("C2", "m", "b", 4.0, 4.0, 5)
+            .build();
+        let r = cell.element("R1").unwrap().as_device().unwrap();
+        assert_eq!(r.value, Some(10e3));
+        let c2 = cell.element("C2").unwrap().as_device().unwrap();
+        assert_eq!(c2.geometry.metal_layers, 5);
+    }
+}

@@ -1,0 +1,227 @@
+//! DAC benchmarks and DAC building blocks for the ADC systems:
+//!
+//! * [`dac1`]/[`dac2`] — the two block-level benchmarks of Table VI
+//!   (10 and 12 devices);
+//! * [`current_dac_cell`] — a current-steering DAC slice, instantiated
+//!   in matched pairs by the CTΔΣ modulators (the Fig. 3(a)
+//!   system-level constraint);
+//! * [`cap_dac_cell`] — a parameterized binary-weighted unit-capacitor
+//!   DAC for the SAR ADC.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ancstr_netlist::{CircuitClass, DeviceType, Netlist, Subckt};
+
+use crate::builder::CellBuilder;
+
+fn netlist_of(name: &str, cell: Subckt) -> Netlist {
+    let mut nl = Netlist::new(name);
+    nl.add_subckt(cell).expect("single template");
+    nl
+}
+
+/// DAC1: 2-bit binary-weighted capacitor DAC with NMOS switches and a
+/// reset device — 10 devices.
+pub fn dac1(seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDAC1);
+    let wsw = [1.0, 2.0, 3.0][rng.gen_range(0..3)];
+    let cell = CellBuilder::new("dac1", ["b0", "b1", "vref", "out", "vdd", "vss"])
+        .class(CircuitClass::Dac)
+        // Unit-capacitor bank: 4 units (1 + 1 + 2-as-two-units).
+        .cfmom("Cu0", "out", "t0", 2.0, 2.0, 4)
+        .cfmom("Cu1", "out", "t1", 2.0, 2.0, 4)
+        .cfmom("Cu2", "out", "t1", 2.0, 2.0, 4)
+        .cfmom("Cd", "out", "vss", 2.0, 2.0, 4)
+        // Bit switches (pull to vref or ground).
+        .mos("Ms0a", DeviceType::NchLvt, "t0", "b0", "vss", "vss", wsw, 0.1)
+        .mos("Ms0b", DeviceType::PchLvt, "t0", "b0", "vref", "vdd", 2.0 * wsw, 0.1)
+        .mos("Ms1a", DeviceType::NchLvt, "t1", "b1", "vss", "vss", wsw, 0.1)
+        .mos("Ms1b", DeviceType::PchLvt, "t1", "b1", "vref", "vdd", 2.0 * wsw, 0.1)
+        // Reset switch + dummy.
+        .mos("Mrst", DeviceType::Nch, "out", "b0", "vss", "vss", 1.0, 0.1)
+        .mos("Mdum", DeviceType::Nch, "vss", "vss", "vss", "vss", 1.0, 0.1)
+        .sym_group(&["Cu0", "Cu1", "Cu2", "Cd"])
+        .sym("Ms0a", "Ms1a")
+        .sym("Ms0b", "Ms1b")
+        .build();
+    netlist_of("dac1", cell)
+}
+
+/// DAC2: 4-bit R-2R ladder with NMOS bit switches — 12 devices on a
+/// net-rich ladder.
+pub fn dac2(seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDAC2);
+    let r_unit = [5e3, 10e3][rng.gen_range(0..2)];
+    let mut b = CellBuilder::new(
+        "dac2",
+        ["b0", "b1", "b2", "b3", "vref", "out", "vss"],
+    )
+    .class(CircuitClass::Dac);
+    // Ladder: series R between taps, 2R legs to switches.
+    let taps = ["out", "l1", "l2", "l3"];
+    for (i, pair) in taps.windows(2).enumerate() {
+        b = b.res(&format!("Rs{i}"), pair[0], pair[1], r_unit);
+    }
+    let mut legs = Vec::new();
+    for (i, tap) in taps.iter().enumerate() {
+        let name = format!("Rl{i}");
+        b = b.res(&name, tap, &format!("sw{i}"), 2.0 * r_unit);
+        legs.push(name);
+    }
+    // Terminator leg.
+    b = b.res("Rt", "l3", "vss", 2.0 * r_unit);
+    // Bit switches.
+    let mut sws = Vec::new();
+    for i in 0..4 {
+        let name = format!("Msw{i}");
+        b = b.mos(
+            &name,
+            DeviceType::NchLvt,
+            &format!("sw{i}"),
+            &format!("b{i}"),
+            "vref",
+            "vss",
+            2.0,
+            0.1,
+        );
+        sws.push(name);
+    }
+    let legs_ref: Vec<&str> = legs.iter().map(String::as_str).collect();
+    let sws_ref: Vec<&str> = sws.iter().map(String::as_str).collect();
+    let cell = b.sym_group(&legs_ref).sym_group(&sws_ref).build();
+    netlist_of("dac2", cell)
+}
+
+/// Canonical template name of a current-steering DAC slice.
+pub const CURRENT_DAC: &str = "idac_slice";
+
+/// A 1-bit current-steering DAC slice: cascoded current source steered
+/// by a differential switch pair — 6 devices. Used in matched pairs by
+/// the CTΔΣ feedback path.
+pub fn current_dac_cell(w_src: f64) -> Subckt {
+    CellBuilder::new(CURRENT_DAC, ["d", "db", "outp", "outn", "vb1", "vb2", "vdd"])
+        .class(CircuitClass::Dac)
+        .mos("Msrc", DeviceType::Pch, "cs", "vb1", "vdd", "vdd", w_src, 0.5)
+        .mos("Mcas", DeviceType::Pch, "cd", "vb2", "cs", "vdd", w_src, 0.25)
+        .mos("Msw1", DeviceType::PchLvt, "outp", "d", "cd", "vdd", w_src / 2.0, 0.1)
+        .mos("Msw2", DeviceType::PchLvt, "outn", "db", "cd", "vdd", w_src / 2.0, 0.1)
+        .res("Rdeg1", "outp", "op", 500.0)
+        .res("Rdeg2", "outn", "on", 500.0)
+        .sym("Msw1", "Msw2")
+        .sym("Rdeg1", "Rdeg2")
+        .build()
+}
+
+/// Build a binary-weighted unit-capacitor DAC template with
+/// `bits` bits (unit counts 1, 1, 2, 4, …, 2^(bits−1); the extra unit is
+/// the LSB dummy) plus one switch pair per bit.
+///
+/// Returns the template; `name` lets the SAR instantiate a P-side and an
+/// N-side from the same layout-matched template.
+pub fn cap_dac_cell(name: &str, bits: usize) -> Subckt {
+    assert!(bits >= 1, "a DAC needs at least one bit");
+    let ports: Vec<String> = (0..bits)
+        .map(|i| format!("b{i}"))
+        .chain(["top".into(), "vref".into(), "vdd".into(), "vss".into()])
+        .collect();
+    let mut b = CellBuilder::new(name, ports).class(CircuitClass::Dac);
+    let mut units: Vec<String> = Vec::new();
+    // Dummy LSB unit tied to ground reference.
+    b = b.cfmom("Cu_dummy", "top", "vss", 2.0, 2.0, 4);
+    units.push("Cu_dummy".into());
+    for bit in 0..bits {
+        let count = 1usize << bit;
+        for u in 0..count {
+            let cname = format!("Cu{bit}_{u}");
+            b = b.cfmom(&cname, "top", &format!("bot{bit}"), 2.0, 2.0, 4);
+            units.push(cname);
+        }
+        // Switch pair per bit: pull bottom plate to vref or vss.
+        b = b
+            .mos(
+                &format!("Msr{bit}"),
+                DeviceType::PchLvt,
+                &format!("bot{bit}"),
+                &format!("b{bit}"),
+                "vref",
+                "vdd",
+                2.0,
+                0.1,
+            )
+            .mos(
+                &format!("Msg{bit}"),
+                DeviceType::NchLvt,
+                &format!("bot{bit}"),
+                &format!("b{bit}"),
+                "vss",
+                "vss",
+                1.0,
+                0.1,
+            );
+    }
+    let unit_refs: Vec<&str> = units.iter().map(String::as_str).collect();
+    b.sym_group(&unit_refs).build()
+}
+
+/// Number of devices in a [`cap_dac_cell`] with `bits` bits.
+pub fn cap_dac_device_count(bits: usize) -> usize {
+    // units: 1 dummy + (2^bits − 1); switches: 2 per bit.
+    (1 << bits) + 2 * bits
+}
+
+/// The block-level DAC suite of Table VI.
+pub fn dac_suite(seed: u64) -> Vec<Netlist> {
+    vec![dac1(seed), dac2(seed)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::flat::FlatCircuit;
+
+    #[test]
+    fn device_counts_match_table6() {
+        assert_eq!(
+            FlatCircuit::elaborate(&dac1(1)).unwrap().devices().len(),
+            10
+        );
+        assert_eq!(
+            FlatCircuit::elaborate(&dac2(1)).unwrap().devices().len(),
+            12
+        );
+    }
+
+    #[test]
+    fn cap_dac_counts_follow_formula() {
+        for bits in 1..=6 {
+            let mut nl = Netlist::new("d");
+            nl.add_subckt(cap_dac_cell("d", bits)).unwrap();
+            let flat = FlatCircuit::elaborate(&nl).unwrap();
+            assert_eq!(flat.devices().len(), cap_dac_device_count(bits), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn current_dac_slice_is_symmetric() {
+        let mut nl = Netlist::new(CURRENT_DAC);
+        nl.add_subckt(current_dac_cell(4.0)).unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        assert_eq!(flat.devices().len(), 6);
+        assert_eq!(flat.ground_truth().len(), 2);
+    }
+
+    #[test]
+    fn dac2_ladder_has_many_nets() {
+        let flat = FlatCircuit::elaborate(&dac2(1)).unwrap();
+        // R-2R ladders are net-rich: more nets than a flat cap bank.
+        assert!(flat.net_count() >= 12, "nets = {}", flat.net_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bit_dac_panics() {
+        let _ = cap_dac_cell("bad", 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Digital standard cells used by the mixed-signal systems: inverters,
+//! NAND/NOR gates, transmission gates, and a NAND-based D flip-flop for
+//! SAR logic.
+//!
+//! Every generator takes a drive strength (the width multiplier of the
+//! Fig. 2 sizing story) so that instances of the *same* template with
+//! *different* sizes exist in the benchmarks — the false-alarm case a
+//! sizing-blind detector trips over.
+
+use ancstr_netlist::{CircuitClass, DeviceType, Netlist, Subckt};
+
+use crate::builder::CellBuilder;
+
+/// Canonical name for an inverter template of drive strength `x`.
+pub fn inv_name(drive: u32) -> String {
+    format!("inv_x{drive}")
+}
+
+/// An inverter with the given drive strength (W multiplies with drive).
+pub fn inverter(drive: u32) -> Subckt {
+    let w = drive as f64;
+    CellBuilder::new(inv_name(drive), ["a", "y", "vdd", "vss"])
+        .class(CircuitClass::Inverter)
+        .mos("Mp", DeviceType::PchLvt, "y", "a", "vdd", "vdd", 2.0 * w, 0.1)
+        .mos("Mn", DeviceType::NchLvt, "y", "a", "vss", "vss", 1.0 * w, 0.1)
+        .build()
+}
+
+/// Canonical name for a 2-input NAND of drive strength `x`.
+pub fn nand2_name(drive: u32) -> String {
+    format!("nand2_x{drive}")
+}
+
+/// A 2-input NAND gate.
+pub fn nand2(drive: u32) -> Subckt {
+    let w = drive as f64;
+    CellBuilder::new(nand2_name(drive), ["a", "b", "y", "vdd", "vss"])
+        .class(CircuitClass::Logic)
+        .mos("Mpa", DeviceType::PchLvt, "y", "a", "vdd", "vdd", 2.0 * w, 0.1)
+        .mos("Mpb", DeviceType::PchLvt, "y", "b", "vdd", "vdd", 2.0 * w, 0.1)
+        .mos("Mna", DeviceType::NchLvt, "y", "a", "nx", "vss", 2.0 * w, 0.1)
+        .mos("Mnb", DeviceType::NchLvt, "nx", "b", "vss", "vss", 2.0 * w, 0.1)
+        .build()
+}
+
+/// Canonical name for a 2-input NOR of drive strength `x`.
+pub fn nor2_name(drive: u32) -> String {
+    format!("nor2_x{drive}")
+}
+
+/// A 2-input NOR gate.
+pub fn nor2(drive: u32) -> Subckt {
+    let w = drive as f64;
+    CellBuilder::new(nor2_name(drive), ["a", "b", "y", "vdd", "vss"])
+        .class(CircuitClass::Logic)
+        .mos("Mpa", DeviceType::PchLvt, "px", "a", "vdd", "vdd", 4.0 * w, 0.1)
+        .mos("Mpb", DeviceType::PchLvt, "y", "b", "px", "vdd", 4.0 * w, 0.1)
+        .mos("Mna", DeviceType::NchLvt, "y", "a", "vss", "vss", 1.0 * w, 0.1)
+        .mos("Mnb", DeviceType::NchLvt, "y", "b", "vss", "vss", 1.0 * w, 0.1)
+        .build()
+}
+
+/// Canonical name of the transmission gate template.
+pub const TGATE: &str = "tgate";
+
+/// A CMOS transmission gate.
+pub fn tgate() -> Subckt {
+    CellBuilder::new(TGATE, ["a", "y", "ck", "ckb", "vdd", "vss"])
+        .class(CircuitClass::Switch)
+        .mos("Mn", DeviceType::NchLvt, "y", "ck", "a", "vss", 1.5, 0.1)
+        .mos("Mp", DeviceType::PchLvt, "y", "ckb", "a", "vdd", 3.0, 0.1)
+        .build()
+}
+
+/// Canonical name of the NAND-based DFF template.
+pub const DFF: &str = "dff_nand";
+
+/// A classic 6-NAND edge-triggered D flip-flop (24 transistors), built
+/// hierarchically from [`nand2`] instances.
+pub fn dff() -> Subckt {
+    let g = nand2_name(1);
+    CellBuilder::new(DFF, ["d", "ck", "q", "qb", "vdd", "vss"])
+        .class(CircuitClass::Logic)
+        .inst("X1", &g, ["s1", "s4", "s2", "vdd", "vss"])
+        .inst("X2", &g, ["s2", "ck", "s3", "vdd", "vss"])
+        .inst("X3", &g, ["s3", "s6", "s4", "vdd", "vss"])
+        .inst("X4", &g, ["s4", "d", "s6", "vdd", "vss"])
+        .inst("X5", &g, ["s2", "qb", "q", "vdd", "vss"])
+        .inst("X6", &g, ["q", "s3", "qb", "vdd", "vss"])
+        .build()
+}
+
+/// Register the shared digital templates a system netlist needs.
+///
+/// Safe to call with any subset already present — existing templates are
+/// kept (so two blocks can both request `inv_x2`).
+pub fn install_digital_library(netlist: &mut Netlist, inv_drives: &[u32], with_dff: bool) {
+    for &d in inv_drives {
+        if netlist.subckt(&inv_name(d)).is_none() {
+            netlist.add_subckt(inverter(d)).expect("checked absent");
+        }
+    }
+    if with_dff {
+        if netlist.subckt(&nand2_name(1)).is_none() {
+            netlist.add_subckt(nand2(1)).expect("checked absent");
+        }
+        if netlist.subckt(DFF).is_none() {
+            netlist.add_subckt(dff()).expect("checked absent");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::flat::FlatCircuit;
+
+    #[test]
+    fn inverter_sizes_scale_with_drive() {
+        let x1 = inverter(1);
+        let x4 = inverter(4);
+        let w1 = x1.element("Mp").unwrap().as_device().unwrap().geometry.width;
+        let w4 = x4.element("Mp").unwrap().as_device().unwrap().geometry.width;
+        assert!((w4 - 4.0 * w1).abs() < 1e-12);
+        assert_ne!(x1.name, x4.name);
+    }
+
+    #[test]
+    fn gates_have_expected_transistor_counts() {
+        assert_eq!(inverter(1).devices().count(), 2);
+        assert_eq!(nand2(1).devices().count(), 4);
+        assert_eq!(nor2(1).devices().count(), 4);
+        assert_eq!(tgate().devices().count(), 2);
+    }
+
+    #[test]
+    fn dff_elaborates_to_24_transistors() {
+        let mut nl = Netlist::new(DFF);
+        install_digital_library(&mut nl, &[], true);
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        assert_eq!(flat.devices().len(), 24);
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let mut nl = Netlist::new("top");
+        install_digital_library(&mut nl, &[1, 2], true);
+        let count = nl.len();
+        install_digital_library(&mut nl, &[1, 2], true);
+        assert_eq!(nl.len(), count);
+    }
+}

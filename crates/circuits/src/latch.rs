@@ -1,0 +1,85 @@
+//! The LATCH1 block benchmark of Table VI: a clocked regenerative latch
+//! with input sampling, reset, and output buffering — 24 devices.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ancstr_netlist::{CircuitClass, DeviceType, Netlist};
+
+use crate::builder::CellBuilder;
+
+/// LATCH1: dynamic regenerative latch — 24 devices on a compact net set.
+pub fn latch1(seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1A7C);
+    let w_in = [1.0, 2.0, 3.0][rng.gen_range(0..3)];
+    let cell = CellBuilder::new(
+        "latch1",
+        ["dp", "dn", "qp", "qn", "clk", "clkb", "vdd", "vss"],
+    )
+    .class(CircuitClass::Latch)
+    // Input sampling pass pair.
+    .mos("Mi1", DeviceType::NchLvt, "a1", "clk", "dp", "vss", w_in, 0.1)
+    .mos("Mi2", DeviceType::NchLvt, "a2", "clk", "dn", "vss", w_in, 0.1)
+    // Regenerative cross-coupled inverters.
+    .mos("Mx1p", DeviceType::PchLvt, "a1", "a2", "vdd", "vdd", 2.0, 0.1)
+    .mos("Mx1n", DeviceType::NchLvt, "a1", "a2", "foot", "vss", 1.0, 0.1)
+    .mos("Mx2p", DeviceType::PchLvt, "a2", "a1", "vdd", "vdd", 2.0, 0.1)
+    .mos("Mx2n", DeviceType::NchLvt, "a2", "a1", "foot", "vss", 1.0, 0.1)
+    // Clocked foot and head.
+    .mos("Mft", DeviceType::Nch, "foot", "clkb", "vss", "vss", 3.0, 0.1)
+    .mos("Mhd", DeviceType::Pch, "vdd", "clk", "vdd", "vdd", 1.0, 0.1)
+    // Reset/equalize devices.
+    .mos("Mr1", DeviceType::PchLvt, "a1", "clk", "vdd", "vdd", 1.0, 0.1)
+    .mos("Mr2", DeviceType::PchLvt, "a2", "clk", "vdd", "vdd", 1.0, 0.1)
+    .mos("Meq", DeviceType::PchLvt, "a1", "clk", "a2", "vdd", 1.0, 0.1)
+    // Keeper pair (weak, different size — decoy vs reset pair).
+    .mos("Mk1", DeviceType::PchLvt, "a1", "qn", "vdd", "vdd", 0.5, 0.2)
+    .mos("Mk2", DeviceType::PchLvt, "a2", "qp", "vdd", "vdd", 0.5, 0.2)
+    // Output buffers: two inverters per side.
+    .mos("Mb1p", DeviceType::PchLvt, "o1", "a1", "vdd", "vdd", 2.0, 0.1)
+    .mos("Mb1n", DeviceType::NchLvt, "o1", "a1", "vss", "vss", 1.0, 0.1)
+    .mos("Mb2p", DeviceType::PchLvt, "qp", "o1", "vdd", "vdd", 4.0, 0.1)
+    .mos("Mb2n", DeviceType::NchLvt, "qp", "o1", "vss", "vss", 2.0, 0.1)
+    .mos("Mb3p", DeviceType::PchLvt, "o2", "a2", "vdd", "vdd", 2.0, 0.1)
+    .mos("Mb3n", DeviceType::NchLvt, "o2", "a2", "vss", "vss", 1.0, 0.1)
+    .mos("Mb4p", DeviceType::PchLvt, "qn", "o2", "vdd", "vdd", 4.0, 0.1)
+    .mos("Mb4n", DeviceType::NchLvt, "qn", "o2", "vss", "vss", 2.0, 0.1)
+    // Load caps and a keep-alive dummy.
+    .cap("C1", "qp", "vss", 5e-15)
+    .cap("C2", "qn", "vss", 5e-15)
+    .mos("Mdum", DeviceType::Nch, "vss", "vss", "vss", "vss", 1.0, 0.1)
+    .sym("Mi1", "Mi2")
+    .sym("Mx1p", "Mx2p")
+    .sym("Mx1n", "Mx2n")
+    .sym("Mr1", "Mr2")
+    .sym("Mk1", "Mk2")
+    .sym("Mb1p", "Mb3p")
+    .sym("Mb1n", "Mb3n")
+    .sym("Mb2p", "Mb4p")
+    .sym("Mb2n", "Mb4n")
+    .sym("C1", "C2")
+    .self_sym("Mft")
+    .build();
+    let mut nl = Netlist::new("latch1");
+    nl.add_subckt(cell).expect("single template");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::flat::FlatCircuit;
+
+    #[test]
+    fn device_count_matches_table6() {
+        let flat = FlatCircuit::elaborate(&latch1(1)).unwrap();
+        assert_eq!(flat.devices().len(), 24);
+    }
+
+    #[test]
+    fn ground_truth_is_rich() {
+        let flat = FlatCircuit::elaborate(&latch1(1)).unwrap();
+        assert_eq!(flat.ground_truth().len(), 10);
+    }
+}

@@ -1,0 +1,246 @@
+//! Template-consistency voting: an extension beyond the paper.
+//!
+//! When a subcircuit template is instantiated many times (DAC slices,
+//! comparators in a flash bank), the *same local pair* may be detected
+//! in some instances and missed in others — each instance's devices see
+//! slightly different 2-hop context through the block boundary. But a
+//! constraint is a property of the template's layout, so detections
+//! should agree across instances. This pass groups block nodes by
+//! template, maps each accepted device-level pair to its local element
+//! names, and when at least `quorum` of the instances agree, adds the
+//! pair to every instance.
+//!
+//! The pass can only *add* constraints that a majority of instances
+//! already support, so precision is preserved while recall improves on
+//! deep systems.
+
+use std::collections::{HashMap, HashSet};
+
+use ancstr_netlist::flat::{FlatCircuit, HierNodeId, HierNodeKind};
+use ancstr_netlist::{ConstraintSet, SymmetryConstraint, SymmetryKind};
+
+/// Options of the voting pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsistencyOptions {
+    /// Fraction of instances that must agree before a pair propagates
+    /// (default 0.5: a strict majority of detections).
+    pub quorum: f64,
+}
+
+impl Default for ConsistencyOptions {
+    fn default() -> ConsistencyOptions {
+        ConsistencyOptions { quorum: 0.5 }
+    }
+}
+
+/// Result of the voting pass.
+#[derive(Debug, Clone)]
+pub struct ConsistencyReport {
+    /// The augmented constraint set.
+    pub constraints: ConstraintSet,
+    /// How many constraints the vote added.
+    pub added: usize,
+}
+
+/// Local path of `node` relative to ancestor `block` (e.g. `M1`).
+fn local_path(flat: &FlatCircuit, block: HierNodeId, node: HierNodeId) -> Option<String> {
+    let block_path = &flat.node(block).path;
+    flat.node(node)
+        .path
+        .strip_prefix(&format!("{block_path}/"))
+        .map(str::to_owned)
+}
+
+/// Find the deepest template-instance ancestor of `node` (excluding the
+/// root).
+fn owning_block(flat: &FlatCircuit, node: HierNodeId) -> Option<HierNodeId> {
+    let mut cur = flat.node(node).parent?;
+    loop {
+        let n = flat.node(cur);
+        if n.is_block() && n.parent.is_some() {
+            return Some(cur);
+        }
+        cur = n.parent?;
+    }
+}
+
+/// Run template-consistency voting over `detected`.
+pub fn vote_template_consistency(
+    flat: &FlatCircuit,
+    detected: &ConstraintSet,
+    options: &ConsistencyOptions,
+) -> ConsistencyReport {
+    // Instances per template (non-root blocks only).
+    let mut instances: HashMap<&str, Vec<HierNodeId>> = HashMap::new();
+    for n in flat.blocks() {
+        if n.parent.is_none() {
+            continue;
+        }
+        if let HierNodeKind::Block { subckt, .. } = &n.kind {
+            instances.entry(subckt.as_str()).or_default().push(n.id);
+        }
+    }
+
+    // Votes: (template, local pair) -> set of instances that detected it.
+    type LocalPair = (String, String);
+    let mut votes: HashMap<(&str, LocalPair), HashSet<HierNodeId>> = HashMap::new();
+    for c in detected.iter() {
+        if c.kind != SymmetryKind::Device {
+            continue;
+        }
+        let Some(block) = owning_block(flat, c.pair.lo()) else { continue };
+        if owning_block(flat, c.pair.hi()) != Some(block) {
+            continue;
+        }
+        let HierNodeKind::Block { subckt, .. } = &flat.node(block).kind else { continue };
+        let (Some(a), Some(b)) = (
+            local_path(flat, block, c.pair.lo()),
+            local_path(flat, block, c.pair.hi()),
+        ) else {
+            continue;
+        };
+        let key = if a <= b { (a, b) } else { (b, a) };
+        votes
+            .entry((subckt.as_str(), key))
+            .or_default()
+            .insert(block);
+    }
+
+    // Propagate winning pairs to every instance.
+    let mut out = detected.clone();
+    let mut added = 0usize;
+    for ((template, (a, b)), voters) in &votes {
+        let Some(all) = instances.get(template) else { continue };
+        if all.len() < 2 {
+            continue;
+        }
+        if (voters.len() as f64) < options.quorum * all.len() as f64 {
+            continue;
+        }
+        for &inst in all {
+            let inst_path = &flat.node(inst).path;
+            let (Some(na), Some(nb)) = (
+                flat.node_by_path(&format!("{inst_path}/{a}")),
+                flat.node_by_path(&format!("{inst_path}/{b}")),
+            ) else {
+                continue;
+            };
+            // T_c is the pair's common parent inside the instance.
+            let Some(tc) = na.parent else { continue };
+            if out.insert(SymmetryConstraint::new(tc, na.id, nb.id, SymmetryKind::Device)) {
+                added += 1;
+            }
+        }
+    }
+    ConsistencyReport { constraints: out, added }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::parse::parse_spice;
+
+    fn three_instance_fixture() -> FlatCircuit {
+        let nl = parse_spice(
+            "\
+.subckt dp inp inn o1 o2 t vss
+M1 o1 inp t vss nch w=4u l=0.2u
+M2 o2 inn t vss nch w=4u l=0.2u
+.ends
+.subckt top a b c d e f vdd vss
+X1 a b n1 n2 t1 vss dp
+X2 c d n3 n4 t2 vss dp
+X3 e f n5 n6 t3 vss dp
+.ends
+",
+        )
+        .unwrap();
+        FlatCircuit::elaborate(&nl).unwrap()
+    }
+
+    fn pair_in(flat: &FlatCircuit, inst: &str) -> SymmetryConstraint {
+        let a = flat.node_by_path(&format!("top/{inst}/M1")).unwrap().id;
+        let b = flat.node_by_path(&format!("top/{inst}/M2")).unwrap().id;
+        let tc = flat.node_by_path(&format!("top/{inst}")).unwrap().id;
+        SymmetryConstraint::new(tc, a, b, SymmetryKind::Device)
+    }
+
+    #[test]
+    fn majority_propagates_to_all_instances() {
+        let flat = three_instance_fixture();
+        // Detected in X1 and X2, missed in X3.
+        let detected: ConstraintSet =
+            [pair_in(&flat, "X1"), pair_in(&flat, "X2")].into_iter().collect();
+        let report =
+            vote_template_consistency(&flat, &detected, &ConsistencyOptions::default());
+        assert_eq!(report.added, 1);
+        let x3 = pair_in(&flat, "X3");
+        assert!(report.constraints.contains_key(x3.pair));
+        assert_eq!(report.constraints.len(), 3);
+    }
+
+    #[test]
+    fn minority_does_not_propagate() {
+        let flat = three_instance_fixture();
+        // Detected in only X1 (1 of 3 < 0.5 quorum).
+        let detected: ConstraintSet = [pair_in(&flat, "X1")].into_iter().collect();
+        let report =
+            vote_template_consistency(&flat, &detected, &ConsistencyOptions::default());
+        assert_eq!(report.added, 0);
+        assert_eq!(report.constraints.len(), 1);
+    }
+
+    #[test]
+    fn quorum_is_tunable() {
+        let flat = three_instance_fixture();
+        let detected: ConstraintSet = [pair_in(&flat, "X1")].into_iter().collect();
+        let report = vote_template_consistency(
+            &flat,
+            &detected,
+            &ConsistencyOptions { quorum: 0.3 },
+        );
+        assert_eq!(report.added, 2, "1/3 meets a 0.3 quorum");
+        assert_eq!(report.constraints.len(), 3);
+    }
+
+    #[test]
+    fn single_instance_templates_are_untouched() {
+        let nl = parse_spice(
+            "\
+.subckt dp inp inn o1 o2 t vss
+M1 o1 inp t vss nch w=4u l=0.2u
+M2 o2 inn t vss nch w=4u l=0.2u
+.ends
+.subckt top a b vdd vss
+X1 a b n1 n2 t1 vss dp
+.ends
+",
+        )
+        .unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        let a = flat.node_by_path("top/X1/M1").unwrap().id;
+        let b = flat.node_by_path("top/X1/M2").unwrap().id;
+        let tc = flat.node_by_path("top/X1").unwrap().id;
+        let detected: ConstraintSet =
+            [SymmetryConstraint::new(tc, a, b, SymmetryKind::Device)].into_iter().collect();
+        let report =
+            vote_template_consistency(&flat, &detected, &ConsistencyOptions::default());
+        assert_eq!(report.added, 0);
+    }
+
+    #[test]
+    fn system_level_pairs_are_ignored_by_the_vote() {
+        let flat = three_instance_fixture();
+        let x1 = flat.node_by_path("top/X1").unwrap().id;
+        let x2 = flat.node_by_path("top/X2").unwrap().id;
+        let root = flat.root().id;
+        let detected: ConstraintSet =
+            [SymmetryConstraint::new(root, x1, x2, SymmetryKind::System)]
+                .into_iter()
+                .collect();
+        let report =
+            vote_template_consistency(&flat, &detected, &ConsistencyOptions::default());
+        assert_eq!(report.added, 0);
+        assert_eq!(report.constraints.len(), 1);
+    }
+}

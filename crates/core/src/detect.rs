@@ -1,0 +1,365 @@
+//! Symmetry constraint detection (paper Section IV-E, Algorithm 3,
+//! Eqs. 4–5).
+
+use ancstr_netlist::flat::{FlatCircuit, HierNodeKind};
+use ancstr_netlist::{ConstraintSet, SymmetryConstraint, SymmetryKind};
+use ancstr_nn::{cosine_similarity, Matrix};
+
+use crate::embed::{embed_all_blocks, EmbedOptions};
+use crate::pairs::{valid_pairs, CandidatePair};
+
+/// Threshold parameters (Eq. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdConfig {
+    /// Eq. 4 `α` (paper: 0.95).
+    pub alpha: f64,
+    /// Eq. 4 `β` (paper: 0.95).
+    pub beta: f64,
+    /// Hard cap of Eq. 4 (paper: 0.999).
+    pub cap: f64,
+    /// Device-level threshold (paper: 0.99).
+    pub device: f64,
+}
+
+impl Default for ThresholdConfig {
+    fn default() -> ThresholdConfig {
+        ThresholdConfig { alpha: 0.95, beta: 0.95, cap: 0.999, device: 0.99 }
+    }
+}
+
+impl ThresholdConfig {
+    /// The system-level threshold
+    /// `λ_th = min(cap, α + β / (1 + |N̂_sub|))` for a design whose
+    /// largest proper subcircuit has `max_subcircuit_size` devices.
+    pub fn system_threshold(&self, max_subcircuit_size: usize) -> f64 {
+        (self.alpha + self.beta / (1.0 + max_subcircuit_size as f64)).min(self.cap)
+    }
+}
+
+/// One scored candidate pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredPair {
+    /// The candidate.
+    pub candidate: CandidatePair,
+    /// Cosine similarity of the pair's features (Eq. 5).
+    pub score: f64,
+    /// Whether `score > λ_th` (Algorithm 3 line 7).
+    pub accepted: bool,
+    /// The threshold applied to this pair.
+    pub threshold: f64,
+}
+
+/// Output of [`detect_constraints`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionResult {
+    /// All valid pairs with scores and decisions.
+    pub scored: Vec<ScoredPair>,
+    /// The accepted constraints `S`.
+    pub constraints: ConstraintSet,
+    /// The system-level threshold that was used.
+    pub system_threshold: f64,
+}
+
+impl DetectionResult {
+    /// Scored pairs of one level.
+    pub fn scored_of_kind(&self, kind: SymmetryKind) -> impl Iterator<Item = &ScoredPair> {
+        self.scored.iter().filter(move |s| s.candidate.kind == kind)
+    }
+}
+
+/// Algorithm 3: score every valid pair with cosine similarity and keep
+/// those above the level-appropriate threshold.
+///
+/// * device-level pairs compare the two devices' trained GNN vectors;
+/// * system-level pairs between blocks compare Algorithm 2 circuit
+///   embeddings;
+/// * system-level pairs between passive devices compare device vectors
+///   against the system threshold (they are primitives living among
+///   blocks).
+///
+/// # Panics
+///
+/// Panics if `z` has fewer rows than the circuit has devices.
+pub fn detect_constraints(
+    flat: &FlatCircuit,
+    z: &Matrix,
+    thresholds: &ThresholdConfig,
+    embed: &EmbedOptions,
+) -> DetectionResult {
+    assert!(
+        z.rows() >= flat.devices().len(),
+        "need one trained feature row per device"
+    );
+    let lambda_sys = thresholds.system_threshold(flat.max_subcircuit_size());
+    let block_embeddings = embed_all_blocks(flat, z, embed);
+
+    let feature_of = |id: ancstr_netlist::HierNodeId| -> Vec<f64> {
+        match &flat.node(id).kind {
+            HierNodeKind::Device(i) => z.row(*i).to_vec(),
+            HierNodeKind::Block { .. } => block_embeddings[id.0]
+                .clone()
+                .expect("every block has an embedding"),
+        }
+    };
+
+    let mut scored = Vec::new();
+    let mut constraints = ConstraintSet::new();
+    for candidate in valid_pairs(flat) {
+        let za = feature_of(candidate.pair.lo());
+        let zb = feature_of(candidate.pair.hi());
+        let score = cosine_similarity(&za, &zb);
+        let threshold = match candidate.kind {
+            SymmetryKind::System => lambda_sys,
+            SymmetryKind::Device => thresholds.device,
+        };
+        let accepted = score > threshold;
+        if accepted {
+            constraints.insert(SymmetryConstraint {
+                hierarchy: candidate.hierarchy,
+                pair: candidate.pair,
+                kind: candidate.kind,
+            });
+        }
+        scored.push(ScoredPair { candidate, score, accepted, threshold });
+    }
+    DetectionResult { scored, constraints, system_threshold: lambda_sys }
+}
+
+/// Detect *self-symmetric* devices: modules placed on the symmetry axis
+/// (tail current sources, clock tails, equalizer switches).
+///
+/// A device is flagged when (a) it participates in no accepted pairwise
+/// constraint, and (b) its in-neighbours pair up among themselves — for
+/// every neighbour `u` there is a distinct neighbour `u'` with
+/// `cos(z_u, z_u') > pair_threshold` — i.e. the device bridges two
+/// matched halves. This extends the paper's pairwise output with the
+/// axis annotations analog placers additionally need (the benchmark
+/// generators record them as `*.selfsym`).
+///
+/// Returns hierarchy node ids of the flagged devices, sorted.
+pub fn detect_self_symmetric(
+    flat: &FlatCircuit,
+    z: &Matrix,
+    detection: &DetectionResult,
+    pair_threshold: f64,
+) -> Vec<ancstr_netlist::HierNodeId> {
+    use ancstr_graph::{BuildOptions, HetMultigraph};
+
+    let g = HetMultigraph::from_circuit(flat, &BuildOptions { max_net_degree: Some(64) });
+    let mut paired = std::collections::HashSet::new();
+    for c in detection.constraints.iter() {
+        paired.insert(c.pair.lo());
+        paired.insert(c.pair.hi());
+    }
+
+    let mut out = Vec::new();
+    for (i, d) in flat.devices().iter().enumerate() {
+        if paired.contains(&d.node) {
+            continue;
+        }
+        let Some(v) = g.vertex_for_device(i) else { continue };
+        let neighbors = g.in_neighbors(v);
+        if neighbors.len() < 2 {
+            continue;
+        }
+        // Every neighbour must have a distinct matching partner.
+        let all_paired = neighbors.iter().all(|&u| {
+            neighbors.iter().any(|&w| {
+                u != w
+                    && cosine_similarity(
+                        z.row(g.device_index(u)),
+                        z.row(g.device_index(w)),
+                    ) > pair_threshold
+            })
+        });
+        if all_paired {
+            out.push(d.node);
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::parse::parse_spice;
+
+    #[test]
+    fn eq4_threshold_shape() {
+        let t = ThresholdConfig::default();
+        // Tiny design: 0.95 + 0.95/(1+2) ≈ 1.27 → capped at 0.999.
+        assert_eq!(t.system_threshold(2), 0.999);
+        // Large design: approaches α.
+        let large = t.system_threshold(500);
+        assert!(large > 0.95 && large < 0.96);
+        // Monotone decreasing in subcircuit size.
+        assert!(t.system_threshold(10) >= t.system_threshold(100));
+    }
+
+    fn two_inv() -> FlatCircuit {
+        let nl = parse_spice(
+            "\
+.subckt inv in out vdd vss
+Mp out in vdd vdd pch w=2u l=0.1u
+Mn out in vss vss nch w=1u l=0.1u
+.ends
+.subckt top a y vdd vss
+X1 a m vdd vss inv
+X2 m y vdd vss inv
+C1 a vss 10f
+C2 y vss 10f
+.ends
+",
+        )
+        .unwrap();
+        FlatCircuit::elaborate(&nl).unwrap()
+    }
+
+    #[test]
+    fn identical_embeddings_are_accepted() {
+        let flat = two_inv();
+        // 6 devices; give matched ones identical vectors.
+        let z = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[0.5, 0.5],
+            &[0.5, 0.5],
+        ]);
+        let result = detect_constraints(
+            &flat,
+            &z,
+            &ThresholdConfig::default(),
+            &EmbedOptions::default(),
+        );
+        // Valid pairs: (X1, X2) blocks and (C1, C2) passives → both
+        // system-level, both perfectly similar.
+        assert_eq!(result.scored.len(), 2);
+        assert!(result.scored.iter().all(|s| s.accepted));
+        assert_eq!(result.constraints.len(), 2);
+        let x1 = flat.node_by_path("top/X1").unwrap().id;
+        let x2 = flat.node_by_path("top/X2").unwrap().id;
+        assert!(result.constraints.contains_pair(x1, x2));
+    }
+
+    #[test]
+    fn dissimilar_embeddings_are_rejected() {
+        let flat = two_inv();
+        let z = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[-0.2, 0.9],
+            &[0.9, -0.2],
+            &[0.5, 0.5],
+            &[-0.5, 0.5],
+        ]);
+        let result = detect_constraints(
+            &flat,
+            &z,
+            &ThresholdConfig::default(),
+            &EmbedOptions::default(),
+        );
+        assert!(result.scored.iter().all(|s| !s.accepted));
+        assert!(result.constraints.is_empty());
+    }
+
+    #[test]
+    fn device_pairs_use_device_threshold() {
+        let nl = parse_spice(
+            "\
+.subckt cell a b vdd vss
+M1 a b t vss nch w=1u l=0.1u
+M2 b a t vss nch w=1u l=0.1u
+.ends
+",
+        )
+        .unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        // Similarity 0.995: above device λ = 0.99 → accepted.
+        let z = Matrix::from_rows(&[&[1.0, 0.1], &[1.0, 0.0]]);
+        let sim = cosine_similarity(z.row(0), z.row(1));
+        assert!(sim > 0.99 && sim < 0.999);
+        let result = detect_constraints(
+            &flat,
+            &z,
+            &ThresholdConfig::default(),
+            &EmbedOptions::default(),
+        );
+        assert_eq!(result.scored.len(), 1);
+        assert_eq!(result.scored[0].threshold, 0.99);
+        assert!(result.scored[0].accepted);
+    }
+
+    #[test]
+    fn self_symmetric_tail_is_flagged() {
+        // A differential pair M1/M2 over a tail M5: the tail's
+        // neighbours (M1, M2) are matched, so M5 sits on the axis.
+        let nl = parse_spice(
+            "\
+.subckt dp inp inn o1 o2 ib vdd vss
+M1 o1 inp tail vss nch w=4u l=0.2u
+M2 o2 inn tail vss nch w=4u l=0.2u
+M5 tail ib vss vss nch w=2u l=0.5u
+.ends
+",
+        )
+        .unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        // Matched features for M1/M2, distinct for M5.
+        let z = Matrix::from_rows(&[&[1.0, 0.2], &[1.0, 0.2], &[0.1, 1.0]]);
+        let detection = detect_constraints(
+            &flat,
+            &z,
+            &ThresholdConfig::default(),
+            &EmbedOptions::default(),
+        );
+        let selfsym = detect_self_symmetric(&flat, &z, &detection, 0.95);
+        let m5 = flat.node_by_path("dp/M5").unwrap().id;
+        assert!(selfsym.contains(&m5), "tail flagged: {selfsym:?}");
+        // The paired devices themselves are not flagged.
+        let m1 = flat.node_by_path("dp/M1").unwrap().id;
+        assert!(!selfsym.contains(&m1));
+    }
+
+    #[test]
+    fn asymmetric_devices_are_not_self_symmetric() {
+        let nl = parse_spice(
+            "\
+.subckt c a b vdd vss
+M1 x a y vss nch w=1u l=0.1u
+M2 y b vss vss nch w=3u l=0.3u
+M3 x x vdd vdd pch w=2u l=0.1u
+.ends
+",
+        )
+        .unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        // All-distinct features: nothing pairs, nothing is on an axis.
+        let z = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[-1.0, 0.5]]);
+        let detection = detect_constraints(
+            &flat,
+            &z,
+            &ThresholdConfig::default(),
+            &EmbedOptions::default(),
+        );
+        let selfsym = detect_self_symmetric(&flat, &z, &detection, 0.95);
+        assert!(selfsym.is_empty(), "{selfsym:?}");
+    }
+
+    #[test]
+    fn scores_are_reported_for_roc() {
+        let flat = two_inv();
+        let z = Matrix::identity(6);
+        let result = detect_constraints(
+            &flat,
+            &z,
+            &ThresholdConfig::default(),
+            &EmbedOptions::default(),
+        );
+        for s in &result.scored {
+            assert!((-1.0..=1.0).contains(&s.score));
+        }
+    }
+}

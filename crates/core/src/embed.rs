@@ -1,0 +1,194 @@
+//! Circuit feature embedding (paper Section IV-D, Algorithm 2).
+//!
+//! A subcircuit's embedding is the concatenation of the trained feature
+//! vectors of its top-M PageRank vertices, computed on the simplified
+//! (untyped, de-paralleled) digraph of its own multigraph.
+
+use ancstr_graph::{
+    pagerank::top_m_by_pagerank, pagerank, BuildOptions, HetMultigraph, PageRankOptions,
+    SimpleDigraph,
+};
+use ancstr_netlist::flat::{FlatCircuit, HierNodeId};
+use ancstr_nn::Matrix;
+
+/// Options of Algorithm 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbedOptions {
+    /// Representative-vertex budget `M` (paper: 10; `M = |V_t|` when the
+    /// subcircuit is smaller).
+    pub m: usize,
+    /// PageRank parameters (Eq. 3, damping γ).
+    pub pagerank: PageRankOptions,
+    /// Multigraph construction options for `G_t`.
+    pub build: BuildOptions,
+}
+
+impl Default for EmbedOptions {
+    fn default() -> EmbedOptions {
+        EmbedOptions {
+            m: 10,
+            pagerank: PageRankOptions::default(),
+            build: BuildOptions::default(),
+        }
+    }
+}
+
+/// Compute a subcircuit's feature embedding `z_t` (Algorithm 2).
+///
+/// `z` holds the trained per-vertex representations of the *whole*
+/// circuit (row = flat device index). Returns the concatenation of the
+/// top-M rows by PageRank; length is `min(M, |V_t|) · D`, so embeddings
+/// of different subcircuits may differ in length — cosine comparison
+/// zero-pads (see [`ancstr_nn::cosine_similarity`]).
+///
+/// # Panics
+///
+/// Panics if `node` is not part of `flat` or `z` has fewer rows than the
+/// circuit has devices.
+pub fn embed_circuit(
+    flat: &FlatCircuit,
+    node: HierNodeId,
+    z: &Matrix,
+    options: &EmbedOptions,
+) -> Vec<f64> {
+    assert!(
+        z.rows() >= flat.devices().len(),
+        "need one trained feature row per device"
+    );
+    // Lines 1–4: simplified digraph of the subcircuit's multigraph.
+    let g = HetMultigraph::from_subtree(flat, node, &options.build);
+    let simple = SimpleDigraph::from_multigraph(&g);
+    // Lines 5–6: PageRank and ordering.
+    let pr = pagerank(&simple, &options.pagerank);
+    let m = options.m.min(g.vertex_count());
+    let top = top_m_by_pagerank(&pr, m);
+    // Lines 7–10: concatenate the trained features of the top vertices.
+    let mut out = Vec::with_capacity(m * z.cols());
+    for &v in &top {
+        // Subtree graphs index vertices by global flat-device position.
+        let global = g.device_index(ancstr_graph::VertexId(v));
+        out.extend_from_slice(z.row(global));
+    }
+    out
+}
+
+/// Embeddings for every block node of the circuit, keyed by node id
+/// order (missing entries for leaves).
+pub fn embed_all_blocks(
+    flat: &FlatCircuit,
+    z: &Matrix,
+    options: &EmbedOptions,
+) -> Vec<Option<Vec<f64>>> {
+    let mut out = vec![None; flat.nodes().len()];
+    for b in flat.blocks() {
+        out[b.id.0] = Some(embed_circuit(flat, b.id, z, options));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::parse::parse_spice;
+    use ancstr_nn::cosine_similarity;
+
+    fn flat(src: &str) -> FlatCircuit {
+        FlatCircuit::elaborate(&parse_spice(src).unwrap()).unwrap()
+    }
+
+    const TWO_INV: &str = "\
+.subckt inv in out vdd vss
+Mp out in vdd vdd pch w=2u l=0.1u
+Mn out in vss vss nch w=1u l=0.1u
+.ends
+.subckt top a y vdd vss
+X1 a m vdd vss inv
+X2 m y vdd vss inv
+.ends
+";
+
+    /// Identity features: row i = one-hot of the device index, so the
+    /// embedding is readable in tests.
+    fn identity_features(n: usize) -> Matrix {
+        Matrix::identity(n)
+    }
+
+    #[test]
+    fn embedding_length_is_min_m_times_d() {
+        let f = flat(TWO_INV);
+        let z = identity_features(4);
+        let x1 = f.node_by_path("top/X1").unwrap().id;
+        let e = embed_circuit(&f, x1, &z, &EmbedOptions::default());
+        // |V_t| = 2 < M = 10 → length 2 · D.
+        assert_eq!(e.len(), 2 * 4);
+        let e1 = embed_circuit(&f, x1, &z, &EmbedOptions { m: 1, ..Default::default() });
+        assert_eq!(e1.len(), 4);
+    }
+
+    #[test]
+    fn identical_subcircuits_embed_identically_under_symmetric_features() {
+        let f = flat(TWO_INV);
+        // Give matched devices matched features (as a trained GNN would).
+        let z = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+        ]);
+        let x1 = f.node_by_path("top/X1").unwrap().id;
+        let x2 = f.node_by_path("top/X2").unwrap().id;
+        let opts = EmbedOptions::default();
+        let e1 = embed_circuit(&f, x1, &z, &opts);
+        let e2 = embed_circuit(&f, x2, &z, &opts);
+        assert!((cosine_similarity(&e1, &e2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_features_separate_subcircuits() {
+        let f = flat(TWO_INV);
+        let z = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[-1.0, 0.3],
+            &[0.3, -1.0],
+        ]);
+        let x1 = f.node_by_path("top/X1").unwrap().id;
+        let x2 = f.node_by_path("top/X2").unwrap().id;
+        let opts = EmbedOptions::default();
+        let e1 = embed_circuit(&f, x1, &z, &opts);
+        let e2 = embed_circuit(&f, x2, &z, &opts);
+        assert!(cosine_similarity(&e1, &e2) < 0.9);
+    }
+
+    #[test]
+    fn pagerank_ordering_prefers_hub_devices() {
+        // A star: M0 touches everything, peripherals touch only M0.
+        let f = flat(
+            "\
+.subckt c a vdd vss
+M0 h a vss vss nch w=1u l=0.1u
+R1 h x1 1k
+R2 h x2 1k
+R3 h x3 1k
+.ends
+",
+        );
+        let z = identity_features(4);
+        let root = f.root().id;
+        let e = embed_circuit(&f, root, &z, &EmbedOptions { m: 1, ..Default::default() });
+        // Top-1 vertex must be the hub M0 → its one-hot row is index 0.
+        assert_eq!(e, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn embed_all_blocks_covers_internal_nodes_only() {
+        let f = flat(TWO_INV);
+        let z = identity_features(4);
+        let all = embed_all_blocks(&f, &z, &EmbedOptions::default());
+        let blocks = f.blocks().count();
+        assert_eq!(all.iter().filter(|e| e.is_some()).count(), blocks);
+        for n in f.nodes() {
+            assert_eq!(all[n.id.0].is_some(), n.is_block());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Node feature initialization (paper Section IV-B, Table II).
+//!
+//! Each vertex gets an 18-dimensional feature vector:
+//!
+//! | feature     | length | description                           |
+//! |-------------|--------|---------------------------------------|
+//! | device type | 15     | one-hot device-type encoding          |
+//! | geometry    | 2      | length and width of the device        |
+//! | layer       | 1      | number of metal layers                |
+//!
+//! Geometry columns are max-normalized per graph so the features are
+//! dimensionless and the trained model transfers across technologies
+//! (the inductive requirement of Section IV-C).
+
+use ancstr_netlist::{DeviceType, FlatCircuit};
+use ancstr_nn::Matrix;
+
+/// Total feature width (15 one-hot + L + W + layers).
+pub const FEATURE_DIM: usize = DeviceType::COUNT + 3;
+
+/// Options for feature construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Include the geometry/layer columns. Disabling them reproduces the
+    /// sizing-blind ablation of Fig. 2's false-alarm discussion.
+    pub use_sizing: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> FeatureConfig {
+        FeatureConfig { use_sizing: true }
+    }
+}
+
+/// Build the initial `n × 18` feature matrix for the devices in `range`
+/// (row `i` describes flat device `range.start + i`).
+///
+/// The device `multiplier` scales effective width, so an `m=2` device
+/// differs from its `m=1` twin.
+///
+/// # Panics
+///
+/// Panics if `range` exceeds the circuit's device list.
+pub fn init_features(
+    flat: &FlatCircuit,
+    range: std::ops::Range<usize>,
+    config: &FeatureConfig,
+) -> Matrix {
+    let devices = &flat.devices()[range];
+    let n = devices.len();
+    let mut m = Matrix::zeros(n, FEATURE_DIM);
+
+    // Per-graph normalizers.
+    let mut max_l = 0.0f64;
+    let mut max_w = 0.0f64;
+    let mut max_layers = 0u32;
+    for d in devices {
+        max_l = max_l.max(d.geometry.length);
+        max_w = max_w.max(d.geometry.width * f64::from(d.multiplier));
+        max_layers = max_layers.max(d.geometry.metal_layers);
+    }
+    let norm = |v: f64, max: f64| if max > 0.0 { v / max } else { 0.0 };
+
+    for (i, d) in devices.iter().enumerate() {
+        m[(i, d.dtype.one_hot_index())] = 1.0;
+        if config.use_sizing {
+            m[(i, DeviceType::COUNT)] = norm(d.geometry.length, max_l);
+            m[(i, DeviceType::COUNT + 1)] =
+                norm(d.geometry.width * f64::from(d.multiplier), max_w);
+            m[(i, DeviceType::COUNT + 2)] =
+                norm(f64::from(d.geometry.metal_layers), f64::from(max_layers));
+        }
+    }
+    m
+}
+
+/// Features for the whole circuit.
+pub fn circuit_features(flat: &FlatCircuit, config: &FeatureConfig) -> Matrix {
+    init_features(flat, 0..flat.devices().len(), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::parse::parse_spice;
+
+    fn flat() -> FlatCircuit {
+        let nl = parse_spice(
+            "\
+.subckt c a b vdd vss
+M1 a b vss vss nch_lvt w=4u l=0.2u
+M2 b a vss vss nch_lvt w=2u l=0.2u m=2
+Cm a b cfmom w=3u l=3u layers=5
+.ends
+",
+        )
+        .unwrap();
+        FlatCircuit::elaborate(&nl).unwrap()
+    }
+
+    #[test]
+    fn shape_and_one_hot() {
+        let f = circuit_features(&flat(), &FeatureConfig::default());
+        assert_eq!(f.shape(), (3, FEATURE_DIM));
+        // Exactly one 1 in the one-hot block per row.
+        for r in 0..3 {
+            let ones = (0..DeviceType::COUNT)
+                .filter(|&c| f[(r, c)] == 1.0)
+                .count();
+            assert_eq!(ones, 1, "row {r}");
+        }
+        assert_eq!(f[(0, DeviceType::NchLvt.one_hot_index())], 1.0);
+        assert_eq!(f[(2, DeviceType::CfmomCapacitor.one_hot_index())], 1.0);
+    }
+
+    #[test]
+    fn geometry_is_max_normalized() {
+        let f = circuit_features(&flat(), &FeatureConfig::default());
+        let lw = DeviceType::COUNT;
+        // Max length is the 3 µm cap; max effective width is M1 (4) vs
+        // M2 (2×2=4) vs cap (3) → 4.
+        assert!((f[(2, lw)] - 1.0).abs() < 1e-12, "cap has max length");
+        assert!((f[(0, lw + 1)] - 1.0).abs() < 1e-12, "M1 hits max width");
+        assert!((f[(1, lw + 1)] - 1.0).abs() < 1e-12, "m=2 doubles M2's width");
+        assert!((f[(2, lw + 2)] - 1.0).abs() < 1e-12, "cap has max layers");
+        assert!((f[(0, lw + 2)] - 0.2).abs() < 1e-12, "1 of 5 layers");
+    }
+
+    #[test]
+    fn sizing_can_be_ablated() {
+        let f = circuit_features(&flat(), &FeatureConfig { use_sizing: false });
+        for r in 0..3 {
+            for c in DeviceType::COUNT..FEATURE_DIM {
+                assert_eq!(f[(r, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matched_devices_get_identical_rows() {
+        let nl = parse_spice(
+            "\
+.subckt c a b vdd vss
+M1 a b t vss nch w=4u l=0.2u
+M2 b a t vss nch w=4u l=0.2u
+.ends
+",
+        )
+        .unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        let f = circuit_features(&flat, &FeatureConfig::default());
+        assert_eq!(f.row(0), f.row(1));
+    }
+
+    #[test]
+    fn subrange_uses_local_normalization() {
+        let flat = flat();
+        let full = circuit_features(&flat, &FeatureConfig::default());
+        let sub = init_features(&flat, 0..2, &FeatureConfig::default());
+        // In the 2-device subrange the max length is 0.2 µm, so lengths
+        // normalize to 1.0 rather than 0.2/3.
+        assert!((sub[(0, DeviceType::COUNT)] - 1.0).abs() < 1e-12);
+        assert!(full[(0, DeviceType::COUNT)] < 1.0);
+    }
+}

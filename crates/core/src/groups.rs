@@ -1,0 +1,183 @@
+//! Symmetry *groups*: the union-find closure of pairwise constraints.
+//!
+//! Analog P&R engines (MAGICAL, ALIGN) consume symmetry groups — sets
+//! of modules placed around one axis — rather than raw pairs. This
+//! module merges the pairwise constraints of a detection into maximal
+//! groups per hierarchy, the form a downstream placer ingests.
+
+use std::collections::HashMap;
+
+use ancstr_netlist::flat::{FlatCircuit, HierNodeId};
+use ancstr_netlist::{ConstraintSet, SymmetryKind};
+
+/// A maximal matched group under one hierarchy node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymmetryGroup {
+    /// The hierarchy node `T_c` the group lives under.
+    pub hierarchy: HierNodeId,
+    /// Level of the group's constraints.
+    pub kind: SymmetryKind,
+    /// The matched modules, sorted by node id.
+    pub members: Vec<HierNodeId>,
+}
+
+impl SymmetryGroup {
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is degenerate (fewer than two members).
+    pub fn is_empty(&self) -> bool {
+        self.members.len() < 2
+    }
+}
+
+/// Merge pairwise constraints into maximal groups (connected components
+/// of the constraint relation, split by hierarchy and level).
+///
+/// Groups are returned sorted by hierarchy id, then first member, so the
+/// output is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_core::groups::merge_groups;
+/// use ancstr_netlist::flat::HierNodeId;
+/// use ancstr_netlist::{ConstraintSet, SymmetryConstraint, SymmetryKind};
+///
+/// let h = HierNodeId(0);
+/// let n = |i| HierNodeId(i);
+/// let set: ConstraintSet = [
+///     SymmetryConstraint::new(h, n(1), n(2), SymmetryKind::Device),
+///     SymmetryConstraint::new(h, n(2), n(3), SymmetryKind::Device),
+///     SymmetryConstraint::new(h, n(5), n(6), SymmetryKind::Device),
+/// ]
+/// .into_iter()
+/// .collect();
+/// let groups = merge_groups(&set);
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].members, vec![n(1), n(2), n(3)]);
+/// ```
+pub fn merge_groups(constraints: &ConstraintSet) -> Vec<SymmetryGroup> {
+    // Union-find over the node ids mentioned, keyed per (hierarchy, kind).
+    let mut parent: HashMap<HierNodeId, HierNodeId> = HashMap::new();
+    let mut meta: HashMap<HierNodeId, (HierNodeId, SymmetryKind)> = HashMap::new();
+
+    fn find(parent: &mut HashMap<HierNodeId, HierNodeId>, x: HierNodeId) -> HierNodeId {
+        let p = *parent.get(&x).unwrap_or(&x);
+        if p == x {
+            return x;
+        }
+        let root = find(parent, p);
+        parent.insert(x, root);
+        root
+    }
+
+    for c in constraints.iter() {
+        let (a, b) = (c.pair.lo(), c.pair.hi());
+        for n in [a, b] {
+            parent.entry(n).or_insert(n);
+            meta.entry(n).or_insert((c.hierarchy, c.kind));
+        }
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent.insert(rb, ra);
+        }
+    }
+
+    let mut members: HashMap<HierNodeId, Vec<HierNodeId>> = HashMap::new();
+    let keys: Vec<HierNodeId> = parent.keys().copied().collect();
+    for n in keys {
+        let root = find(&mut parent, n);
+        members.entry(root).or_default().push(n);
+    }
+
+    let mut groups: Vec<SymmetryGroup> = members
+        .into_iter()
+        .map(|(root, mut ms)| {
+            ms.sort();
+            let (hierarchy, kind) = meta[&root];
+            SymmetryGroup { hierarchy, kind, members: ms }
+        })
+        .filter(|g| !g.is_empty())
+        .collect();
+    groups.sort_by_key(|g| (g.hierarchy, g.members[0]));
+    groups
+}
+
+/// Render groups with full hierarchical paths (human-readable report).
+pub fn render_groups(flat: &FlatCircuit, groups: &[SymmetryGroup]) -> String {
+    let mut out = String::new();
+    for g in groups {
+        out.push_str(&format!(
+            "[{}] under {} ({} members):\n",
+            g.kind,
+            flat.node(g.hierarchy).path,
+            g.len()
+        ));
+        for &m in &g.members {
+            out.push_str(&format!("  {}\n", flat.node(m).path));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::SymmetryConstraint;
+
+    fn n(i: usize) -> HierNodeId {
+        HierNodeId(i)
+    }
+
+    #[test]
+    fn transitive_pairs_merge() {
+        let set: ConstraintSet = [
+            SymmetryConstraint::new(n(0), n(1), n(2), SymmetryKind::Device),
+            SymmetryConstraint::new(n(0), n(3), n(2), SymmetryKind::Device),
+            SymmetryConstraint::new(n(0), n(4), n(1), SymmetryKind::Device),
+        ]
+        .into_iter()
+        .collect();
+        let groups = merge_groups(&set);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members, vec![n(1), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn disjoint_hierarchies_stay_apart() {
+        let set: ConstraintSet = [
+            SymmetryConstraint::new(n(0), n(1), n(2), SymmetryKind::Device),
+            SymmetryConstraint::new(n(9), n(11), n(12), SymmetryKind::System),
+        ]
+        .into_iter()
+        .collect();
+        let groups = merge_groups(&set);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].kind, SymmetryKind::Device);
+        assert_eq!(groups[1].kind, SymmetryKind::System);
+        assert_eq!(groups[1].hierarchy, n(9));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(merge_groups(&ConstraintSet::new()).is_empty());
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let build = || -> Vec<SymmetryGroup> {
+            let set: ConstraintSet = [
+                SymmetryConstraint::new(n(2), n(20), n(21), SymmetryKind::Device),
+                SymmetryConstraint::new(n(1), n(10), n(11), SymmetryKind::Device),
+            ]
+            .into_iter()
+            .collect();
+            merge_groups(&set)
+        };
+        assert_eq!(build(), build());
+        assert_eq!(build()[0].hierarchy, n(1));
+    }
+}

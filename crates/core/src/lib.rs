@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! AncstrGNN: universal symmetry-constraint extraction for AMS circuits
+//! with graph neural networks — the paper's primary contribution.
+//!
+//! Pipeline (Fig. 4): a circuit netlist becomes a heterogeneous
+//! multigraph; Table II features initialize each vertex; an unsupervised
+//! inductive GNN (Eqs. 1–2) learns structure-aware vertex features;
+//! Algorithm 2 aggregates them into per-subcircuit embeddings via
+//! PageRank; Algorithm 3 classifies candidate pairs by cosine similarity
+//! against the Eq. 4 size-adaptive threshold.
+//!
+//! Entry point: [`SymmetryExtractor`].
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ancstr_core::{ExtractorConfig, SymmetryExtractor};
+//! use ancstr_netlist::{parse::parse_spice, flat::FlatCircuit};
+//!
+//! // A cross-coupled latch core: (M1, M2) and (M3, M4) mirror exactly.
+//! let nl = parse_spice("\
+//! .subckt latch q qb en vdd vss
+//! M1 q qb tail vss nch_lvt w=4u l=0.2u
+//! M2 qb q tail vss nch_lvt w=4u l=0.2u
+//! M3 q qb vdd vdd pch w=8u l=0.2u
+//! M4 qb q vdd vdd pch w=8u l=0.2u
+//! M5 tail en vss vss nch w=2u l=0.5u
+//! .ends
+//! ")?;
+//! let flat = FlatCircuit::elaborate(&nl)?;
+//!
+//! let mut extractor = SymmetryExtractor::new(ExtractorConfig::default());
+//! extractor.fit(&[&flat]);
+//! let result = extractor.extract(&flat);
+//! // The cross-coupled pair (M1, M2) is found.
+//! let m1 = flat.node_by_path("latch/M1").expect("exists").id;
+//! let m2 = flat.node_by_path("latch/M2").expect("exists").id;
+//! assert!(result.detection.constraints.contains_pair(m1, m2));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod consistency;
+pub mod detect;
+pub mod embed;
+pub mod export;
+pub mod features;
+pub mod groups;
+pub mod metrics;
+pub mod pairs;
+pub mod pipeline;
+
+pub use consistency::{vote_template_consistency, ConsistencyOptions, ConsistencyReport};
+pub use detect::{detect_constraints, DetectionResult, ScoredPair, ThresholdConfig};
+pub use embed::{embed_all_blocks, embed_circuit, EmbedOptions};
+pub use export::{read_constraints, write_constraints, ParseConstraintError};
+pub use groups::{merge_groups, render_groups, SymmetryGroup};
+pub use features::{circuit_features, init_features, FeatureConfig, FEATURE_DIM};
+pub use metrics::{
+    confusion_from_decisions, pr_curve, roc_curve, Confusion, PrCurve, PrPoint, RocCurve,
+    RocPoint,
+};
+pub use pairs::{pair_stats, valid_pairs, valid_pairs_of_kind, CandidatePair, PairStats};
+pub use pipeline::{
+    evaluate_detection, Evaluation, Extraction, ExtractorConfig, SymmetryExtractor,
+};

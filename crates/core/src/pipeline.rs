@@ -1,0 +1,339 @@
+//! The end-to-end AncstrGNN pipeline (Fig. 4): multigraph construction →
+//! feature initialization → unsupervised GNN training → circuit feature
+//! embedding → cosine-similarity classification.
+
+use std::time::{Duration, Instant};
+
+use ancstr_gnn::{train, GnnConfig, GnnModel, GraphTensors, TrainConfig, TrainGraph, TrainReport};
+use ancstr_graph::{BuildOptions, HetMultigraph};
+use ancstr_netlist::{FlatCircuit, SymmetryKind};
+use ancstr_nn::Matrix;
+
+use crate::detect::{detect_constraints, DetectionResult, ThresholdConfig};
+use crate::embed::EmbedOptions;
+use crate::features::{circuit_features, FeatureConfig, FEATURE_DIM};
+use crate::metrics::{Confusion, RocCurve};
+
+/// Everything configurable about the extractor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractorConfig {
+    /// GNN hyper-parameters. `gnn.dim` must equal [`FEATURE_DIM`].
+    pub gnn: GnnConfig,
+    /// Unsupervised training schedule.
+    pub train: TrainConfig,
+    /// Table II feature options.
+    pub features: FeatureConfig,
+    /// Eq. 4 thresholds.
+    pub thresholds: ThresholdConfig,
+    /// Algorithm 2 options (M, PageRank).
+    pub embed: EmbedOptions,
+    /// Algorithm 1 options.
+    pub build: BuildOptions,
+}
+
+impl Default for ExtractorConfig {
+    fn default() -> ExtractorConfig {
+        ExtractorConfig {
+            gnn: GnnConfig { dim: FEATURE_DIM, layers: 2, seed: 0xA5C7, ..GnnConfig::default() },
+            train: TrainConfig::default(),
+            features: FeatureConfig::default(),
+            thresholds: ThresholdConfig::default(),
+            embed: EmbedOptions::default(),
+            // Power/clock rails touch hundreds of pins; their cliques
+            // quadratically dominate |E| while carrying no matching
+            // signal. The default prunes them (the ablation bench
+            // measures the faithful `None` setting on small designs).
+            build: BuildOptions { max_net_degree: Some(64) },
+        }
+    }
+}
+
+/// Error returned by [`SymmetryExtractor::with_model`] when the model
+/// dimension does not match the Table II feature width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaceModelError {
+    /// The offered model's dimension.
+    pub found: usize,
+}
+
+impl std::fmt::Display for ReplaceModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model dimension {} does not match the feature width {}",
+            self.found, FEATURE_DIM
+        )
+    }
+}
+
+impl std::error::Error for ReplaceModelError {}
+
+/// The trained extractor. Inductive: [`SymmetryExtractor::fit`] once on
+/// a corpus, then [`SymmetryExtractor::extract`] on any circuit,
+/// including unseen ones.
+#[derive(Debug, Clone)]
+pub struct SymmetryExtractor {
+    config: ExtractorConfig,
+    model: GnnModel,
+}
+
+/// Extraction output with its runtime (training excluded, matching the
+/// paper's reporting).
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// Scores, decisions, and the accepted constraint set.
+    pub detection: DetectionResult,
+    /// Wall-clock inference + detection time.
+    pub runtime: Duration,
+}
+
+/// Extraction compared against ground truth.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The extraction being evaluated.
+    pub extraction: Extraction,
+    /// Confusion over all valid pairs.
+    pub overall: Confusion,
+    /// Confusion over system-level pairs only.
+    pub system: Confusion,
+    /// Confusion over device-level pairs only.
+    pub device: Confusion,
+    /// `(score, actual)` samples for ROC analysis, all pairs.
+    pub samples: Vec<(f64, bool)>,
+    /// System-level samples.
+    pub system_samples: Vec<(f64, bool)>,
+    /// Device-level samples.
+    pub device_samples: Vec<(f64, bool)>,
+}
+
+impl Evaluation {
+    /// ROC curve over all pairs.
+    pub fn roc(&self) -> RocCurve {
+        crate::metrics::roc_curve(&self.samples)
+    }
+}
+
+impl SymmetryExtractor {
+    /// A fresh (untrained) extractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.gnn.dim != FEATURE_DIM`.
+    pub fn new(config: ExtractorConfig) -> SymmetryExtractor {
+        assert_eq!(
+            config.gnn.dim, FEATURE_DIM,
+            "the GNN dimension must match the Table II feature width"
+        );
+        let model = GnnModel::new(config.gnn.clone());
+        SymmetryExtractor { config, model }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    /// Borrow the underlying model (e.g. to inspect or serialize its
+    /// parameters via [`GnnModel::to_text`]).
+    pub fn model(&self) -> &GnnModel {
+        &self.model
+    }
+
+    /// Replace the model with a pre-trained one (the inductive
+    /// deployment mode: train once on a corpus, ship the weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns the extractor unchanged inside `Err` when the model's
+    /// dimension differs from [`FEATURE_DIM`].
+    pub fn with_model(mut self, model: GnnModel) -> Result<SymmetryExtractor, ReplaceModelError> {
+        if model.config().dim != FEATURE_DIM {
+            return Err(ReplaceModelError { found: model.config().dim });
+        }
+        self.config.gnn = model.config().clone();
+        self.model = model;
+        Ok(self)
+    }
+
+    /// Convert a circuit to its training graph.
+    pub fn train_graph(&self, flat: &FlatCircuit) -> TrainGraph {
+        let g = HetMultigraph::from_circuit(flat, &self.config.build);
+        TrainGraph {
+            tensors: GraphTensors::from_multigraph(&g),
+            features: circuit_features(flat, &self.config.features),
+        }
+    }
+
+    /// Unsupervised training over a corpus of circuits (Section IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuits` is empty.
+    pub fn fit(&mut self, circuits: &[&FlatCircuit]) -> TrainReport {
+        let dataset: Vec<TrainGraph> =
+            circuits.iter().map(|f| self.train_graph(f)).collect();
+        train(&mut self.model, &dataset, &self.config.train)
+    }
+
+    /// The trained per-vertex representations `Z` for a circuit.
+    pub fn vertex_embeddings(&self, flat: &FlatCircuit) -> Matrix {
+        let tg = self.train_graph(flat);
+        self.model.embed(&tg.tensors, &tg.features)
+    }
+
+    /// Run the full inference pipeline on one circuit (Algorithm 3).
+    pub fn extract(&self, flat: &FlatCircuit) -> Extraction {
+        let start = Instant::now();
+        let z = self.vertex_embeddings(flat);
+        let detection =
+            detect_constraints(flat, &z, &self.config.thresholds, &self.config.embed);
+        Extraction { detection, runtime: start.elapsed() }
+    }
+
+    /// [`SymmetryExtractor::extract`] followed by the template-consistency
+    /// voting post-pass (an extension beyond the paper's Algorithm 3):
+    /// device pairs detected in a quorum of a template's instances are
+    /// propagated to every instance. Scored decisions are updated so
+    /// evaluation reflects the augmented set.
+    pub fn extract_with_consistency(
+        &self,
+        flat: &FlatCircuit,
+        options: &crate::consistency::ConsistencyOptions,
+    ) -> Extraction {
+        let start = Instant::now();
+        let mut extraction = self.extract(flat);
+        let report = crate::consistency::vote_template_consistency(
+            flat,
+            &extraction.detection.constraints,
+            options,
+        );
+        for s in &mut extraction.detection.scored {
+            if !s.accepted && report.constraints.contains_key(s.candidate.pair) {
+                s.accepted = true;
+            }
+        }
+        extraction.detection.constraints = report.constraints;
+        extraction.runtime = start.elapsed();
+        extraction
+    }
+
+    /// Extract and score against the circuit's ground truth.
+    pub fn evaluate(&self, flat: &FlatCircuit) -> Evaluation {
+        let extraction = self.extract(flat);
+        evaluate_detection(flat, extraction)
+    }
+}
+
+/// Compare a detection against ground truth (used for our detector and
+/// for baselines alike).
+pub fn evaluate_detection(flat: &FlatCircuit, extraction: Extraction) -> Evaluation {
+    let gt = flat.ground_truth();
+    let mut overall = Confusion::default();
+    let mut system = Confusion::default();
+    let mut device = Confusion::default();
+    let mut samples = Vec::new();
+    let mut system_samples = Vec::new();
+    let mut device_samples = Vec::new();
+
+    for s in &extraction.detection.scored {
+        let actual = gt.contains_key(s.candidate.pair);
+        overall.record(s.accepted, actual);
+        samples.push((s.score, actual));
+        match s.candidate.kind {
+            SymmetryKind::System => {
+                system.record(s.accepted, actual);
+                system_samples.push((s.score, actual));
+            }
+            SymmetryKind::Device => {
+                device.record(s.accepted, actual);
+                device_samples.push((s.score, actual));
+            }
+        }
+    }
+    Evaluation {
+        extraction,
+        overall,
+        system,
+        device,
+        samples,
+        system_samples,
+        device_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_circuits::{clock::clock_circuit, comparator::comp2, ota::ota3};
+    use ancstr_gnn::LossConfig;
+
+    fn quick_config() -> ExtractorConfig {
+        ExtractorConfig {
+            train: TrainConfig {
+                epochs: 30,
+                learning_rate: 0.02,
+                loss: LossConfig::default(),
+                seed: 7,
+                ..TrainConfig::default()
+            },
+            ..ExtractorConfig::default()
+        }
+    }
+
+    #[test]
+    fn fit_then_extract_finds_perfect_pairs() {
+        let flat = FlatCircuit::elaborate(&comp2(3)).unwrap();
+        let mut ex = SymmetryExtractor::new(quick_config());
+        ex.fit(&[&flat]);
+        let eval = ex.evaluate(&flat);
+        // comp2's matched pairs are exact mirror automorphisms, so they
+        // must be found.
+        assert_eq!(eval.overall.fn_, 0, "all true pairs found: {:?}", eval.overall);
+        assert!(eval.overall.tp >= 3);
+        assert!(eval.overall.acc() > 0.8, "acc = {}", eval.overall.acc());
+    }
+
+    #[test]
+    fn clock_circuit_sizing_story() {
+        // The Fig. 2 case: equal-drive inverter pairs match; the x8
+        // branch must NOT be constrained to the x1/x2/x4 instances.
+        let flat = FlatCircuit::elaborate(&clock_circuit()).unwrap();
+        let mut ex = SymmetryExtractor::new(quick_config());
+        ex.fit(&[&flat]);
+        let eval = ex.evaluate(&flat);
+        assert_eq!(eval.system.fn_, 0, "equal-drive pairs found");
+        assert_eq!(eval.system.fp, 0, "no cross-drive false alarms: {:?}", eval.system);
+    }
+
+    #[test]
+    fn inductive_transfer_to_unseen_circuit() {
+        // Train on comp2 only, extract on ota3 (never seen).
+        let train_c = FlatCircuit::elaborate(&comp2(3)).unwrap();
+        let test_c = FlatCircuit::elaborate(&ota3(5)).unwrap();
+        let mut ex = SymmetryExtractor::new(quick_config());
+        ex.fit(&[&train_c]);
+        let eval = ex.evaluate(&test_c);
+        // The unseen circuit still gets sensible (better-than-chance)
+        // detection quality.
+        assert!(eval.overall.acc() > 0.6, "acc = {}", eval.overall.acc());
+        assert!(eval.roc().auc > 0.6, "auc = {}", eval.roc().auc);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn wrong_dim_is_rejected() {
+        let cfg = ExtractorConfig {
+            gnn: GnnConfig { dim: 4, layers: 2, seed: 1, ..GnnConfig::default() },
+            ..ExtractorConfig::default()
+        };
+        let _ = SymmetryExtractor::new(cfg);
+    }
+
+    #[test]
+    fn runtime_is_measured() {
+        let flat = FlatCircuit::elaborate(&comp2(3)).unwrap();
+        let ex = SymmetryExtractor::new(quick_config());
+        let extraction = ex.extract(&flat);
+        assert!(extraction.runtime > Duration::ZERO);
+    }
+}

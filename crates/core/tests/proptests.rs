@@ -1,0 +1,143 @@
+//! Property tests for the extraction pipeline: feature invariants,
+//! candidate-pair rules, threshold behaviour, and metric identities.
+
+use ancstr_core::detect::ThresholdConfig;
+use ancstr_core::metrics::{roc_curve, Confusion};
+use ancstr_core::{circuit_features, valid_pairs, FeatureConfig, FEATURE_DIM};
+use ancstr_netlist::flat::FlatCircuit;
+use ancstr_netlist::{Device, DeviceType, Geometry, Netlist, Subckt};
+use proptest::prelude::*;
+
+fn arb_cell() -> impl Strategy<Value = FlatCircuit> {
+    let dev = (0usize..5, 1u32..6, 0usize..3, 0usize..3, 0usize..3);
+    prop::collection::vec(dev, 2..15).prop_map(|devs| {
+        let nets = ["n0", "n1", "n2"];
+        let types = [
+            DeviceType::Nch,
+            DeviceType::Pch,
+            DeviceType::Resistor,
+            DeviceType::Capacitor,
+            DeviceType::NchLvt,
+        ];
+        let mut sub = Subckt::new("cell", ["n0"]);
+        for (i, (t, w, a, b, c)) in devs.into_iter().enumerate() {
+            let t = types[t];
+            let pins: Vec<String> = match t.pin_count() {
+                3 => vec![nets[a].into(), nets[b].into(), nets[c].into()],
+                _ => vec![nets[a].into(), nets[b].into()],
+            };
+            let prefix = match t {
+                t if t.is_mos() => "M",
+                DeviceType::Resistor => "R",
+                _ => "C",
+            };
+            sub.push_device(
+                Device::new(
+                    format!("{prefix}{i}"),
+                    t,
+                    pins,
+                    Geometry::new(0.1, f64::from(w)),
+                )
+                .expect("pin count ok"),
+            )
+            .expect("unique");
+        }
+        let mut nl = Netlist::new("cell");
+        nl.add_subckt(sub).expect("fresh");
+        FlatCircuit::elaborate(&nl).expect("valid")
+    })
+}
+
+proptest! {
+    /// Features: one row per device, 18 wide, one-hot block exact,
+    /// geometry block within [0, 1].
+    #[test]
+    fn feature_invariants(flat in arb_cell()) {
+        let f = circuit_features(&flat, &FeatureConfig::default());
+        prop_assert_eq!(f.shape(), (flat.devices().len(), FEATURE_DIM));
+        for r in 0..f.rows() {
+            let ones: usize = (0..DeviceType::COUNT)
+                .filter(|&c| f[(r, c)] == 1.0)
+                .count();
+            prop_assert_eq!(ones, 1);
+            for c in DeviceType::COUNT..FEATURE_DIM {
+                prop_assert!((0.0..=1.0).contains(&f[(r, c)]));
+            }
+        }
+    }
+
+    /// Valid pairs: symmetric-type, sibling-only, and complete — any two
+    /// same-type siblings appear exactly once.
+    #[test]
+    fn valid_pair_rules(flat in arb_cell()) {
+        let pairs = valid_pairs(&flat);
+        // No duplicates.
+        let mut keys: Vec<_> = pairs.iter().map(|p| p.pair).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+        // Completeness + type match against a brute-force count.
+        let root = flat.root();
+        let mut expected = 0usize;
+        for i in 0..root.children.len() {
+            for j in (i + 1)..root.children.len() {
+                if flat.module_type(root.children[i]) == flat.module_type(root.children[j]) {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(pairs.len(), expected);
+    }
+
+    /// Eq. 4 threshold: bounded by the cap, decreasing in design size,
+    /// never below alpha.
+    #[test]
+    fn threshold_eq4_properties(size in 0usize..100_000) {
+        let t = ThresholdConfig::default();
+        let lam = t.system_threshold(size);
+        prop_assert!(lam <= t.cap + 1e-12);
+        prop_assert!(lam >= t.alpha - 1e-12);
+        prop_assert!(lam >= t.system_threshold(size + 1) - 1e-12);
+    }
+
+    /// Metric identities on random confusions: ACC is a convex mix of
+    /// TPR and TNR; F1 is the harmonic mean of PPV and TPR.
+    #[test]
+    fn metric_identities(tp in 0usize..50, fp in 0usize..50, tn in 0usize..50, fn_ in 0usize..50) {
+        prop_assume!(tp + fn_ > 0 && fp + tn > 0 && tp + fp > 0);
+        let c = Confusion { tp, fp, tn, fn_ };
+        // ACC decomposition.
+        let p = (tp + fn_) as f64;
+        let n = (fp + tn) as f64;
+        let acc = (c.tpr() * p + (1.0 - c.fpr()) * n) / (p + n);
+        prop_assert!((acc - c.acc()).abs() < 1e-12);
+        // F1 harmonic mean (when tp > 0).
+        if tp > 0 {
+            let hm = 2.0 * c.ppv() * c.tpr() / (c.ppv() + c.tpr());
+            prop_assert!((hm - c.f1()).abs() < 1e-12);
+        }
+    }
+
+    /// ROC curves over random samples are monotone with AUC in [0, 1],
+    /// and flipping all labels maps AUC to 1 − AUC.
+    #[test]
+    fn roc_properties(
+        samples in prop::collection::vec((0.0f64..1.0, any::<bool>()), 2..60)
+    ) {
+        let pos = samples.iter().filter(|(_, a)| *a).count();
+        prop_assume!(pos > 0 && pos < samples.len());
+        let roc = roc_curve(&samples);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&roc.auc));
+        for w in roc.points.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+        let flipped: Vec<(f64, bool)> =
+            samples.iter().map(|&(s, a)| (s, !a)).collect();
+        let roc_f = roc_curve(&flipped);
+        // Complement holds when there are no tied scores across classes;
+        // allow tie slack.
+        prop_assert!((roc.auc + roc_f.auc - 1.0).abs() < 0.35);
+    }
+}

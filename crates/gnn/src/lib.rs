@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! The AncstrGNN graph neural network (paper Section IV-C).
+//!
+//! An unsupervised, inductive GNN over the heterogeneous circuit
+//! multigraph:
+//!
+//! * [`GraphTensors`] — the multigraph as per-edge-type sparse
+//!   adjacency operators;
+//! * [`GnnModel`] — K layers of Eq. 1
+//!   (`h_v' = GRU(h_v, Σ_{u∈N_in(v)} W_{e_uv} h_u)`, one `W` per port
+//!   type);
+//! * [`loss`] — the Eq. 2 negative-sampling context loss;
+//! * [`train`] — Adam training over a multi-circuit dataset.
+//!
+//! The model is *inductive*: once trained, [`GnnModel::embed`] produces
+//! vertex embeddings for unseen circuits without retraining.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ancstr_netlist::{parse::parse_spice, flat::FlatCircuit};
+//! use ancstr_graph::{HetMultigraph, BuildOptions};
+//! use ancstr_gnn::{GraphTensors, GnnModel, GnnConfig};
+//! use ancstr_nn::Matrix;
+//!
+//! let nl = parse_spice("\
+//! .subckt amp in out vdd vss
+//! M1 out in vss vss nch w=1u l=0.1u
+//! M2 out in vdd vdd pch w=2u l=0.1u
+//! .ends
+//! ")?;
+//! let flat = FlatCircuit::elaborate(&nl)?;
+//! let g = HetMultigraph::from_circuit(&flat, &BuildOptions::default());
+//! let tensors = GraphTensors::from_multigraph(&g);
+//!
+//! let model = GnnModel::new(GnnConfig { dim: 4, layers: 2, seed: 7, ..GnnConfig::default() });
+//! let features = Matrix::filled(2, 4, 0.1);
+//! let z = model.embed(&tensors, &features);
+//! assert_eq!(z.shape(), (2, 4));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod loss;
+pub mod model;
+pub mod serialize;
+pub mod tensors;
+pub mod trainer;
+
+pub use loss::{context_loss, ContextBatch, LossConfig};
+pub use model::{GnnConfig, GnnModel, ModelLeaves};
+pub use tensors::GraphTensors;
+pub use trainer::{train, TrainConfig, TrainGraph, TrainReport};

@@ -1,0 +1,386 @@
+//! The Eq. 1 model: K layers of edge-type-conditioned aggregation
+//! combined by a GRU.
+//!
+//! ```text
+//! h_v^{(k)} = GRU(h_v^{(k-1)}, Σ_{u ∈ N_in(v)} W_{e_uv} · h_u^{(k-1)})
+//! ```
+//!
+//! with one weight matrix per edge type (`|W| = 4`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ancstr_netlist::PortType;
+use ancstr_nn::init::xavier_uniform;
+use ancstr_nn::{GruCell, GruLeaves, Matrix, NodeId, Tape};
+
+use crate::tensors::GraphTensors;
+
+/// How a layer combines the aggregated message with the previous state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Combiner {
+    /// The paper's choice (Eq. 1, following GGNN \[22\]): a gated
+    /// recurrent unit.
+    Gru,
+    /// GraphSAGE-style \[12\] ablation: `h' = tanh((h + m)/2 · W + b)` —
+    /// an ungated mean of state and message through one linear layer.
+    MeanLinear,
+}
+
+/// Hyper-parameters of the GNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnConfig {
+    /// Feature / hidden dimension `D` (the paper uses 18, matching the
+    /// Table II input features).
+    pub dim: usize,
+    /// Number of layers `K` (paper: 2 — features aggregate from 2-hop
+    /// neighbourhoods).
+    pub layers: usize,
+    /// RNG seed for weight initialization.
+    pub seed: u64,
+    /// State/message combiner (the paper's GRU by default).
+    pub combiner: Combiner,
+}
+
+impl Default for GnnConfig {
+    fn default() -> GnnConfig {
+        GnnConfig { dim: 18, layers: 2, seed: 0xA5C7, combiner: Combiner::Gru }
+    }
+}
+
+/// One layer: four edge-type transforms plus the GRU combiner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    edge_weights: Vec<Matrix>,
+    gru: GruCell,
+}
+
+/// Tape leaves for one layer during a recorded forward pass.
+#[derive(Debug, Clone)]
+pub struct LayerLeaves {
+    edge_weights: Vec<NodeId>,
+    gru: GruLeaves,
+}
+
+/// The trained model: weights for every layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnModel {
+    config: GnnConfig,
+    layers: Vec<Layer>,
+}
+
+/// All tape leaves of a recorded forward pass, used by the trainer to
+/// collect gradients in [`GnnModel::matrices_mut`] order.
+#[derive(Debug, Clone)]
+pub struct ModelLeaves {
+    layers: Vec<LayerLeaves>,
+}
+
+impl ModelLeaves {
+    /// Leaf ids flattened in [`GnnModel::matrices`] order.
+    pub fn ids(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(&l.edge_weights);
+            out.extend_from_slice(l.gru.ids());
+        }
+        out
+    }
+}
+
+impl GnnModel {
+    /// A freshly initialized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.dim == 0` or `config.layers == 0`.
+    pub fn new(config: GnnConfig) -> GnnModel {
+        assert!(config.dim > 0, "dimension must be positive");
+        assert!(config.layers > 0, "need at least one layer");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let layers = (0..config.layers)
+            .map(|_| Layer {
+                edge_weights: (0..PortType::COUNT)
+                    .map(|_| xavier_uniform(config.dim, config.dim, &mut rng))
+                    .collect(),
+                gru: GruCell::new(config.dim, config.dim, &mut rng),
+            })
+            .collect();
+        GnnModel { config, layers }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &GnnConfig {
+        &self.config
+    }
+
+    /// All parameter matrices in a stable order (per layer: the four
+    /// edge-type transforms, then the GRU's nine matrices).
+    pub fn matrices(&self) -> Vec<&Matrix> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend(l.edge_weights.iter());
+            out.extend(l.gru.matrices().iter());
+        }
+        out
+    }
+
+    /// Mutable access to the parameters, same order as
+    /// [`GnnModel::matrices`].
+    pub fn matrices_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out = Vec::new();
+        for l in &mut self.layers {
+            let (ew, gru) = (&mut l.edge_weights, &mut l.gru);
+            out.extend(ew.iter_mut());
+            out.extend(gru.matrices_mut().iter_mut());
+        }
+        out
+    }
+
+    /// Number of parameter matrices.
+    pub fn param_count(&self) -> usize {
+        self.layers.len() * (PortType::COUNT + GruCell::PARAM_COUNT)
+    }
+
+    /// Record a full forward pass on `tape`, returning the final hidden
+    /// state node and the parameter leaves (for gradient collection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong column count or row count.
+    pub fn forward_on_tape(
+        &self,
+        tape: &mut Tape,
+        tensors: &GraphTensors,
+        features: &Matrix,
+    ) -> (NodeId, ModelLeaves) {
+        assert_eq!(
+            features.cols(),
+            self.config.dim,
+            "feature dimension must match the model"
+        );
+        assert_eq!(
+            features.rows(),
+            tensors.vertex_count(),
+            "one feature row per vertex"
+        );
+        let adj: Vec<_> = PortType::ALL
+            .iter()
+            .map(|&p| tape.sparse(tensors.adjacency(p).clone()))
+            .collect();
+
+        let mut h = tape.leaf(features.clone());
+        let mut leaves = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let w_ids: Vec<NodeId> = layer
+                .edge_weights
+                .iter()
+                .map(|w| tape.leaf(w.clone()))
+                .collect();
+            let gru_leaves = layer.gru.leaves(tape);
+
+            // message = Σ_τ A_τ · (H · W_τ)
+            let mut message: Option<NodeId> = None;
+            for (w, &a) in w_ids.iter().zip(&adj) {
+                let hw = tape.matmul(h, *w);
+                let m = tape.spmm(a, hw);
+                message = Some(match message {
+                    Some(acc) => tape.add(acc, m),
+                    None => m,
+                });
+            }
+            let message = message.expect("PortType::COUNT > 0");
+            h = match self.config.combiner {
+                Combiner::Gru => GruCell::forward(tape, &gru_leaves, message, h),
+                Combiner::MeanLinear => {
+                    // h' = tanh(((h + m)/2) · W + b), reusing the GRU's
+                    // candidate weights (unused parameters simply get
+                    // zero gradients).
+                    let w = gru_leaves.ids()[2]; // Wh
+                    let b = gru_leaves.ids()[8]; // bh
+                    let sum = tape.add(h, message);
+                    let half = tape.scale(sum, 0.5);
+                    let lin = tape.matmul(half, w);
+                    let biased = tape.add_row(lin, b);
+                    tape.tanh(biased)
+                }
+            };
+            leaves.push(LayerLeaves { edge_weights: w_ids, gru: gru_leaves });
+        }
+        (h, ModelLeaves { layers: leaves })
+    }
+
+    /// Inference: the final feature representation `Z = H^{(K)}` for
+    /// every vertex (no gradients retained).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches (see [`GnnModel::forward_on_tape`]).
+    pub fn embed(&self, tensors: &GraphTensors, features: &Matrix) -> Matrix {
+        let mut tape = Tape::new();
+        let (h, _) = self.forward_on_tape(&mut tape, tensors, features);
+        tape.value(h).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_graph::{HetMultigraph, VertexId};
+
+    fn line_graph(n: usize) -> GraphTensors {
+        let mut g = HetMultigraph::with_vertices(0..n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(VertexId(i), VertexId(i + 1), PortType::Drain);
+            g.add_edge(VertexId(i + 1), VertexId(i), PortType::Source);
+        }
+        GraphTensors::from_multigraph(&g)
+    }
+
+    #[test]
+    fn embed_shapes_and_determinism() {
+        let cfg = GnnConfig { dim: 6, layers: 2, seed: 3, ..GnnConfig::default() };
+        let model = GnnModel::new(cfg.clone());
+        let t = line_graph(5);
+        let x = Matrix::filled(5, 6, 0.1);
+        let z1 = model.embed(&t, &x);
+        let z2 = model.embed(&t, &x);
+        assert_eq!(z1.shape(), (5, 6));
+        assert_eq!(z1, z2);
+        // Different seed → different embedding.
+        let other = GnnModel::new(GnnConfig { seed: 4, ..cfg });
+        assert_ne!(other.embed(&t, &x), z1);
+    }
+
+    #[test]
+    fn param_count_and_ordering() {
+        let model = GnnModel::new(GnnConfig { dim: 4, layers: 3, seed: 1, ..GnnConfig::default() });
+        assert_eq!(model.param_count(), 3 * 13);
+        assert_eq!(model.matrices().len(), 39);
+        let mut m = model.clone();
+        assert_eq!(m.matrices_mut().len(), 39);
+    }
+
+    #[test]
+    fn isomorphic_vertices_get_identical_embeddings() {
+        // A 4-cycle with uniform features: every vertex is automorphic
+        // to every other, so embeddings must coincide exactly.
+        let mut g = HetMultigraph::with_vertices(0..4);
+        for i in 0..4 {
+            let j = (i + 1) % 4;
+            g.add_edge(VertexId(i), VertexId(j), PortType::Drain);
+            g.add_edge(VertexId(j), VertexId(i), PortType::Drain);
+        }
+        let t = GraphTensors::from_multigraph(&g);
+        let model = GnnModel::new(GnnConfig { dim: 5, layers: 2, seed: 11, ..GnnConfig::default() });
+        let x = Matrix::filled(4, 5, 0.25);
+        let z = model.embed(&t, &x);
+        for v in 1..4 {
+            for c in 0..5 {
+                assert!(
+                    (z[(0, c)] - z[(v, c)]).abs() < 1e-12,
+                    "vertex {v} differs at column {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinguishes_different_neighborhood_types() {
+        // Two vertices with identical features but different incoming
+        // edge types must embed differently.
+        let mut g = HetMultigraph::with_vertices(0..3);
+        g.add_edge(VertexId(0), VertexId(1), PortType::Gate);
+        g.add_edge(VertexId(0), VertexId(2), PortType::Drain);
+        let t = GraphTensors::from_multigraph(&g);
+        let model = GnnModel::new(GnnConfig { dim: 4, layers: 1, seed: 5, ..GnnConfig::default() });
+        let x = Matrix::filled(3, 4, 0.5);
+        let z = model.embed(&t, &x);
+        let row1: Vec<f64> = z.row(1).to_vec();
+        let row2: Vec<f64> = z.row(2).to_vec();
+        assert!(
+            row1.iter().zip(&row2).any(|(a, b)| (a - b).abs() > 1e-9),
+            "gate- and drain-fed vertices should differ"
+        );
+    }
+
+    #[test]
+    fn mean_linear_combiner_works_and_differs() {
+        let t = line_graph(4);
+        let x = Matrix::filled(4, 5, 0.2);
+        let gru = GnnModel::new(GnnConfig { dim: 5, layers: 2, seed: 9, combiner: Combiner::Gru });
+        let mean = GnnModel::new(GnnConfig {
+            dim: 5,
+            layers: 2,
+            seed: 9,
+            combiner: Combiner::MeanLinear,
+        });
+        let zg = gru.embed(&t, &x);
+        let zm = mean.embed(&t, &x);
+        assert_eq!(zm.shape(), (4, 5));
+        assert!(zm.is_finite());
+        assert_ne!(zg, zm, "combiners produce different embeddings");
+        // tanh keeps MeanLinear outputs bounded.
+        assert!(zm.max_abs() <= 1.0);
+    }
+
+    #[test]
+    fn mean_linear_gradients_flow() {
+        let t = line_graph(3);
+        let x = Matrix::filled(3, 4, 0.3);
+        let model = GnnModel::new(GnnConfig {
+            dim: 4,
+            layers: 1,
+            seed: 2,
+            combiner: Combiner::MeanLinear,
+        });
+        let mut tape = ancstr_nn::Tape::new();
+        let (z, leaves) = model.forward_on_tape(&mut tape, &t, &x);
+        let loss = tape.sum(z);
+        let grads = tape.backward(loss);
+        // Wh (index 2 within the layer's GRU block, offset by the 4 edge
+        // weights) and bh receive gradients; the unused gates do not.
+        let ids = leaves.ids();
+        assert!(grads.grad(ids[4 + 2]).is_some(), "Wh gets a gradient");
+        assert!(grads.grad(ids[4 + 8]).is_some(), "bh gets a gradient");
+        assert!(grads.grad(ids[4]).is_none(), "Wz is unused in MeanLinear");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension")]
+    fn wrong_feature_dim_panics() {
+        let model = GnnModel::new(GnnConfig { dim: 4, layers: 1, seed: 5, ..GnnConfig::default() });
+        let t = line_graph(3);
+        let x = Matrix::zeros(3, 7);
+        let _ = model.embed(&t, &x);
+    }
+
+    #[test]
+    fn k_layers_reach_k_hops() {
+        // In a directed line 0→1→2→3 (single edge type), information from
+        // vertex 0 reaches vertex K after K layers, not before.
+        let n = 4;
+        let mut g = HetMultigraph::with_vertices(0..n);
+        for i in 0..n - 1 {
+            g.add_edge(VertexId(i), VertexId(i + 1), PortType::Drain);
+        }
+        let t = GraphTensors::from_multigraph(&g);
+        let base = Matrix::zeros(n, 3);
+        let mut perturbed = base.clone();
+        perturbed[(0, 0)] = 1.0;
+
+        for k in 1..=3 {
+            let model = GnnModel::new(GnnConfig { dim: 3, layers: k, seed: 2, ..GnnConfig::default() });
+            let zb = model.embed(&t, &base);
+            let zp = model.embed(&t, &perturbed);
+            for v in 0..n {
+                let changed = (0..3).any(|c| (zb[(v, c)] - zp[(v, c)]).abs() > 1e-12);
+                assert_eq!(
+                    changed,
+                    v <= k,
+                    "layers={k} vertex={v}: influence should reach exactly {k} hops"
+                );
+            }
+        }
+    }
+}

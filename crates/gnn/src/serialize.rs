@@ -1,0 +1,219 @@
+//! Plain-text model serialization, so a universal model trained once on
+//! a corpus can be shipped and reused on unseen circuits (the inductive
+//! deployment mode of Section IV-C) without retraining.
+//!
+//! Format (line-oriented, whitespace-separated):
+//!
+//! ```text
+//! ancstr-gnn v1
+//! dim 18 layers 2 seed 42
+//! matrix 18 18
+//! 0.123 -0.456 …           (one line per row)
+//! …
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use ancstr_nn::Matrix;
+
+use crate::model::{Combiner, GnnConfig, GnnModel};
+
+/// Error returned by [`GnnModel::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError {
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid model text: {}", self.reason)
+    }
+}
+
+impl Error for ParseModelError {}
+
+fn err(reason: impl Into<String>) -> ParseModelError {
+    ParseModelError { reason: reason.into() }
+}
+
+impl GnnModel {
+    /// Serialize the model (configuration + every parameter matrix) to
+    /// text. The inverse of [`GnnModel::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("ancstr-gnn v1\n");
+        let c = self.config();
+        let combiner = match c.combiner {
+            Combiner::Gru => "gru",
+            Combiner::MeanLinear => "mean",
+        };
+        out.push_str(&format!(
+            "dim {} layers {} seed {} combiner {}\n",
+            c.dim, c.layers, c.seed, combiner
+        ));
+        for m in self.matrices() {
+            out.push_str(&format!("matrix {} {}\n", m.rows(), m.cols()));
+            for r in 0..m.rows() {
+                let row: Vec<String> = m.row(r).iter().map(|v| format!("{v:?}")).collect();
+                out.push_str(&row.join(" "));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Deserialize a model from [`GnnModel::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseModelError`] on version/shape/number mismatches.
+    pub fn from_text(text: &str) -> Result<GnnModel, ParseModelError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| err("empty input"))?;
+        if header.trim() != "ancstr-gnn v1" {
+            return Err(err(format!("unsupported header `{header}`")));
+        }
+        let config_line = lines.next().ok_or_else(|| err("missing config line"))?;
+        let tokens: Vec<&str> = config_line.split_whitespace().collect();
+        let (head, combiner) = match tokens.as_slice() {
+            [a, b, c, d, e, f] => ([*a, *b, *c, *d, *e, *f], Combiner::Gru),
+            [a, b, c, d, e, f, k_comb, comb] => {
+                if *k_comb != "combiner" {
+                    return Err(err("expected `combiner` keyword"));
+                }
+                let combiner = match *comb {
+                    "gru" => Combiner::Gru,
+                    "mean" => Combiner::MeanLinear,
+                    other => return Err(err(format!("unknown combiner `{other}`"))),
+                };
+                ([*a, *b, *c, *d, *e, *f], combiner)
+            }
+            _ => return Err(err("config line needs `dim N layers K seed S [combiner C]`")),
+        };
+        let [k_dim, dim, k_layers, layers, k_seed, seed] = head;
+        if k_dim != "dim" || k_layers != "layers" || k_seed != "seed" {
+            return Err(err("config line keywords are dim/layers/seed"));
+        }
+        let config = GnnConfig {
+            dim: dim.parse().map_err(|_| err("bad dim"))?,
+            layers: layers.parse().map_err(|_| err("bad layers"))?,
+            seed: seed.parse().map_err(|_| err("bad seed"))?,
+            combiner,
+        };
+
+        let mut model = GnnModel::new(config);
+        let expected = model.param_count();
+        let mut matrices = Vec::with_capacity(expected);
+        while let Some(line) = lines.next() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut t = line.split_whitespace();
+            if t.next() != Some("matrix") {
+                return Err(err(format!("expected `matrix`, got `{line}`")));
+            }
+            let rows: usize = t
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad matrix rows"))?;
+            let cols: usize = t
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("bad matrix cols"))?;
+            let mut m = Matrix::zeros(rows, cols);
+            for r in 0..rows {
+                let row_line = lines.next().ok_or_else(|| err("truncated matrix"))?;
+                let values: Vec<f64> = row_line
+                    .split_whitespace()
+                    .map(|v| v.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err("bad matrix value"))?;
+                if values.len() != cols {
+                    return Err(err(format!(
+                        "matrix row has {} values, expected {cols}",
+                        values.len()
+                    )));
+                }
+                m.row_mut(r).copy_from_slice(&values);
+            }
+            matrices.push(m);
+        }
+        if matrices.len() != expected {
+            return Err(err(format!(
+                "model has {} matrices, expected {expected}",
+                matrices.len()
+            )));
+        }
+        for (slot, m) in model.matrices_mut().into_iter().zip(matrices) {
+            if slot.shape() != m.shape() {
+                return Err(err(format!(
+                    "matrix shape {:?} does not fit slot {:?}",
+                    m.shape(),
+                    slot.shape()
+                )));
+            }
+            *slot = m;
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensors::GraphTensors;
+    use ancstr_graph::{HetMultigraph, VertexId};
+    use ancstr_netlist::PortType;
+
+    fn sample_model() -> GnnModel {
+        GnnModel::new(GnnConfig { dim: 5, layers: 2, seed: 77, ..GnnConfig::default() })
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let model = sample_model();
+        let text = model.to_text();
+        let back = GnnModel::from_text(&text).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn round_tripped_model_embeds_identically() {
+        let model = sample_model();
+        let back = GnnModel::from_text(&model.to_text()).unwrap();
+        let mut g = HetMultigraph::with_vertices(0..4);
+        g.add_edge(VertexId(0), VertexId(1), PortType::Drain);
+        g.add_edge(VertexId(2), VertexId(3), PortType::Gate);
+        let t = GraphTensors::from_multigraph(&g);
+        let x = Matrix::filled(4, 5, 0.3);
+        assert_eq!(model.embed(&t, &x), back.embed(&t, &x));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(GnnModel::from_text("").is_err());
+        assert!(GnnModel::from_text("wrong header\n").is_err());
+        assert!(GnnModel::from_text("ancstr-gnn v1\ndim x layers 2 seed 1\n").is_err());
+        // Truncated body.
+        let model = sample_model();
+        let text = model.to_text();
+        let cut: String = text.lines().take(10).collect::<Vec<_>>().join("\n");
+        assert!(GnnModel::from_text(&cut).is_err());
+        // Corrupted value.
+        let bad = text.replacen("matrix 5 5", "matrix 5 4", 1);
+        assert!(GnnModel::from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn full_precision_survives() {
+        let model = sample_model();
+        let back = GnnModel::from_text(&model.to_text()).unwrap();
+        for (a, b) in model.matrices().iter().zip(back.matrices()) {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bit-exact round trip");
+            }
+        }
+    }
+}

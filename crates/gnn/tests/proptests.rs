@@ -1,0 +1,88 @@
+//! Property tests for the GNN: forward-pass invariants over random
+//! graphs and configurations, and serialization round trips.
+
+use ancstr_gnn::model::Combiner;
+use ancstr_gnn::{GnnConfig, GnnModel, GraphTensors};
+use ancstr_graph::{HetMultigraph, VertexId};
+use ancstr_netlist::PortType;
+use ancstr_nn::Matrix;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = GraphTensors> {
+    prop::collection::vec((0usize..8, 0usize..8, 0usize..4), 0..24).prop_map(|edges| {
+        let mut g = HetMultigraph::with_vertices(0..8);
+        for (u, v, p) in edges {
+            if u != v {
+                g.add_edge(VertexId(u), VertexId(v), PortType::ALL[p]);
+            }
+        }
+        GraphTensors::from_multigraph(&g)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Embeddings are finite, shaped n × D, and deterministic for any
+    /// graph, seed, layer count, and combiner.
+    #[test]
+    fn forward_invariants(
+        t in arb_graph(),
+        seed in 0u64..100,
+        layers in 1usize..4,
+        mean in any::<bool>(),
+    ) {
+        let combiner = if mean { Combiner::MeanLinear } else { Combiner::Gru };
+        let model = GnnModel::new(GnnConfig { dim: 6, layers, seed, combiner });
+        let x = Matrix::from_fn(8, 6, |r, c| ((r * 5 + c) % 7) as f64 * 0.1 - 0.3);
+        let z1 = model.embed(&t, &x);
+        let z2 = model.embed(&t, &x);
+        prop_assert_eq!(z1.shape(), (8, 6));
+        prop_assert!(z1.is_finite());
+        prop_assert_eq!(z1, z2);
+    }
+
+    /// Serialization round trip is exact for any configuration.
+    #[test]
+    fn serialize_round_trip(
+        seed in 0u64..100,
+        layers in 1usize..4,
+        dim in 2usize..8,
+        mean in any::<bool>(),
+    ) {
+        let combiner = if mean { Combiner::MeanLinear } else { Combiner::Gru };
+        let model = GnnModel::new(GnnConfig { dim, layers, seed, combiner });
+        let back = GnnModel::from_text(&model.to_text()).expect("round trip parses");
+        prop_assert_eq!(back, model);
+    }
+
+    /// Vertices with identical features and no edges embed identically
+    /// (no positional leakage).
+    #[test]
+    fn isolated_vertices_are_exchangeable(seed in 0u64..100) {
+        let g = HetMultigraph::with_vertices(0..5);
+        let t = GraphTensors::from_multigraph(&g);
+        let model = GnnModel::new(GnnConfig { dim: 4, layers: 2, seed, ..GnnConfig::default() });
+        let x = Matrix::filled(5, 4, 0.2);
+        let z = model.embed(&t, &x);
+        for v in 1..5 {
+            for c in 0..4 {
+                prop_assert!((z[(0, c)] - z[(v, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Neighbour sampling never *adds* edges and is the identity above
+    /// the max in-degree.
+    #[test]
+    fn sampling_is_contractive(t in arb_graph(), k in 1usize..6, seed in 0u64..50) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = t.sampled(k, &mut rng);
+        prop_assert!(s.edge_count() <= t.edge_count());
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let id = t.sampled(10_000, &mut rng2);
+        prop_assert_eq!(id.edge_count(), t.edge_count());
+    }
+}

@@ -1,0 +1,143 @@
+//! General graph utilities: connected components, BFS distances, and
+//! degree statistics. Used by the baselines (S³DET works per connected
+//! structure; SFA walks signal flow) and by test-suite invariants.
+
+use std::collections::VecDeque;
+
+use crate::multigraph::{HetMultigraph, VertexId};
+use crate::simplify::SimpleDigraph;
+
+/// Weakly connected components of a multigraph; returns one component id
+/// per vertex, ids dense in `0..component_count`.
+pub fn connected_components(g: &HetMultigraph) -> Vec<usize> {
+    let n = g.vertex_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut queue = VecDeque::from([start]);
+        comp[start] = id;
+        while let Some(v) = queue.pop_front() {
+            let vid = VertexId(v);
+            for e in g.out_edges(vid).chain(g.in_edges(vid)) {
+                for w in [e.src.0, e.dst.0] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = id;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Number of weakly connected components.
+pub fn component_count(g: &HetMultigraph) -> usize {
+    connected_components(g).iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// BFS hop distances from `source` over the simplified digraph, following
+/// edges in both directions (structural distance). Unreachable vertices
+/// get `usize::MAX`.
+pub fn bfs_distances(g: &SimpleDigraph, source: usize) -> Vec<usize> {
+    let n = g.vertex_count();
+    let mut dist = vec![usize::MAX; n];
+    if source >= n {
+        return dist;
+    }
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.out_neighbors(v).iter().chain(g.in_neighbors(v)) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Summary statistics of a degree sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+}
+
+/// In-degree statistics of a multigraph (parallel edges counted).
+pub fn in_degree_stats(g: &HetMultigraph) -> DegreeStats {
+    let degrees: Vec<usize> = g.vertices().map(|v| g.in_degree(v)).collect();
+    if degrees.is_empty() {
+        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+    }
+    let min = *degrees.iter().min().expect("non-empty");
+    let max = *degrees.iter().max().expect("non-empty");
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+    DegreeStats { min, max, mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_netlist::PortType;
+
+    fn two_islands() -> HetMultigraph {
+        let mut g = HetMultigraph::with_vertices(0..5);
+        g.add_edge(VertexId(0), VertexId(1), PortType::Drain);
+        g.add_edge(VertexId(1), VertexId(2), PortType::Gate);
+        g.add_edge(VertexId(3), VertexId(4), PortType::Passive);
+        g
+    }
+
+    #[test]
+    fn components_are_found() {
+        let g = two_islands();
+        let comp = connected_components(&g);
+        assert_eq!(component_count(&g), 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = HetMultigraph::with_vertices(std::iter::empty());
+        assert_eq!(component_count(&g), 0);
+    }
+
+    #[test]
+    fn bfs_distances_follow_both_directions() {
+        let s = SimpleDigraph::from_edges(4, &[(0, 1), (2, 1), (2, 3)]);
+        let d = bfs_distances(&s, 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        let unreachable = bfs_distances(&SimpleDigraph::from_edges(2, &[]), 0);
+        assert_eq!(unreachable, vec![0, usize::MAX]);
+    }
+
+    #[test]
+    fn bfs_with_out_of_range_source() {
+        let s = SimpleDigraph::from_edges(2, &[(0, 1)]);
+        let d = bfs_distances(&s, 9);
+        assert!(d.iter().all(|&x| x == usize::MAX));
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = two_islands();
+        let st = in_degree_stats(&g);
+        assert_eq!(st.min, 0);
+        assert_eq!(st.max, 1);
+        assert!((st.mean - 3.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Graphviz DOT export of the heterogeneous multigraph, for inspecting
+//! circuits and detected constraints visually.
+
+use std::fmt::Write as _;
+
+use ancstr_netlist::PortType;
+
+use crate::multigraph::{HetMultigraph, VertexId};
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Graph name in the DOT header.
+    pub name: String,
+    /// Collapse reciprocal edge pairs into one undirected-looking edge
+    /// (`dir=none`), halving visual clutter.
+    pub collapse_reciprocal: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> DotOptions {
+        DotOptions { name: "circuit".to_owned(), collapse_reciprocal: true }
+    }
+}
+
+/// Edge colour per port type (graphviz colour names).
+pub fn port_color(port: PortType) -> &'static str {
+    match port {
+        PortType::Gate => "blue",
+        PortType::Drain => "red",
+        PortType::Source => "darkgreen",
+        PortType::Passive => "gray40",
+    }
+}
+
+/// Render a multigraph as DOT. `label` maps each vertex to its display
+/// name (typically the device path); `highlight` marks vertices drawn
+/// with a filled style (e.g. members of detected constraints).
+///
+/// # Example
+///
+/// ```
+/// use ancstr_graph::{dot::{to_dot, DotOptions}, HetMultigraph, VertexId};
+/// use ancstr_netlist::PortType;
+///
+/// let mut g = HetMultigraph::with_vertices(0..2);
+/// g.add_edge(VertexId(0), VertexId(1), PortType::Drain);
+/// let text = to_dot(&g, &DotOptions::default(), |v| format!("M{}", v.0), |_| false);
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("M0"));
+/// ```
+pub fn to_dot(
+    g: &HetMultigraph,
+    options: &DotOptions,
+    label: impl Fn(VertexId) -> String,
+    highlight: impl Fn(VertexId) -> bool,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", options.name);
+    let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+    for v in g.vertices() {
+        let style = if highlight(v) {
+            ", style=filled, fillcolor=gold"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  v{} [label=\"{}\"{}];", v.0, escape(&label(v)), style);
+    }
+    let mut emitted = vec![false; g.edge_count()];
+    for (i, e) in g.edges().iter().enumerate() {
+        if emitted[i] {
+            continue;
+        }
+        emitted[i] = true;
+        let mut dir = "forward";
+        if options.collapse_reciprocal {
+            // Find an unemitted reciprocal partner of the same pair.
+            if let Some(j) = g
+                .edges()
+                .iter()
+                .enumerate()
+                .position(|(j, r)| !emitted[j] && r.src == e.dst && r.dst == e.src)
+            {
+                emitted[j] = true;
+                dir = "none";
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  v{} -> v{} [color={}, dir={}, tooltip=\"{}\"];",
+            e.src.0,
+            e.dst.0,
+            port_color(e.port),
+            dir,
+            e.port
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HetMultigraph {
+        let mut g = HetMultigraph::with_vertices(0..3);
+        g.add_edge(VertexId(0), VertexId(1), PortType::Drain);
+        g.add_edge(VertexId(1), VertexId(0), PortType::Gate);
+        g.add_edge(VertexId(1), VertexId(2), PortType::Passive);
+        g
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = sample();
+        let text = to_dot(
+            &g,
+            &DotOptions::default(),
+            |v| format!("dev{}", v.0),
+            |v| v.0 == 2,
+        );
+        assert!(text.starts_with("digraph"));
+        assert!(text.contains("dev0"));
+        assert!(text.contains("fillcolor=gold"));
+        assert!(text.contains("color=red"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn collapse_merges_reciprocal_pairs() {
+        let g = sample();
+        let collapsed = to_dot(&g, &DotOptions::default(), |v| v.to_string(), |_| false);
+        let expanded = to_dot(
+            &g,
+            &DotOptions { collapse_reciprocal: false, ..Default::default() },
+            |v| v.to_string(),
+            |_| false,
+        );
+        let arrows = |s: &str| s.matches(" -> ").count();
+        assert_eq!(arrows(&expanded), 3);
+        assert_eq!(arrows(&collapsed), 2); // 0↔1 merged, 1→2 alone
+        assert!(collapsed.contains("dir=none"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g = HetMultigraph::with_vertices(0..1);
+        let _ = &mut g;
+        let text = to_dot(
+            &g,
+            &DotOptions::default(),
+            |_| "a\"b\\c".to_owned(),
+            |_| false,
+        );
+        assert!(text.contains("a\\\"b\\\\c"));
+    }
+}

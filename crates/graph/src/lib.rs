@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Heterogeneous multigraph circuit representation (paper Section IV-A)
+//! and the graph algorithms the AncstrGNN pipeline relies on.
+//!
+//! * [`HetMultigraph`] — the directed multigraph `G = (V, E)` whose
+//!   vertices are primitive devices and whose edges `(u, v, τ_v)` are
+//!   typed by the destination port (Algorithm 1's clique construction);
+//! * [`SimpleDigraph`] — the de-paralleled, untyped digraph `G'_t` used
+//!   by circuit feature embedding (Algorithm 2, lines 1–4);
+//! * [`pagerank()`] — Eq. 3's PageRank iteration;
+//! * [`algo`] — connected components, BFS, and degree utilities used by
+//!   the baselines and the test-suite invariants.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ancstr_netlist::{parse::parse_spice, flat::FlatCircuit};
+//! use ancstr_graph::{HetMultigraph, BuildOptions};
+//!
+//! let nl = parse_spice("\
+//! .subckt amp in out vdd vss
+//! M1 out in vss vss nch w=1u l=0.1u
+//! M2 out in vdd vdd pch w=2u l=0.1u
+//! C1 out vss 10f
+//! .ends
+//! ")?;
+//! let flat = FlatCircuit::elaborate(&nl)?;
+//! let g = HetMultigraph::from_circuit(&flat, &BuildOptions::default());
+//! assert_eq!(g.vertex_count(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod algo;
+pub mod build;
+pub mod dot;
+pub mod multigraph;
+pub mod pagerank;
+pub mod simplify;
+
+pub use build::BuildOptions;
+pub use multigraph::{Edge, EdgeId, HetMultigraph, VertexId};
+pub use pagerank::{pagerank, PageRankOptions};
+pub use simplify::SimpleDigraph;

@@ -1,0 +1,492 @@
+//! Primitive devices: the 15-way type taxonomy, port types, and geometry.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The primitive device taxonomy used by the node-feature one-hot encoding.
+///
+/// The paper (Table II) reserves a 15-dimensional one-hot vector for the
+/// device type. This enum enumerates exactly those 15 classes: six MOS
+/// threshold-flavour classes, the common passives (including the `cfmom`
+/// finger-MOM capacitor flavour the paper names explicitly), diodes,
+/// bipolars, and a catch-all.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_netlist::DeviceType;
+///
+/// let t: DeviceType = "nch_lvt".parse()?;
+/// assert_eq!(t, DeviceType::NchLvt);
+/// assert!(t.is_mos());
+/// assert_eq!(DeviceType::COUNT, 15);
+/// # Ok::<(), ancstr_netlist::error::ParseDeviceTypeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceType {
+    /// Standard-Vt NMOS transistor.
+    Nch,
+    /// Low-Vt NMOS transistor.
+    NchLvt,
+    /// High-Vt NMOS transistor.
+    NchHvt,
+    /// Standard-Vt PMOS transistor.
+    Pch,
+    /// Low-Vt PMOS transistor.
+    PchLvt,
+    /// High-Vt PMOS transistor.
+    PchHvt,
+    /// Native (zero-Vt) NMOS transistor.
+    NchNative,
+    /// Resistor (poly, diffusion, or metal).
+    Resistor,
+    /// Generic capacitor (MIM or MOS cap).
+    Capacitor,
+    /// Finger metal-oxide-metal capacitor (`cfmom`).
+    CfmomCapacitor,
+    /// Inductor.
+    Inductor,
+    /// Junction diode.
+    Diode,
+    /// NPN bipolar transistor.
+    Npn,
+    /// PNP bipolar transistor.
+    Pnp,
+    /// Any device not covered by the other fourteen classes.
+    Other,
+}
+
+impl DeviceType {
+    /// Number of device-type classes (the one-hot feature width).
+    pub const COUNT: usize = 15;
+
+    /// All device types in one-hot index order.
+    pub const ALL: [DeviceType; Self::COUNT] = [
+        DeviceType::Nch,
+        DeviceType::NchLvt,
+        DeviceType::NchHvt,
+        DeviceType::Pch,
+        DeviceType::PchLvt,
+        DeviceType::PchHvt,
+        DeviceType::NchNative,
+        DeviceType::Resistor,
+        DeviceType::Capacitor,
+        DeviceType::CfmomCapacitor,
+        DeviceType::Inductor,
+        DeviceType::Diode,
+        DeviceType::Npn,
+        DeviceType::Pnp,
+        DeviceType::Other,
+    ];
+
+    /// The index of this type in the one-hot encoding (0..15).
+    pub fn one_hot_index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("every DeviceType appears in ALL")
+    }
+
+    /// Whether this type is a MOS transistor (any flavour).
+    pub fn is_mos(self) -> bool {
+        matches!(
+            self,
+            DeviceType::Nch
+                | DeviceType::NchLvt
+                | DeviceType::NchHvt
+                | DeviceType::Pch
+                | DeviceType::PchLvt
+                | DeviceType::PchHvt
+                | DeviceType::NchNative
+        )
+    }
+
+    /// Whether this type is an n-channel MOS transistor.
+    pub fn is_nmos(self) -> bool {
+        matches!(
+            self,
+            DeviceType::Nch | DeviceType::NchLvt | DeviceType::NchHvt | DeviceType::NchNative
+        )
+    }
+
+    /// Whether this type is a p-channel MOS transistor.
+    pub fn is_pmos(self) -> bool {
+        matches!(self, DeviceType::Pch | DeviceType::PchLvt | DeviceType::PchHvt)
+    }
+
+    /// Whether this type is a passive two-terminal element
+    /// (resistor, capacitor flavours, or inductor).
+    ///
+    /// The paper's system-level constraint definition admits passive
+    /// devices next to building blocks, so this predicate is used by the
+    /// valid-pair enumeration.
+    pub fn is_passive(self) -> bool {
+        matches!(
+            self,
+            DeviceType::Resistor
+                | DeviceType::Capacitor
+                | DeviceType::CfmomCapacitor
+                | DeviceType::Inductor
+        )
+    }
+
+    /// Whether this type is a bipolar transistor.
+    pub fn is_bjt(self) -> bool {
+        matches!(self, DeviceType::Npn | DeviceType::Pnp)
+    }
+
+    /// The port types of this device, in pin order.
+    ///
+    /// MOS pins follow the SPICE `D G S B` convention; the bulk pin is
+    /// recorded in the netlist but — like the paper, which defines exactly
+    /// four port types — does not contribute a typed graph edge, so it is
+    /// absent here. BJTs map collector/base/emitter onto
+    /// drain/gate/source; diodes map anode/cathode onto drain/source; all
+    /// two-terminal passives use [`PortType::Passive`] on both ends.
+    pub fn port_types(self) -> &'static [PortType] {
+        use PortType::{Drain, Gate, Passive, Source};
+        if self.is_mos() || self.is_bjt() {
+            &[Drain, Gate, Source]
+        } else if self == DeviceType::Diode {
+            &[Drain, Source]
+        } else {
+            &[Passive, Passive]
+        }
+    }
+
+    /// Number of electrically meaningful pins (excluding the MOS bulk).
+    pub fn pin_count(self) -> usize {
+        self.port_types().len()
+    }
+
+    /// Map a SPICE model name (e.g. `nch_lvt`, `pch`, `rppoly`, `cfmom`)
+    /// to a device type. Unknown model names map to [`DeviceType::Other`].
+    pub fn from_model_name(model: &str) -> DeviceType {
+        let m = model.to_ascii_lowercase();
+        match m.as_str() {
+            "nch" | "nmos" | "nfet" | "nch_mac" => DeviceType::Nch,
+            "nch_lvt" | "nmos_lvt" | "nfet_lvt" | "nlvt" => DeviceType::NchLvt,
+            "nch_hvt" | "nmos_hvt" | "nfet_hvt" | "nhvt" => DeviceType::NchHvt,
+            "pch" | "pmos" | "pfet" | "pch_mac" => DeviceType::Pch,
+            "pch_lvt" | "pmos_lvt" | "pfet_lvt" | "plvt" => DeviceType::PchLvt,
+            "pch_hvt" | "pmos_hvt" | "pfet_hvt" | "phvt" => DeviceType::PchHvt,
+            "nch_na" | "nch_native" | "native" | "nat" => DeviceType::NchNative,
+            "res" | "rppoly" | "rppolywo" | "rnpoly" | "rm" | "rupolym" => DeviceType::Resistor,
+            "cap" | "mimcap" | "moscap" | "crtmom" => DeviceType::Capacitor,
+            "cfmom" | "cfmom_2t" | "momcap" => DeviceType::CfmomCapacitor,
+            "ind" | "spiral" | "indstd" => DeviceType::Inductor,
+            "dio" | "diode" | "ndio" | "pdio" => DeviceType::Diode,
+            "npn" | "bjtnpn" => DeviceType::Npn,
+            "pnp" | "bjtpnp" => DeviceType::Pnp,
+            _ => DeviceType::Other,
+        }
+    }
+
+    /// Canonical model-name spelling used by the netlist writer.
+    pub fn model_name(self) -> &'static str {
+        match self {
+            DeviceType::Nch => "nch",
+            DeviceType::NchLvt => "nch_lvt",
+            DeviceType::NchHvt => "nch_hvt",
+            DeviceType::Pch => "pch",
+            DeviceType::PchLvt => "pch_lvt",
+            DeviceType::PchHvt => "pch_hvt",
+            DeviceType::NchNative => "nch_native",
+            DeviceType::Resistor => "res",
+            DeviceType::Capacitor => "cap",
+            DeviceType::CfmomCapacitor => "cfmom",
+            DeviceType::Inductor => "ind",
+            DeviceType::Diode => "diode",
+            DeviceType::Npn => "npn",
+            DeviceType::Pnp => "pnp",
+            DeviceType::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.model_name())
+    }
+}
+
+impl FromStr for DeviceType {
+    type Err = crate::error::ParseDeviceTypeError;
+
+    /// Parses a model name. Unlike [`DeviceType::from_model_name`], an
+    /// unknown name is an error rather than [`DeviceType::Other`], so
+    /// callers that require a known flavour can detect typos.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match DeviceType::from_model_name(s) {
+            DeviceType::Other if !s.eq_ignore_ascii_case("other") => {
+                Err(crate::error::ParseDeviceTypeError { name: s.to_owned() })
+            }
+            t => Ok(t),
+        }
+    }
+}
+
+/// The four port types of the heterogeneous multigraph (Section IV-A).
+///
+/// `P = {p_gate, p_drain, p_source, p_passive}`; a directed edge
+/// `(u, v, τ_v)` is typed by the port of `v` it lands on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortType {
+    /// MOS gate (or BJT base).
+    Gate,
+    /// MOS drain (or BJT collector, diode anode).
+    Drain,
+    /// MOS source (or BJT emitter, diode cathode).
+    Source,
+    /// Either terminal of a two-terminal passive device.
+    Passive,
+}
+
+impl PortType {
+    /// Number of port types (the number of edge-type weight matrices in
+    /// the GNN, `|W| = 4`).
+    pub const COUNT: usize = 4;
+
+    /// All port types, in index order.
+    pub const ALL: [PortType; Self::COUNT] =
+        [PortType::Gate, PortType::Drain, PortType::Source, PortType::Passive];
+
+    /// The index of this port type (0..4), used to select the GNN weight
+    /// matrix `W_{e_uv}`.
+    pub fn index(self) -> usize {
+        match self {
+            PortType::Gate => 0,
+            PortType::Drain => 1,
+            PortType::Source => 2,
+            PortType::Passive => 3,
+        }
+    }
+}
+
+impl fmt::Display for PortType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PortType::Gate => "gate",
+            PortType::Drain => "drain",
+            PortType::Source => "source",
+            PortType::Passive => "passive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shape parameters of a device (Table II's "Geometry" and "Layer" rows).
+///
+/// Lengths and widths are in micrometres. `metal_layers` approximates the
+/// vertical extent of MOM/MIM capacitors and is 1 for ordinary devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometry {
+    /// Drawn length (µm). For passives without an explicit layout this is
+    /// a value-derived proxy (see [`Geometry::from_value`]).
+    pub length: f64,
+    /// Drawn width (µm).
+    pub width: f64,
+    /// Number of metal layers used by the device (≥ 1).
+    pub metal_layers: u32,
+}
+
+impl Geometry {
+    /// A new geometry from explicit length/width in µm with a single
+    /// metal layer.
+    pub fn new(length: f64, width: f64) -> Geometry {
+        Geometry { length, width, metal_layers: 1 }
+    }
+
+    /// A new geometry with an explicit metal-layer count (for MOM caps).
+    pub fn with_layers(length: f64, width: f64, metal_layers: u32) -> Geometry {
+        Geometry { length, width, metal_layers }
+    }
+
+    /// Derive a square-layout geometry proxy from a component value.
+    ///
+    /// Used when a SPICE card gives only a value (e.g. `C1 a b 100f`):
+    /// the side is the square root of the value expressed in convenient
+    /// units (fF for caps, kΩ for resistors, nH for inductors), so equal
+    /// values produce equal geometry — which is all the matching features
+    /// need.
+    pub fn from_value(value: f64, unit_scale: f64) -> Geometry {
+        let side = (value / unit_scale).abs().sqrt().max(1e-3);
+        Geometry { length: side, width: side, metal_layers: 1 }
+    }
+
+    /// Device area (µm²).
+    pub fn area(&self) -> f64 {
+        self.length * self.width
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Geometry {
+        Geometry { length: 1.0, width: 1.0, metal_layers: 1 }
+    }
+}
+
+/// A primitive device inside a [`crate::Subckt`] template.
+///
+/// `pins` holds the *net names* (local to the owning subcircuit) in the
+/// order of [`DeviceType::port_types`]; an optional bulk net is kept
+/// separately since it never contributes a typed edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Instance name, unique within the owning subcircuit (e.g. `M1`).
+    pub name: String,
+    /// Device type.
+    pub dtype: DeviceType,
+    /// Connected nets, one per entry of [`DeviceType::port_types`].
+    pub pins: Vec<String>,
+    /// Optional bulk/body net (MOS only).
+    pub bulk: Option<String>,
+    /// Shape parameters.
+    pub geometry: Geometry,
+    /// Component value where applicable (Ω, F, or H).
+    pub value: Option<f64>,
+    /// Device multiplier (`m=` factor), defaults to 1.
+    pub multiplier: u32,
+}
+
+impl Device {
+    /// A new device; validates that the pin count matches the type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::ElaborateError::PinCountMismatch`] when the
+    /// number of pins differs from [`DeviceType::pin_count`].
+    pub fn new(
+        name: impl Into<String>,
+        dtype: DeviceType,
+        pins: Vec<String>,
+        geometry: Geometry,
+    ) -> Result<Device, crate::error::ElaborateError> {
+        let name = name.into();
+        if pins.len() != dtype.pin_count() {
+            return Err(crate::error::ElaborateError::PinCountMismatch {
+                device: name,
+                expected: dtype.pin_count(),
+                found: pins.len(),
+            });
+        }
+        Ok(Device { name, dtype, pins, bulk: None, geometry, value: None, multiplier: 1 })
+    }
+
+    /// Iterator over `(net_name, port_type)` pairs for the typed pins.
+    pub fn typed_pins(&self) -> impl Iterator<Item = (&str, PortType)> + '_ {
+        self.pins
+            .iter()
+            .map(String::as_str)
+            .zip(self.dtype.port_types().iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_indices_are_unique_and_dense() {
+        let mut seen = [false; DeviceType::COUNT];
+        for t in DeviceType::ALL {
+            let i = t.one_hot_index();
+            assert!(!seen[i], "duplicate one-hot index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn model_name_round_trips() {
+        for t in DeviceType::ALL {
+            assert_eq!(DeviceType::from_model_name(t.model_name()), t);
+        }
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_models() {
+        assert!("nch_lvt".parse::<DeviceType>().is_ok());
+        assert!("frobnicator".parse::<DeviceType>().is_err());
+        assert_eq!("other".parse::<DeviceType>().unwrap(), DeviceType::Other);
+    }
+
+    #[test]
+    fn mos_predicates_partition() {
+        for t in DeviceType::ALL {
+            if t.is_mos() {
+                assert!(t.is_nmos() ^ t.is_pmos());
+                assert!(!t.is_passive() && !t.is_bjt());
+            }
+        }
+        assert!(DeviceType::CfmomCapacitor.is_passive());
+        assert!(DeviceType::Npn.is_bjt());
+    }
+
+    #[test]
+    fn port_types_match_pin_counts() {
+        assert_eq!(DeviceType::Nch.pin_count(), 3);
+        assert_eq!(DeviceType::Resistor.pin_count(), 2);
+        assert_eq!(DeviceType::Diode.pin_count(), 2);
+        assert_eq!(DeviceType::Npn.pin_count(), 3);
+        assert_eq!(
+            DeviceType::Diode.port_types(),
+            &[PortType::Drain, PortType::Source]
+        );
+    }
+
+    #[test]
+    fn port_type_indices_cover_0_to_3() {
+        let mut seen = [false; PortType::COUNT];
+        for p in PortType::ALL {
+            seen[p.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn device_new_validates_pin_count() {
+        let ok = Device::new(
+            "M1",
+            DeviceType::Nch,
+            vec!["d".into(), "g".into(), "s".into()],
+            Geometry::new(0.1, 1.0),
+        );
+        assert!(ok.is_ok());
+        let bad = Device::new(
+            "M2",
+            DeviceType::Nch,
+            vec!["d".into(), "g".into()],
+            Geometry::default(),
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn geometry_from_value_is_monotonic_and_positive() {
+        let small = Geometry::from_value(10e-15, 1e-15);
+        let large = Geometry::from_value(100e-15, 1e-15);
+        assert!(large.area() > small.area());
+        assert!(small.length > 0.0);
+    }
+
+    #[test]
+    fn typed_pins_pairs_nets_with_ports() {
+        let d = Device::new(
+            "M1",
+            DeviceType::PchLvt,
+            vec!["out".into(), "in".into(), "vdd".into()],
+            Geometry::new(0.1, 2.0),
+        )
+        .unwrap();
+        let pairs: Vec<_> = d.typed_pins().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("out", PortType::Drain),
+                ("in", PortType::Gate),
+                ("vdd", PortType::Source)
+            ]
+        );
+    }
+}

@@ -1,0 +1,232 @@
+//! Error types for parsing and elaboration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a model name does not map to a known
+/// [`crate::DeviceType`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDeviceTypeError {
+    /// The offending model name.
+    pub name: String,
+}
+
+impl fmt::Display for ParseDeviceTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown device model name `{}`", self.name)
+    }
+}
+
+impl Error for ParseDeviceTypeError {}
+
+/// Error returned by the SPICE-subset parser.
+///
+/// Each variant carries the 1-based source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseNetlistError {
+    /// A card could not be tokenized or had too few fields.
+    MalformedCard {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation of what was expected.
+        reason: String,
+    },
+    /// A numeric field (value or parameter) failed to parse.
+    BadNumber {
+        /// 1-based source line.
+        line: usize,
+        /// The token that failed to parse.
+        token: String,
+    },
+    /// `.ends` without a matching `.subckt`.
+    UnmatchedEnds {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `.subckt` opened inside another `.subckt`.
+    NestedSubckt {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// End of input reached while a `.subckt` was still open.
+    UnterminatedSubckt {
+        /// Name of the open subcircuit.
+        name: String,
+    },
+    /// Two subcircuits share a name.
+    DuplicateSubckt {
+        /// 1-based source line.
+        line: usize,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A device card appeared outside any `.subckt` block.
+    CardOutsideSubckt {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// `.top` names a subcircuit that was never defined, or no top could
+    /// be determined.
+    MissingTop {
+        /// The requested top name, if any.
+        name: Option<String>,
+    },
+    /// An `.include` directive could not be resolved.
+    IncludeFailed {
+        /// 1-based source line of the directive.
+        line: usize,
+        /// The requested path.
+        path: String,
+        /// Why it failed (I/O error, cycle, depth limit).
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::MalformedCard { line, reason } => {
+                write!(f, "line {line}: malformed card: {reason}")
+            }
+            ParseNetlistError::BadNumber { line, token } => {
+                write!(f, "line {line}: invalid numeric token `{token}`")
+            }
+            ParseNetlistError::UnmatchedEnds { line } => {
+                write!(f, "line {line}: `.ends` without matching `.subckt`")
+            }
+            ParseNetlistError::NestedSubckt { line } => {
+                write!(f, "line {line}: nested `.subckt` is not supported")
+            }
+            ParseNetlistError::UnterminatedSubckt { name } => {
+                write!(f, "subcircuit `{name}` is missing its `.ends`")
+            }
+            ParseNetlistError::DuplicateSubckt { line, name } => {
+                write!(f, "line {line}: duplicate subcircuit `{name}`")
+            }
+            ParseNetlistError::CardOutsideSubckt { line } => {
+                write!(f, "line {line}: device card outside any `.subckt`")
+            }
+            ParseNetlistError::MissingTop { name: Some(n) } => {
+                write!(f, "top cell `{n}` is not defined")
+            }
+            ParseNetlistError::MissingTop { name: None } => {
+                write!(f, "netlist defines no subcircuits, so no top cell exists")
+            }
+            ParseNetlistError::IncludeFailed { line, path, reason } => {
+                write!(f, "line {line}: cannot include `{path}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+/// Error returned while elaborating a [`crate::Netlist`] into a
+/// [`crate::FlatCircuit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElaborateError {
+    /// An `X` instance references an undefined subcircuit.
+    UnknownSubckt {
+        /// Hierarchical instance path.
+        instance: String,
+        /// The missing template name.
+        subckt: String,
+    },
+    /// An instance connects a different number of nets than the template
+    /// declares ports.
+    PortCountMismatch {
+        /// Hierarchical instance path.
+        instance: String,
+        /// Ports declared by the template.
+        expected: usize,
+        /// Nets supplied by the instance.
+        found: usize,
+    },
+    /// A device was built with the wrong number of pins for its type.
+    PinCountMismatch {
+        /// Device name.
+        device: String,
+        /// Pins required by the device type.
+        expected: usize,
+        /// Pins supplied.
+        found: usize,
+    },
+    /// The instance tree contains a cycle (a subcircuit that eventually
+    /// instantiates itself).
+    RecursiveHierarchy {
+        /// The template on the cycle.
+        subckt: String,
+    },
+    /// A symmetry pragma references an element that does not exist in its
+    /// subcircuit.
+    UnknownSymmetryElement {
+        /// The subcircuit carrying the pragma.
+        subckt: String,
+        /// The missing element name.
+        element: String,
+    },
+    /// Two elements within one subcircuit share a name.
+    DuplicateElement {
+        /// The subcircuit in question.
+        subckt: String,
+        /// The duplicated element name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ElaborateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElaborateError::UnknownSubckt { instance, subckt } => {
+                write!(f, "instance `{instance}` references undefined subcircuit `{subckt}`")
+            }
+            ElaborateError::PortCountMismatch { instance, expected, found } => write!(
+                f,
+                "instance `{instance}` connects {found} nets but its template declares {expected} ports"
+            ),
+            ElaborateError::PinCountMismatch { device, expected, found } => write!(
+                f,
+                "device `{device}` has {found} pins but its type requires {expected}"
+            ),
+            ElaborateError::RecursiveHierarchy { subckt } => {
+                write!(f, "subcircuit `{subckt}` instantiates itself (recursive hierarchy)")
+            }
+            ElaborateError::UnknownSymmetryElement { subckt, element } => write!(
+                f,
+                "symmetry pragma in `{subckt}` references unknown element `{element}`"
+            ),
+            ElaborateError::DuplicateElement { subckt, name } => {
+                write!(f, "subcircuit `{subckt}` declares element `{name}` more than once")
+            }
+        }
+    }
+}
+
+impl Error for ElaborateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ParseNetlistError::BadNumber { line: 7, token: "1x".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("line 7"));
+        assert!(msg.contains("1x"));
+
+        let e = ElaborateError::UnknownSubckt {
+            instance: "top/X1".into(),
+            subckt: "ota".into(),
+        };
+        assert!(e.to_string().contains("ota"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseNetlistError>();
+        assert_send_sync::<ElaborateError>();
+        assert_send_sync::<ParseDeviceTypeError>();
+    }
+}

@@ -1,0 +1,643 @@
+//! Elaboration: expand a hierarchical [`Netlist`] into a flat device/net
+//! list plus the hierarchy tree `T` of Problem 1.
+//!
+//! The tree's internal nodes are *building blocks* (subcircuit instances)
+//! and its leaves are *primitive elements* (devices). Devices are laid out
+//! in DFS order so every node's descendant devices form a contiguous
+//! range, which makes per-subcircuit multigraph extraction cheap.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::constraint::{ConstraintSet, SymmetryConstraint, SymmetryKind};
+use crate::device::{DeviceType, Geometry, PortType};
+use crate::error::ElaborateError;
+use crate::netlist::Netlist;
+use crate::subckt::{CircuitClass, Element, Subckt};
+
+/// Identifier of a node in the elaborated hierarchy tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HierNodeId(pub usize);
+
+impl fmt::Display for HierNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a global (elaborated) net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a hierarchy node is: a building block or a primitive element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierNodeKind {
+    /// An instance of a subcircuit template.
+    Block {
+        /// Template name.
+        subckt: String,
+        /// Functional class of the template.
+        class: CircuitClass,
+    },
+    /// A primitive device; the payload indexes [`FlatCircuit::devices`].
+    Device(usize),
+}
+
+/// The *module type* of a hierarchy node, used by the valid-pair rule
+/// ("nonidentical types is considered invalid", Section III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ModuleType {
+    /// A primitive device of the given type.
+    Device(DeviceType),
+    /// A building block of the given class.
+    Block(CircuitClass),
+}
+
+/// A node of the elaborated hierarchy tree `T`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierNode {
+    /// This node's id.
+    pub id: HierNodeId,
+    /// Local element name (instance or device name); the root uses the
+    /// top template's name.
+    pub name: String,
+    /// Full hierarchical path (`top/X1/M2`).
+    pub path: String,
+    /// Block or device.
+    pub kind: HierNodeKind,
+    /// Parent node (`None` for the root).
+    pub parent: Option<HierNodeId>,
+    /// Children in declaration order (empty for devices).
+    pub children: Vec<HierNodeId>,
+    /// Half-open range of flat-device indices beneath this node.
+    pub device_span: (usize, usize),
+    /// Depth in the tree (root = 0).
+    pub depth: usize,
+}
+
+impl HierNode {
+    /// Whether this node is a building block (internal node).
+    pub fn is_block(&self) -> bool {
+        matches!(self.kind, HierNodeKind::Block { .. })
+    }
+
+    /// Whether this node is a primitive device (leaf).
+    pub fn is_device(&self) -> bool {
+        matches!(self.kind, HierNodeKind::Device(_))
+    }
+
+    /// The flat-device index, if this node is a device.
+    pub fn device_index(&self) -> Option<usize> {
+        match self.kind {
+            HierNodeKind::Device(i) => Some(i),
+            HierNodeKind::Block { .. } => None,
+        }
+    }
+
+    /// Number of devices beneath (or at) this node.
+    pub fn device_count(&self) -> usize {
+        self.device_span.1 - self.device_span.0
+    }
+}
+
+/// A fully elaborated (flattened) device with globally resolved nets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatDevice {
+    /// Full hierarchical path (`top/X1/M2`).
+    pub path: String,
+    /// Device type.
+    pub dtype: DeviceType,
+    /// Shape parameters.
+    pub geometry: Geometry,
+    /// Component value where applicable.
+    pub value: Option<f64>,
+    /// Device multiplier.
+    pub multiplier: u32,
+    /// Globally resolved nets, one per typed pin.
+    pub pins: Vec<NetId>,
+    /// Globally resolved bulk net, if any.
+    pub bulk: Option<NetId>,
+    /// The hierarchy leaf representing this device.
+    pub node: HierNodeId,
+}
+
+impl FlatDevice {
+    /// Iterator over `(net, port_type)` pairs for the typed pins.
+    pub fn typed_pins(&self) -> impl Iterator<Item = (NetId, PortType)> + '_ {
+        self.pins
+            .iter()
+            .copied()
+            .zip(self.dtype.port_types().iter().copied())
+    }
+}
+
+/// The elaborated design: flat devices, global nets, the hierarchy tree,
+/// and the expanded ground-truth constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatCircuit {
+    devices: Vec<FlatDevice>,
+    net_names: Vec<String>,
+    nodes: Vec<HierNode>,
+    root: HierNodeId,
+    ground_truth: ConstraintSet,
+}
+
+impl FlatCircuit {
+    /// Elaborate a netlist from its top cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ElaborateError`] from validation (unknown
+    /// templates, port/pin mismatches, recursion, bad annotations).
+    pub fn elaborate(netlist: &Netlist) -> Result<FlatCircuit, ElaborateError> {
+        netlist.validate()?;
+        let top = netlist.top_subckt().ok_or_else(|| ElaborateError::UnknownSubckt {
+            instance: "<top>".to_owned(),
+            subckt: netlist.top().to_owned(),
+        })?;
+
+        let mut b = Builder {
+            netlist,
+            devices: Vec::new(),
+            net_names: Vec::new(),
+            nodes: Vec::new(),
+            ground_truth: Vec::new(),
+        };
+
+        // Root node for the top cell.
+        let root = b.new_node(
+            top.name.clone(),
+            top.name.clone(),
+            HierNodeKind::Block { subckt: top.name.clone(), class: top.class.clone() },
+            None,
+            0,
+        );
+        // Top-level ports get fresh global nets named after themselves.
+        let mut port_map = HashMap::new();
+        for p in &top.ports {
+            let id = b.new_net(p.clone());
+            port_map.insert(p.clone(), id);
+        }
+        b.expand(top, root, &top.name.clone(), port_map, 0)?;
+
+        let mut flat = FlatCircuit {
+            devices: b.devices,
+            net_names: b.net_names,
+            nodes: b.nodes,
+            root,
+            ground_truth: ConstraintSet::new(),
+        };
+        // Classify and register ground truth now that the tree exists.
+        let gt: Vec<SymmetryConstraint> = b
+            .ground_truth
+            .iter()
+            .map(|&(tc, a, bnode)| {
+                let kind = flat.classify_pair(tc, a, bnode);
+                SymmetryConstraint::new(tc, a, bnode, kind)
+            })
+            .collect();
+        flat.ground_truth = gt.into_iter().collect();
+        Ok(flat)
+    }
+
+    /// The flattened devices in DFS order.
+    pub fn devices(&self) -> &[FlatDevice] {
+        &self.devices
+    }
+
+    /// All hierarchy nodes, indexed by [`HierNodeId`].
+    pub fn nodes(&self) -> &[HierNode] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn node(&self, id: HierNodeId) -> &HierNode {
+        &self.nodes[id.0]
+    }
+
+    /// The root (top cell) node.
+    pub fn root(&self) -> &HierNode {
+        &self.nodes[self.root.0]
+    }
+
+    /// Number of global nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Name of a global net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.0]
+    }
+
+    /// The designer ground-truth constraints, expanded per instance.
+    pub fn ground_truth(&self) -> &ConstraintSet {
+        &self.ground_truth
+    }
+
+    /// Indices of the flat devices beneath `node` (contiguous DFS range).
+    pub fn subtree_device_indices(&self, node: HierNodeId) -> std::ops::Range<usize> {
+        let n = self.node(node);
+        n.device_span.0..n.device_span.1
+    }
+
+    /// Iterator over block (internal) nodes in DFS order.
+    pub fn blocks(&self) -> impl Iterator<Item = &HierNode> {
+        self.nodes.iter().filter(|n| n.is_block())
+    }
+
+    /// The module type of a node (device type for leaves, circuit class
+    /// for blocks).
+    pub fn module_type(&self, id: HierNodeId) -> ModuleType {
+        match &self.node(id).kind {
+            HierNodeKind::Device(i) => ModuleType::Device(self.devices[*i].dtype),
+            HierNodeKind::Block { class, .. } => ModuleType::Block(class.clone()),
+        }
+    }
+
+    /// Classify the pair `{a, b}` under `tc` as system- or device-level
+    /// per Section III-A: system-level when the pair are building blocks,
+    /// or are passive devices while other subcircuits exist under `T_c`;
+    /// device-level otherwise.
+    pub fn classify_pair(&self, tc: HierNodeId, a: HierNodeId, b: HierNodeId) -> SymmetryKind {
+        let both_blocks = self.node(a).is_block() && self.node(b).is_block();
+        if both_blocks {
+            return SymmetryKind::System;
+        }
+        let has_sub_blocks = self
+            .node(tc)
+            .children
+            .iter()
+            .any(|&c| self.node(c).is_block());
+        let both_passive = [a, b].iter().all(|&n| match self.module_type(n) {
+            ModuleType::Device(t) => t.is_passive(),
+            ModuleType::Block(_) => false,
+        });
+        if has_sub_blocks && both_passive {
+            SymmetryKind::System
+        } else {
+            SymmetryKind::Device
+        }
+    }
+
+    /// Look up a hierarchy node by full path.
+    pub fn node_by_path(&self, path: &str) -> Option<&HierNode> {
+        self.nodes.iter().find(|n| n.path == path)
+    }
+
+    /// Size of the largest proper subcircuit (block other than the root),
+    /// in devices — the `|N̂_sub|` of Eq. 4. Zero when the design is flat.
+    pub fn max_subcircuit_size(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_block() && n.id != self.root)
+            .map(HierNode::device_count)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Intermediate state while expanding the instance tree.
+struct Builder<'a> {
+    netlist: &'a Netlist,
+    devices: Vec<FlatDevice>,
+    net_names: Vec<String>,
+    nodes: Vec<HierNode>,
+    /// (T_c, a, b) triples collected before kinds can be classified.
+    ground_truth: Vec<(HierNodeId, HierNodeId, HierNodeId)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_net(&mut self, name: String) -> NetId {
+        let id = NetId(self.net_names.len());
+        self.net_names.push(name);
+        id
+    }
+
+    fn new_node(
+        &mut self,
+        name: String,
+        path: String,
+        kind: HierNodeKind,
+        parent: Option<HierNodeId>,
+        depth: usize,
+    ) -> HierNodeId {
+        let id = HierNodeId(self.nodes.len());
+        let span_start = self.devices.len();
+        self.nodes.push(HierNode {
+            id,
+            name,
+            path,
+            kind,
+            parent,
+            children: Vec::new(),
+            device_span: (span_start, span_start),
+            depth,
+        });
+        if let Some(p) = parent {
+            self.nodes[p.0].children.push(id);
+        }
+        id
+    }
+
+    /// Expand `subckt`'s body under tree node `node` at hierarchical
+    /// `path`, with `port_map` resolving local net names that are ports.
+    fn expand(
+        &mut self,
+        subckt: &Subckt,
+        node: HierNodeId,
+        path: &str,
+        port_map: HashMap<String, NetId>,
+        depth: usize,
+    ) -> Result<(), ElaborateError> {
+        // Resolve every local net: ports via the map, internals fresh.
+        let mut net_of: HashMap<String, NetId> = port_map;
+        for local in subckt.nets() {
+            if let std::collections::hash_map::Entry::Vacant(slot) = net_of.entry(local) {
+                let name = format!("{path}/{}", slot.key());
+                let id = NetId(self.net_names.len());
+                self.net_names.push(name);
+                slot.insert(id);
+            }
+        }
+
+        let mut child_of_element: HashMap<&str, HierNodeId> = HashMap::new();
+
+        for element in &subckt.elements {
+            match element {
+                Element::Device(d) => {
+                    let dev_path = format!("{path}/{}", d.name);
+                    let dev_index = self.devices.len();
+                    let child = self.new_node(
+                        d.name.clone(),
+                        dev_path.clone(),
+                        HierNodeKind::Device(dev_index),
+                        Some(node),
+                        depth + 1,
+                    );
+                    let pins = d.pins.iter().map(|n| net_of[n.as_str()]).collect();
+                    let bulk = d.bulk.as_ref().map(|n| net_of[n.as_str()]);
+                    self.devices.push(FlatDevice {
+                        path: dev_path,
+                        dtype: d.dtype,
+                        geometry: d.geometry,
+                        value: d.value,
+                        multiplier: d.multiplier,
+                        pins,
+                        bulk,
+                        node: child,
+                    });
+                    self.nodes[child.0].device_span = (dev_index, dev_index + 1);
+                    child_of_element.insert(d.name.as_str(), child);
+                }
+                Element::Instance(inst) => {
+                    let template = self
+                        .netlist
+                        .subckt(&inst.subckt)
+                        .expect("netlist validated before expansion");
+                    let inst_path = format!("{path}/{}", inst.name);
+                    let child = self.new_node(
+                        inst.name.clone(),
+                        inst_path.clone(),
+                        HierNodeKind::Block {
+                            subckt: template.name.clone(),
+                            class: template.class.clone(),
+                        },
+                        Some(node),
+                        depth + 1,
+                    );
+                    let child_ports: HashMap<String, NetId> = template
+                        .ports
+                        .iter()
+                        .zip(&inst.connections)
+                        .map(|(port, net)| (port.clone(), net_of[net.as_str()]))
+                        .collect();
+                    self.expand(template, child, &inst_path, child_ports, depth + 1)?;
+                    let end = self.devices.len();
+                    let start = self.nodes[child.0].device_span.0;
+                    self.nodes[child.0].device_span = (start, end);
+                    child_of_element.insert(inst.name.as_str(), child);
+                }
+            }
+        }
+
+        // Expand designer annotations into per-instance ground truth.
+        for (a, b) in &subckt.sym_pairs {
+            let (Some(&na), Some(&nb)) = (
+                child_of_element.get(a.as_str()),
+                child_of_element.get(b.as_str()),
+            ) else {
+                return Err(ElaborateError::UnknownSymmetryElement {
+                    subckt: subckt.name.clone(),
+                    element: if child_of_element.contains_key(a.as_str()) {
+                        b.clone()
+                    } else {
+                        a.clone()
+                    },
+                });
+            };
+            self.ground_truth.push((node, na, nb));
+        }
+
+        // Close this node's device span.
+        let end = self.devices.len();
+        let start = self.nodes[node.0].device_span.0;
+        self.nodes[node.0].device_span = (start, end);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::subckt::Instance;
+
+    /// Two-level fixture: top instantiates `inv` twice and holds one cap.
+    fn fixture() -> Netlist {
+        let mut nl = Netlist::new("top");
+        let mut inv = Subckt::new("inv", ["in", "out", "vdd", "vss"]);
+        inv.class = CircuitClass::Inverter;
+        inv.push_device(
+            Device::new(
+                "Mp",
+                DeviceType::PchLvt,
+                vec!["out".into(), "in".into(), "vdd".into()],
+                Geometry::new(0.1, 2.0),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        inv.push_device(
+            Device::new(
+                "Mn",
+                DeviceType::NchLvt,
+                vec!["out".into(), "in".into(), "vss".into()],
+                Geometry::new(0.1, 1.0),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        inv.annotate_symmetry("Mp", "Mn");
+        nl.add_subckt(inv).unwrap();
+
+        let mut top = Subckt::new("top", ["a", "y", "vdd", "vss"]);
+        top.push_instance(Instance {
+            name: "X1".into(),
+            subckt: "inv".into(),
+            connections: vec!["a".into(), "mid".into(), "vdd".into(), "vss".into()],
+        })
+        .unwrap();
+        top.push_instance(Instance {
+            name: "X2".into(),
+            subckt: "inv".into(),
+            connections: vec!["mid".into(), "y".into(), "vdd".into(), "vss".into()],
+        })
+        .unwrap();
+        top.push_device(
+            Device::new(
+                "C1",
+                DeviceType::Capacitor,
+                vec!["y".into(), "vss".into()],
+                Geometry::new(5.0, 5.0),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        top.annotate_symmetry("X1", "X2");
+        nl.add_subckt(top).unwrap();
+        nl
+    }
+
+    #[test]
+    fn elaborates_counts_and_paths() {
+        let flat = FlatCircuit::elaborate(&fixture()).unwrap();
+        assert_eq!(flat.devices().len(), 5);
+        // Nets: a, y, vdd, vss, mid = 5 globals (inv internals all map to ports).
+        assert_eq!(flat.net_count(), 5);
+        assert!(flat.node_by_path("top/X1/Mp").is_some());
+        assert!(flat.node_by_path("top/X2/Mn").is_some());
+        assert!(flat.node_by_path("top/C1").is_some());
+    }
+
+    #[test]
+    fn device_spans_are_contiguous_and_nested() {
+        let flat = FlatCircuit::elaborate(&fixture()).unwrap();
+        let root = flat.root();
+        assert_eq!(root.device_span, (0, 5));
+        let x1 = flat.node_by_path("top/X1").unwrap();
+        let x2 = flat.node_by_path("top/X2").unwrap();
+        assert_eq!(x1.device_count(), 2);
+        assert_eq!(x2.device_count(), 2);
+        assert!(x1.device_span.1 <= x2.device_span.0);
+        // Child spans are inside the parent span.
+        for n in flat.nodes() {
+            if let Some(p) = n.parent {
+                let ps = flat.node(p).device_span;
+                assert!(ps.0 <= n.device_span.0 && n.device_span.1 <= ps.1);
+            }
+        }
+    }
+
+    #[test]
+    fn nets_resolve_across_hierarchy() {
+        let flat = FlatCircuit::elaborate(&fixture()).unwrap();
+        // X1's output and X2's input are the same global net `mid`.
+        let x1_mp = flat.node_by_path("top/X1/Mp").unwrap();
+        let x2_mp = flat.node_by_path("top/X2/Mp").unwrap();
+        let d1 = &flat.devices()[x1_mp.device_index().unwrap()];
+        let d2 = &flat.devices()[x2_mp.device_index().unwrap()];
+        // d1 drain (pin 0) = mid; d2 gate (pin 1) = mid.
+        assert_eq!(d1.pins[0], d2.pins[1]);
+        assert_eq!(flat.net_name(d1.pins[0]), "top/mid");
+    }
+
+    #[test]
+    fn ground_truth_expands_per_instance() {
+        let flat = FlatCircuit::elaborate(&fixture()).unwrap();
+        // One (Mp, Mn) pair per inv instance + one (X1, X2) system pair.
+        assert_eq!(flat.ground_truth().len(), 3);
+        let x1 = flat.node_by_path("top/X1").unwrap().id;
+        let x2 = flat.node_by_path("top/X2").unwrap().id;
+        let c = flat.ground_truth().get(x1, x2).unwrap();
+        assert_eq!(c.kind, SymmetryKind::System);
+        let mp = flat.node_by_path("top/X1/Mp").unwrap().id;
+        let mn = flat.node_by_path("top/X1/Mn").unwrap().id;
+        assert_eq!(flat.ground_truth().get(mp, mn).unwrap().kind, SymmetryKind::Device);
+    }
+
+    #[test]
+    fn classify_passives_among_blocks_as_system() {
+        // Add two matched caps at top level (next to the inverters).
+        let mut nl = fixture();
+        let top = nl.subckt_mut("top").unwrap();
+        top.push_device(
+            Device::new(
+                "C2",
+                DeviceType::Capacitor,
+                vec!["a".into(), "vss".into()],
+                Geometry::new(5.0, 5.0),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        let c1 = flat.node_by_path("top/C1").unwrap().id;
+        let c2 = flat.node_by_path("top/C2").unwrap().id;
+        let root = flat.root().id;
+        assert_eq!(flat.classify_pair(root, c1, c2), SymmetryKind::System);
+        // But a MOS pair inside inv (no blocks under inv) is device-level.
+        let mp = flat.node_by_path("top/X1/Mp").unwrap().id;
+        let mn = flat.node_by_path("top/X1/Mn").unwrap().id;
+        let x1 = flat.node_by_path("top/X1").unwrap().id;
+        assert_eq!(flat.classify_pair(x1, mp, mn), SymmetryKind::Device);
+    }
+
+    #[test]
+    fn module_types_distinguish_leaves_and_blocks() {
+        let flat = FlatCircuit::elaborate(&fixture()).unwrap();
+        let x1 = flat.node_by_path("top/X1").unwrap().id;
+        let c1 = flat.node_by_path("top/C1").unwrap().id;
+        assert_eq!(
+            flat.module_type(x1),
+            ModuleType::Block(CircuitClass::Inverter)
+        );
+        assert_eq!(
+            flat.module_type(c1),
+            ModuleType::Device(DeviceType::Capacitor)
+        );
+    }
+
+    #[test]
+    fn max_subcircuit_size_ignores_root() {
+        let flat = FlatCircuit::elaborate(&fixture()).unwrap();
+        assert_eq!(flat.max_subcircuit_size(), 2);
+    }
+
+    #[test]
+    fn blocks_iterator_lists_internal_nodes() {
+        let flat = FlatCircuit::elaborate(&fixture()).unwrap();
+        let names: Vec<_> = flat.blocks().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["top", "X1", "X2"]);
+    }
+
+    #[test]
+    fn missing_top_is_an_error() {
+        let nl = Netlist::new("ghost");
+        assert!(FlatCircuit::elaborate(&nl).is_err());
+    }
+}

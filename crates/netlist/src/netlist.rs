@@ -1,0 +1,250 @@
+//! The top-level netlist container: a library of subcircuit templates and
+//! a designated top cell.
+
+use std::collections::HashMap;
+
+use crate::error::ElaborateError;
+use crate::subckt::Subckt;
+
+/// A hierarchical netlist `N`: subcircuit templates plus the name of the
+/// top cell whose elaboration yields the hierarchy tree `T` of Problem 1.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_netlist::{Netlist, Subckt};
+///
+/// let mut n = Netlist::new("top");
+/// n.add_subckt(Subckt::new("top", ["vin", "vout"]))?;
+/// assert!(n.subckt("top").is_some());
+/// # Ok::<(), ancstr_netlist::ElaborateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    top: String,
+    subckts: Vec<Subckt>,
+    index: HashMap<String, usize>,
+}
+
+impl Netlist {
+    /// A new netlist whose top cell is `top` (which may be added later).
+    pub fn new(top: impl Into<String>) -> Netlist {
+        Netlist { top: top.into(), subckts: Vec::new(), index: HashMap::new() }
+    }
+
+    /// The name of the top cell.
+    pub fn top(&self) -> &str {
+        &self.top
+    }
+
+    /// Redesignate the top cell.
+    pub fn set_top(&mut self, top: impl Into<String>) {
+        self.top = top.into();
+    }
+
+    /// Add a template to the library.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElaborateError::DuplicateElement`] if a template with the
+    /// same name already exists (template names are the "element"
+    /// namespace of the library).
+    pub fn add_subckt(&mut self, subckt: Subckt) -> Result<(), ElaborateError> {
+        if self.index.contains_key(&subckt.name) {
+            return Err(ElaborateError::DuplicateElement {
+                subckt: "<library>".to_owned(),
+                name: subckt.name.clone(),
+            });
+        }
+        self.index.insert(subckt.name.clone(), self.subckts.len());
+        self.subckts.push(subckt);
+        Ok(())
+    }
+
+    /// Look up a template by name.
+    pub fn subckt(&self, name: &str) -> Option<&Subckt> {
+        self.index.get(name).map(|&i| &self.subckts[i])
+    }
+
+    /// Mutable lookup of a template by name.
+    pub fn subckt_mut(&mut self, name: &str) -> Option<&mut Subckt> {
+        self.index.get(name).map(|&i| &mut self.subckts[i])
+    }
+
+    /// The top template, if defined.
+    pub fn top_subckt(&self) -> Option<&Subckt> {
+        self.subckt(&self.top)
+    }
+
+    /// Iterator over all templates in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Subckt> {
+        self.subckts.iter()
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.subckts.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subckts.is_empty()
+    }
+
+    /// Validate the whole library: every instance references a defined
+    /// template with a matching port count, annotations name real
+    /// elements, and the hierarchy is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ElaborateError`] found.
+    pub fn validate(&self) -> Result<(), ElaborateError> {
+        for s in &self.subckts {
+            s.validate_annotations()?;
+            for inst in s.instances() {
+                let Some(t) = self.subckt(&inst.subckt) else {
+                    return Err(ElaborateError::UnknownSubckt {
+                        instance: format!("{}/{}", s.name, inst.name),
+                        subckt: inst.subckt.clone(),
+                    });
+                };
+                if t.ports.len() != inst.connections.len() {
+                    return Err(ElaborateError::PortCountMismatch {
+                        instance: format!("{}/{}", s.name, inst.name),
+                        expected: t.ports.len(),
+                        found: inst.connections.len(),
+                    });
+                }
+            }
+        }
+        self.check_acyclic()
+    }
+
+    /// Detect recursion in the template instantiation graph via a
+    /// three-colour DFS.
+    fn check_acyclic(&self) -> Result<(), ElaborateError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.subckts.len()];
+
+        fn visit(
+            nl: &Netlist,
+            i: usize,
+            colour: &mut [Colour],
+        ) -> Result<(), ElaborateError> {
+            colour[i] = Colour::Grey;
+            for inst in nl.subckts[i].instances() {
+                if let Some(&j) = nl.index.get(&inst.subckt) {
+                    match colour[j] {
+                        Colour::Grey => {
+                            return Err(ElaborateError::RecursiveHierarchy {
+                                subckt: nl.subckts[j].name.clone(),
+                            })
+                        }
+                        Colour::White => visit(nl, j, colour)?,
+                        Colour::Black => {}
+                    }
+                }
+            }
+            colour[i] = Colour::Black;
+            Ok(())
+        }
+
+        for i in 0..self.subckts.len() {
+            if colour[i] == Colour::White {
+                visit(self, i, &mut colour)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subckt::Instance;
+
+    #[test]
+    fn duplicate_template_rejected() {
+        let mut n = Netlist::new("top");
+        n.add_subckt(Subckt::new("a", ["p"])).unwrap();
+        assert!(n.add_subckt(Subckt::new("a", ["p"])).is_err());
+    }
+
+    #[test]
+    fn validate_finds_unknown_subckt() {
+        let mut n = Netlist::new("top");
+        let mut top = Subckt::new("top", ["p"]);
+        top.push_instance(Instance {
+            name: "X1".into(),
+            subckt: "ghost".into(),
+            connections: vec!["p".into()],
+        })
+        .unwrap();
+        n.add_subckt(top).unwrap();
+        assert!(matches!(
+            n.validate(),
+            Err(ElaborateError::UnknownSubckt { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_finds_port_mismatch() {
+        let mut n = Netlist::new("top");
+        n.add_subckt(Subckt::new("leaf", ["a", "b"])).unwrap();
+        let mut top = Subckt::new("top", ["p"]);
+        top.push_instance(Instance {
+            name: "X1".into(),
+            subckt: "leaf".into(),
+            connections: vec!["p".into()],
+        })
+        .unwrap();
+        n.add_subckt(top).unwrap();
+        assert!(matches!(
+            n.validate(),
+            Err(ElaborateError::PortCountMismatch { expected: 2, found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_recursion() {
+        let mut n = Netlist::new("a");
+        let mut a = Subckt::new("a", ["p"]);
+        a.push_instance(Instance {
+            name: "X1".into(),
+            subckt: "b".into(),
+            connections: vec!["p".into()],
+        })
+        .unwrap();
+        let mut b = Subckt::new("b", ["p"]);
+        b.push_instance(Instance {
+            name: "X1".into(),
+            subckt: "a".into(),
+            connections: vec!["p".into()],
+        })
+        .unwrap();
+        n.add_subckt(a).unwrap();
+        n.add_subckt(b).unwrap();
+        assert!(matches!(
+            n.validate(),
+            Err(ElaborateError::RecursiveHierarchy { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let mut n = Netlist::new("top");
+        n.add_subckt(Subckt::new("top", ["p"])).unwrap();
+        n.add_subckt(Subckt::new("leaf", ["q"])).unwrap();
+        assert_eq!(n.len(), 2);
+        assert!(!n.is_empty());
+        assert_eq!(n.top_subckt().unwrap().name, "top");
+        assert_eq!(n.iter().count(), 2);
+        n.subckt_mut("leaf").unwrap().ports.push("r".into());
+        assert_eq!(n.subckt("leaf").unwrap().ports.len(), 2);
+    }
+}

@@ -1,0 +1,835 @@
+//! A SPICE-subset parser sufficient for AMS schematic netlists.
+//!
+//! Supported syntax:
+//!
+//! * `.subckt <name> <ports…>` / `.ends` blocks (non-nested);
+//! * device cards `M` (MOS, `d g s b model`), `Q` (BJT, `c b e model`),
+//!   `D` (diode, `a c model`), and two-terminal `R`/`C`/`L` cards with a
+//!   value and/or model name;
+//! * `X` instance cards (`Xname <nets…> <template>`);
+//! * `key=value` parameters (`w`, `l`, `nf`, `m`, `layers`) with SI
+//!   magnitude suffixes (see [`crate::units::parse_si_value`]);
+//! * `.param name=value …` global parameters, referenced in values as a
+//!   bare name, `'name'`, or `{name}`, with `*`-products of factors
+//!   (`w='wn*2'`);
+//! * continuation lines starting with `+`;
+//! * pragmas: `*.class <tag>` (functional class), `*.symmetry <a> <b>`
+//!   (designer ground truth), `*.selfsym <a>`;
+//! * `.top <name>` designating the top cell, `.end`, comments (`*`) and
+//!   trailing `$ …` comments.
+//!
+//! Dimensions: `w=`/`l=` values below 1 mm are interpreted as metres and
+//! converted to µm (so `w=2u` is 2 µm); larger values are taken to be µm
+//! already (so `w=2` also means 2 µm, matching common PDK usage).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::device::{Device, DeviceType, Geometry};
+use crate::error::ParseNetlistError;
+use crate::netlist::Netlist;
+use crate::subckt::{Instance, Subckt};
+use crate::units::parse_si_value;
+
+/// Parse a SPICE-subset netlist into a [`Netlist`].
+///
+/// The top cell is taken from a `.top` directive if present; otherwise it
+/// is the unique subcircuit that is never instantiated, falling back to
+/// the last-defined subcircuit.
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] with a 1-based line number on
+/// malformed cards, bad numbers, unbalanced `.subckt`/`.ends`, duplicate
+/// definitions, or an undefined `.top` target.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ancstr_netlist::parse::parse_spice;
+///
+/// let nl = parse_spice("\
+/// .subckt dp inp inn out1 out2 tail vss
+/// *.class ota
+/// M1 out1 inp tail vss nch_lvt w=4u l=0.2u
+/// M2 out2 inn tail vss nch_lvt w=4u l=0.2u
+/// *.symmetry M1 M2
+/// .ends
+/// ")?;
+/// let dp = nl.subckt("dp").expect("defined above");
+/// assert_eq!(dp.devices().count(), 2);
+/// assert_eq!(dp.sym_pairs.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_spice(source: &str) -> Result<Netlist, ParseNetlistError> {
+    let lines = join_continuations(source);
+    let mut netlist = Netlist::new(String::new());
+    let mut current: Option<Subckt> = None;
+    let mut explicit_top: Option<(String, usize)> = None;
+    let mut defined: Vec<String> = Vec::new();
+    let mut names_seen: HashSet<String> = HashSet::new();
+    let mut params: HashMap<String, f64> = HashMap::new();
+
+    for (lineno, raw) in lines {
+        let line = strip_comment(&raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+
+        // Pragmas ride on comment lines.
+        if let Some(rest) = trimmed.strip_prefix("*.") {
+            handle_pragma(rest, lineno, &mut current)?;
+            continue;
+        }
+        if trimmed.starts_with('*') {
+            continue;
+        }
+
+        let lower = trimmed.to_ascii_lowercase();
+        if lower.starts_with('.') {
+            let mut tok = trimmed.split_whitespace();
+            let directive = tok.next().expect("non-empty").to_ascii_lowercase();
+            match directive.as_str() {
+                ".subckt" => {
+                    if current.is_some() {
+                        return Err(ParseNetlistError::NestedSubckt { line: lineno });
+                    }
+                    let name = tok
+                        .next()
+                        .ok_or_else(|| ParseNetlistError::MalformedCard {
+                            line: lineno,
+                            reason: ".subckt needs a name".to_owned(),
+                        })?
+                        .to_owned();
+                    if !names_seen.insert(name.clone()) {
+                        return Err(ParseNetlistError::DuplicateSubckt { line: lineno, name });
+                    }
+                    let ports: Vec<String> = tok.map(str::to_owned).collect();
+                    current = Some(Subckt::new(name, ports));
+                }
+                ".ends" => {
+                    let sub = current
+                        .take()
+                        .ok_or(ParseNetlistError::UnmatchedEnds { line: lineno })?;
+                    defined.push(sub.name.clone());
+                    netlist
+                        .add_subckt(sub)
+                        .expect("duplicate names rejected at .subckt");
+                }
+                ".top" => {
+                    let name = tok
+                        .next()
+                        .ok_or_else(|| ParseNetlistError::MalformedCard {
+                            line: lineno,
+                            reason: ".top needs a name".to_owned(),
+                        })?
+                        .to_owned();
+                    explicit_top = Some((name, lineno));
+                }
+                ".end" => {}
+                ".param" => {
+                    for assignment in tok {
+                        let Some(eq) = assignment.find('=') else {
+                            return Err(ParseNetlistError::MalformedCard {
+                                line: lineno,
+                                reason: format!(".param needs name=value, got `{assignment}`"),
+                            });
+                        };
+                        let name = assignment[..eq].to_ascii_lowercase();
+                        let value = eval_value(&assignment[eq + 1..], &params).ok_or_else(
+                            || ParseNetlistError::BadNumber {
+                                line: lineno,
+                                token: assignment.to_owned(),
+                            },
+                        )?;
+                        params.insert(name, value);
+                    }
+                }
+                other => {
+                    return Err(ParseNetlistError::MalformedCard {
+                        line: lineno,
+                        reason: format!("unsupported directive `{other}`"),
+                    })
+                }
+            }
+            continue;
+        }
+
+        // Device / instance card.
+        let Some(sub) = current.as_mut() else {
+            return Err(ParseNetlistError::CardOutsideSubckt { line: lineno });
+        };
+        parse_card(trimmed, lineno, sub, &params)?;
+    }
+
+    if let Some(sub) = current {
+        return Err(ParseNetlistError::UnterminatedSubckt { name: sub.name });
+    }
+
+    let top = match explicit_top {
+        Some((name, _)) => {
+            if netlist.subckt(&name).is_none() {
+                return Err(ParseNetlistError::MissingTop { name: Some(name) });
+            }
+            name
+        }
+        None => infer_top(&netlist, &defined)
+            .ok_or(ParseNetlistError::MissingTop { name: None })?,
+    };
+    netlist.set_top(top);
+    Ok(netlist)
+}
+
+/// Parse a netlist from a file, resolving `.include "other.sp"`
+/// directives relative to each including file's directory.
+///
+/// Includes are textually inlined before parsing, with cycle detection
+/// and a depth limit of 16.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError::IncludeFailed`] on unreadable paths,
+/// include cycles, or excessive nesting; otherwise any error of
+/// [`parse_spice`]. Line numbers in errors refer to the *expanded* text.
+pub fn parse_spice_file(path: impl AsRef<std::path::Path>) -> Result<Netlist, ParseNetlistError> {
+    let path = path.as_ref();
+    let mut visited = Vec::new();
+    let text = expand_includes(path, &mut visited, 0)?;
+    parse_spice(&text)
+}
+
+fn expand_includes(
+    path: &std::path::Path,
+    visited: &mut Vec<std::path::PathBuf>,
+    depth: usize,
+) -> Result<String, ParseNetlistError> {
+    let fail = |line: usize, reason: String| ParseNetlistError::IncludeFailed {
+        line,
+        path: path.display().to_string(),
+        reason,
+    };
+    if depth > 16 {
+        return Err(fail(0, "include nesting exceeds 16 levels".to_owned()));
+    }
+    let canonical = path
+        .canonicalize()
+        .map_err(|e| fail(0, e.to_string()))?;
+    if visited.contains(&canonical) {
+        return Err(fail(0, "include cycle".to_owned()));
+    }
+    visited.push(canonical);
+    let text = std::fs::read_to_string(path).map_err(|e| fail(0, e.to_string()))?;
+    let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        let lower = trimmed.to_ascii_lowercase();
+        if lower.starts_with(".include") || lower.starts_with(".inc ") {
+            let arg = trimmed
+                .split_whitespace()
+                .nth(1)
+                .ok_or_else(|| {
+                    fail(i + 1, ".include needs a path".to_owned())
+                })?
+                .trim_matches(['"', '\'']);
+            let child = dir.join(arg);
+            let expanded = expand_includes(&child, visited, depth + 1).map_err(|e| {
+                match e {
+                    ParseNetlistError::IncludeFailed { reason, path: p, .. } => {
+                        ParseNetlistError::IncludeFailed { line: i + 1, path: p, reason }
+                    }
+                    other => other,
+                }
+            })?;
+            out.push_str(&expanded);
+            out.push('\n');
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    visited.pop();
+    Ok(out)
+}
+
+/// Merge `+` continuation lines, keeping the first line's number.
+fn join_continuations(source: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(rest);
+                continue;
+            }
+        }
+        out.push((lineno, line.to_owned()));
+    }
+    out
+}
+
+/// Drop a trailing `$ …` comment.
+fn strip_comment(line: &str) -> &str {
+    match line.find('$') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn handle_pragma(
+    rest: &str,
+    lineno: usize,
+    current: &mut Option<Subckt>,
+) -> Result<(), ParseNetlistError> {
+    let mut tok = rest.split_whitespace();
+    let Some(kind) = tok.next() else {
+        return Ok(());
+    };
+    let Some(sub) = current.as_mut() else {
+        // Pragmas outside a subckt are ignored like any comment.
+        return Ok(());
+    };
+    match kind.to_ascii_lowercase().as_str() {
+        "class" => {
+            let tag = tok.next().ok_or_else(|| ParseNetlistError::MalformedCard {
+                line: lineno,
+                reason: "*.class needs a tag".to_owned(),
+            })?;
+            sub.class = tag.parse().expect("CircuitClass::from_str is infallible");
+        }
+        "symmetry" => {
+            let a = tok.next();
+            let b = tok.next();
+            let (Some(a), Some(b)) = (a, b) else {
+                return Err(ParseNetlistError::MalformedCard {
+                    line: lineno,
+                    reason: "*.symmetry needs two element names".to_owned(),
+                });
+            };
+            sub.annotate_symmetry(a, b);
+        }
+        "selfsym" => {
+            let a = tok.next().ok_or_else(|| ParseNetlistError::MalformedCard {
+                line: lineno,
+                reason: "*.selfsym needs an element name".to_owned(),
+            })?;
+            sub.self_sym.push(a.to_owned());
+        }
+        _ => {} // unknown pragma: ignore, it is a comment
+    }
+    Ok(())
+}
+
+/// Evaluate a value expression: an SI-suffixed literal, a `.param`
+/// reference (bare, `'quoted'`, or `{braced}`), or a `*`-product of such
+/// factors.
+fn eval_value(raw: &str, globals: &HashMap<String, f64>) -> Option<f64> {
+    let unquoted = raw
+        .trim()
+        .trim_start_matches(['\'', '{'])
+        .trim_end_matches(['\'', '}']);
+    if unquoted.is_empty() {
+        return None;
+    }
+    let mut product = 1.0;
+    for factor in unquoted.split('*') {
+        let f = factor.trim();
+        let v = parse_si_value(f).or_else(|| globals.get(&f.to_ascii_lowercase()).copied())?;
+        product *= v;
+    }
+    Some(product)
+}
+
+/// Split a card into positional tokens and `key=value` parameters,
+/// resolving `.param` references.
+fn split_params(
+    tokens: &[&str],
+    lineno: usize,
+    globals: &HashMap<String, f64>,
+) -> Result<(Vec<String>, HashMap<String, f64>), ParseNetlistError> {
+    let mut positional = Vec::new();
+    let mut params = HashMap::new();
+    for t in tokens {
+        if let Some(eq) = t.find('=') {
+            let key = t[..eq].to_ascii_lowercase();
+            let val = &t[eq + 1..];
+            let num = eval_value(val, globals).ok_or_else(|| ParseNetlistError::BadNumber {
+                line: lineno,
+                token: (*t).to_owned(),
+            })?;
+            params.insert(key, num);
+        } else {
+            positional.push((*t).to_owned());
+        }
+    }
+    Ok((positional, params))
+}
+
+/// Interpret a dimension parameter: metres below 1 mm, µm otherwise.
+fn to_microns(v: f64) -> f64 {
+    if v.abs() < 1e-3 {
+        v * 1e6
+    } else {
+        v
+    }
+}
+
+fn geometry_from_params(
+    params: &HashMap<String, f64>,
+    fallback: Geometry,
+) -> Geometry {
+    let mut g = fallback;
+    if let Some(&w) = params.get("w") {
+        g.width = to_microns(w);
+    }
+    if let Some(&l) = params.get("l") {
+        g.length = to_microns(l);
+    }
+    if let Some(&nf) = params.get("nf") {
+        // Folding multiplies effective width.
+        g.width *= nf.max(1.0);
+    }
+    if let Some(&lay) = params.get("layers").or_else(|| params.get("lay")) {
+        g.metal_layers = lay.max(1.0) as u32;
+    }
+    g
+}
+
+fn parse_card(
+    card: &str,
+    lineno: usize,
+    sub: &mut Subckt,
+    globals: &HashMap<String, f64>,
+) -> Result<(), ParseNetlistError> {
+    let tokens: Vec<&str> = card.split_whitespace().collect();
+    let name = tokens[0].to_owned();
+    let kind = name
+        .chars()
+        .next()
+        .expect("split_whitespace yields non-empty tokens")
+        .to_ascii_uppercase();
+    let rest = &tokens[1..];
+    let (pos, params) = split_params(rest, lineno, globals)?;
+    let malformed = |reason: &str| ParseNetlistError::MalformedCard {
+        line: lineno,
+        reason: reason.to_owned(),
+    };
+
+    let multiplier = params.get("m").map(|&m| m.max(1.0) as u32).unwrap_or(1);
+
+    match kind {
+        'M' => {
+            if pos.len() != 5 {
+                return Err(malformed("MOS card needs `d g s b model`"));
+            }
+            let dtype = DeviceType::from_model_name(&pos[4]);
+            let geometry = geometry_from_params(&params, Geometry::default());
+            let mut d = Device::new(
+                name,
+                dtype,
+                vec![pos[0].clone(), pos[1].clone(), pos[2].clone()],
+                geometry,
+            )
+            .expect("3 pins for MOS");
+            d.bulk = Some(pos[3].clone());
+            d.multiplier = multiplier;
+            sub.push_device(d).map_err(|_| malformed("duplicate element name"))?;
+        }
+        'Q' => {
+            if pos.len() != 4 {
+                return Err(malformed("BJT card needs `c b e model`"));
+            }
+            let dtype = match DeviceType::from_model_name(&pos[3]) {
+                DeviceType::Other => DeviceType::Npn,
+                t => t,
+            };
+            let geometry = geometry_from_params(&params, Geometry::default());
+            let mut d = Device::new(
+                name,
+                dtype,
+                vec![pos[0].clone(), pos[1].clone(), pos[2].clone()],
+                geometry,
+            )
+            .expect("3 pins for BJT");
+            d.multiplier = multiplier;
+            sub.push_device(d).map_err(|_| malformed("duplicate element name"))?;
+        }
+        'D' => {
+            if pos.len() < 2 {
+                return Err(malformed("diode card needs `a c [model]`"));
+            }
+            let geometry = geometry_from_params(&params, Geometry::default());
+            let mut d = Device::new(
+                name,
+                DeviceType::Diode,
+                vec![pos[0].clone(), pos[1].clone()],
+                geometry,
+            )
+            .expect("2 pins for diode");
+            d.multiplier = multiplier;
+            sub.push_device(d).map_err(|_| malformed("duplicate element name"))?;
+        }
+        'R' | 'C' | 'L' => {
+            if pos.len() < 2 {
+                return Err(malformed("passive card needs two nets"));
+            }
+            let (default_type, unit_scale) = match kind {
+                'R' => (DeviceType::Resistor, 1e3),
+                'C' => (DeviceType::Capacitor, 1e-15),
+                _ => (DeviceType::Inductor, 1e-9),
+            };
+            // Remaining positionals: an optional value and/or model name.
+            let mut dtype = default_type;
+            let mut value = None;
+            for extra in &pos[2..] {
+                if let Some(v) = eval_value(extra, globals) {
+                    value = Some(v);
+                } else {
+                    match DeviceType::from_model_name(extra) {
+                        DeviceType::Other => {
+                            return Err(ParseNetlistError::BadNumber {
+                                line: lineno,
+                                token: extra.clone(),
+                            })
+                        }
+                        t => dtype = t,
+                    }
+                }
+            }
+            let fallback = match value {
+                Some(v) => Geometry::from_value(v, unit_scale),
+                None => Geometry::default(),
+            };
+            let geometry = geometry_from_params(&params, fallback);
+            let mut d = Device::new(name, dtype, vec![pos[0].clone(), pos[1].clone()], geometry)
+                .expect("2 pins for passive");
+            d.value = value;
+            d.multiplier = multiplier;
+            sub.push_device(d).map_err(|_| malformed("duplicate element name"))?;
+        }
+        'X' => {
+            if pos.len() < 2 {
+                return Err(malformed("instance card needs nets and a template"));
+            }
+            let template = pos.last().expect("len >= 2").clone();
+            let connections = pos[..pos.len() - 1].to_vec();
+            sub.push_instance(Instance { name, subckt: template, connections })
+                .map_err(|_| malformed("duplicate element name"))?;
+        }
+        other => {
+            return Err(malformed(&format!("unsupported card type `{other}`")));
+        }
+    }
+    Ok(())
+}
+
+/// Pick a top cell: the unique never-instantiated subcircuit, else the
+/// last defined one.
+fn infer_top(netlist: &Netlist, defined: &[String]) -> Option<String> {
+    if defined.is_empty() {
+        return None;
+    }
+    let mut instantiated = HashSet::new();
+    for s in netlist.iter() {
+        for i in s.instances() {
+            instantiated.insert(i.subckt.clone());
+        }
+    }
+    let roots: Vec<&String> = defined.iter().filter(|n| !instantiated.contains(*n)).collect();
+    match roots.as_slice() {
+        [only] => Some((*only).clone()),
+        _ => defined.last().cloned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PortType;
+    use crate::subckt::CircuitClass;
+
+    const FIVE_T_OTA: &str = "\
+* five-transistor OTA
+.subckt ota5 inp inn out vdd vss bias
+*.class ota
+M1 n1 inp tail vss nch_lvt w=4u l=0.2u
+M2 out inn tail vss nch_lvt w=4u l=0.2u
+M3 n1 n1 vdd vdd pch_lvt w=8u l=0.2u
+M4 out n1 vdd vdd pch_lvt w=8u l=0.2u
+M5 tail bias vss vss nch w=2u l=0.5u
+*.symmetry M1 M2
+*.symmetry M3 M4
+*.selfsym M5
+.ends
+";
+
+    #[test]
+    fn parses_five_transistor_ota() {
+        let nl = parse_spice(FIVE_T_OTA).unwrap();
+        let ota = nl.subckt("ota5").unwrap();
+        assert_eq!(ota.class, CircuitClass::Ota);
+        assert_eq!(ota.devices().count(), 5);
+        assert_eq!(ota.sym_pairs.len(), 2);
+        assert_eq!(ota.self_sym, vec!["M5"]);
+        let m1 = ota.element("M1").unwrap().as_device().unwrap();
+        assert_eq!(m1.dtype, DeviceType::NchLvt);
+        assert!((m1.geometry.width - 4.0).abs() < 1e-9);
+        assert!((m1.geometry.length - 0.2).abs() < 1e-9);
+        assert_eq!(m1.bulk.as_deref(), Some("vss"));
+        let pins: Vec<_> = m1.typed_pins().collect();
+        assert_eq!(
+            pins,
+            vec![
+                ("n1", PortType::Drain),
+                ("inp", PortType::Gate),
+                ("tail", PortType::Source)
+            ]
+        );
+        assert_eq!(nl.top(), "ota5");
+    }
+
+    #[test]
+    fn passive_cards_take_values_and_models() {
+        let nl = parse_spice(
+            "
+.subckt rc a b
+R1 a mid 10k
+C1 mid b 100f
+C2 mid b cfmom layers=4 w=3u l=3u
+L1 a b 2n
+.ends
+",
+        )
+        .unwrap();
+        let rc = nl.subckt("rc").unwrap();
+        let r1 = rc.element("R1").unwrap().as_device().unwrap();
+        assert_eq!(r1.dtype, DeviceType::Resistor);
+        assert_eq!(r1.value, Some(10e3));
+        let c2 = rc.element("C2").unwrap().as_device().unwrap();
+        assert_eq!(c2.dtype, DeviceType::CfmomCapacitor);
+        assert_eq!(c2.geometry.metal_layers, 4);
+        assert!((c2.geometry.width - 3.0).abs() < 1e-9);
+        let l1 = rc.element("L1").unwrap().as_device().unwrap();
+        assert_eq!(l1.dtype, DeviceType::Inductor);
+        assert_eq!(l1.value, Some(2e-9));
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let nl = parse_spice(
+            "
+.subckt c a b vdd vss
+M1 a b
++ vdd vdd pch
++ w=1u l=0.1u
+.ends
+",
+        )
+        .unwrap();
+        let m1 = nl.subckt("c").unwrap().element("M1").unwrap().as_device().unwrap();
+        assert_eq!(m1.dtype, DeviceType::Pch);
+        assert!((m1.geometry.width - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instances_and_top_inference() {
+        let nl = parse_spice(
+            "
+.subckt leaf a
+R1 a x 1k
+.ends
+.subckt mid a
+X1 a leaf
+.ends
+.subckt root a
+X1 a mid
+X2 a mid
+.ends
+",
+        )
+        .unwrap();
+        assert_eq!(nl.top(), "root"); // only never-instantiated subckt
+        let mid = nl.subckt("mid").unwrap();
+        assert_eq!(mid.instances().next().unwrap().subckt, "leaf");
+    }
+
+    #[test]
+    fn explicit_top_overrides_inference() {
+        let nl = parse_spice(
+            "
+.subckt a p
+R1 p x 1k
+.ends
+.subckt b p
+R1 p x 1k
+.ends
+.top a
+",
+        )
+        .unwrap();
+        assert_eq!(nl.top(), "a");
+    }
+
+    #[test]
+    fn dollar_comments_are_stripped() {
+        let nl = parse_spice(
+            "
+.subckt c a b
+R1 a b 1k $ load resistor
+.ends
+",
+        )
+        .unwrap();
+        assert_eq!(nl.subckt("c").unwrap().devices().count(), 1);
+    }
+
+    #[test]
+    fn error_cases_carry_line_numbers() {
+        let err = parse_spice(".subckt a p\nM1 a a a\n.ends\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::MalformedCard { line: 2, .. }));
+
+        let err = parse_spice(".ends\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnmatchedEnds { line: 1 }));
+
+        let err = parse_spice(".subckt a p\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnterminatedSubckt { .. }));
+
+        let err = parse_spice(".subckt a p\n.subckt b q\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::NestedSubckt { line: 2 }));
+
+        let err = parse_spice("R1 a b 1k\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::CardOutsideSubckt { line: 1 }));
+
+        let err = parse_spice(".subckt a p\nR1 p x 1z\n.ends\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::BadNumber { line: 2, .. }));
+
+        let err = parse_spice(".subckt a p\nR1 p x 1k\n.ends\n.top ghost\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::MissingTop { .. }));
+
+        let err = parse_spice("").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::MissingTop { name: None }));
+    }
+
+    #[test]
+    fn include_resolves_relative_paths() {
+        let dir = std::env::temp_dir().join(format!("ancstr-inc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("lib")).unwrap();
+        std::fs::write(
+            dir.join("lib/cells.sp"),
+            ".subckt inv in out vdd vss\nMp out in vdd vdd pch w=2u l=0.1u\nMn out in vss vss nch w=1u l=0.1u\n.ends\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("top.sp"),
+            ".include \"lib/cells.sp\"\n.subckt top a y vdd vss\nX1 a y vdd vss inv\n.ends\n.top top\n",
+        )
+        .unwrap();
+        let nl = parse_spice_file(dir.join("top.sp")).unwrap();
+        assert_eq!(nl.top(), "top");
+        assert!(nl.subckt("inv").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn include_cycles_are_detected() {
+        let dir = std::env::temp_dir().join(format!("ancstr-cyc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.sp"), ".include \"b.sp\"\n").unwrap();
+        std::fs::write(dir.join("b.sp"), ".include \"a.sp\"\n").unwrap();
+        let err = parse_spice_file(dir.join("a.sp")).unwrap_err();
+        assert!(matches!(err, ParseNetlistError::IncludeFailed { .. }));
+        assert!(err.to_string().contains("cycle"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_include_is_reported_with_line() {
+        let dir = std::env::temp_dir().join(format!("ancstr-mis-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("top.sp"), "* header\n.include \"ghost.sp\"\n").unwrap();
+        let err = parse_spice_file(dir.join("top.sp")).unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::IncludeFailed { line: 2, .. }),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_subckt_rejected() {
+        let err = parse_spice(
+            ".subckt a p\nR1 p x 1k\n.ends\n.subckt a p\nR1 p x 1k\n.ends\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseNetlistError::DuplicateSubckt { .. }));
+    }
+
+    #[test]
+    fn params_resolve_in_values() {
+        let nl = parse_spice(
+            "\
+.param wn=2u lmin=0.1u ratio=2
+.subckt c a b vdd vss
+M1 a b vss vss nch w=wn l=lmin
+M2 b a vss vss nch w='wn*ratio' l={lmin}
+R1 a b 'ratio*1k'
+.ends
+",
+        )
+        .unwrap();
+        let c = nl.subckt("c").unwrap();
+        let m1 = c.element("M1").unwrap().as_device().unwrap();
+        assert!((m1.geometry.width - 2.0).abs() < 1e-9);
+        assert!((m1.geometry.length - 0.1).abs() < 1e-9);
+        let m2 = c.element("M2").unwrap().as_device().unwrap();
+        assert!((m2.geometry.width - 4.0).abs() < 1e-9, "{}", m2.geometry.width);
+        let r1 = c.element("R1").unwrap().as_device().unwrap();
+        assert_eq!(r1.value, Some(2e3));
+    }
+
+    #[test]
+    fn param_redefinition_and_chaining() {
+        let nl = parse_spice(
+            "\
+.param w0=1u
+.param w1='w0*4'
+.subckt c a b vdd vss
+M1 a b vss vss nch w=w1 l=0.1u
+.ends
+",
+        )
+        .unwrap();
+        let m1 = nl.subckt("c").unwrap().element("M1").unwrap().as_device().unwrap();
+        assert!((m1.geometry.width - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_param_is_an_error() {
+        let err = parse_spice(
+            ".subckt c a b vdd vss\nM1 a b vss vss nch w=ghost l=0.1u\n.ends\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseNetlistError::BadNumber { line: 2, .. }));
+        let err = parse_spice(".param broken\n.subckt c a\nR1 a x 1k\n.ends\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::MalformedCard { line: 1, .. }));
+    }
+
+    #[test]
+    fn nf_folds_width_and_m_sets_multiplier() {
+        let nl = parse_spice(
+            ".subckt c a b vdd vss\nM1 a b vdd vdd pch w=1u l=0.1u nf=4 m=2\n.ends\n",
+        )
+        .unwrap();
+        let m1 = nl.subckt("c").unwrap().element("M1").unwrap().as_device().unwrap();
+        assert!((m1.geometry.width - 4.0).abs() < 1e-9);
+        assert_eq!(m1.multiplier, 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Subcircuit templates: the reusable cells of a hierarchical netlist.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::device::Device;
+use crate::error::ElaborateError;
+
+/// Functional class of a subcircuit template.
+///
+/// The paper's valid-pair rule requires matched modules to have
+/// "identical types"; for building blocks we interpret *type* as the
+/// functional class (two DAC slices of different internal topology are
+/// still a valid candidate pair — Fig. 3(a) — whereas a DAC and an OTA
+/// are not). Generators tag templates with their class; parsed netlists
+/// may carry a `*.class` pragma, defaulting to [`CircuitClass::Unknown`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CircuitClass {
+    /// Operational transconductance amplifier.
+    Ota,
+    /// Clocked comparator.
+    Comparator,
+    /// Digital-to-analog converter (or DAC slice).
+    Dac,
+    /// Regenerative latch.
+    Latch,
+    /// Integrator stage (OTA + RC).
+    Integrator,
+    /// Quantizer / flash slice.
+    Quantizer,
+    /// Clock generation / buffering.
+    Clock,
+    /// Digital logic block (e.g. SAR logic).
+    Logic,
+    /// Inverter or buffer cell.
+    Inverter,
+    /// Switch network (sampling switches, bootstrapped switches).
+    Switch,
+    /// Bias generation.
+    Bias,
+    /// Passive array (capacitor or resistor bank).
+    PassiveArray,
+    /// Any other or user-defined class.
+    Custom(String),
+    /// Class not annotated.
+    Unknown,
+}
+
+impl CircuitClass {
+    /// Canonical lowercase tag used in `*.class` pragmas.
+    pub fn tag(&self) -> &str {
+        match self {
+            CircuitClass::Ota => "ota",
+            CircuitClass::Comparator => "comparator",
+            CircuitClass::Dac => "dac",
+            CircuitClass::Latch => "latch",
+            CircuitClass::Integrator => "integrator",
+            CircuitClass::Quantizer => "quantizer",
+            CircuitClass::Clock => "clock",
+            CircuitClass::Logic => "logic",
+            CircuitClass::Inverter => "inverter",
+            CircuitClass::Switch => "switch",
+            CircuitClass::Bias => "bias",
+            CircuitClass::PassiveArray => "passive_array",
+            CircuitClass::Custom(s) => s,
+            CircuitClass::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for CircuitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl FromStr for CircuitClass {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let c = match s.to_ascii_lowercase().as_str() {
+            "ota" => CircuitClass::Ota,
+            "comparator" | "comp" => CircuitClass::Comparator,
+            "dac" => CircuitClass::Dac,
+            "latch" => CircuitClass::Latch,
+            "integrator" => CircuitClass::Integrator,
+            "quantizer" => CircuitClass::Quantizer,
+            "clock" => CircuitClass::Clock,
+            "logic" => CircuitClass::Logic,
+            "inverter" | "inv" | "buffer" => CircuitClass::Inverter,
+            "switch" => CircuitClass::Switch,
+            "bias" => CircuitClass::Bias,
+            "passive_array" | "array" => CircuitClass::PassiveArray,
+            "unknown" => CircuitClass::Unknown,
+            other => CircuitClass::Custom(other.to_owned()),
+        };
+        Ok(c)
+    }
+}
+
+/// A child-instance of another subcircuit template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name, unique within the owning subcircuit (e.g. `X1`).
+    pub name: String,
+    /// Name of the instantiated template.
+    pub subckt: String,
+    /// Nets connected to the template's ports, in port order.
+    pub connections: Vec<String>,
+}
+
+/// One element of a subcircuit body: a primitive device or a child
+/// instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A primitive device.
+    Device(Device),
+    /// An instance of another subcircuit.
+    Instance(Instance),
+}
+
+impl Element {
+    /// The element's instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Device(d) => &d.name,
+            Element::Instance(i) => &i.name,
+        }
+    }
+
+    /// The contained device, if this element is one.
+    pub fn as_device(&self) -> Option<&Device> {
+        match self {
+            Element::Device(d) => Some(d),
+            Element::Instance(_) => None,
+        }
+    }
+
+    /// The contained instance, if this element is one.
+    pub fn as_instance(&self) -> Option<&Instance> {
+        match self {
+            Element::Device(_) => None,
+            Element::Instance(i) => Some(i),
+        }
+    }
+}
+
+/// A subcircuit template: ports, body elements, class, and designer
+/// symmetry annotations.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_netlist::{Subckt, CircuitClass, Device, DeviceType, Geometry, Element};
+///
+/// let mut inv = Subckt::new("inv", ["in", "out", "vdd", "vss"]);
+/// inv.class = CircuitClass::Inverter;
+/// inv.push_device(Device::new(
+///     "Mp",
+///     DeviceType::PchLvt,
+///     vec!["out".into(), "in".into(), "vdd".into()],
+///     Geometry::new(0.1, 2.0),
+/// )?)?;
+/// assert_eq!(inv.devices().count(), 1);
+/// # Ok::<(), ancstr_netlist::ElaborateError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subckt {
+    /// Template name (unique within a [`crate::Netlist`]).
+    pub name: String,
+    /// Port (external net) names in declaration order.
+    pub ports: Vec<String>,
+    /// Body elements in declaration order.
+    pub elements: Vec<Element>,
+    /// Functional class.
+    pub class: CircuitClass,
+    /// Designer symmetry annotations: pairs of element names within this
+    /// template that must match. Expanded per-instance during
+    /// elaboration into ground-truth [`crate::SymmetryConstraint`]s.
+    pub sym_pairs: Vec<(String, String)>,
+    /// Self-symmetric elements (placed on the axis), kept for
+    /// completeness of the annotation format; not part of the pairwise
+    /// extraction problem.
+    pub self_sym: Vec<String>,
+}
+
+impl Subckt {
+    /// A new, empty template with the given ports.
+    pub fn new<I, S>(name: impl Into<String>, ports: I) -> Subckt
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Subckt {
+            name: name.into(),
+            ports: ports.into_iter().map(Into::into).collect(),
+            elements: Vec::new(),
+            class: CircuitClass::Unknown,
+            sym_pairs: Vec::new(),
+            self_sym: Vec::new(),
+        }
+    }
+
+    /// Append a device to the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElaborateError::DuplicateElement`] if an element with the
+    /// same name already exists.
+    pub fn push_device(&mut self, device: Device) -> Result<(), ElaborateError> {
+        self.check_fresh_name(&device.name)?;
+        self.elements.push(Element::Device(device));
+        Ok(())
+    }
+
+    /// Append a child instance to the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElaborateError::DuplicateElement`] if an element with the
+    /// same name already exists.
+    pub fn push_instance(&mut self, instance: Instance) -> Result<(), ElaborateError> {
+        self.check_fresh_name(&instance.name)?;
+        self.elements.push(Element::Instance(instance));
+        Ok(())
+    }
+
+    /// Record a designer symmetry annotation between two elements.
+    pub fn annotate_symmetry(&mut self, a: impl Into<String>, b: impl Into<String>) {
+        self.sym_pairs.push((a.into(), b.into()));
+    }
+
+    fn check_fresh_name(&self, name: &str) -> Result<(), ElaborateError> {
+        if self.elements.iter().any(|e| e.name() == name) {
+            return Err(ElaborateError::DuplicateElement {
+                subckt: self.name.clone(),
+                name: name.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Iterator over the primitive devices in the body.
+    pub fn devices(&self) -> impl Iterator<Item = &Device> {
+        self.elements.iter().filter_map(Element::as_device)
+    }
+
+    /// Iterator over the child instances in the body.
+    pub fn instances(&self) -> impl Iterator<Item = &Instance> {
+        self.elements.iter().filter_map(Element::as_instance)
+    }
+
+    /// Look up an element by name.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.elements.iter().find(|e| e.name() == name)
+    }
+
+    /// The set of local net names referenced by this template: its ports
+    /// plus every net touched by a device pin, bulk pin, or instance
+    /// connection.
+    pub fn nets(&self) -> Vec<String> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut add = |n: &str| {
+            if seen.insert(n.to_owned()) {
+                out.push(n.to_owned());
+            }
+        };
+        for p in &self.ports {
+            add(p);
+        }
+        for e in &self.elements {
+            match e {
+                Element::Device(d) => {
+                    for p in &d.pins {
+                        add(p);
+                    }
+                    if let Some(b) = &d.bulk {
+                        add(b);
+                    }
+                }
+                Element::Instance(i) => {
+                    for c in &i.connections {
+                        add(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate the pragma annotations against the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElaborateError::UnknownSymmetryElement`] when a
+    /// `sym_pairs` or `self_sym` entry names a missing element.
+    pub fn validate_annotations(&self) -> Result<(), ElaborateError> {
+        for (a, b) in &self.sym_pairs {
+            for n in [a, b] {
+                if self.element(n).is_none() {
+                    return Err(ElaborateError::UnknownSymmetryElement {
+                        subckt: self.name.clone(),
+                        element: n.clone(),
+                    });
+                }
+            }
+        }
+        for n in &self.self_sym {
+            if self.element(n).is_none() {
+                return Err(ElaborateError::UnknownSymmetryElement {
+                    subckt: self.name.clone(),
+                    element: n.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceType, Geometry};
+
+    fn mos(name: &str, d: &str, g: &str, s: &str) -> Device {
+        Device::new(
+            name,
+            DeviceType::Nch,
+            vec![d.into(), g.into(), s.into()],
+            Geometry::new(0.1, 1.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_element_names_are_rejected() {
+        let mut s = Subckt::new("cell", ["a"]);
+        s.push_device(mos("M1", "a", "a", "a")).unwrap();
+        let err = s.push_device(mos("M1", "a", "a", "a")).unwrap_err();
+        assert!(matches!(err, ElaborateError::DuplicateElement { .. }));
+    }
+
+    #[test]
+    fn nets_are_deduplicated_and_ordered() {
+        let mut s = Subckt::new("cell", ["in", "out"]);
+        s.push_device(mos("M1", "out", "in", "gnd")).unwrap();
+        s.push_device(mos("M2", "out", "in", "gnd")).unwrap();
+        assert_eq!(s.nets(), vec!["in", "out", "gnd"]);
+    }
+
+    #[test]
+    fn annotation_validation_catches_typos() {
+        let mut s = Subckt::new("cell", ["a"]);
+        s.push_device(mos("M1", "a", "a", "a")).unwrap();
+        s.annotate_symmetry("M1", "M_missing");
+        assert!(matches!(
+            s.validate_annotations(),
+            Err(ElaborateError::UnknownSymmetryElement { .. })
+        ));
+    }
+
+    #[test]
+    fn circuit_class_round_trips_via_tag() {
+        for c in [
+            CircuitClass::Ota,
+            CircuitClass::Comparator,
+            CircuitClass::Dac,
+            CircuitClass::Latch,
+            CircuitClass::Integrator,
+            CircuitClass::Quantizer,
+            CircuitClass::Clock,
+            CircuitClass::Logic,
+            CircuitClass::Inverter,
+            CircuitClass::Switch,
+            CircuitClass::Bias,
+            CircuitClass::PassiveArray,
+            CircuitClass::Unknown,
+            CircuitClass::Custom("pll".into()),
+        ] {
+            let back: CircuitClass = c.tag().parse().unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn element_accessors() {
+        let mut s = Subckt::new("cell", ["a"]);
+        s.push_device(mos("M1", "a", "a", "a")).unwrap();
+        s.push_instance(Instance {
+            name: "X1".into(),
+            subckt: "sub".into(),
+            connections: vec!["a".into()],
+        })
+        .unwrap();
+        assert!(s.element("M1").unwrap().as_device().is_some());
+        assert!(s.element("X1").unwrap().as_instance().is_some());
+        assert!(s.element("nope").is_none());
+        assert_eq!(s.devices().count(), 1);
+        assert_eq!(s.instances().count(), 1);
+    }
+}

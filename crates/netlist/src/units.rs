@@ -1,0 +1,194 @@
+//! SPICE numeric literals with SI magnitude suffixes.
+
+/// Parse a SPICE numeric literal such as `1.5u`, `100f`, `2meg`, or `4k`.
+///
+/// Supported suffixes (case-insensitive): `t`, `g`, `meg`, `k`, `m`, `u`,
+/// `n`, `p`, `f`, `a`. Trailing unit letters after the magnitude suffix
+/// (e.g. `10pF`, `1uH`) are tolerated and ignored, mirroring common SPICE
+/// practice. Returns `None` when the mantissa is not a number.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_netlist::units::parse_si_value;
+///
+/// assert_eq!(parse_si_value("2k"), Some(2e3));
+/// assert_eq!(parse_si_value("1.5u"), Some(1.5e-6));
+/// assert_eq!(parse_si_value("3meg"), Some(3e6));
+/// assert_eq!(parse_si_value("10pF"), Some(10e-12));
+/// assert_eq!(parse_si_value("abc"), None);
+/// ```
+pub fn parse_si_value(token: &str) -> Option<f64> {
+    let t = token.trim();
+    if t.is_empty() {
+        return None;
+    }
+    // Split mantissa from suffix: mantissa is the longest prefix that
+    // parses as a float.
+    let lower = t.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut split = 0;
+    for i in 0..bytes.len() {
+        let c = bytes[i] as char;
+        let is_mantissa = c.is_ascii_digit()
+            || c == '.'
+            || c == '+'
+            || c == '-'
+            // scientific notation: `e` only counts when followed by digit/sign
+            || (c == 'e'
+                && i + 1 < bytes.len()
+                && ((bytes[i + 1] as char).is_ascii_digit()
+                    || bytes[i + 1] == b'+'
+                    || bytes[i + 1] == b'-'));
+        if is_mantissa {
+            split = i + 1;
+        } else {
+            break;
+        }
+    }
+    let (mant, suffix) = lower.split_at(split);
+    let base: f64 = mant.parse().ok()?;
+    let scale = si_scale(suffix)?;
+    Some(base * scale)
+}
+
+/// The multiplier for an SI suffix (with optional trailing unit letters).
+fn si_scale(suffix: &str) -> Option<f64> {
+    if suffix.is_empty() {
+        return Some(1.0);
+    }
+    // `meg` must be checked before `m`.
+    let (scale, rest) = if let Some(rest) = suffix.strip_prefix("meg") {
+        (1e6, rest)
+    } else {
+        let mut chars = suffix.chars();
+        let c = chars.next().expect("non-empty suffix");
+        let scale = match c {
+            't' => 1e12,
+            'g' => 1e9,
+            'k' => 1e3,
+            'm' => 1e-3,
+            'u' => 1e-6,
+            'n' => 1e-9,
+            'p' => 1e-12,
+            'f' => 1e-15,
+            'a' => 1e-18,
+            _ => return None,
+        };
+        (scale, chars.as_str())
+    };
+    // Remaining characters must be alphabetic unit decoration (F, H, ohm…).
+    if rest.chars().all(|c| c.is_ascii_alphabetic()) {
+        Some(scale)
+    } else {
+        None
+    }
+}
+
+/// Format a value in engineering notation with an SI suffix, the inverse
+/// of [`parse_si_value`] up to rounding.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_netlist::units::format_si_value;
+///
+/// assert_eq!(format_si_value(2e3), "2k");
+/// assert_eq!(format_si_value(1.5e-6), "1.5u");
+/// assert_eq!(format_si_value(0.0), "0");
+/// ```
+pub fn format_si_value(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_owned();
+    }
+    const STEPS: [(f64, &str); 11] = [
+        (1e12, "t"),
+        (1e9, "g"),
+        (1e6, "meg"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+        (1e-15, "f"),
+        (1e-18, "a"),
+    ];
+    let mag = value.abs();
+    for (scale, suffix) in STEPS {
+        if mag >= scale * 0.9999999 {
+            let scaled = value / scale;
+            // Trim trailing zeros from a fixed representation.
+            let mut s = format!("{scaled:.6}");
+            while s.ends_with('0') {
+                s.pop();
+            }
+            if s.ends_with('.') {
+                s.pop();
+            }
+            return format!("{s}{suffix}");
+        }
+    }
+    format!("{value:e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_si_value("42"), Some(42.0));
+        assert_eq!(parse_si_value("-3.5"), Some(-3.5));
+        assert_eq!(parse_si_value("1e-9"), Some(1e-9));
+        assert_eq!(parse_si_value("2.5e3"), Some(2.5e3));
+    }
+
+    #[test]
+    fn suffixes() {
+        assert_eq!(parse_si_value("1t"), Some(1e12));
+        assert_eq!(parse_si_value("1g"), Some(1e9));
+        assert_eq!(parse_si_value("1meg"), Some(1e6));
+        assert_eq!(parse_si_value("1k"), Some(1e3));
+        assert_eq!(parse_si_value("1m"), Some(1e-3));
+        assert_eq!(parse_si_value("1u"), Some(1e-6));
+        assert_eq!(parse_si_value("1n"), Some(1e-9));
+        assert_eq!(parse_si_value("1p"), Some(1e-12));
+        assert_eq!(parse_si_value("1f"), Some(1e-15));
+        assert_eq!(parse_si_value("1a"), Some(1e-18));
+    }
+
+    #[test]
+    fn unit_decoration_is_ignored() {
+        assert_eq!(parse_si_value("10pF"), Some(10e-12));
+        assert_eq!(parse_si_value("1uH"), Some(1e-6));
+        assert_eq!(parse_si_value("2kohm"), Some(2e3));
+        assert_eq!(parse_si_value("3megohm"), Some(3e6));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_si_value(""), None);
+        assert_eq!(parse_si_value("x5"), None);
+        assert_eq!(parse_si_value("5q"), None);
+        assert_eq!(parse_si_value("1k2"), None);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(parse_si_value("1MEG"), Some(1e6));
+        assert_eq!(parse_si_value("1K"), Some(1e3));
+    }
+
+    #[test]
+    fn format_round_trips() {
+        for &v in &[1.0, 2e3, 1.5e-6, 100e-15, 3e6, 4.7e-9, 1e12] {
+            let s = format_si_value(v);
+            let back = parse_si_value(&s).unwrap();
+            assert!(
+                (back - v).abs() <= v.abs() * 1e-6,
+                "{v} -> {s} -> {back}"
+            );
+        }
+    }
+}

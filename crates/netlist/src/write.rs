@@ -1,0 +1,219 @@
+//! Netlist writer: emits the canonical SPICE-subset form accepted by
+//! [`crate::parse::parse_spice`], so netlists round-trip.
+
+use std::fmt::Write as _;
+
+use crate::device::{Device, DeviceType};
+use crate::netlist::Netlist;
+use crate::subckt::{CircuitClass, Element, Subckt};
+use crate::units::format_si_value;
+
+/// Serialize a netlist to the SPICE subset of this crate.
+///
+/// The output parses back (via [`crate::parse::parse_spice`]) to an
+/// equivalent [`Netlist`]: same templates, devices, classes, and
+/// annotations.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ancstr_netlist::{parse::parse_spice, write::write_spice};
+///
+/// let src = ".subckt c a b\nR1 a b 1k\n.ends\n";
+/// let nl = parse_spice(src)?;
+/// let out = write_spice(&nl);
+/// let back = parse_spice(&out)?;
+/// assert_eq!(back.subckt("c").unwrap().devices().count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_spice(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str("* written by ancstr-netlist\n");
+    for sub in netlist.iter() {
+        write_subckt(&mut out, sub);
+    }
+    let _ = writeln!(out, ".top {}", netlist.top());
+    out
+}
+
+fn write_subckt(out: &mut String, sub: &Subckt) {
+    let _ = write!(out, ".subckt {}", sub.name);
+    for p in &sub.ports {
+        let _ = write!(out, " {p}");
+    }
+    out.push('\n');
+    if sub.class != CircuitClass::Unknown {
+        let _ = writeln!(out, "*.class {}", sub.class.tag());
+    }
+    for e in &sub.elements {
+        match e {
+            Element::Device(d) => write_device(out, d),
+            Element::Instance(i) => {
+                let _ = write!(out, "{}", i.name);
+                for c in &i.connections {
+                    let _ = write!(out, " {c}");
+                }
+                let _ = writeln!(out, " {}", i.subckt);
+            }
+        }
+    }
+    for (a, b) in &sub.sym_pairs {
+        let _ = writeln!(out, "*.symmetry {a} {b}");
+    }
+    for a in &sub.self_sym {
+        let _ = writeln!(out, "*.selfsym {a}");
+    }
+    out.push_str(".ends\n");
+}
+
+fn write_device(out: &mut String, d: &Device) {
+    let g = &d.geometry;
+    let geom_suffix = |out: &mut String| {
+        let _ = write!(out, " w={}u l={}u", trim_num(g.width), trim_num(g.length));
+        if g.metal_layers > 1 {
+            let _ = write!(out, " layers={}", g.metal_layers);
+        }
+        if d.multiplier > 1 {
+            let _ = write!(out, " m={}", d.multiplier);
+        }
+    };
+    if d.dtype.is_mos() {
+        let bulk = d.bulk.as_deref().unwrap_or(&d.pins[2]);
+        let _ = write!(
+            out,
+            "{} {} {} {} {} {}",
+            d.name, d.pins[0], d.pins[1], d.pins[2], bulk, d.dtype.model_name()
+        );
+        geom_suffix(out);
+        out.push('\n');
+    } else if d.dtype.is_bjt() {
+        let _ = write!(
+            out,
+            "{} {} {} {} {}",
+            d.name, d.pins[0], d.pins[1], d.pins[2], d.dtype.model_name()
+        );
+        geom_suffix(out);
+        out.push('\n');
+    } else if d.dtype == DeviceType::Diode {
+        let _ = write!(out, "{} {} {} diode", d.name, d.pins[0], d.pins[1]);
+        geom_suffix(out);
+        out.push('\n');
+    } else {
+        // Two-terminal passive: emit model (when non-default) and value.
+        let _ = write!(out, "{} {} {}", d.name, d.pins[0], d.pins[1]);
+        let default_model = matches!(
+            (d.name.chars().next().map(|c| c.to_ascii_uppercase()), d.dtype),
+            (Some('R'), DeviceType::Resistor)
+                | (Some('C'), DeviceType::Capacitor)
+                | (Some('L'), DeviceType::Inductor)
+        );
+        if !default_model {
+            let _ = write!(out, " {}", d.dtype.model_name());
+        }
+        if let Some(v) = d.value {
+            let _ = write!(out, " {}", format_si_value(v));
+        }
+        geom_suffix(out);
+        out.push('\n');
+    }
+}
+
+/// Format a dimension without trailing zeros.
+fn trim_num(v: f64) -> String {
+    let mut s = format!("{v:.6}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_spice;
+
+    const SOURCE: &str = "\
+.subckt comp inp inn outp outn clk vdd vss
+*.class comparator
+M1 x inp tail vss nch_lvt w=6u l=0.1u
+M2 y inn tail vss nch_lvt w=6u l=0.1u
+M3 tail clk vss vss nch w=8u l=0.1u
+C1 outp vss 20f
+C2 outn vss 20f
+*.symmetry M1 M2
+*.symmetry C1 C2
+*.selfsym M3
+.ends
+.subckt top inp inn op on ck vdd vss
+X1 inp inn op on ck vdd vss comp
+.ends
+.top top
+";
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let nl = parse_spice(SOURCE).unwrap();
+        let text = write_spice(&nl);
+        let back = parse_spice(&text).unwrap();
+        assert_eq!(back.top(), nl.top());
+        assert_eq!(back.len(), nl.len());
+        for sub in nl.iter() {
+            let b = back.subckt(&sub.name).unwrap();
+            assert_eq!(b.ports, sub.ports);
+            assert_eq!(b.class, sub.class);
+            assert_eq!(b.sym_pairs, sub.sym_pairs);
+            assert_eq!(b.self_sym, sub.self_sym);
+            assert_eq!(b.elements.len(), sub.elements.len());
+            for (x, y) in b.elements.iter().zip(&sub.elements) {
+                assert_eq!(x.name(), y.name());
+                match (x, y) {
+                    (Element::Device(a), Element::Device(b)) => {
+                        assert_eq!(a.dtype, b.dtype);
+                        assert_eq!(a.pins, b.pins);
+                        assert!((a.geometry.width - b.geometry.width).abs() < 1e-6);
+                        assert!((a.geometry.length - b.geometry.length).abs() < 1e-6);
+                        assert_eq!(a.geometry.metal_layers, b.geometry.metal_layers);
+                    }
+                    (Element::Instance(a), Element::Instance(b)) => {
+                        assert_eq!(a.subckt, b.subckt);
+                        assert_eq!(a.connections, b.connections);
+                    }
+                    _ => panic!("element kind changed in round trip"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let nl = parse_spice(SOURCE).unwrap();
+        let text = write_spice(&nl);
+        let back = parse_spice(&text).unwrap();
+        let c1 = back
+            .subckt("comp")
+            .unwrap()
+            .element("C1")
+            .unwrap()
+            .as_device()
+            .unwrap();
+        let v = c1.value.unwrap();
+        assert!((v - 20e-15).abs() < 1e-21);
+    }
+
+    #[test]
+    fn writer_emits_parseable_cfmom() {
+        let nl = parse_spice(
+            ".subckt c a b\nCm a b cfmom w=4u l=4u layers=5\n.ends\n",
+        )
+        .unwrap();
+        let back = parse_spice(&write_spice(&nl)).unwrap();
+        let cm = back.subckt("c").unwrap().element("Cm").unwrap().as_device().unwrap();
+        assert_eq!(cm.dtype, crate::DeviceType::CfmomCapacitor);
+        assert_eq!(cm.geometry.metal_layers, 5);
+    }
+}

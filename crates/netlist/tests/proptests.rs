@@ -1,0 +1,119 @@
+//! Property-based tests for the netlist crate: SI-value round trips,
+//! parser/writer round trips over generated netlists, and elaboration
+//! invariants.
+
+use ancstr_netlist::flat::FlatCircuit;
+use ancstr_netlist::parse::parse_spice;
+use ancstr_netlist::units::{format_si_value, parse_si_value};
+use ancstr_netlist::write::write_spice;
+use ancstr_netlist::{Device, DeviceType, Geometry, Instance, Netlist, Subckt};
+use proptest::prelude::*;
+
+proptest! {
+    /// format → parse is the identity up to relative rounding error.
+    #[test]
+    fn si_value_round_trip(mantissa in 0.001f64..999.0, exp in -15i32..9) {
+        let v = mantissa * 10f64.powi(exp);
+        let s = format_si_value(v);
+        let back = parse_si_value(&s).expect("formatted values parse");
+        prop_assert!((back - v).abs() <= v.abs() * 1e-5, "{v} -> {s} -> {back}");
+    }
+
+    /// parse never panics on arbitrary input — it returns Ok or Err.
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parse_spice(&s);
+    }
+
+    /// parse never panics on line-structured SPICE-ish input.
+    #[test]
+    fn parser_never_panics_on_cards(
+        lines in prop::collection::vec("[MRCLXQD.*+][a-z0-9 =._]{0,40}", 0..20)
+    ) {
+        let src = lines.join("\n");
+        let _ = parse_spice(&src);
+    }
+}
+
+/// Strategy: a random single-subckt netlist with MOS devices and passives.
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    let dev = (0usize..7, 1u32..5, 1u32..5).prop_map(|(t, w, l)| {
+        let types = [
+            DeviceType::Nch,
+            DeviceType::NchLvt,
+            DeviceType::Pch,
+            DeviceType::PchLvt,
+            DeviceType::Resistor,
+            DeviceType::Capacitor,
+            DeviceType::CfmomCapacitor,
+        ];
+        (types[t], f64::from(w), f64::from(l))
+    });
+    prop::collection::vec(dev, 1..12).prop_map(|devs| {
+        let mut leaf = Subckt::new("leaf", ["a", "b", "vdd", "vss"]);
+        for (i, (t, w, l)) in devs.into_iter().enumerate() {
+            let nets = ["a", "b", "vdd", "vss"];
+            let pins: Vec<String> = (0..t.pin_count())
+                .map(|p| nets[(i + p) % nets.len()].to_owned())
+                .collect();
+            let prefix = match t {
+                t if t.is_mos() => "M",
+                DeviceType::Resistor => "R",
+                _ => "C",
+            };
+            let name = format!("{prefix}{i}");
+            let mut d = Device::new(name, t, pins, Geometry::new(l, w)).expect("pin count matches");
+            if t.is_mos() {
+                d.bulk = Some("vss".to_owned());
+            }
+            leaf.push_device(d).expect("unique names");
+        }
+        let mut top = Subckt::new("top", ["x", "y", "vdd", "vss"]);
+        for k in 0..2 {
+            top.push_instance(Instance {
+                name: format!("X{k}"),
+                subckt: "leaf".into(),
+                connections: vec!["x".into(), "y".into(), "vdd".into(), "vss".into()],
+            })
+            .expect("unique names");
+        }
+        let mut nl = Netlist::new("top");
+        nl.add_subckt(leaf).expect("fresh library");
+        nl.add_subckt(top).expect("fresh library");
+        nl
+    })
+}
+
+proptest! {
+    /// write → parse preserves template structure.
+    #[test]
+    fn writer_round_trips(nl in arb_netlist()) {
+        let text = write_spice(&nl);
+        let back = parse_spice(&text).expect("writer output parses");
+        prop_assert_eq!(back.top(), nl.top());
+        for sub in nl.iter() {
+            let b = back.subckt(&sub.name).expect("template survives");
+            prop_assert_eq!(b.devices().count(), sub.devices().count());
+            prop_assert_eq!(b.instances().count(), sub.instances().count());
+        }
+    }
+
+    /// Elaboration invariants: device count is (leaf devices × instances),
+    /// every node's span nests inside its parent's, and DFS leaf order
+    /// matches the device list.
+    #[test]
+    fn elaboration_invariants(nl in arb_netlist()) {
+        let flat = FlatCircuit::elaborate(&nl).expect("valid by construction");
+        let per_leaf = nl.subckt("leaf").expect("exists").devices().count();
+        prop_assert_eq!(flat.devices().len(), 2 * per_leaf);
+        for n in flat.nodes() {
+            if let Some(p) = n.parent {
+                let ps = flat.node(p).device_span;
+                prop_assert!(ps.0 <= n.device_span.0 && n.device_span.1 <= ps.1);
+            }
+            if let Some(i) = n.device_index() {
+                prop_assert_eq!(flat.devices()[i].node, n.id);
+            }
+        }
+    }
+}

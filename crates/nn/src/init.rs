@@ -1,0 +1,64 @@
+//! Weight initialization.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform initialization: entries drawn from
+/// `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_nn::init::xavier_uniform;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let w = xavier_uniform(18, 18, &mut rng);
+/// assert_eq!(w.shape(), (18, 18));
+/// let bound = (6.0f64 / 36.0).sqrt();
+/// assert!(w.max_abs() <= bound);
+/// ```
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Uniform initialization in `(lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_is_seed_deterministic() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let c = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_respects_bound_and_varies() {
+        let w = xavier_uniform(10, 30, &mut StdRng::seed_from_u64(1));
+        let bound = (6.0 / 40.0f64).sqrt();
+        assert!(w.max_abs() <= bound);
+        // Not all equal.
+        let first = w[(0, 0)];
+        assert!(w.as_slice().iter().any(|&x| (x - first).abs() > 1e-12));
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let w = uniform(5, 5, -0.1, 0.2, &mut StdRng::seed_from_u64(9));
+        for &x in w.as_slice() {
+            assert!((-0.1..0.2).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Dense symmetric eigen-analysis via the cyclic Jacobi method.
+//!
+//! Needed by the S³DET baseline, which compares subcircuits through the
+//! eigenvalue spectra of their normalized Laplacians.
+
+use crate::matrix::Matrix;
+
+/// Eigenvalues of a symmetric matrix, sorted ascending, computed with
+/// cyclic Jacobi rotations.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or deviates from symmetry by more than
+/// `1e-9` (relative to its largest element).
+///
+/// # Example
+///
+/// ```
+/// use ancstr_nn::{linalg::symmetric_eigenvalues, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+/// let ev = symmetric_eigenvalues(&a);
+/// assert!((ev[0] - 1.0).abs() < 1e-10);
+/// assert!((ev[1] - 3.0).abs() < 1e-10);
+/// ```
+pub fn symmetric_eigenvalues(a: &Matrix) -> Vec<f64> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigenvalues need a square matrix");
+    let scale = a.max_abs().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                (a[(i, j)] - a[(j, i)]).abs() <= 1e-9 * scale,
+                "matrix is not symmetric at ({i},{j})"
+            );
+        }
+    }
+    if n == 0 {
+        return Vec::new();
+    }
+
+    let mut m = a.clone();
+    const MAX_SWEEPS: usize = 100;
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s += m[(i, j)] * m[(i, j)];
+                }
+            }
+            s
+        };
+        if off <= 1e-22 * scale * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p, q, θ) on both sides.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+            }
+        }
+    }
+
+    let mut ev: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    ev.sort_by(|a, b| a.partial_cmp(b).expect("eigenvalues are finite"));
+    ev
+}
+
+/// The symmetric normalized Laplacian `L = I − D^{-1/2} A D^{-1/2}` of an
+/// undirected weighted adjacency matrix `a` (taken as `(A + Aᵀ)/2` for
+/// robustness). Isolated vertices contribute a diagonal 1… wait — an
+/// isolated vertex has `L_{ii} = 0` by the convention `L = I − …` with
+/// `D^{-1/2}_{ii} = 0`, so its eigenvalue is 0 like an isolated
+/// component's.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn normalized_laplacian(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "laplacian needs a square matrix");
+    let sym = a.add(&a.transpose()).scale(0.5);
+    let degrees: Vec<f64> = (0..n).map(|i| sym.row(i).iter().sum()).collect();
+    let dinv_sqrt: Vec<f64> = degrees
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    Matrix::from_fn(n, n, |i, j| {
+        let norm = dinv_sqrt[i] * sym[(i, j)] * dinv_sqrt[j];
+        if i == j {
+            if degrees[i] > 0.0 {
+                1.0 - norm
+            } else {
+                0.0
+            }
+        } else {
+            -norm
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let ev = symmetric_eigenvalues(&a);
+        assert!((ev[0] + 1.0).abs() < 1e-12);
+        assert!((ev[1] - 2.0).abs() < 1e-12);
+        assert!((ev[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_3x3_spectrum() {
+        // Path-graph Laplacian (unnormalized): eigenvalues 0, 1, 3.
+        let a = Matrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
+        let ev = symmetric_eigenvalues(&a);
+        assert!(ev[0].abs() < 1e-10);
+        assert!((ev[1] - 1.0).abs() < 1e-10);
+        assert!((ev[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0, 0.5],
+            &[1.0, 3.0, 0.0, 1.5],
+            &[-2.0, 0.0, 1.0, -0.5],
+            &[0.5, 1.5, -0.5, 2.0],
+        ]);
+        let ev = symmetric_eigenvalues(&a);
+        let trace: f64 = (0..4).map(|i| a[(i, i)]).sum();
+        let sum: f64 = ev.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_input_panics() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let _ = symmetric_eigenvalues(&a);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(symmetric_eigenvalues(&Matrix::zeros(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn normalized_laplacian_spectrum_bounds() {
+        // Complete graph K4: normalized Laplacian eigenvalues are
+        // 0 and 4/3 (×3).
+        let a = Matrix::from_fn(4, 4, |i, j| if i == j { 0.0 } else { 1.0 });
+        let lap = normalized_laplacian(&a);
+        let ev = symmetric_eigenvalues(&lap);
+        assert!(ev[0].abs() < 1e-10);
+        for &e in &ev[1..] {
+            assert!((e - 4.0 / 3.0).abs() < 1e-10);
+            assert!((0.0..=2.0 + 1e-9).contains(&e));
+        }
+    }
+
+    #[test]
+    fn laplacian_handles_isolated_vertices() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 0.0]]);
+        let lap = normalized_laplacian(&a);
+        let ev = symmetric_eigenvalues(&lap);
+        // K2 gives {0, 2}; isolated vertex adds a 0.
+        assert!(ev[0].abs() < 1e-10);
+        assert!(ev[1].abs() < 1e-10);
+        assert!((ev[2] - 2.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,160 @@
+//! The Adam optimizer.
+
+use crate::matrix::Matrix;
+
+/// Adam (Kingma & Ba) with per-parameter first/second moment estimates.
+///
+/// Slots are allocated lazily on the first [`Adam::step`]; every later
+/// step must pass the same number of parameters in the same order.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_nn::{Adam, Matrix};
+///
+/// // Minimize f(w) = w² from w = 1.
+/// let mut w = Matrix::from_rows(&[&[1.0]]);
+/// let mut opt = Adam::new(0.1);
+/// for _ in 0..200 {
+///     let grad = w.scale(2.0); // df/dw = 2w
+///     opt.step(&mut [&mut w], &[grad]);
+/// }
+/// assert!(w[(0, 0)].abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    slots: Vec<(Matrix, Matrix)>,
+}
+
+impl Adam {
+    /// Adam with the given learning rate and the standard
+    /// `β₁ = 0.9, β₂ = 0.999, ε = 1e−8`.
+    pub fn new(lr: f64) -> Adam {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, slots: Vec::new() }
+    }
+
+    /// Override the moment decay rates.
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Adam {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update to `params` given matching `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter count or any shape differs from the first
+    /// step, or if `params.len() != grads.len()`.
+    pub fn step(&mut self, params: &mut [&mut Matrix], grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "one gradient per parameter");
+        if self.slots.is_empty() {
+            self.slots = params
+                .iter()
+                .map(|p| {
+                    let (r, c) = p.shape();
+                    (Matrix::zeros(r, c), Matrix::zeros(r, c))
+                })
+                .collect();
+        }
+        assert_eq!(self.slots.len(), params.len(), "parameter count changed");
+        self.t += 1;
+        let t = self.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+
+        for ((p, g), (m, v)) in params.iter_mut().zip(grads).zip(&mut self.slots) {
+            assert_eq!(p.shape(), g.shape(), "parameter/gradient shape mismatch");
+            let n = p.as_slice().len();
+            for i in 0..n {
+                let grad = g.as_slice()[i];
+                let mi = &mut m.as_mut_slice()[i];
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * grad;
+                let vi = &mut v.as_mut_slice()[i];
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * grad * grad;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                p.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        // f(w) = Σ (w − c)², c = [3, −2]
+        let c = [3.0, -2.0];
+        let mut w = Matrix::zeros(1, 2);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let grad = Matrix::from_fn(1, 2, |_, j| 2.0 * (w[(0, j)] - c[j]));
+            opt.step(&mut [&mut w], &[grad]);
+        }
+        assert!((w[(0, 0)] - 3.0).abs() < 1e-2);
+        assert!((w[(0, 1)] + 2.0).abs() < 1e-2);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn handles_multiple_parameters() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let mut b = Matrix::filled(1, 3, -1.0);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..400 {
+            let ga = a.scale(2.0);
+            let gb = b.scale(2.0);
+            opt.step(&mut [&mut a, &mut b], &[ga, gb]);
+        }
+        assert!(a.max_abs() < 1e-2);
+        assert!(b.max_abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient per parameter")]
+    fn mismatched_lengths_panic() {
+        let mut w = Matrix::zeros(1, 1);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut [&mut w], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn changing_param_count_panics() {
+        let mut a = Matrix::zeros(1, 1);
+        let mut b = Matrix::zeros(1, 1);
+        let mut opt = Adam::new(0.1);
+        let g = Matrix::zeros(1, 1);
+        opt.step(&mut [&mut a], std::slice::from_ref(&g));
+        opt.step(&mut [&mut a, &mut b], &[g.clone(), g]);
+    }
+
+    #[test]
+    fn custom_betas_still_converge() {
+        let mut w = Matrix::from_rows(&[&[5.0]]);
+        let mut opt = Adam::new(0.2).with_betas(0.8, 0.99);
+        for _ in 0..300 {
+            let g = w.scale(2.0);
+            opt.step(&mut [&mut w], &[g]);
+        }
+        assert!(w.max_abs() < 1e-2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Sparse matrices in triplet form, used for the GNN's constant
+//! adjacency operators (one per edge type).
+
+use crate::matrix::Matrix;
+
+/// A sparse `rows × cols` matrix stored as `(row, col, value)` triplets.
+///
+/// Duplicate coordinates accumulate, which is exactly what parallel
+/// multigraph edges need: an in-neighbour connected through two nets
+/// contributes its feature twice to the Eq. 1 sum.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_nn::{Matrix, SparseMatrix};
+///
+/// let s = SparseMatrix::from_triplets(2, 3, vec![(0, 1, 2.0), (1, 2, 1.0)]);
+/// let x = Matrix::from_rows(&[&[1.0], &[10.0], &[100.0]]);
+/// let y = s.matmul_dense(&x);
+/// assert_eq!(y, Matrix::from_rows(&[&[20.0], &[100.0]]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl SparseMatrix {
+    /// Build from triplets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: Vec<(usize, usize, f64)>,
+    ) -> SparseMatrix {
+        for &(r, c, _) in &triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of range");
+        }
+        SparseMatrix { rows, cols, triplets }
+    }
+
+    /// An all-zero sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> SparseMatrix {
+        SparseMatrix { rows, cols, triplets: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (duplicates counted).
+    pub fn nnz(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Dense product `self · dense`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != dense.rows()`.
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        for &(r, c, v) in &self.triplets {
+            let src = dense.row(c).to_vec();
+            let dst = out.row_mut(r);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += v * s;
+            }
+        }
+        out
+    }
+
+    /// Dense product with the transpose: `selfᵀ · dense` (the backward
+    /// pass of [`SparseMatrix::matmul_dense`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != dense.rows()`.
+    pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "spmmᵀ shape mismatch");
+        let mut out = Matrix::zeros(self.cols, dense.cols());
+        for &(r, c, v) in &self.triplets {
+            let src = dense.row(r).to_vec();
+            let dst = out.row_mut(c);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += v * s;
+            }
+        }
+        out
+    }
+
+    /// The stored triplets.
+    pub fn triplets(&self) -> &[(usize, usize, f64)] {
+        &self.triplets
+    }
+
+    /// Materialize as a dense matrix (tests and eigen-analysis).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.triplets {
+            m[(r, c)] += v;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_accumulate() {
+        let s = SparseMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 1.0)]);
+        assert_eq!(s.to_dense()[(0, 0)], 2.0);
+        let x = Matrix::identity(2);
+        assert_eq!(s.matmul_dense(&x)[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = SparseMatrix::from_triplets(
+            3,
+            2,
+            vec![(0, 0, 1.0), (1, 1, 2.0), (2, 0, -1.0), (2, 1, 0.5)],
+        );
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(s.matmul_dense(&x), s.to_dense().matmul(&x));
+    }
+
+    #[test]
+    fn transpose_spmm_matches_dense() {
+        let s = SparseMatrix::from_triplets(3, 2, vec![(0, 1, 1.5), (2, 0, 2.0)]);
+        let y = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(
+            s.transpose_matmul_dense(&y),
+            s.to_dense().transpose().matmul(&y)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn triplets_are_validated() {
+        let _ = SparseMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn zeros_products_are_zero() {
+        let s = SparseMatrix::zeros(2, 3);
+        assert_eq!(s.nnz(), 0);
+        let x = Matrix::filled(3, 4, 7.0);
+        assert_eq!(s.matmul_dense(&x), Matrix::zeros(2, 4));
+    }
+}

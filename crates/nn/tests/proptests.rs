@@ -1,0 +1,109 @@
+//! Property tests for the NN substrate: linear-algebra identities,
+//! autograd linearity, and eigen-solver invariants.
+
+use ancstr_nn::linalg::{normalized_laplacian, symmetric_eigenvalues};
+use ancstr_nn::{cosine_similarity, Matrix, SparseMatrix, Tape};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.sub(&right).max_abs() < 1e-12);
+    }
+
+    /// Matmul distributes over addition.
+    #[test]
+    fn matmul_distributes(a in arb_matrix(2, 3), b in arb_matrix(3, 2), c in arb_matrix(3, 2)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.sub(&right).max_abs() < 1e-12);
+    }
+
+    /// Cosine similarity is bounded and symmetric.
+    #[test]
+    fn cosine_bounded_symmetric(
+        a in prop::collection::vec(-5.0f64..5.0, 1..10),
+        b in prop::collection::vec(-5.0f64..5.0, 1..10),
+    ) {
+        let s1 = cosine_similarity(&a, &b);
+        let s2 = cosine_similarity(&b, &a);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&s1));
+        prop_assert!((s1 - s2).abs() < 1e-12);
+        // Self-similarity is 1 for nonzero vectors.
+        if a.iter().any(|&x| x != 0.0) {
+            prop_assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Autograd is linear: grad of (αf) equals α · grad of f.
+    #[test]
+    fn backward_is_linear(x in arb_matrix(2, 3), alpha in 0.1f64..3.0) {
+        let run = |scale: f64| {
+            let mut t = Tape::new();
+            let xn = t.leaf(x.clone());
+            let s = t.sigmoid(xn);
+            let sq = t.mul_elem(s, s);
+            let scaled = t.scale(sq, scale);
+            let loss = t.sum(scaled);
+            let grads = t.backward(loss);
+            grads.grad(xn).expect("x influences loss").clone()
+        };
+        let g1 = run(1.0);
+        let ga = run(alpha);
+        prop_assert!(ga.sub(&g1.scale(alpha)).max_abs() < 1e-10);
+    }
+
+    /// Sparse products agree with their dense materialization.
+    #[test]
+    fn sparse_matches_dense(
+        triplets in prop::collection::vec((0usize..4, 0usize..4, -2.0f64..2.0), 0..12),
+        x in arb_matrix(4, 3),
+    ) {
+        let s = SparseMatrix::from_triplets(4, 4, triplets);
+        let via_sparse = s.matmul_dense(&x);
+        let via_dense = s.to_dense().matmul(&x);
+        prop_assert!(via_sparse.sub(&via_dense).max_abs() < 1e-12);
+        let yt = s.transpose_matmul_dense(&x);
+        let yt_dense = s.to_dense().transpose().matmul(&x);
+        prop_assert!(yt.sub(&yt_dense).max_abs() < 1e-12);
+    }
+
+    /// Normalized-Laplacian eigenvalues of a random undirected graph lie
+    /// in [0, 2] and include 0.
+    #[test]
+    fn laplacian_spectrum_in_range(
+        edges in prop::collection::vec((0usize..6, 0usize..6), 1..15),
+    ) {
+        let mut a = Matrix::zeros(6, 6);
+        for (u, v) in edges {
+            if u != v {
+                a[(u, v)] = 1.0;
+                a[(v, u)] = 1.0;
+            }
+        }
+        let lap = normalized_laplacian(&a);
+        let ev = symmetric_eigenvalues(&lap);
+        prop_assert!(ev[0].abs() < 1e-8, "smallest eigenvalue is 0, got {}", ev[0]);
+        for &e in &ev {
+            prop_assert!((-1e-8..=2.0 + 1e-8).contains(&e));
+        }
+    }
+
+    /// Jacobi preserves the trace.
+    #[test]
+    fn jacobi_preserves_trace(m in arb_matrix(5, 5)) {
+        let sym = m.add(&m.transpose()).scale(0.5);
+        let ev = symmetric_eigenvalues(&sym);
+        let trace: f64 = (0..5).map(|i| sym[(i, i)]).sum();
+        let sum: f64 = ev.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,261 @@
+//! A compact simulated-annealing placer with optional hard symmetry
+//! enforcement.
+//!
+//! With `enforce_symmetry`, every move re-mirrors each constrained
+//! pair's second cell about the shared vertical axis (and recentres
+//! axis cells), so the symmetry deviation stays zero by construction —
+//! how analog placers implement symmetry constraints in practice. The
+//! axis position itself is also a move.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::cost::{cost, CostWeights};
+use crate::model::{Placement, PlacementProblem};
+
+/// Annealer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealConfig {
+    /// Enforce the symmetry pairs as hard constraints.
+    pub enforce_symmetry: bool,
+    /// Cost weights.
+    pub weights: CostWeights,
+    /// Moves per temperature step.
+    pub moves_per_step: usize,
+    /// Number of temperature steps.
+    pub steps: usize,
+    /// Initial temperature as a *percentage of the initial cost* (the
+    /// schedule auto-scales to the problem; it ends near-greedy).
+    pub start_temperature: f64,
+    /// Geometric cooling factor, used only when `steps <= 1` (otherwise
+    /// derived from the schedule endpoints).
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> AnnealConfig {
+        AnnealConfig {
+            enforce_symmetry: true,
+            weights: CostWeights::default(),
+            moves_per_step: 220,
+            steps: 160,
+            start_temperature: 20.0,
+            cooling: 0.94,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a placement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceResult {
+    /// The best placement found.
+    pub placement: Placement,
+    /// Its final cost.
+    pub cost: f64,
+}
+
+/// Mirror cell `b` of a pair about the axis and align it vertically
+/// with `a`.
+fn mirror_partner(problem: &PlacementProblem, placement: &mut Placement, a: usize, b: usize) {
+    let (xa, ya) = placement.positions[a];
+    let ca = &problem.cells[a];
+    let cb = &problem.cells[b];
+    let center_a = xa + ca.width / 2.0;
+    let center_b = 2.0 * placement.axis - center_a;
+    placement.positions[b] = (center_b - cb.width / 2.0, ya + (ca.height - cb.height) / 2.0);
+}
+
+/// Re-establish all hard symmetry relations.
+fn enforce(problem: &PlacementProblem, placement: &mut Placement) {
+    for &(a, b) in &problem.sym_pairs {
+        mirror_partner(problem, placement, a, b);
+    }
+    for &s in &problem.self_sym {
+        let c = &problem.cells[s];
+        placement.positions[s].0 = placement.axis - c.width / 2.0;
+    }
+}
+
+/// Side of the placement region: big enough for the total area with
+/// slack, and never smaller than the widest/tallest cell.
+fn region_side(problem: &PlacementProblem) -> f64 {
+    let max_w = problem.cells.iter().map(|c| c.width).fold(0.0, f64::max);
+    let max_h = problem.cells.iter().map(|c| c.height).fold(0.0, f64::max);
+    (problem.total_area().sqrt() * 1.8)
+        .max(2.0 * max_w)
+        .max(2.0 * max_h)
+        .max(4.0)
+}
+
+/// Seeded initial placement: cells scattered uniformly over the region.
+fn initial_placement(problem: &PlacementProblem, rng: &mut StdRng) -> Placement {
+    let side = region_side(problem);
+    let positions = problem
+        .cells
+        .iter()
+        .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    Placement { positions, axis: side / 2.0 }
+}
+
+/// Run the annealer.
+///
+/// # Panics
+///
+/// Panics if the problem has no cells.
+pub fn place(problem: &PlacementProblem, config: &AnnealConfig) -> PlaceResult {
+    assert!(!problem.is_empty(), "cannot place an empty problem");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut current = initial_placement(problem, &mut rng);
+    if config.enforce_symmetry {
+        enforce(problem, &mut current);
+    }
+    let mut current_cost = cost(problem, &current, &config.weights);
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+
+    let span = region_side(problem);
+    // Scale the schedule to the problem: start hot relative to the
+    // initial cost, finish near-greedy. `start_temperature` acts as a
+    // percentage knob of the initial cost.
+    let mut temperature = (config.start_temperature / 100.0) * current_cost.max(1.0);
+    let end_temperature = 1e-4 * current_cost.max(1.0);
+    let cooling = if config.steps > 1 {
+        (end_temperature / temperature.max(1e-12)).powf(1.0 / config.steps as f64)
+    } else {
+        config.cooling
+    };
+
+    // In enforced mode, only pair "leaders" and unconstrained cells move.
+    let mut movable: Vec<usize> = (0..problem.len()).collect();
+    if config.enforce_symmetry {
+        let followers: std::collections::HashSet<usize> =
+            problem.sym_pairs.iter().map(|&(_, b)| b).collect();
+        movable.retain(|i| !followers.contains(i));
+    }
+
+    let start_temperature = temperature;
+    for _ in 0..config.steps {
+        for _ in 0..config.moves_per_step {
+            let mut candidate = current.clone();
+            let reach = (temperature / start_temperature).max(0.05) * span / 2.0;
+            match rng.gen_range(0..10) {
+                // Translate one cell.
+                0..=6 => {
+                    let i = movable[rng.gen_range(0..movable.len())];
+                    let (x, y) = candidate.positions[i];
+                    candidate.positions[i] = (
+                        x + rng.gen_range(-reach..reach),
+                        y + rng.gen_range(-reach..reach),
+                    );
+                }
+                // Swap two cells.
+                7..=8 => {
+                    let i = movable[rng.gen_range(0..movable.len())];
+                    let j = movable[rng.gen_range(0..movable.len())];
+                    candidate.positions.swap(i, j);
+                }
+                // Nudge the axis.
+                _ => {
+                    candidate.axis += rng.gen_range(-reach..reach);
+                }
+            }
+            if config.enforce_symmetry {
+                enforce(problem, &mut candidate);
+            }
+            let c = cost(problem, &candidate, &config.weights);
+            let accept = c < current_cost
+                || rng.gen::<f64>() < ((current_cost - c) / temperature.max(1e-9)).exp();
+            if accept {
+                current = candidate;
+                current_cost = c;
+                if c < best_cost {
+                    best = current.clone();
+                    best_cost = c;
+                }
+            }
+        }
+        temperature *= cooling;
+    }
+    PlaceResult { placement: best, cost: best_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{hpwl, overlap_area, symmetry_deviation, symmetry_deviation_best_axis};
+    use crate::model::PlacementProblem;
+    use ancstr_circuits::comparator::comp2;
+    use ancstr_netlist::flat::FlatCircuit;
+    use ancstr_netlist::ConstraintSet;
+
+    fn quick() -> AnnealConfig {
+        AnnealConfig { moves_per_step: 120, steps: 80, ..AnnealConfig::default() }
+    }
+
+    #[test]
+    fn enforced_placement_has_zero_deviation_and_no_overlap() {
+        let flat = FlatCircuit::elaborate(&comp2(1)).unwrap();
+        let p = PlacementProblem::from_circuit(&flat, flat.ground_truth());
+        let r = place(&p, &quick());
+        assert!(
+            symmetry_deviation(&p, &r.placement) < 1e-9,
+            "hard constraints hold"
+        );
+        assert!(
+            overlap_area(&p, &r.placement) < 0.5,
+            "overlap mostly resolved: {}",
+            overlap_area(&p, &r.placement)
+        );
+    }
+
+    #[test]
+    fn unconstrained_placement_drifts_asymmetric() {
+        let flat = FlatCircuit::elaborate(&comp2(1)).unwrap();
+        let p = PlacementProblem::from_circuit(&flat, flat.ground_truth());
+        let cfg = AnnealConfig { enforce_symmetry: false, ..quick() };
+        let r = place(&p, &cfg);
+        assert!(
+            symmetry_deviation_best_axis(&p, &r.placement) > 0.1,
+            "free annealing does not land symmetric: {}",
+            symmetry_deviation_best_axis(&p, &r.placement)
+        );
+    }
+
+    #[test]
+    fn annealing_improves_over_initial() {
+        let flat = FlatCircuit::elaborate(&comp2(2)).unwrap();
+        let p = PlacementProblem::from_circuit(&flat, &ConstraintSet::new());
+        let bad_cfg = AnnealConfig { steps: 1, moves_per_step: 1, ..AnnealConfig::default() };
+        let good_cfg = quick();
+        let bad = place(&p, &bad_cfg);
+        let good = place(&p, &good_cfg);
+        assert!(good.cost < bad.cost, "{} < {}", good.cost, bad.cost);
+        assert!(hpwl(&p, &good.placement) > 0.0);
+    }
+
+    #[test]
+    fn placement_is_seed_deterministic() {
+        let flat = FlatCircuit::elaborate(&comp2(1)).unwrap();
+        let p = PlacementProblem::from_circuit(&flat, flat.ground_truth());
+        let a = place(&p, &quick());
+        let b = place(&p, &quick());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_problem_panics() {
+        let p = PlacementProblem {
+            cells: vec![],
+            nets: vec![],
+            sym_pairs: vec![],
+            self_sym: vec![],
+        };
+        let _ = place(&p, &AnnealConfig::default());
+    }
+}

@@ -1,0 +1,273 @@
+//! Common-centroid array placement — the matching style the paper lists
+//! alongside symmetry and regularity ("symmetry, regularity,
+//! common-centroid").
+//!
+//! A matched *group* (unit-capacitor bank, current-mirror legs) is
+//! arranged on a grid such that the pattern is point-symmetric about the
+//! grid centre: unit `i` and unit `k−1−i` occupy positions that mirror
+//! through the centroid, so any linear process gradient cancels between
+//! interleaved halves.
+
+use crate::model::Cell;
+
+/// A grid slot assignment for one unit of a common-centroid array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CentroidSlot {
+    /// Unit index within the group.
+    pub unit: usize,
+    /// Grid row.
+    pub row: usize,
+    /// Grid column.
+    pub col: usize,
+}
+
+/// Assign `count` units to a near-square grid in a common-centroid
+/// pattern: the *even* units (device half A of an interleaved pair) and
+/// the *odd* units (half B) each occupy a point-symmetric set of slots,
+/// so both halves share the grid centroid exactly — the classic
+/// ABBA/BAAB arrangement that cancels linear process gradients.
+///
+/// Even counts guarantee the half-centroid coincidence; an odd count
+/// places its extra (last) unit on the exact centre slot, keeping the
+/// overall centroid on centre.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_place::centroid::common_centroid_slots;
+///
+/// let slots = common_centroid_slots(4);
+/// // Half A = units {0, 2}: a full mirrored slot pair (ABBA).
+/// let find = |u: usize| slots.iter().find(|s| s.unit == u).copied().expect("assigned");
+/// let (a0, a1) = (find(0), find(2));
+/// let rows = slots.iter().map(|s| s.row).max().unwrap_or(0) + 1;
+/// let cols = slots.iter().map(|s| s.col).max().unwrap_or(0) + 1;
+/// assert_eq!(a0.row + a1.row, rows - 1);
+/// assert_eq!(a0.col + a1.col, cols - 1);
+/// ```
+pub fn common_centroid_slots(count: usize) -> Vec<CentroidSlot> {
+    if count == 0 {
+        return Vec::new();
+    }
+    // Near-square grid with an even number of spare slots, so a centred
+    // window of `count` slots exists. When `count` is odd the grid's
+    // total must be odd too, which requires odd `cols` (an even-width
+    // grid always has an even total).
+    let mut cols = (count as f64).sqrt().ceil() as usize;
+    if count % 2 == 1 && cols % 2 == 0 {
+        cols += 1;
+    }
+    let mut rows = count.div_ceil(cols);
+    if (rows * cols - count) % 2 != 0 {
+        rows += 1;
+    }
+
+    // Row-major traversal is reversal point-symmetric: window slot j and
+    // window slot (count−1−j) mirror through the grid centre.
+    let total = rows * cols;
+    let skip = (total - count) / 2;
+    let slot_at = |j: usize| {
+        let k = skip + j;
+        (k / cols, k % cols)
+    };
+
+    // Walk the mirrored slot pairs (j, count−1−j) and give *both* slots
+    // of a pair to the same half, alternating halves pair by pair: the
+    // even-unit half then owns complete mirrored pairs, making it
+    // point-symmetric (and likewise the odd half). This works out
+    // exactly when `count` is divisible by 4 (each half holds an even
+    // number of units); for other counts the leftovers are paired
+    // cross-half — exact half-coincidence is impossible on a uniform
+    // grid for `count ≡ 2 (mod 4)`, so analog arrays use multiples of 4.
+    let mut evens: std::collections::VecDeque<usize> = (0..count).step_by(2).collect();
+    let mut odds: std::collections::VecDeque<usize> = (1..count).step_by(2).collect();
+    let mut take_two = |prefer_even: bool| -> (usize, usize) {
+        let (first, second) = if prefer_even {
+            (&mut evens, &mut odds)
+        } else {
+            (&mut odds, &mut evens)
+        };
+        if first.len() >= 2 {
+            let a = first.pop_front().expect("len checked");
+            let b = first.pop_front().expect("len checked");
+            (a, b)
+        } else if second.len() >= 2 {
+            let a = second.pop_front().expect("len checked");
+            let b = second.pop_front().expect("len checked");
+            (a, b)
+        } else {
+            // One unit left in each: a cross-half leftover pair.
+            let a = first.pop_front().expect("unit remains");
+            let b = second.pop_front().expect("unit remains");
+            (a, b)
+        }
+    };
+
+    let mut out = Vec::with_capacity(count);
+    let pairs = count / 2;
+    for p in 0..pairs {
+        let (r1, c1) = slot_at(p);
+        let (r2, c2) = slot_at(count - 1 - p);
+        let (u1, u2) = take_two(p % 2 == 0);
+        out.push(CentroidSlot { unit: u1, row: r1, col: c1 });
+        out.push(CentroidSlot { unit: u2, row: r2, col: c2 });
+    }
+    if count % 2 == 1 {
+        // The centre slot takes the remaining unit.
+        let (r, c) = slot_at(pairs);
+        let last = evens.pop_front().or_else(|| odds.pop_front()).expect("one unit left");
+        out.push(CentroidSlot { unit: last, row: r, col: c });
+    }
+    out
+}
+
+/// Positions (lower-left corners) for a group of identical `unit` cells
+/// arranged common-centroid around `(cx, cy)` with `spacing` between
+/// units.
+///
+/// # Panics
+///
+/// Panics if `cells` is empty or the cells have differing dimensions
+/// (common-centroid only makes sense for identical units).
+pub fn arrange_common_centroid(
+    cells: &[Cell],
+    cx: f64,
+    cy: f64,
+    spacing: f64,
+) -> Vec<(f64, f64)> {
+    assert!(!cells.is_empty(), "a common-centroid group needs units");
+    let w = cells[0].width;
+    let h = cells[0].height;
+    for c in cells {
+        assert!(
+            (c.width - w).abs() < 1e-9 && (c.height - h).abs() < 1e-9,
+            "common-centroid units must be identical"
+        );
+    }
+    let slots = common_centroid_slots(cells.len());
+    let rows = slots.iter().map(|s| s.row).max().expect("non-empty") + 1;
+    let cols = slots.iter().map(|s| s.col).max().expect("non-empty") + 1;
+    let pitch_x = w + spacing;
+    let pitch_y = h + spacing;
+    let origin_x = cx - (cols as f64 * pitch_x - spacing) / 2.0;
+    let origin_y = cy - (rows as f64 * pitch_y - spacing) / 2.0;
+
+    let mut out = vec![(0.0, 0.0); cells.len()];
+    for s in &slots {
+        out[s.unit] = (
+            origin_x + s.col as f64 * pitch_x,
+            origin_y + s.row as f64 * pitch_y,
+        );
+    }
+    out
+}
+
+/// Centroid of a sub-group of placed units.
+pub fn centroid_of(positions: &[(f64, f64)], cells: &[Cell], which: &[usize]) -> (f64, f64) {
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    for &i in which {
+        sx += positions[i].0 + cells[i].width / 2.0;
+        sy += positions[i].1 + cells[i].height / 2.0;
+    }
+    let n = which.len().max(1) as f64;
+    (sx / n, sy / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn units(n: usize) -> Vec<Cell> {
+        (0..n)
+            .map(|i| Cell { name: format!("u{i}"), width: 2.0, height: 1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn slots_cover_without_collisions() {
+        for n in 1..=20 {
+            let slots = common_centroid_slots(n);
+            assert_eq!(slots.len(), n);
+            let mut seen_units: Vec<bool> = vec![false; n];
+            let mut seen_cells = std::collections::HashSet::new();
+            for s in &slots {
+                assert!(!seen_units[s.unit], "unit {} assigned twice (n={n})", s.unit);
+                seen_units[s.unit] = true;
+                assert!(seen_cells.insert((s.row, s.col)), "slot collision (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn halves_are_point_symmetric_for_multiples_of_four() {
+        for n in [4usize, 8, 12, 16, 20] {
+            let slots = common_centroid_slots(n);
+            let rows = slots.iter().map(|s| s.row).max().unwrap() + 1;
+            let cols = slots.iter().map(|s| s.col).max().unwrap() + 1;
+            for parity in [0usize, 1] {
+                let half: std::collections::HashSet<(usize, usize)> = slots
+                    .iter()
+                    .filter(|s| s.unit % 2 == parity)
+                    .map(|s| (s.row, s.col))
+                    .collect();
+                for &(r, c) in &half {
+                    let mirror = (rows - 1 - r, cols - 1 - c);
+                    assert!(
+                        half.contains(&mirror),
+                        "n={n} parity={parity}: slot ({r},{c}) lacks its mirror"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_halves_share_the_centroid() {
+        for n in [4usize, 8, 12, 16] {
+            let cells = units(n);
+            let pos = arrange_common_centroid(&cells, 10.0, 5.0, 0.5);
+            // Split units into {even} and {odd} halves — the interleaving
+            // pairs u with n−1−u, so centroids coincide.
+            let evens: Vec<usize> = (0..n).step_by(2).collect();
+            let odds: Vec<usize> = (1..n).step_by(2).collect();
+            let (ex, ey) = centroid_of(&pos, &cells, &evens);
+            let (ox, oy) = centroid_of(&pos, &cells, &odds);
+            assert!((ex - ox).abs() < 1e-9, "n={n}: {ex} vs {ox}");
+            assert!((ey - oy).abs() < 1e-9, "n={n}: {ey} vs {oy}");
+            // And the shared centroid is the requested one.
+            assert!((ex - 10.0).abs() < 1e-9);
+            assert!((ey - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_unit_overlap() {
+        let cells = units(9);
+        let pos = arrange_common_centroid(&cells, 0.0, 0.0, 0.3);
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                let dx = (pos[i].0 - pos[j].0).abs();
+                let dy = (pos[i].1 - pos[j].1).abs();
+                assert!(
+                    dx >= 2.0 - 1e-9 || dy >= 1.0 - 1e-9,
+                    "units {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn mixed_dimensions_panic() {
+        let mut cells = units(4);
+        cells[2].width = 5.0;
+        let _ = arrange_common_centroid(&cells, 0.0, 0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs units")]
+    fn empty_group_panics() {
+        let _ = arrange_common_centroid(&[], 0.0, 0.0, 0.1);
+    }
+}

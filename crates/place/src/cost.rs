@@ -1,0 +1,177 @@
+//! Placement quality metrics: half-perimeter wirelength, pairwise
+//! overlap area, and symmetry deviation.
+
+use crate::model::{Placement, PlacementProblem};
+
+/// Half-perimeter wirelength over all nets, using cell centres.
+pub fn hpwl(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    let mut total = 0.0;
+    for net in &problem.nets {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for &i in net {
+            let (x, y) = placement.center(problem, i);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        total += (max_x - min_x) + (max_y - min_y);
+    }
+    total
+}
+
+/// Total pairwise overlap area (0 for a legal placement).
+pub fn overlap_area(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    let n = problem.len();
+    let mut total = 0.0;
+    for i in 0..n {
+        let (xi, yi) = placement.positions[i];
+        let ci = &problem.cells[i];
+        for j in (i + 1)..n {
+            let (xj, yj) = placement.positions[j];
+            let cj = &problem.cells[j];
+            let ox = (xi + ci.width).min(xj + cj.width) - xi.max(xj);
+            let oy = (yi + ci.height).min(yj + cj.height) - yi.max(yj);
+            if ox > 0.0 && oy > 0.0 {
+                total += ox * oy;
+            }
+        }
+    }
+    total
+}
+
+/// Mean symmetry deviation of the matched pairs: for each pair, how far
+/// the two centres are from mirror positions about the placement's
+/// axis, plus their vertical misalignment. Zero for a perfectly
+/// symmetric layout; this is the geometric quantity whose growth the
+/// paper's Fig. 1 links to SNDR/SFDR degradation.
+pub fn symmetry_deviation(problem: &PlacementProblem, placement: &Placement) -> f64 {
+    if problem.sym_pairs.is_empty() && problem.self_sym.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &(a, b) in &problem.sym_pairs {
+        let (xa, ya) = placement.center(problem, a);
+        let (xb, yb) = placement.center(problem, b);
+        total += ((xa + xb) / 2.0 - placement.axis).abs() + (ya - yb).abs();
+        count += 1;
+    }
+    for &s in &problem.self_sym {
+        let (x, _) = placement.center(problem, s);
+        total += (x - placement.axis).abs();
+        count += 1;
+    }
+    total / count as f64
+}
+
+/// Symmetry deviation against the *best possible* axis for this
+/// placement (the median of the pair midpoints, the L1 minimizer) —
+/// the fair way to judge a placement that never reasoned about an axis.
+pub fn symmetry_deviation_best_axis(
+    problem: &PlacementProblem,
+    placement: &Placement,
+) -> f64 {
+    if problem.sym_pairs.is_empty() && problem.self_sym.is_empty() {
+        return 0.0;
+    }
+    let mut midpoints: Vec<f64> = problem
+        .sym_pairs
+        .iter()
+        .map(|&(a, b)| {
+            let (xa, _) = placement.center(problem, a);
+            let (xb, _) = placement.center(problem, b);
+            (xa + xb) / 2.0
+        })
+        .chain(
+            problem
+                .self_sym
+                .iter()
+                .map(|&s| placement.center(problem, s).0),
+        )
+        .collect();
+    midpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    let axis = midpoints[midpoints.len() / 2];
+    let tuned = Placement { positions: placement.positions.clone(), axis };
+    symmetry_deviation(problem, &tuned)
+}
+
+/// The annealer's scalar objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the overlap penalty.
+    pub overlap: f64,
+    /// Weight of the symmetry-deviation penalty (only meaningful when
+    /// symmetry is *not* enforced by construction).
+    pub symmetry: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> CostWeights {
+        CostWeights { overlap: 30.0, symmetry: 0.0 }
+    }
+}
+
+/// Combined cost.
+pub fn cost(problem: &PlacementProblem, placement: &Placement, w: &CostWeights) -> f64 {
+    hpwl(problem, placement)
+        + w.overlap * overlap_area(problem, placement)
+        + w.symmetry * symmetry_deviation(problem, placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cell;
+
+    fn two_cell_problem() -> PlacementProblem {
+        PlacementProblem {
+            cells: vec![
+                Cell { name: "a".into(), width: 2.0, height: 1.0 },
+                Cell { name: "b".into(), width: 2.0, height: 1.0 },
+            ],
+            nets: vec![vec![0, 1]],
+            sym_pairs: vec![(0, 1)],
+            self_sym: vec![],
+        }
+    }
+
+    #[test]
+    fn hpwl_is_manhattan_extent() {
+        let p = two_cell_problem();
+        let pl = Placement { positions: vec![(0.0, 0.0), (4.0, 2.0)], axis: 3.0 };
+        // Centres: (1, 0.5) and (5, 2.5) → HPWL = 4 + 2.
+        assert!((hpwl(&p, &pl) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_detects_intersection() {
+        let p = two_cell_problem();
+        let apart = Placement { positions: vec![(0.0, 0.0), (5.0, 0.0)], axis: 0.0 };
+        assert_eq!(overlap_area(&p, &apart), 0.0);
+        let stacked = Placement { positions: vec![(0.0, 0.0), (1.0, 0.0)], axis: 0.0 };
+        assert!((overlap_area(&p, &stacked) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_zero_for_mirrored_pair() {
+        let p = two_cell_problem();
+        // Centres (1, .5) and (5, .5); axis 3 → perfectly mirrored.
+        let pl = Placement { positions: vec![(0.0, 0.0), (4.0, 0.0)], axis: 3.0 };
+        assert!(symmetry_deviation(&p, &pl) < 1e-12);
+        // Shift one cell up: deviation grows by the misalignment.
+        let bad = Placement { positions: vec![(0.0, 0.0), (4.0, 2.0)], axis: 3.0 };
+        assert!((symmetry_deviation(&p, &bad) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_pairs_no_deviation() {
+        let mut p = two_cell_problem();
+        p.sym_pairs.clear();
+        let pl = Placement { positions: vec![(0.0, 0.0), (9.0, 9.0)], axis: 0.0 };
+        assert_eq!(symmetry_deviation(&p, &pl), 0.0);
+    }
+}

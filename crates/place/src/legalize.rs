@@ -1,0 +1,164 @@
+//! Row legalization: snap an annealed placement onto uniform rows and
+//! pack each row left-to-right so no two cells in a row overlap — the
+//! step that turns an analytical/annealed solution into a DRC-legal
+//! arrangement in real flows.
+
+use crate::model::{Placement, PlacementProblem};
+
+/// Options for [`legalize_rows`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalizeOptions {
+    /// Row pitch (µm). Cells taller than one row still occupy one row
+    /// slot (this is a placement-topology tool, not a DRC engine).
+    pub row_height: f64,
+    /// Horizontal spacing inserted between adjacent cells in a row.
+    pub spacing: f64,
+}
+
+impl Default for LegalizeOptions {
+    fn default() -> LegalizeOptions {
+        LegalizeOptions { row_height: 2.0, spacing: 0.2 }
+    }
+}
+
+/// Snap `placement` to rows: each cell's y becomes its nearest row
+/// origin; within every row, cells keep their x-order but are packed
+/// with `spacing` so same-row overlaps vanish. Mirrored pairs from
+/// `problem.sym_pairs` are kept mirrored about the axis by legalizing
+/// the pair's leader and re-mirroring the follower afterwards.
+///
+/// Returns the legalized placement; same-row overlap is zero by
+/// construction (cross-row overlap can only come from cells taller than
+/// the pitch).
+///
+/// # Panics
+///
+/// Panics if `options.row_height <= 0`.
+pub fn legalize_rows(
+    problem: &PlacementProblem,
+    placement: &Placement,
+    options: &LegalizeOptions,
+) -> Placement {
+    assert!(options.row_height > 0.0, "row height must be positive");
+    let mut out = placement.clone();
+    let followers: std::collections::HashSet<usize> =
+        problem.sym_pairs.iter().map(|&(_, b)| b).collect();
+
+    // 1. Snap every non-follower to its nearest row.
+    let snap = |y: f64| (y / options.row_height).round() * options.row_height;
+    for i in 0..problem.len() {
+        if !followers.contains(&i) {
+            out.positions[i].1 = snap(out.positions[i].1);
+        }
+    }
+
+    // 2. Pack each row left-to-right, preserving x-order.
+    let mut rows: std::collections::BTreeMap<i64, Vec<usize>> = std::collections::BTreeMap::new();
+    for i in 0..problem.len() {
+        if followers.contains(&i) {
+            continue;
+        }
+        let key = (out.positions[i].1 / options.row_height).round() as i64;
+        rows.entry(key).or_default().push(i);
+    }
+    for cells in rows.values_mut() {
+        cells.sort_by(|&a, &b| {
+            out.positions[a]
+                .0
+                .partial_cmp(&out.positions[b].0)
+                .expect("finite coordinates")
+        });
+        let mut cursor = f64::NEG_INFINITY;
+        for &i in cells.iter() {
+            let x = out.positions[i].0.max(cursor);
+            out.positions[i].0 = x;
+            cursor = x + problem.cells[i].width + options.spacing;
+        }
+    }
+
+    // 3. Re-mirror the followers about the axis.
+    for &(a, b) in &problem.sym_pairs {
+        let (xa, ya) = out.positions[a];
+        let ca = &problem.cells[a];
+        let cb = &problem.cells[b];
+        let center_a = xa + ca.width / 2.0;
+        let center_b = 2.0 * out.axis - center_a;
+        out.positions[b] = (center_b - cb.width / 2.0, ya + (ca.height - cb.height) / 2.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{overlap_area, symmetry_deviation};
+    use crate::model::Cell;
+
+    fn problem(n: usize) -> PlacementProblem {
+        PlacementProblem {
+            cells: (0..n)
+                .map(|i| Cell { name: format!("c{i}"), width: 2.0, height: 1.0 })
+                .collect(),
+            nets: vec![(0..n).collect()],
+            sym_pairs: vec![],
+            self_sym: vec![],
+        }
+    }
+
+    #[test]
+    fn rows_are_aligned_and_packed() {
+        let p = problem(4);
+        let messy = Placement {
+            positions: vec![(0.0, 0.3), (0.5, 0.4), (1.0, -0.2), (9.0, 4.1)],
+            axis: 5.0,
+        };
+        let legal = legalize_rows(&p, &messy, &LegalizeOptions::default());
+        // All y-coordinates are multiples of the pitch.
+        for &(_, y) in &legal.positions {
+            assert!((y / 2.0 - (y / 2.0).round()).abs() < 1e-9, "y = {y}");
+        }
+        // The three row-0 cells no longer overlap.
+        assert_eq!(overlap_area(&p, &legal), 0.0);
+        // Packing preserves x-order.
+        assert!(legal.positions[0].0 < legal.positions[1].0);
+        assert!(legal.positions[1].0 < legal.positions[2].0);
+    }
+
+    #[test]
+    fn symmetry_survives_legalization() {
+        let mut p = problem(4);
+        p.sym_pairs = vec![(0, 1), (2, 3)];
+        let messy = Placement {
+            positions: vec![(0.0, 0.3), (7.7, 0.2), (1.0, 2.4), (6.3, 2.6)],
+            axis: 5.0,
+        };
+        let legal = legalize_rows(&p, &messy, &LegalizeOptions::default());
+        assert!(symmetry_deviation(&p, &legal) < 1e-9);
+        // Leaders snapped to rows.
+        assert_eq!(legal.positions[0].1, 0.0);
+        assert_eq!(legal.positions[2].1, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_row_height_panics() {
+        let p = problem(1);
+        let pl = Placement { positions: vec![(0.0, 0.0)], axis: 0.0 };
+        let _ = legalize_rows(&p, &pl, &LegalizeOptions { row_height: 0.0, spacing: 0.1 });
+    }
+
+    #[test]
+    fn end_to_end_anneal_then_legalize() {
+        use crate::annealer::{place, AnnealConfig};
+        use ancstr_netlist::flat::FlatCircuit;
+        let flat = FlatCircuit::elaborate(&ancstr_circuits::comparator::comp2(1)).unwrap();
+        let p = crate::model::PlacementProblem::from_circuit(&flat, flat.ground_truth());
+        let cfg = AnnealConfig { steps: 40, moves_per_step: 80, ..AnnealConfig::default() };
+        let annealed = place(&p, &cfg);
+        let legal = legalize_rows(&p, &annealed.placement, &LegalizeOptions::default());
+        assert!(symmetry_deviation(&p, &legal) < 1e-9, "pairs stay mirrored");
+        for &(_, y) in &legal.positions {
+            assert!((y / 2.0 - (y / 2.0).round()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the placer: cost-metric invariants and hard
+//! symmetry enforcement over random problems.
+
+use ancstr_place::{
+    cost::symmetry_deviation_best_axis, hpwl, overlap_area, place, symmetry_deviation,
+    AnnealConfig, Cell, Placement, PlacementProblem,
+};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
+    let cell = (1u32..6, 1u32..4).prop_map(|(w, h)| (f64::from(w), f64::from(h)));
+    prop::collection::vec(cell, 4..10).prop_map(|dims| {
+        let cells: Vec<Cell> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h))| Cell { name: format!("c{i}"), width: w, height: h })
+            .collect();
+        let n = cells.len();
+        // A ring net structure plus one global net.
+        let mut nets: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+        nets.push((0..n).collect());
+        // Pair up the first 2·k cells.
+        let k = n / 2;
+        let sym_pairs = (0..k.min(3)).map(|i| (2 * i, 2 * i + 1)).collect();
+        PlacementProblem { cells, nets, sym_pairs, self_sym: vec![] }
+    })
+}
+
+fn quick_config(seed: u64, enforce: bool) -> AnnealConfig {
+    AnnealConfig {
+        enforce_symmetry: enforce,
+        moves_per_step: 40,
+        steps: 30,
+        seed,
+        ..AnnealConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Hard-enforced placements keep deviation at zero regardless of the
+    /// problem or seed.
+    #[test]
+    fn enforcement_is_exact(p in arb_problem(), seed in 0u64..50) {
+        let r = place(&p, &quick_config(seed, true));
+        prop_assert!(symmetry_deviation(&p, &r.placement) < 1e-9);
+    }
+
+    /// Cost metrics are non-negative and finite everywhere.
+    #[test]
+    fn metrics_are_sane(p in arb_problem(), seed in 0u64..50) {
+        let r = place(&p, &quick_config(seed, false));
+        let h = hpwl(&p, &r.placement);
+        let o = overlap_area(&p, &r.placement);
+        prop_assert!(h.is_finite() && h >= 0.0);
+        prop_assert!(o.is_finite() && o >= 0.0);
+        let d = symmetry_deviation_best_axis(&p, &r.placement);
+        prop_assert!(d.is_finite() && d >= 0.0);
+    }
+
+    /// The best-axis deviation never exceeds the fixed-axis deviation.
+    #[test]
+    fn best_axis_is_at_least_as_good(p in arb_problem(), seed in 0u64..50) {
+        let r = place(&p, &quick_config(seed, false));
+        let fixed = symmetry_deviation(&p, &r.placement);
+        let best = symmetry_deviation_best_axis(&p, &r.placement);
+        prop_assert!(best <= fixed + 1e-9, "best {best} vs fixed {fixed}");
+    }
+
+    /// Translating the whole placement leaves HPWL and overlap invariant.
+    #[test]
+    fn metrics_are_translation_invariant(
+        p in arb_problem(),
+        dx in -10.0f64..10.0,
+        dy in -10.0f64..10.0,
+    ) {
+        let r = place(&p, &quick_config(1, false));
+        let shifted = Placement {
+            positions: r
+                .placement
+                .positions
+                .iter()
+                .map(|&(x, y)| (x + dx, y + dy))
+                .collect(),
+            axis: r.placement.axis + dx,
+        };
+        prop_assert!((hpwl(&p, &r.placement) - hpwl(&p, &shifted)).abs() < 1e-9);
+        prop_assert!(
+            (overlap_area(&p, &r.placement) - overlap_area(&p, &shifted)).abs() < 1e-9
+        );
+        prop_assert!(
+            (symmetry_deviation(&p, &r.placement) - symmetry_deviation(&p, &shifted)).abs()
+                < 1e-9
+        );
+    }
+}

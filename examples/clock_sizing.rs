@@ -1,0 +1,57 @@
+//! The Fig. 2 scenario: a SAR-ADC clock tree whose inverters all share
+//! one topology, so only *sizing* separates the matched pairs from the
+//! false alarms. A sizing-blind detector (S³DET) annotates all the
+//! inverters as one symmetry group; the sizing-aware GNN keeps the
+//! x8 comparator-clock branch out.
+//!
+//! ```text
+//! cargo run -p ancstr-bench --example clock_sizing
+//! ```
+
+use ancstr_baselines::{s3det_extract, S3detConfig};
+use ancstr_bench::quick_config;
+use ancstr_circuits::clock::clock_circuit;
+use ancstr_core::pipeline::evaluate_detection;
+use ancstr_core::SymmetryExtractor;
+use ancstr_netlist::flat::FlatCircuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flat = FlatCircuit::elaborate(&clock_circuit())?;
+    println!(
+        "clock tree: {} inverter instances, {} devices",
+        flat.blocks().count() - 1, // minus the top cell
+        flat.devices().len()
+    );
+    println!("ground truth: 3 equal-drive pairs (x1, x2, x4 on mirrored paths)");
+    println!("trap: an x8 comparator-clock branch with identical topology\n");
+
+    // Sizing-aware GNN.
+    let mut extractor = SymmetryExtractor::new(quick_config());
+    extractor.fit(&[&flat]);
+    let gnn = extractor.evaluate(&flat);
+    println!(
+        "GNN   : TP {} FP {} FN {}  (TPR {:.2}, FPR {:.2})",
+        gnn.system.tp,
+        gnn.system.fp,
+        gnn.system.fn_,
+        gnn.system.tpr(),
+        gnn.system.fpr()
+    );
+
+    // Sizing-blind spectral baseline.
+    let s3 = evaluate_detection(&flat, s3det_extract(&flat, &S3detConfig::default()));
+    println!(
+        "S3DET : TP {} FP {} FN {}  (TPR {:.2}, FPR {:.2})",
+        s3.system.tp,
+        s3.system.fp,
+        s3.system.fn_,
+        s3.system.tpr(),
+        s3.system.fpr()
+    );
+
+    assert_eq!(gnn.system.fn_, 0, "GNN finds every equal-drive pair");
+    assert_eq!(gnn.system.fp, 0, "GNN rejects the cross-drive pairs");
+    assert!(s3.system.fp > 0, "the sizing-blind baseline over-matches");
+    println!("\nsizing awareness prevents the Fig. 2 false alarms");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Quickstart: parse a SPICE netlist, train the unsupervised GNN on it,
+//! and extract symmetry constraints.
+//!
+//! ```text
+//! cargo run -p ancstr-bench --example quickstart
+//! ```
+
+use ancstr_core::{ExtractorConfig, SymmetryExtractor};
+use ancstr_netlist::flat::FlatCircuit;
+use ancstr_netlist::parse::parse_spice;
+
+/// A StrongARM comparator written as a plain SPICE deck.
+const NETLIST: &str = "\
+* StrongARM latch
+.subckt strongarm inp inn outp outn clk vdd vss
+*.class comparator
+M1 x1 inp tail vss nch_lvt w=6u l=0.1u
+M2 x2 inn tail vss nch_lvt w=6u l=0.1u
+M3 outn outp x1 vss nch_lvt w=6u l=0.1u
+M4 outp outn x2 vss nch_lvt w=6u l=0.1u
+M5 outn outp vdd vdd pch_lvt w=12u l=0.1u
+M6 outp outn vdd vdd pch_lvt w=12u l=0.1u
+M7 tail clk vss vss nch w=12u l=0.1u
+M8 x1 clk vdd vdd pch_lvt w=2u l=0.1u
+M9 x2 clk vdd vdd pch_lvt w=2u l=0.1u
+.ends
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse and elaborate the netlist into a flat circuit + hierarchy.
+    let netlist = parse_spice(NETLIST)?;
+    let flat = FlatCircuit::elaborate(&netlist)?;
+    println!(
+        "parsed `{}`: {} devices, {} nets",
+        netlist.top(),
+        flat.devices().len(),
+        flat.net_count()
+    );
+
+    // 2. Train the unsupervised GNN on this circuit (no labels needed).
+    let mut extractor = SymmetryExtractor::new(ExtractorConfig::default());
+    let report = extractor.fit(&[&flat]);
+    println!(
+        "trained {} epochs, loss {:.4} -> {:.4}",
+        report.epoch_losses.len(),
+        report.epoch_losses.first().copied().unwrap_or(f64::NAN),
+        report.final_loss()
+    );
+
+    // 3. Extract constraints.
+    let result = extractor.extract(&flat);
+    println!(
+        "\ndetected {} symmetry constraints in {:.1} ms:",
+        result.detection.constraints.len(),
+        result.runtime.as_secs_f64() * 1e3
+    );
+    for c in result.detection.constraints.iter() {
+        let a = &flat.node(c.pair.lo()).path;
+        let b = &flat.node(c.pair.hi()).path;
+        println!("  [{}] {a}  <->  {b}", c.kind);
+    }
+
+    // The input pair, the cross-coupled pairs, and the precharge pair
+    // should all be present.
+    let pair = |x: &str, y: &str| {
+        let a = flat.node_by_path(x).expect("device exists").id;
+        let b = flat.node_by_path(y).expect("device exists").id;
+        result.detection.constraints.contains_pair(a, b)
+    };
+    assert!(pair("strongarm/M1", "strongarm/M2"), "input pair found");
+    assert!(pair("strongarm/M3", "strongarm/M4"), "cross-coupled NMOS found");
+    assert!(pair("strongarm/M5", "strongarm/M6"), "cross-coupled PMOS found");
+    println!("\nall expected pairs found");
+    Ok(())
+}

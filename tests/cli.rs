@@ -1,0 +1,130 @@
+//! End-to-end tests of the `ancstr` command-line tool, driving the real
+//! binary through temp files: stats → train → extract (with a
+//! pre-trained model) → constraint/DOT outputs.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+const NETLIST: &str = "\
+.subckt sa inp inn outp outn clk vdd vss
+*.class comparator
+M1 x1 inp tail vss nch_lvt w=6u l=0.1u
+M2 x2 inn tail vss nch_lvt w=6u l=0.1u
+M3 outn outp x1 vss nch_lvt w=6u l=0.1u
+M4 outp outn x2 vss nch_lvt w=6u l=0.1u
+M5 outn outp vdd vdd pch_lvt w=12u l=0.1u
+M6 outp outn vdd vdd pch_lvt w=12u l=0.1u
+M7 tail clk vss vss nch w=12u l=0.1u
+.ends
+";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ancstr"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ancstr-cli-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+#[test]
+fn stats_reports_counts() {
+    let dir = workdir("stats");
+    let sp = dir.join("sa.sp");
+    fs::write(&sp, NETLIST).unwrap();
+    let out = bin().arg("stats").arg(&sp).output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("devices      7"), "{stdout}");
+    assert!(stdout.contains("valid pairs"), "{stdout}");
+}
+
+#[test]
+fn train_then_extract_with_model() {
+    let dir = workdir("train");
+    let sp = dir.join("sa.sp");
+    fs::write(&sp, NETLIST).unwrap();
+    let model = dir.join("model.txt");
+
+    let out = bin()
+        .args(["train"])
+        .arg(&sp)
+        .args(["--model-out"])
+        .arg(&model)
+        .args(["--epochs", "25", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+
+    let constraints = dir.join("out.sym");
+    let out = bin()
+        .args(["extract"])
+        .arg(&sp)
+        .args(["--model"])
+        .arg(&model)
+        .args(["-o"])
+        .arg(&constraints)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = fs::read_to_string(&constraints).unwrap();
+    assert!(text.contains("M1 M2"), "input pair found:\n{text}");
+    assert!(text.contains("# hierarchy: sa"), "{text}");
+}
+
+#[test]
+fn extract_writes_dot() {
+    let dir = workdir("dot");
+    let sp = dir.join("sa.sp");
+    fs::write(&sp, NETLIST).unwrap();
+    let dot = dir.join("sa.dot");
+    let out = bin()
+        .args(["extract"])
+        .arg(&sp)
+        .args(["--epochs", "15", "--dot"])
+        .arg(&dot)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = fs::read_to_string(&dot).unwrap();
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("sa/M1"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = bin().args(["extract", "/nonexistent.sp"]).output().expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["extract", "a.sp", "--frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn groups_output_renders_paths() {
+    let dir = workdir("groups");
+    let sp = dir.join("sa.sp");
+    fs::write(&sp, NETLIST).unwrap();
+    let out = bin()
+        .args(["extract"])
+        .arg(&sp)
+        .args(["--epochs", "15", "--groups"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("members"), "{stdout}");
+    assert!(stdout.contains("sa/M1"), "{stdout}");
+}

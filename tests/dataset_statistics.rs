@@ -1,0 +1,100 @@
+//! Dataset statistics integration tests: the generated benchmarks must
+//! match the paper's published Table III/IV statistics where we pinned
+//! them, and stay within sane bounds elsewhere.
+
+use ancstr_bench::{adc_dataset, block_dataset};
+use ancstr_core::pair_stats;
+use ancstr_netlist::SymmetryKind;
+
+#[test]
+fn adc_device_counts_are_exact() {
+    let expected = [285usize, 345, 347, 731, 1233];
+    for (b, &n) in adc_dataset().iter().zip(&expected) {
+        assert_eq!(b.flat.devices().len(), n, "{}", b.name);
+    }
+}
+
+#[test]
+fn adc_net_counts_are_close_to_paper() {
+    // Paper: 122, 162, 163, 372, 586. Allow ±35% (net counting depends
+    // on hierarchy conventions we cannot observe from the paper).
+    let paper = [122usize, 162, 163, 372, 586];
+    for (b, &n) in adc_dataset().iter().zip(&paper) {
+        let ours = b.flat.net_count();
+        let lo = n * 65 / 100;
+        let hi = n * 135 / 100;
+        assert!(
+            (lo..=hi).contains(&ours),
+            "{}: {ours} nets vs paper {n}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn block_totals_match_table4() {
+    let blocks = block_dataset();
+    assert_eq!(blocks.len(), 15);
+    let devices: usize = blocks.iter().map(|b| b.flat.devices().len()).sum();
+    assert_eq!(devices, 324, "Table IV total devices");
+    let per_circuit = [12usize, 20, 12, 36, 38, 15, 47, 8, 34, 22, 17, 17, 10, 12, 24];
+    for (b, &n) in blocks.iter().zip(&per_circuit) {
+        assert_eq!(b.flat.devices().len(), n, "{}", b.name);
+    }
+}
+
+#[test]
+fn every_benchmark_has_valid_ground_truth() {
+    for b in adc_dataset().iter().chain(block_dataset().iter()) {
+        // pair_stats panics if any ground-truth pair is not a valid
+        // candidate, so calling it is the assertion.
+        let stats = pair_stats(&b.flat);
+        assert!(stats.positives > 0, "{} has ground truth", b.name);
+        assert!(
+            stats.positives <= stats.total,
+            "{}: positives within candidates",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn adcs_have_system_level_ground_truth() {
+    for b in adc_dataset() {
+        let system_gt = b
+            .flat
+            .ground_truth()
+            .iter()
+            .filter(|c| c.kind == SymmetryKind::System)
+            .count();
+        assert!(system_gt >= 3, "{}: {} system constraints", b.name, system_gt);
+    }
+}
+
+#[test]
+fn valid_pair_magnitudes_are_paperlike() {
+    // The paper's valid-pair counts: ADC1 148 … ADC5 1177. Ours differ
+    // (denser matched arrays) but must stay within one order of
+    // magnitude.
+    let paper = [148usize, 104, 82, 776, 1177];
+    for (b, &n) in adc_dataset().iter().zip(&paper) {
+        let total = pair_stats(&b.flat).total;
+        assert!(
+            total <= n * 13 && total * 13 >= n,
+            "{}: {total} valid pairs vs paper {n}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn hierarchy_depth_reflects_system_structure() {
+    for b in adc_dataset() {
+        let max_depth = b.flat.nodes().iter().map(|n| n.depth).max().unwrap_or(0);
+        assert!(max_depth >= 3, "{}: depth {}", b.name, max_depth);
+    }
+    for b in block_dataset() {
+        let max_depth = b.flat.nodes().iter().map(|n| n.depth).max().unwrap_or(0);
+        assert!(max_depth >= 1, "{}: depth {}", b.name, max_depth);
+    }
+}

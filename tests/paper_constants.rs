@@ -1,0 +1,60 @@
+//! One-stop fidelity check: every numeric choice the paper pins down,
+//! asserted against the defaults of this implementation.
+
+use ancstr_core::{EmbedOptions, ExtractorConfig, ThresholdConfig, FEATURE_DIM};
+use ancstr_gnn::LossConfig;
+use ancstr_netlist::{DeviceType, PortType};
+
+#[test]
+fn table2_feature_layout() {
+    // 15-dim one-hot device type + 2 geometry + 1 layer = 18.
+    assert_eq!(DeviceType::COUNT, 15);
+    assert_eq!(FEATURE_DIM, 18);
+}
+
+#[test]
+fn section4a_port_types() {
+    // P = {p_gate, p_drain, p_source, p_passive}, |W| = 4.
+    assert_eq!(PortType::COUNT, 4);
+}
+
+#[test]
+fn section4c_model_shape() {
+    let cfg = ExtractorConfig::default();
+    // K = 2 layers; output dimension D = 18.
+    assert_eq!(cfg.gnn.layers, 2);
+    assert_eq!(cfg.gnn.dim, 18);
+}
+
+#[test]
+fn eq2_negative_samples() {
+    // B = 5.
+    assert_eq!(LossConfig::default().negative_samples, 5);
+}
+
+#[test]
+fn section4d_top_m() {
+    // M = 10.
+    assert_eq!(EmbedOptions::default().m, 10);
+}
+
+#[test]
+fn eq4_threshold_constants() {
+    let t = ThresholdConfig::default();
+    // α = β = 0.95, cap 0.999, device-level λ = 0.99.
+    assert_eq!(t.alpha, 0.95);
+    assert_eq!(t.beta, 0.95);
+    assert_eq!(t.cap, 0.999);
+    assert_eq!(t.device, 0.99);
+    // Eq. 4 behaviour at the extremes.
+    assert_eq!(t.system_threshold(0), 0.999); // capped
+    let large = t.system_threshold(10_000);
+    assert!(large > 0.95 && large < 0.9502);
+}
+
+#[test]
+fn table3_and_4_sizes() {
+    // Five ADCs, fifteen block circuits, 324 block devices.
+    assert_eq!(ancstr_circuits::adc_benchmark_names().len(), 5);
+    assert_eq!(ancstr_circuits::block_benchmark_names().len(), 15);
+}

@@ -1,0 +1,137 @@
+//! End-to-end integration tests spanning every crate: SPICE text →
+//! parse → elaborate → multigraph → GNN training → embedding →
+//! detection → metrics.
+
+use ancstr_bench::quick_config;
+use ancstr_circuits::comparator::comp5;
+use ancstr_circuits::ota::ota2;
+use ancstr_core::{ExtractorConfig, SymmetryExtractor, FEATURE_DIM};
+use ancstr_gnn::TrainConfig;
+use ancstr_netlist::flat::FlatCircuit;
+use ancstr_netlist::parse::parse_spice;
+use ancstr_netlist::write::write_spice;
+use ancstr_netlist::SymmetryKind;
+
+/// The whole pipeline driven from raw SPICE text, not generator objects.
+#[test]
+fn spice_text_to_constraints() {
+    let src = "\
+.subckt latchpair q qb en vdd vss
+M1 q qb t vss nch_lvt w=4u l=0.1u
+M2 qb q t vss nch_lvt w=4u l=0.1u
+M3 q qb vdd vdd pch_lvt w=8u l=0.1u
+M4 qb q vdd vdd pch_lvt w=8u l=0.1u
+M5 t en vss vss nch w=2u l=0.2u
+C1 q vss 10f
+C2 qb vss 10f
+.ends
+";
+    let nl = parse_spice(src).expect("valid SPICE");
+    let flat = FlatCircuit::elaborate(&nl).expect("elaborates");
+    let mut ex = SymmetryExtractor::new(quick_config());
+    ex.fit(&[&flat]);
+    let result = ex.extract(&flat);
+
+    let id = |p: &str| flat.node_by_path(p).expect("path exists").id;
+    let constraints = &result.detection.constraints;
+    assert!(constraints.contains_pair(id("latchpair/M1"), id("latchpair/M2")));
+    assert!(constraints.contains_pair(id("latchpair/M3"), id("latchpair/M4")));
+    assert!(constraints.contains_pair(id("latchpair/C1"), id("latchpair/C2")));
+    // Type-mismatched pairs are never even candidates.
+    assert!(!constraints.contains_pair(id("latchpair/M1"), id("latchpair/M3")));
+}
+
+/// Training on one circuit and extracting on another (inductive use).
+#[test]
+fn inductive_cross_circuit_extraction() {
+    let train_flat = FlatCircuit::elaborate(&ota2(11)).expect("ota2");
+    let test_flat = FlatCircuit::elaborate(&comp5(12)).expect("comp5");
+    let mut ex = SymmetryExtractor::new(quick_config());
+    ex.fit(&[&train_flat]);
+    let eval = ex.evaluate(&test_flat);
+    assert!(
+        eval.overall.acc() > 0.7,
+        "unseen-circuit accuracy: {:?}",
+        eval.overall
+    );
+}
+
+/// Round-tripping a generated benchmark through SPICE text preserves
+/// the extraction result exactly.
+#[test]
+fn extraction_is_stable_under_spice_round_trip() {
+    let nl = ota2(21);
+    let text = write_spice(&nl);
+    let back = parse_spice(&text).expect("round trip parses");
+
+    let f1 = FlatCircuit::elaborate(&nl).expect("original");
+    let f2 = FlatCircuit::elaborate(&back).expect("round-tripped");
+
+    let mut ex1 = SymmetryExtractor::new(quick_config());
+    ex1.fit(&[&f1]);
+    let mut ex2 = SymmetryExtractor::new(quick_config());
+    ex2.fit(&[&f2]);
+
+    let r1 = ex1.extract(&f1);
+    let r2 = ex2.extract(&f2);
+    assert_eq!(
+        r1.detection.constraints.len(),
+        r2.detection.constraints.len()
+    );
+    let scores1: Vec<f64> = r1.detection.scored.iter().map(|s| s.score).collect();
+    let scores2: Vec<f64> = r2.detection.scored.iter().map(|s| s.score).collect();
+    assert_eq!(scores1.len(), scores2.len());
+    for (a, b) in scores1.iter().zip(&scores2) {
+        // The writer rounds geometries to 6 decimals, which perturbs the
+        // normalized features by ~1e-7; scores track that perturbation.
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+}
+
+/// The full experiment path is deterministic end to end.
+#[test]
+fn extraction_is_deterministic() {
+    let flat = FlatCircuit::elaborate(&comp5(2)).expect("comp5");
+    let run = || {
+        let mut ex = SymmetryExtractor::new(quick_config());
+        ex.fit(&[&flat]);
+        let r = ex.extract(&flat);
+        r.detection
+            .scored
+            .iter()
+            .map(|s| (s.score, s.accepted))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Hierarchical systems produce both constraint levels with correct
+/// classification.
+#[test]
+fn system_and_device_levels_coexist() {
+    let flat = FlatCircuit::elaborate(&ancstr_circuits::adc::adc1()).expect("adc1");
+    let mut ex = SymmetryExtractor::new(ExtractorConfig {
+        train: TrainConfig { epochs: 8, ..TrainConfig::default() },
+        ..ExtractorConfig::default()
+    });
+    ex.fit(&[&flat]);
+    let result = ex.extract(&flat);
+    let sys = result
+        .detection
+        .scored
+        .iter()
+        .filter(|s| s.candidate.kind == SymmetryKind::System)
+        .count();
+    let dev = result.detection.scored.len() - sys;
+    assert!(sys > 0, "system candidates scored");
+    assert!(dev > 0, "device candidates scored");
+    // Eq. 4: the system threshold sits between alpha and the cap.
+    assert!(result.detection.system_threshold >= 0.95);
+    assert!(result.detection.system_threshold <= 0.999);
+}
+
+/// The model dimension is pinned to the Table II feature width.
+#[test]
+fn feature_dim_is_18() {
+    assert_eq!(FEATURE_DIM, 18);
+}
