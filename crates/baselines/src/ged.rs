@@ -155,6 +155,7 @@ pub fn ged_extract(flat: &FlatCircuit, config: &GedConfig) -> Extraction {
             scored,
             constraints,
             system_threshold: config.threshold,
+            warnings: Vec::new(),
         },
         runtime: start.elapsed(),
     }

@@ -126,6 +126,7 @@ pub fn s3det_extract(flat: &FlatCircuit, config: &S3detConfig) -> Extraction {
             scored,
             constraints,
             system_threshold: config.threshold,
+            warnings: Vec::new(),
         },
         runtime: start.elapsed(),
     }

@@ -117,6 +117,7 @@ pub fn sfa_extract(flat: &FlatCircuit, config: &SfaConfig) -> Extraction {
             scored,
             constraints,
             system_threshold: 0.5,
+            warnings: Vec::new(),
         },
         runtime: start.elapsed(),
     }

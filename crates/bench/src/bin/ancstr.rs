@@ -10,15 +10,20 @@
 //! `extract` trains on the input itself unless `--model` supplies a
 //! pre-trained model (the inductive mode). `train` fits one universal
 //! model over several netlists and saves it.
+//!
+//! Exit codes are stable so scripts can dispatch on the failure stage:
+//! 0 success, 2 usage, 3 file I/O, then per pipeline stage
+//! ([`ExtractError::exit_code`]): 4 parse, 5 elaborate, 6 bad
+//! configuration or model file, 7 training, 8 inference.
 
 use std::fs;
 use std::process::ExitCode;
 
-use ancstr_core::{
-    render_groups, write_constraints, ExtractorConfig, SymmetryExtractor,
-};
 use ancstr_core::groups::merge_groups;
-use ancstr_gnn::GnnModel;
+use ancstr_core::{
+    render_groups, write_constraints, ExtractError, ExtractorConfig, SymmetryExtractor,
+};
+use ancstr_gnn::{HealthConfig, HealthReport};
 use ancstr_netlist::flat::FlatCircuit;
 use ancstr_netlist::parse::parse_spice_file;
 
@@ -26,9 +31,45 @@ fn usage() -> &'static str {
     "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S]\n  ancstr stats <netlist.sp>"
 }
 
-fn load(path: &str) -> Result<FlatCircuit, String> {
-    let nl = parse_spice_file(path).map_err(|e| format!("{path}: {e}"))?;
-    FlatCircuit::elaborate(&nl).map_err(|e| format!("{path}: {e}"))
+/// Everything that can go wrong, sorted by exit code: misuse of the
+/// command line (2), file I/O (3), and pipeline failures (4–8, from
+/// [`ExtractError::exit_code`]).
+enum CliError {
+    Usage(String),
+    Io { path: String, detail: String },
+    Pipeline { path: String, err: ExtractError },
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Pipeline { err, .. } => err.exit_code(),
+        }
+    }
+
+    /// Human-readable one-liner for stderr, naming the file and the
+    /// pipeline stage that failed.
+    fn message(&self) -> String {
+        match self {
+            CliError::Usage(msg) => format!("{msg}\n{}", usage()),
+            CliError::Io { path, detail } => format!("cannot access `{path}`: {detail}"),
+            CliError::Pipeline { path, err } => {
+                format!("`{path}` failed at the {} stage: {err}", err.stage())
+            }
+        }
+    }
+}
+
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn load(path: &str) -> Result<FlatCircuit, CliError> {
+    let pipeline = |err: ExtractError| CliError::Pipeline { path: path.to_owned(), err };
+    let nl = parse_spice_file(path).map_err(|e| pipeline(e.into()))?;
+    FlatCircuit::elaborate(&nl).map_err(|e| pipeline(e.into()))
 }
 
 fn config_with(epochs: Option<usize>, seed: Option<u64>) -> ExtractorConfig {
@@ -41,6 +82,19 @@ fn config_with(epochs: Option<usize>, seed: Option<u64>) -> ExtractorConfig {
         cfg.gnn.seed = s;
     }
     cfg
+}
+
+/// Surface any training anomalies the guardrails recovered from.
+fn report_health(health: &HealthReport) {
+    for event in &health.retries {
+        eprintln!(
+            "warning: {} at epoch {} (attempt {}); restored best checkpoint, reseeded to {:#x}",
+            event.cause, event.epoch, event.attempt, event.reseeded_to
+        );
+    }
+    if health.clipped_steps > 0 {
+        eprintln!("warning: gradient norm clipped on {} steps", health.clipped_steps);
+    }
 }
 
 struct Args {
@@ -77,7 +131,11 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--model" => args.model = Some(take("--model")?),
             "--model-out" => args.model_out = Some(take("--model-out")?),
             "--epochs" => {
-                args.epochs = Some(take("--epochs")?.parse().map_err(|_| "bad --epochs")?)
+                let n: usize = take("--epochs")?.parse().map_err(|_| "bad --epochs")?;
+                if n == 0 {
+                    return Err("--epochs must be at least 1".to_owned());
+                }
+                args.epochs = Some(n);
             }
             "--seed" => args.seed = Some(take("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--groups" => args.groups = true,
@@ -89,9 +147,9 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn cmd_extract(args: Args) -> Result<(), String> {
+fn cmd_extract(args: Args) -> Result<(), CliError> {
     let [input] = args.positional.as_slice() else {
-        return Err("extract needs exactly one netlist".to_owned());
+        return Err(usage_err("extract needs exactly one netlist"));
     };
     let flat = load(input)?;
     eprintln!(
@@ -101,19 +159,31 @@ fn cmd_extract(args: Args) -> Result<(), String> {
         flat.nodes().len()
     );
 
-    let mut extractor = SymmetryExtractor::new(config_with(args.epochs, args.seed));
+    let pipeline = |err: ExtractError| CliError::Pipeline { path: input.clone(), err };
+    let mut extractor =
+        SymmetryExtractor::try_new(config_with(args.epochs, args.seed)).map_err(pipeline)?;
     if let Some(model_path) = &args.model {
-        let text = fs::read_to_string(model_path).map_err(|e| format!("{model_path}: {e}"))?;
-        let model = GnnModel::from_text(&text).map_err(|e| e.to_string())?;
-        extractor = extractor.with_model(model).map_err(|e| e.to_string())?;
+        let text = fs::read_to_string(model_path).map_err(|e| CliError::Io {
+            path: model_path.clone(),
+            detail: e.to_string(),
+        })?;
+        extractor = extractor.with_model_text(&text).map_err(|err| CliError::Pipeline {
+            path: model_path.clone(),
+            err,
+        })?;
         eprintln!("loaded pre-trained model from {model_path}");
     } else {
         eprintln!("training on the input netlist ...");
-        let report = extractor.fit(&[&flat]);
+        let (report, health) =
+            extractor.try_fit(&[&flat], &HealthConfig::default()).map_err(pipeline)?;
+        report_health(&health);
         eprintln!("final loss {:.4}", report.final_loss());
     }
 
-    let result = extractor.extract(&flat);
+    let result = extractor.try_extract(&flat).map_err(pipeline)?;
+    for warning in &result.detection.warnings {
+        eprintln!("warning: {warning}");
+    }
     eprintln!(
         "{} constraints in {:.1} ms",
         result.detection.constraints.len(),
@@ -136,7 +206,8 @@ fn cmd_extract(args: Args) -> Result<(), String> {
             |v| flat.devices()[g.device_index(v)].path.clone(),
             |v| constrained.contains(&flat.devices()[g.device_index(v)].node),
         );
-        fs::write(dot_path, dot).map_err(|e| format!("{dot_path}: {e}"))?;
+        fs::write(dot_path, dot)
+            .map_err(|e| CliError::Io { path: dot_path.clone(), detail: e.to_string() })?;
         eprintln!("wrote {dot_path}");
     }
 
@@ -147,7 +218,8 @@ fn cmd_extract(args: Args) -> Result<(), String> {
     };
     match args.output {
         Some(path) => {
-            fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;
+            fs::write(&path, &text)
+                .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
             eprintln!("wrote {path}");
         }
         None => print!("{text}"),
@@ -155,12 +227,12 @@ fn cmd_extract(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: Args) -> Result<(), String> {
+fn cmd_train(args: Args) -> Result<(), CliError> {
     if args.positional.is_empty() {
-        return Err("train needs at least one netlist".to_owned());
+        return Err(usage_err("train needs at least one netlist"));
     }
     let Some(model_out) = &args.model_out else {
-        return Err("train needs --model-out".to_owned());
+        return Err(usage_err("train needs --model-out"));
     };
     let circuits: Vec<FlatCircuit> = args
         .positional
@@ -168,19 +240,24 @@ fn cmd_train(args: Args) -> Result<(), String> {
         .map(|p| load(p))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&FlatCircuit> = circuits.iter().collect();
-    let mut extractor = SymmetryExtractor::new(config_with(args.epochs, args.seed));
+    let corpus = args.positional.join(", ");
+    let pipeline = |err: ExtractError| CliError::Pipeline { path: corpus.clone(), err };
+    let mut extractor =
+        SymmetryExtractor::try_new(config_with(args.epochs, args.seed)).map_err(pipeline)?;
     eprintln!("training on {} circuits ...", refs.len());
-    let report = extractor.fit(&refs);
+    let (report, health) =
+        extractor.try_fit(&refs, &HealthConfig::default()).map_err(pipeline)?;
+    report_health(&health);
     eprintln!("final loss {:.4}", report.final_loss());
     fs::write(model_out, extractor.model().to_text())
-        .map_err(|e| format!("{model_out}: {e}"))?;
+        .map_err(|e| CliError::Io { path: model_out.clone(), detail: e.to_string() })?;
     eprintln!("wrote {model_out}");
     Ok(())
 }
 
-fn cmd_stats(args: Args) -> Result<(), String> {
+fn cmd_stats(args: Args) -> Result<(), CliError> {
     let [input] = args.positional.as_slice() else {
-        return Err("stats needs exactly one netlist".to_owned());
+        return Err(usage_err("stats needs exactly one netlist"));
     };
     let flat = load(input)?;
     let stats = ancstr_core::pair_stats(&flat);
@@ -198,26 +275,26 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = raw.split_first() else {
         eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let args = match parse_args(rest) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n{}", usage());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match cmd.as_str() {
         "extract" => cmd_extract(args),
         "train" => cmd_train(args),
         "stats" => cmd_stats(args),
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(usage_err(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -66,7 +66,7 @@ pub fn experiment_config() -> ExtractorConfig {
 pub fn quick_config() -> ExtractorConfig {
     ExtractorConfig {
         train: TrainConfig {
-            epochs: 20,
+            epochs: 30,
             learning_rate: 0.02,
             seed: EXPERIMENT_SEED,
             ..TrainConfig::default()

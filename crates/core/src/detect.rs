@@ -36,6 +36,23 @@ impl ThresholdConfig {
     }
 }
 
+/// A numerical-health warning attached to a detection: a hierarchy node
+/// whose feature vector contained NaN/Inf, so every pair touching it was
+/// skipped instead of being scored with a poisoned cosine similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericWarning {
+    /// The affected node.
+    pub node: ancstr_netlist::HierNodeId,
+    /// Its hierarchical path (for human-readable reporting).
+    pub path: String,
+}
+
+impl std::fmt::Display for NumericWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "skipped `{}`: non-finite feature vector", self.path)
+    }
+}
+
 /// One scored candidate pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoredPair {
@@ -58,6 +75,9 @@ pub struct DetectionResult {
     pub constraints: ConstraintSet,
     /// The system-level threshold that was used.
     pub system_threshold: f64,
+    /// Nodes whose features were non-finite; pairs touching them were
+    /// skipped rather than scored (empty on a healthy run).
+    pub warnings: Vec<NumericWarning>,
 }
 
 impl DetectionResult {
@@ -104,9 +124,26 @@ pub fn detect_constraints(
 
     let mut scored = Vec::new();
     let mut constraints = ConstraintSet::new();
+    let mut warnings = Vec::new();
+    let mut warned = std::collections::HashSet::new();
     for candidate in valid_pairs(flat) {
         let za = feature_of(candidate.pair.lo());
         let zb = feature_of(candidate.pair.hi());
+        // A NaN anywhere would turn the cosine score into NaN, which
+        // compares false against every threshold and silently becomes a
+        // rejection. Surface it as a warning record instead.
+        let mut skip = false;
+        for (id, v) in [(candidate.pair.lo(), &za), (candidate.pair.hi(), &zb)] {
+            if v.iter().any(|x| !x.is_finite()) {
+                skip = true;
+                if warned.insert(id) {
+                    warnings.push(NumericWarning { node: id, path: flat.node(id).path.clone() });
+                }
+            }
+        }
+        if skip {
+            continue;
+        }
         let score = cosine_similarity(&za, &zb);
         let threshold = match candidate.kind {
             SymmetryKind::System => lambda_sys,
@@ -122,7 +159,7 @@ pub fn detect_constraints(
         }
         scored.push(ScoredPair { candidate, score, accepted, threshold });
     }
-    DetectionResult { scored, constraints, system_threshold: lambda_sys }
+    DetectionResult { scored, constraints, system_threshold: lambda_sys, warnings }
 }
 
 /// Detect *self-symmetric* devices: modules placed on the symmetry axis
@@ -346,6 +383,63 @@ M3 x x vdd vdd pch w=2u l=0.1u
         );
         let selfsym = detect_self_symmetric(&flat, &z, &detection, 0.95);
         assert!(selfsym.is_empty(), "{selfsym:?}");
+    }
+
+    #[test]
+    fn non_finite_rows_are_skipped_with_warnings() {
+        let nl = parse_spice(
+            "\
+.subckt cell a b vdd vss
+M1 a b t vss nch w=1u l=0.1u
+M2 b a t vss nch w=1u l=0.1u
+M3 a b s vss nch w=2u l=0.1u
+M4 b a s vss nch w=2u l=0.1u
+.ends
+",
+        )
+        .unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        // M1's row is poisoned; the matched M3/M4 pair stays scoreable.
+        let z = Matrix::from_rows(&[
+            &[f64::NAN, 1.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[0.0, 1.0],
+        ]);
+        let result = detect_constraints(
+            &flat,
+            &z,
+            &ThresholdConfig::default(),
+            &EmbedOptions::default(),
+        );
+        // No NaN score leaks out.
+        assert!(result.scored.iter().all(|s| s.score.is_finite()));
+        // The poisoned device is reported exactly once, by path.
+        assert_eq!(result.warnings.len(), 1);
+        assert_eq!(result.warnings[0].path, "cell/M1");
+        assert!(result.warnings[0].to_string().contains("cell/M1"));
+        // The healthy pair is still detected.
+        let m3 = flat.node_by_path("cell/M3").unwrap().id;
+        let m4 = flat.node_by_path("cell/M4").unwrap().id;
+        assert!(result.constraints.contains_pair(m3, m4));
+        // No scored entry touches the poisoned node.
+        let m1 = flat.node_by_path("cell/M1").unwrap().id;
+        assert!(result
+            .scored
+            .iter()
+            .all(|s| s.candidate.pair.lo() != m1 && s.candidate.pair.hi() != m1));
+    }
+
+    #[test]
+    fn healthy_runs_produce_no_warnings() {
+        let flat = two_inv();
+        let result = detect_constraints(
+            &flat,
+            &Matrix::identity(6),
+            &ThresholdConfig::default(),
+            &EmbedOptions::default(),
+        );
+        assert!(result.warnings.is_empty());
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Seeded fault injection for robustness testing.
+//!
+//! Corruption operators over the two textual trust boundaries of the
+//! pipeline — SPICE netlist sources ([`SpiceFault`]) and serialized
+//! model files ([`ModelFault`]) — each deterministic in an explicit
+//! seed, so a failing case reproduces exactly. The integration suite
+//! (`tests/fault_injection.rs`) drives every operator through the full
+//! pipeline and asserts the invariant this module exists for: **every
+//! fault yields a typed error or a degraded-but-valid result, never a
+//! panic**.
+//!
+//! A third fault class lives in the trainer itself
+//! ([`ancstr_gnn::HealthConfig`]'s hidden NaN-gradient hook), because
+//! mid-training state cannot be corrupted from outside.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A corruption operator over SPICE netlist text.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpiceFault {
+    /// Cut the text, keeping roughly this fraction of its bytes
+    /// (clamped to `[0, 1]`); models an interrupted transfer.
+    TruncateTail {
+        /// Fraction of the source to keep.
+        keep_frac: f64,
+    },
+    /// Overwrite this many characters with random printable ASCII;
+    /// models bit rot / encoding damage.
+    GarbleChars {
+        /// Number of characters to overwrite.
+        count: usize,
+    },
+    /// Delete one random line; models a lost card.
+    DropLine,
+    /// Delete one random token from a random device card; models a
+    /// missing pin or parameter.
+    DropToken,
+    /// Rename a random device card to the name of an earlier card in
+    /// the same subcircuit; models a duplicate-name collision.
+    DuplicateDevice,
+    /// Point a random `X` instance at a subcircuit that does not exist.
+    UnknownSubckt,
+    /// Zero out one random `w=`/`l=` geometry parameter.
+    ZeroGeometry,
+    /// Replace one random numeric parameter value with garbage.
+    BadNumber,
+    /// Delete the first `.ends`; models an unterminated subcircuit.
+    RemoveEnds,
+    /// Strip every device and instance card, leaving bare subcircuit
+    /// shells; models an empty design.
+    EmptyBody,
+}
+
+/// All SPICE fault classes, for exhaustive sweeps.
+pub const ALL_SPICE_FAULTS: [SpiceFault; 10] = [
+    SpiceFault::TruncateTail { keep_frac: 0.6 },
+    SpiceFault::GarbleChars { count: 12 },
+    SpiceFault::DropLine,
+    SpiceFault::DropToken,
+    SpiceFault::DuplicateDevice,
+    SpiceFault::UnknownSubckt,
+    SpiceFault::ZeroGeometry,
+    SpiceFault::BadNumber,
+    SpiceFault::RemoveEnds,
+    SpiceFault::EmptyBody,
+];
+
+/// Whether a line is a device/instance card (not a directive/comment).
+fn is_card(line: &str) -> bool {
+    let t = line.trim_start();
+    !t.is_empty() && !t.starts_with('.') && !t.starts_with('*') && !t.starts_with('+')
+}
+
+fn pick_line(lines: &[String], rng: &mut StdRng, pred: impl Fn(&str) -> bool) -> Option<usize> {
+    let candidates: Vec<usize> =
+        (0..lines.len()).filter(|&i| pred(&lines[i])).collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.gen_range(0..candidates.len())])
+    }
+}
+
+/// Apply `fault` to `source`, deterministically in `seed`.
+///
+/// The result is intentionally *not* guaranteed to be invalid: some
+/// faults on some seeds produce netlists that still parse (that is the
+/// point — the pipeline must handle both outcomes without panicking).
+pub fn inject_spice(source: &str, fault: SpiceFault, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lines: Vec<String> = source.lines().map(str::to_owned).collect();
+    match fault {
+        SpiceFault::TruncateTail { keep_frac } => {
+            let keep = (source.len() as f64 * keep_frac.clamp(0.0, 1.0)) as usize;
+            // Cut on a char boundary.
+            let mut cut = keep.min(source.len());
+            while cut > 0 && !source.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            return source[..cut].to_owned();
+        }
+        SpiceFault::GarbleChars { count } => {
+            let mut chars: Vec<char> = source.chars().collect();
+            if chars.is_empty() {
+                return String::new();
+            }
+            for _ in 0..count {
+                let i = rng.gen_range(0..chars.len());
+                // Random printable ASCII, newline included so structure
+                // can break too.
+                let replacement = match rng.gen_range(0..8u32) {
+                    0 => '\n',
+                    _ => char::from(rng.gen_range(0x21u8..0x7F)),
+                };
+                chars[i] = replacement;
+            }
+            return chars.into_iter().collect();
+        }
+        SpiceFault::DropLine => {
+            if !lines.is_empty() {
+                let i = rng.gen_range(0..lines.len());
+                lines.remove(i);
+            }
+        }
+        SpiceFault::DropToken => {
+            if let Some(i) = pick_line(&lines, &mut rng, is_card) {
+                let mut tokens: Vec<&str> = lines[i].split_whitespace().collect();
+                if tokens.len() > 1 {
+                    let t = rng.gen_range(0..tokens.len());
+                    tokens.remove(t);
+                    lines[i] = tokens.join(" ");
+                }
+            }
+        }
+        SpiceFault::DuplicateDevice => {
+            let cards: Vec<usize> =
+                (0..lines.len()).filter(|&i| is_card(&lines[i])).collect();
+            if cards.len() >= 2 {
+                let a = cards[rng.gen_range(0..cards.len())];
+                let b = cards[rng.gen_range(0..cards.len())];
+                let donor_name =
+                    lines[b].split_whitespace().next().unwrap_or("M1").to_owned();
+                let rest: Vec<&str> = lines[a].split_whitespace().skip(1).collect();
+                lines[a] = format!("{donor_name} {}", rest.join(" "));
+            }
+        }
+        SpiceFault::UnknownSubckt => {
+            if let Some(i) = pick_line(&lines, &mut rng, |l| {
+                is_card(l) && l.trim_start().starts_with(['X', 'x'])
+            }) {
+                let mut tokens: Vec<String> =
+                    lines[i].split_whitespace().map(str::to_owned).collect();
+                if let Some(last) = tokens.last_mut() {
+                    *last = "no_such_subckt".to_owned();
+                }
+                lines[i] = tokens.join(" ");
+            }
+        }
+        SpiceFault::ZeroGeometry => {
+            if let Some(i) = pick_line(&lines, &mut rng, |l| {
+                l.contains("w=") || l.contains("l=")
+            }) {
+                let key = if lines[i].contains("w=") { "w=" } else { "l=" };
+                let line = &lines[i];
+                let start = line.find(key).expect("picked for containing key");
+                let val_start = start + key.len();
+                let val_end = line[val_start..]
+                    .find(char::is_whitespace)
+                    .map_or(line.len(), |o| val_start + o);
+                lines[i] = format!("{}{key}0{}", &line[..start], &line[val_end..]);
+            }
+        }
+        SpiceFault::BadNumber => {
+            if let Some(i) = pick_line(&lines, &mut rng, |l| l.contains('=')) {
+                let line = lines[i].clone();
+                let eq_positions: Vec<usize> =
+                    line.char_indices().filter(|&(_, c)| c == '=').map(|(p, _)| p).collect();
+                let eq = eq_positions[rng.gen_range(0..eq_positions.len())];
+                let val_start = eq + 1;
+                let val_end = line[val_start..]
+                    .find(char::is_whitespace)
+                    .map_or(line.len(), |o| val_start + o);
+                lines[i] = format!("{}=$?#{}", &line[..eq], &line[val_end..]);
+            }
+        }
+        SpiceFault::RemoveEnds => {
+            if let Some(i) =
+                lines.iter().position(|l| l.trim_start().starts_with(".ends"))
+            {
+                lines.remove(i);
+            }
+        }
+        SpiceFault::EmptyBody => {
+            lines.retain(|l| !is_card(l));
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// A corruption operator over serialized model text
+/// ([`ancstr_gnn::GnnModel::to_text`] format).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelFault {
+    /// Cut the text, keeping roughly this fraction of its lines.
+    Truncate {
+        /// Fraction of the lines to keep.
+        keep_frac: f64,
+    },
+    /// Replace one random weight with a non-numeric token.
+    GarbleValue,
+    /// Replace one random weight with `NaN` (parses as `f64`, so only an
+    /// explicit finiteness check catches it).
+    NanWeight,
+    /// Replace one random weight with `inf`.
+    InfWeight,
+    /// Corrupt the version header.
+    CorruptHeader,
+    /// Change a declared matrix shape so it no longer fits its slot.
+    WrongShape,
+}
+
+/// All model fault classes, for exhaustive sweeps.
+pub const ALL_MODEL_FAULTS: [ModelFault; 6] = [
+    ModelFault::Truncate { keep_frac: 0.5 },
+    ModelFault::GarbleValue,
+    ModelFault::NanWeight,
+    ModelFault::InfWeight,
+    ModelFault::CorruptHeader,
+    ModelFault::WrongShape,
+];
+
+/// Replace one whitespace-separated value on a random weight row.
+fn replace_weight(text: &str, rng: &mut StdRng, replacement: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let weight_rows: Vec<usize> = (0..lines.len())
+        .filter(|&i| {
+            i >= 2
+                && !lines[i].starts_with("matrix")
+                && !lines[i].trim().is_empty()
+        })
+        .collect();
+    if weight_rows.is_empty() {
+        return text.to_owned();
+    }
+    let row = weight_rows[rng.gen_range(0..weight_rows.len())];
+    let mut tokens: Vec<String> =
+        lines[row].split_whitespace().map(str::to_owned).collect();
+    let t = rng.gen_range(0..tokens.len());
+    tokens[t] = replacement.to_owned();
+    let mut out: Vec<String> = lines.iter().map(|&l| l.to_owned()).collect();
+    out[row] = tokens.join(" ");
+    let mut s = out.join("\n");
+    s.push('\n');
+    s
+}
+
+/// Apply `fault` to serialized model text, deterministically in `seed`.
+pub fn inject_model(text: &str, fault: ModelFault, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match fault {
+        ModelFault::Truncate { keep_frac } => {
+            let lines: Vec<&str> = text.lines().collect();
+            let keep = ((lines.len() as f64) * keep_frac.clamp(0.0, 1.0)) as usize;
+            let mut s = lines[..keep.min(lines.len())].join("\n");
+            s.push('\n');
+            s
+        }
+        ModelFault::GarbleValue => replace_weight(text, &mut rng, "#corrupt#"),
+        ModelFault::NanWeight => replace_weight(text, &mut rng, "NaN"),
+        ModelFault::InfWeight => replace_weight(text, &mut rng, "inf"),
+        ModelFault::CorruptHeader => text.replacen("ancstr-gnn v1", "ancstr-gnn v9", 1),
+        ModelFault::WrongShape => {
+            // Bump the first declared matrix's row count.
+            if let Some(pos) = text.find("matrix ") {
+                let line_end = text[pos..].find('\n').map_or(text.len(), |o| pos + o);
+                let decl = &text[pos..line_end];
+                let mut parts: Vec<String> =
+                    decl.split_whitespace().map(str::to_owned).collect();
+                if parts.len() == 3 {
+                    if let Ok(r) = parts[1].parse::<usize>() {
+                        parts[1] = (r + 1).to_string();
+                    }
+                    return format!("{}{}{}", &text[..pos], parts.join(" "), &text[line_end..]);
+                }
+            }
+            text.to_owned()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_gnn::{GnnConfig, GnnModel};
+
+    const SRC: &str = "\
+.subckt dp inp inn o1 o2 ib vdd vss
+M1 o1 inp tail vss nch w=4u l=0.2u
+M2 o2 inn tail vss nch w=4u l=0.2u
+M5 tail ib vss vss nch w=2u l=0.5u
+.ends
+.subckt top a b vdd vss
+X1 a b o1 o2 ibb vdd vss dp
+.ends
+";
+
+    #[test]
+    fn spice_faults_are_seed_deterministic_and_mutating() {
+        for fault in ALL_SPICE_FAULTS {
+            let a = inject_spice(SRC, fault, 11);
+            let b = inject_spice(SRC, fault, 11);
+            assert_eq!(a, b, "{fault:?} must be deterministic");
+            assert_ne!(a, SRC, "{fault:?} must actually change the text");
+            let other = inject_spice(SRC, fault, 12);
+            // Not all operators depend on the seed (e.g. RemoveEnds), but
+            // every result must still be deterministic for that seed.
+            assert_eq!(other, inject_spice(SRC, fault, 12));
+        }
+    }
+
+    #[test]
+    fn targeted_spice_faults_hit_their_target() {
+        let zeroed = inject_spice(SRC, SpiceFault::ZeroGeometry, 3);
+        assert!(zeroed.contains("w=0") || zeroed.contains("l=0"), "{zeroed}");
+        let unknown = inject_spice(SRC, SpiceFault::UnknownSubckt, 3);
+        assert!(unknown.contains("no_such_subckt"), "{unknown}");
+        let empty = inject_spice(SRC, SpiceFault::EmptyBody, 3);
+        assert!(!empty.lines().any(super::is_card), "{empty}");
+        let noends = inject_spice(SRC, SpiceFault::RemoveEnds, 3);
+        assert_eq!(noends.matches(".ends").count(), 1);
+    }
+
+    #[test]
+    fn model_faults_mutate_the_text() {
+        let model =
+            GnnModel::new(GnnConfig { dim: 4, layers: 1, seed: 9, ..GnnConfig::default() });
+        let text = model.to_text();
+        for fault in ALL_MODEL_FAULTS {
+            let mutated = inject_model(&text, fault, 5);
+            assert_eq!(mutated, inject_model(&text, fault, 5), "{fault:?} deterministic");
+            assert_ne!(mutated, text, "{fault:?} must change the text");
+        }
+        assert!(inject_model(&text, ModelFault::NanWeight, 5).contains("NaN"));
+        assert!(inject_model(&text, ModelFault::InfWeight, 5).contains("inf"));
+    }
+}

@@ -48,12 +48,16 @@ pub mod embed;
 pub mod export;
 pub mod features;
 pub mod groups;
+pub mod inject;
 pub mod metrics;
 pub mod pairs;
 pub mod pipeline;
+pub mod recover;
 
 pub use consistency::{vote_template_consistency, ConsistencyOptions, ConsistencyReport};
-pub use detect::{detect_constraints, DetectionResult, ScoredPair, ThresholdConfig};
+pub use detect::{
+    detect_constraints, DetectionResult, NumericWarning, ScoredPair, ThresholdConfig,
+};
 pub use embed::{embed_all_blocks, embed_circuit, EmbedOptions};
 pub use export::{read_constraints, write_constraints, ParseConstraintError};
 pub use groups::{merge_groups, render_groups, SymmetryGroup};
@@ -63,6 +67,10 @@ pub use metrics::{
     RocPoint,
 };
 pub use pairs::{pair_stats, valid_pairs, valid_pairs_of_kind, CandidatePair, PairStats};
+pub use inject::{
+    inject_model, inject_spice, ModelFault, SpiceFault, ALL_MODEL_FAULTS, ALL_SPICE_FAULTS,
+};
 pub use pipeline::{
     evaluate_detection, Evaluation, Extraction, ExtractorConfig, SymmetryExtractor,
 };
+pub use recover::ExtractError;

@@ -139,6 +139,12 @@ impl SymmetryExtractor {
         &self.model
     }
 
+    /// Mutable model access for the guarded training path
+    /// (`recover::try_fit`).
+    pub(crate) fn model_mut(&mut self) -> &mut GnnModel {
+        &mut self.model
+    }
+
     /// Replace the model with a pre-trained one (the inductive
     /// deployment mode: train once on a corpus, ship the weights).
     ///

@@ -1,0 +1,139 @@
+//! Typed errors for model inference and training.
+//!
+//! [`EmbedError`] covers inference-time validation
+//! ([`GnnModel::try_embed`](crate::GnnModel::try_embed));
+//! [`TrainError`] covers the guarded training loop
+//! ([`try_train`](crate::trainer::try_train)), carrying the epoch and
+//! attempt at which training became unrecoverable.
+
+use std::fmt;
+
+/// Why an anomaly was flagged during a guarded training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnomalyCause {
+    /// The epoch's mean loss was NaN or infinite.
+    NonFiniteLoss(f64),
+    /// A gradient contained a NaN or infinity.
+    NonFiniteGradient,
+    /// The loss exceeded the divergence factor times the best loss seen.
+    Diverged {
+        /// The diverged epoch loss.
+        loss: f64,
+        /// The best loss on record when divergence was detected.
+        best: f64,
+    },
+}
+
+impl fmt::Display for AnomalyCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnomalyCause::NonFiniteLoss(v) => write!(f, "non-finite loss {v}"),
+            AnomalyCause::NonFiniteGradient => write!(f, "non-finite gradient"),
+            AnomalyCause::Diverged { loss, best } => {
+                write!(f, "loss {loss} diverged from best {best}")
+            }
+        }
+    }
+}
+
+/// Error returned by [`try_train`](crate::trainer::try_train).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The dataset had no graphs.
+    EmptyDataset,
+    /// A graph's feature matrix disagreed with the model or its graph.
+    FeatureShape {
+        /// Index of the offending graph in the dataset.
+        graph: usize,
+        /// Expected `(rows, cols)`: one row per vertex, model-dim cols.
+        expected: (usize, usize),
+        /// The feature matrix's actual shape.
+        found: (usize, usize),
+    },
+    /// A graph's feature matrix contained NaN or infinite entries.
+    NonFiniteFeatures {
+        /// Index of the offending graph in the dataset.
+        graph: usize,
+    },
+    /// The model's parameters were already non-finite before training.
+    NonFiniteParameters,
+    /// Every retry restored the best checkpoint and re-seeded, yet the
+    /// anomaly persisted; training stopped with the budget exhausted.
+    RetriesExhausted {
+        /// Epoch (0-based) at which the final anomaly occurred.
+        epoch: usize,
+        /// Number of recovery attempts that were made.
+        retries: usize,
+        /// The final anomaly.
+        cause: AnomalyCause,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyDataset => write!(f, "training needs at least one graph"),
+            TrainError::FeatureShape { graph, expected, found } => write!(
+                f,
+                "graph {graph}: feature matrix is {found:?}, expected {expected:?} \
+                 (one row per vertex, one column per model dimension)"
+            ),
+            TrainError::NonFiniteFeatures { graph } => {
+                write!(f, "graph {graph}: feature matrix contains non-finite values")
+            }
+            TrainError::NonFiniteParameters => {
+                write!(f, "model parameters are non-finite before training")
+            }
+            TrainError::RetriesExhausted { epoch, retries, cause } => write!(
+                f,
+                "training unrecoverable at epoch {epoch} after {retries} checkpoint-restore \
+                 retries: {cause}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Error returned by [`GnnModel::try_embed`](crate::GnnModel::try_embed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbedError {
+    /// Feature column count disagrees with the model dimension.
+    FeatureDim {
+        /// The model dimension.
+        expected: usize,
+        /// The feature matrix's column count.
+        found: usize,
+    },
+    /// Feature row count disagrees with the graph's vertex count.
+    FeatureRows {
+        /// The graph's vertex count.
+        expected: usize,
+        /// The feature matrix's row count.
+        found: usize,
+    },
+    /// The feature matrix contains NaN or infinite entries.
+    NonFiniteFeatures,
+    /// The model's parameters contain NaN or infinite entries (e.g. a
+    /// corrupt weight file slipped through, or training blew up).
+    NonFiniteParameters,
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::FeatureDim { expected, found } => {
+                write!(f, "feature dimension {found} does not match the model dimension {expected}")
+            }
+            EmbedError::FeatureRows { expected, found } => {
+                write!(f, "feature matrix has {found} rows for a graph of {expected} vertices")
+            }
+            EmbedError::NonFiniteFeatures => write!(f, "feature matrix contains non-finite values"),
+            EmbedError::NonFiniteParameters => {
+                write!(f, "model parameters contain non-finite values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}

@@ -43,13 +43,19 @@
 //! # }
 //! ```
 
+pub mod error;
 pub mod loss;
 pub mod model;
 pub mod serialize;
 pub mod tensors;
 pub mod trainer;
 
+pub use error::{AnomalyCause, EmbedError, TrainError};
 pub use loss::{context_loss, ContextBatch, LossConfig};
 pub use model::{GnnConfig, GnnModel, ModelLeaves};
+pub use serialize::ParseModelError;
 pub use tensors::GraphTensors;
-pub use trainer::{train, TrainConfig, TrainGraph, TrainReport};
+pub use trainer::{
+    train, try_train, HealthConfig, HealthEvent, HealthReport, TrainConfig, TrainGraph,
+    TrainReport,
+};

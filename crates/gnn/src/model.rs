@@ -142,6 +142,12 @@ impl GnnModel {
         self.layers.len() * (PortType::COUNT + GruCell::PARAM_COUNT)
     }
 
+    /// Whether every parameter is finite (no NaN/Inf — e.g. after
+    /// deserialization or a training run worth distrusting).
+    pub fn is_finite(&self) -> bool {
+        self.matrices().iter().all(|m| m.is_finite())
+    }
+
     /// Record a full forward pass on `tape`, returning the final hidden
     /// state node and the parameter leaves (for gradient collection).
     ///
@@ -220,6 +226,40 @@ impl GnnModel {
         let mut tape = Tape::new();
         let (h, _) = self.forward_on_tape(&mut tape, tensors, features);
         tape.value(h).clone()
+    }
+
+    /// Checked [`GnnModel::embed`]: validates shapes and finiteness of
+    /// both the features and the model parameters, returning a typed
+    /// error instead of panicking or silently propagating NaN.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmbedError`](crate::error::EmbedError).
+    pub fn try_embed(
+        &self,
+        tensors: &GraphTensors,
+        features: &Matrix,
+    ) -> Result<Matrix, crate::error::EmbedError> {
+        use crate::error::EmbedError;
+        if features.cols() != self.config.dim {
+            return Err(EmbedError::FeatureDim {
+                expected: self.config.dim,
+                found: features.cols(),
+            });
+        }
+        if features.rows() != tensors.vertex_count() {
+            return Err(EmbedError::FeatureRows {
+                expected: tensors.vertex_count(),
+                found: features.rows(),
+            });
+        }
+        if !features.is_finite() {
+            return Err(EmbedError::NonFiniteFeatures);
+        }
+        if !self.is_finite() {
+            return Err(EmbedError::NonFiniteParameters);
+        }
+        Ok(self.embed(tensors, features))
     }
 }
 
@@ -344,6 +384,34 @@ mod tests {
         assert!(grads.grad(ids[4 + 2]).is_some(), "Wh gets a gradient");
         assert!(grads.grad(ids[4 + 8]).is_some(), "bh gets a gradient");
         assert!(grads.grad(ids[4]).is_none(), "Wz is unused in MeanLinear");
+    }
+
+    #[test]
+    fn try_embed_reports_typed_errors() {
+        use crate::error::EmbedError;
+        let model = GnnModel::new(GnnConfig { dim: 4, layers: 1, seed: 5, ..GnnConfig::default() });
+        let t = line_graph(3);
+        // Wrong column count.
+        let err = model.try_embed(&t, &Matrix::zeros(3, 7)).unwrap_err();
+        assert_eq!(err, EmbedError::FeatureDim { expected: 4, found: 7 });
+        // Wrong row count.
+        let err = model.try_embed(&t, &Matrix::zeros(2, 4)).unwrap_err();
+        assert_eq!(err, EmbedError::FeatureRows { expected: 3, found: 2 });
+        // Non-finite features.
+        let mut x = Matrix::zeros(3, 4);
+        x[(1, 2)] = f64::NAN;
+        assert_eq!(model.try_embed(&t, &x).unwrap_err(), EmbedError::NonFiniteFeatures);
+        // Non-finite parameters.
+        let mut poisoned = model.clone();
+        poisoned.matrices_mut()[3][(0, 0)] = f64::INFINITY;
+        assert!(!poisoned.is_finite());
+        assert_eq!(
+            poisoned.try_embed(&t, &Matrix::zeros(3, 4)).unwrap_err(),
+            EmbedError::NonFiniteParameters
+        );
+        // The happy path agrees with `embed` exactly.
+        let x = Matrix::filled(3, 4, 0.2);
+        assert_eq!(model.try_embed(&t, &x).unwrap(), model.embed(&t, &x));
     }
 
     #[test]

@@ -130,6 +130,15 @@ impl GnnModel {
                     .map(|v| v.parse::<f64>())
                     .collect::<Result<_, _>>()
                     .map_err(|_| err("bad matrix value"))?;
+                // `"NaN".parse::<f64>()` succeeds, so non-finite weights
+                // must be rejected explicitly: a model carrying them
+                // would silently poison every downstream cosine score.
+                if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+                    return Err(err(format!(
+                        "non-finite weight {bad} in matrix {} row {r}",
+                        matrices.len()
+                    )));
+                }
                 if values.len() != cols {
                     return Err(err(format!(
                         "matrix row has {} values, expected {cols}",
@@ -204,6 +213,56 @@ mod tests {
         // Corrupted value.
         let bad = text.replacen("matrix 5 5", "matrix 5 4", 1);
         assert!(GnnModel::from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_weights() {
+        let model = sample_model();
+        let text = model.to_text();
+        // Replace the first weight of the first matrix with each
+        // non-finite spelling `f64::parse` accepts.
+        let first_row = text.lines().nth(3).expect("first weight row");
+        let first_value = first_row.split_whitespace().next().unwrap();
+        for bad in ["NaN", "inf", "-inf", "infinity"] {
+            let poisoned = text.replacen(first_value, bad, 1);
+            let err = GnnModel::from_text(&poisoned).unwrap_err();
+            assert!(
+                err.reason.contains("non-finite"),
+                "`{bad}` must be rejected, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_an_error_not_a_panic() {
+        let model = sample_model();
+        let text = model.to_text();
+        let total = text.lines().count();
+        // Cutting the file after any prefix of lines must yield a typed
+        // error (or, for the empty tail case, a complete model).
+        for keep in 0..total {
+            let cut: String = text.lines().take(keep).collect::<Vec<_>>().join("\n");
+            assert!(GnnModel::from_text(&cut).is_err(), "prefix of {keep} lines accepted");
+        }
+        assert!(GnnModel::from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn corrupt_values_and_headers_are_typed_errors() {
+        let model = sample_model();
+        let text = model.to_text();
+        // A letter where a number belongs.
+        let garbled = text.replacen("matrix 5 5\n", "matrix 5 5\nx", 1);
+        assert!(GnnModel::from_text(&garbled).is_err());
+        // Matrix count mismatch: drop one whole matrix block.
+        let lines: Vec<&str> = text.lines().collect();
+        let last_matrix = lines.iter().rposition(|l| l.starts_with("matrix")).unwrap();
+        let dropped = lines[..last_matrix].join("\n");
+        let err = GnnModel::from_text(&dropped).unwrap_err();
+        assert!(err.reason.contains("matrices"), "{err}");
+        // Oversized declared shape that doesn't fit its slot.
+        let bad_shape = text.replacen("matrix 1 5", "matrix 5 1", 1);
+        assert!(GnnModel::from_text(&bad_shape).is_err());
     }
 
     #[test]

@@ -1,5 +1,18 @@
 //! Unsupervised training loop: minimize `L_tot = Σ_v L(z_v)` (Eq. 2)
 //! over a multi-circuit dataset with Adam.
+//!
+//! Two entry points share one epoch engine:
+//!
+//! * [`train`] — the paper-faithful loop. Panics on contract violations
+//!   and applies no numerical guardrails; its arithmetic is bit-for-bit
+//!   the historical behaviour.
+//! * [`try_train`] — the guarded loop. Validates the dataset up front,
+//!   scans every epoch's loss and gradients for NaN/Inf, clips
+//!   oversized gradients, detects loss divergence, and recovers by
+//!   restoring the best-loss checkpoint under a deterministically
+//!   derived replacement seed, up to a bounded retry budget. On a clean
+//!   run the guardrails never fire and the loss trajectory equals
+//!   [`train`]'s exactly.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -7,6 +20,7 @@ use rand::SeedableRng;
 
 use ancstr_nn::{Adam, Matrix};
 
+use crate::error::{AnomalyCause, TrainError};
 use crate::loss::{context_loss, ContextBatch, LossConfig};
 use crate::model::GnnModel;
 use crate::tensors::GraphTensors;
@@ -73,9 +87,187 @@ impl TrainReport {
     }
 }
 
+/// Numerical-guardrail settings for [`try_train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// Clip the per-step global gradient norm to this value (`None`
+    /// disables clipping). Clipping only rescales when the norm
+    /// *exceeds* the bound, so healthy runs are untouched.
+    pub max_grad_norm: Option<f64>,
+    /// An epoch whose loss exceeds `divergence_factor × best_loss` is
+    /// declared diverged (after [`HealthConfig::grace_epochs`]).
+    pub divergence_factor: f64,
+    /// Number of initial epochs exempt from the divergence check (early
+    /// losses legitimately bounce before Adam's moments warm up).
+    pub grace_epochs: usize,
+    /// How many checkpoint-restore + re-seed recoveries to attempt
+    /// before giving up with [`TrainError::RetriesExhausted`].
+    pub max_retries: usize,
+    /// Fault-injection hook for the robustness harness: poison the
+    /// gradient with a NaN at this epoch — on the first attempt only, so
+    /// the fault is transient and recovery must succeed.
+    #[doc(hidden)]
+    pub inject_nan_grad_at: Option<usize>,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            max_grad_norm: Some(1e3),
+            divergence_factor: 50.0,
+            grace_epochs: 3,
+            max_retries: 3,
+            inject_nan_grad_at: None,
+        }
+    }
+}
+
+/// One recovery event recorded by the guarded loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthEvent {
+    /// Epoch (0-based) at which the anomaly was detected.
+    pub epoch: usize,
+    /// Attempt number that hit the anomaly (0 = the original run).
+    pub attempt: usize,
+    /// What tripped the monitor.
+    pub cause: AnomalyCause,
+    /// The derived seed the retry restarted the RNG with.
+    pub reseeded_to: u64,
+}
+
+/// What the guardrails did during a [`try_train`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// Checkpoint-restore recoveries, in order.
+    pub retries: Vec<HealthEvent>,
+    /// Number of optimizer steps whose gradient was norm-clipped.
+    pub clipped_steps: usize,
+}
+
+impl HealthReport {
+    /// `true` when no guardrail ever fired.
+    pub fn clean(&self) -> bool {
+        self.retries.is_empty() && self.clipped_steps == 0
+    }
+}
+
+/// SplitMix64-style derivation of the retry seed: deterministic in the
+/// base seed and attempt number, decorrelated from both.
+fn derive_seed(base: u64, attempt: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-epoch guardrail state threaded through [`epoch_pass`].
+struct EpochGuard<'a> {
+    health: &'a HealthConfig,
+    epoch: usize,
+    attempt: usize,
+    clipped_steps: &'a mut usize,
+}
+
+/// One full pass over the dataset. With `guard: None` this is exactly
+/// the historical [`train`] epoch — same RNG call sequence, same
+/// arithmetic. With a guard it additionally scans gradients (abort on
+/// NaN/Inf) and clips their global norm.
+#[allow(clippy::too_many_arguments)]
+fn epoch_pass(
+    model: &mut GnnModel,
+    dataset: &[TrainGraph],
+    config: &TrainConfig,
+    rng: &mut StdRng,
+    opt: &mut Adam,
+    order: &mut [usize],
+    fixed_batches: &[ContextBatch],
+    mut guard: Option<EpochGuard<'_>>,
+) -> Result<f64, AnomalyCause> {
+    order.shuffle(rng);
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for &gi in order.iter() {
+        let graph = &dataset[gi];
+        let batch = if config.resample_negatives {
+            ContextBatch::sample(&graph.tensors, &config.loss, rng)
+        } else {
+            fixed_batches[gi].clone()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        let sampled;
+        let tensors = match config.neighbor_samples {
+            Some(k) => {
+                sampled = graph.tensors.sampled(k, rng);
+                &sampled
+            }
+            None => &graph.tensors,
+        };
+        let mut tape = ancstr_nn::Tape::new();
+        let (z, leaves) = model.forward_on_tape(&mut tape, tensors, &graph.features);
+        let loss = context_loss(&mut tape, z, &batch, &config.loss);
+        let loss_value = tape.value(loss)[(0, 0)];
+        let mut grads = tape.backward(loss);
+
+        let ids = leaves.ids();
+        let mut grad_mats: Vec<Matrix> = ids
+            .iter()
+            .map(|&id| {
+                grads.take(id).unwrap_or_else(|| {
+                    // A parameter can be grad-free on degenerate
+                    // graphs (e.g. no edges of its type).
+                    let (r, c) = tape.value(id).shape();
+                    Matrix::zeros(r, c)
+                })
+            })
+            .collect();
+
+        if let Some(g) = guard.as_mut() {
+            if g.health.inject_nan_grad_at == Some(g.epoch) && g.attempt == 0 {
+                if let Some(first) = grad_mats.first_mut() {
+                    if first.rows() > 0 && first.cols() > 0 {
+                        first[(0, 0)] = f64::NAN;
+                    }
+                }
+            }
+            let norm_sq: f64 = grad_mats
+                .iter()
+                .map(|m| {
+                    let n = m.frobenius_norm();
+                    n * n
+                })
+                .sum();
+            if !norm_sq.is_finite() {
+                return Err(AnomalyCause::NonFiniteGradient);
+            }
+            if let Some(max) = g.health.max_grad_norm {
+                let norm = norm_sq.sqrt();
+                if norm > max {
+                    let scale = max / norm;
+                    for m in &mut grad_mats {
+                        *m = m.scale(scale);
+                    }
+                    *g.clipped_steps += 1;
+                }
+            }
+        }
+
+        let mut params = model.matrices_mut();
+        opt.step(&mut params, &grad_mats);
+
+        total += loss_value;
+        counted += 1;
+    }
+    Ok(if counted > 0 { total / counted as f64 } else { 0.0 })
+}
+
 /// Train `model` on `dataset` in place, returning the loss trajectory.
 ///
 /// Graphs with no loss terms (single-vertex circuits) are skipped.
+/// For the guarded, recovering variant see [`try_train`].
 ///
 /// # Panics
 ///
@@ -96,54 +288,150 @@ pub fn train(model: &mut GnnModel, dataset: &[TrainGraph], config: &TrainConfig)
     let mut order: Vec<usize> = (0..dataset.len()).collect();
 
     for _epoch in 0..config.epochs {
-        order.shuffle(&mut rng);
-        let mut total = 0.0;
-        let mut counted = 0usize;
-        for &gi in &order {
-            let graph = &dataset[gi];
-            let batch = if config.resample_negatives {
-                ContextBatch::sample(&graph.tensors, &config.loss, &mut rng)
-            } else {
-                fixed_batches[gi].clone()
-            };
-            if batch.is_empty() {
-                continue;
-            }
-            let sampled;
-            let tensors = match config.neighbor_samples {
-                Some(k) => {
-                    sampled = graph.tensors.sampled(k, &mut rng);
-                    &sampled
-                }
-                None => &graph.tensors,
-            };
-            let mut tape = ancstr_nn::Tape::new();
-            let (z, leaves) = model.forward_on_tape(&mut tape, tensors, &graph.features);
-            let loss = context_loss(&mut tape, z, &batch, &config.loss);
-            let loss_value = tape.value(loss)[(0, 0)];
-            let mut grads = tape.backward(loss);
-
-            let ids = leaves.ids();
-            let grad_mats: Vec<Matrix> = ids
-                .iter()
-                .map(|&id| {
-                    grads.take(id).unwrap_or_else(|| {
-                        // A parameter can be grad-free on degenerate
-                        // graphs (e.g. no edges of its type).
-                        let (r, c) = tape.value(id).shape();
-                        Matrix::zeros(r, c)
-                    })
-                })
-                .collect();
-            let mut params = model.matrices_mut();
-            opt.step(&mut params, &grad_mats);
-
-            total += loss_value;
-            counted += 1;
-        }
-        epoch_losses.push(if counted > 0 { total / counted as f64 } else { 0.0 });
+        let loss = epoch_pass(
+            model,
+            dataset,
+            config,
+            &mut rng,
+            &mut opt,
+            &mut order,
+            &fixed_batches,
+            None,
+        )
+        .expect("unguarded epochs never abort");
+        epoch_losses.push(loss);
     }
     TrainReport { epoch_losses }
+}
+
+/// Snapshot of the model's parameter matrices (the checkpoint payload).
+fn snapshot(model: &GnnModel) -> Vec<Matrix> {
+    model.matrices().into_iter().cloned().collect()
+}
+
+fn restore(model: &mut GnnModel, saved: &[Matrix]) {
+    for (slot, m) in model.matrices_mut().into_iter().zip(saved) {
+        *slot = m.clone();
+    }
+}
+
+/// Guarded training: [`train`] plus NaN/Inf scans, gradient-norm
+/// clipping, divergence detection, and bounded checkpoint-restore
+/// recovery under deterministically derived seeds.
+///
+/// On an anomaly the partially-updated parameters are discarded, the
+/// best-loss checkpoint is restored, and training resumes at the failed
+/// epoch with a fresh RNG seeded by [`derive_seed`]`(config.seed,
+/// attempt)`. A clean run returns the exact [`train`] trajectory and an
+/// empty [`HealthReport`].
+///
+/// # Errors
+///
+/// * [`TrainError::EmptyDataset`] / [`TrainError::FeatureShape`] /
+///   [`TrainError::NonFiniteFeatures`] /
+///   [`TrainError::NonFiniteParameters`] on an invalid input;
+/// * [`TrainError::RetriesExhausted`] when anomalies persist past
+///   `health.max_retries` recoveries.
+pub fn try_train(
+    model: &mut GnnModel,
+    dataset: &[TrainGraph],
+    config: &TrainConfig,
+    health: &HealthConfig,
+) -> Result<(TrainReport, HealthReport), TrainError> {
+    if dataset.is_empty() {
+        return Err(TrainError::EmptyDataset);
+    }
+    let dim = model.config().dim;
+    for (graph, g) in dataset.iter().enumerate() {
+        let expected = (g.tensors.vertex_count(), dim);
+        let found = g.features.shape();
+        if found != expected {
+            return Err(TrainError::FeatureShape { graph, expected, found });
+        }
+        if !g.features.is_finite() {
+            return Err(TrainError::NonFiniteFeatures { graph });
+        }
+    }
+    if !model.is_finite() {
+        return Err(TrainError::NonFiniteParameters);
+    }
+
+    let mut report = HealthReport::default();
+    let mut epoch_losses: Vec<f64> = Vec::with_capacity(config.epochs);
+    let mut best_loss = f64::INFINITY;
+    let mut best_params = snapshot(model);
+    let mut attempt = 0usize;
+    let mut seed = config.seed;
+
+    'attempts: loop {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Adam::new(config.learning_rate);
+        let fixed_batches: Vec<ContextBatch> = dataset
+            .iter()
+            .map(|g| ContextBatch::sample(&g.tensors, &config.loss, &mut rng))
+            .collect();
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+
+        while epoch_losses.len() < config.epochs {
+            let epoch = epoch_losses.len();
+            let guard = EpochGuard {
+                health,
+                epoch,
+                attempt,
+                clipped_steps: &mut report.clipped_steps,
+            };
+            let outcome = epoch_pass(
+                model,
+                dataset,
+                config,
+                &mut rng,
+                &mut opt,
+                &mut order,
+                &fixed_batches,
+                Some(guard),
+            );
+            let anomaly = match outcome {
+                Err(cause) => Some(cause),
+                Ok(loss) if !loss.is_finite() => Some(AnomalyCause::NonFiniteLoss(loss)),
+                Ok(loss)
+                    if epoch >= health.grace_epochs
+                        && best_loss.is_finite()
+                        && loss > health.divergence_factor * best_loss.abs().max(1e-12) =>
+                {
+                    Some(AnomalyCause::Diverged { loss, best: best_loss })
+                }
+                Ok(loss) => {
+                    epoch_losses.push(loss);
+                    if loss < best_loss {
+                        best_loss = loss;
+                        best_params = snapshot(model);
+                    }
+                    None
+                }
+            };
+            if let Some(cause) = anomaly {
+                if attempt >= health.max_retries {
+                    return Err(TrainError::RetriesExhausted {
+                        epoch,
+                        retries: attempt,
+                        cause,
+                    });
+                }
+                attempt += 1;
+                seed = derive_seed(config.seed, attempt as u64);
+                restore(model, &best_params);
+                report.retries.push(HealthEvent {
+                    epoch,
+                    attempt: attempt - 1,
+                    cause,
+                    reseeded_to: seed,
+                });
+                continue 'attempts;
+            }
+        }
+        break;
+    }
+    Ok((TrainReport { epoch_losses }, report))
 }
 
 #[cfg(test)]
@@ -255,5 +543,114 @@ mod tests {
         let report = train(&mut model, &dataset, &cfg);
         assert_eq!(report.epoch_losses.len(), 3);
         assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn guarded_clean_run_matches_unguarded_exactly() {
+        let dataset = vec![sample_graph(), sample_graph()];
+        let cfg = TrainConfig { epochs: 8, ..TrainConfig::default() };
+        let gc = GnnConfig { dim: 6, layers: 2, seed: 8, ..GnnConfig::default() };
+        let mut plain = GnnModel::new(gc.clone());
+        let plain_report = train(&mut plain, &dataset, &cfg);
+        let mut guarded = GnnModel::new(gc);
+        let (report, health) =
+            try_train(&mut guarded, &dataset, &cfg, &HealthConfig::default()).unwrap();
+        // The guardrails are read-only on a healthy run: identical loss
+        // trajectory, identical final weights, nothing fired.
+        assert_eq!(report, plain_report);
+        assert_eq!(guarded, plain);
+        assert!(health.clean(), "{health:?}");
+    }
+
+    #[test]
+    fn injected_nan_gradient_recovers_via_checkpoint_restore() {
+        let dataset = vec![sample_graph()];
+        let cfg = TrainConfig { epochs: 10, ..TrainConfig::default() };
+        let mut model = GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 8, ..GnnConfig::default() });
+        let health = HealthConfig { inject_nan_grad_at: Some(4), ..HealthConfig::default() };
+        let (report, hr) = try_train(&mut model, &dataset, &cfg, &health)
+            .expect("transient fault must be recovered");
+        assert_eq!(report.epoch_losses.len(), 10);
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        assert!(model.is_finite(), "restored weights stay finite");
+        assert_eq!(hr.retries.len(), 1, "{hr:?}");
+        let event = &hr.retries[0];
+        assert_eq!(event.epoch, 4);
+        assert_eq!(event.cause, AnomalyCause::NonFiniteGradient);
+        assert_ne!(event.reseeded_to, cfg.seed, "retry derives a fresh seed");
+    }
+
+    #[test]
+    fn recovery_is_deterministic() {
+        let dataset = vec![sample_graph()];
+        let cfg = TrainConfig { epochs: 6, ..TrainConfig::default() };
+        let health = HealthConfig { inject_nan_grad_at: Some(2), ..HealthConfig::default() };
+        let run = || {
+            let mut m = GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 5, ..GnnConfig::default() });
+            let out = try_train(&mut m, &dataset, &cfg, &health).unwrap();
+            (m, out)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unrecoverable_divergence_exhausts_retry_budget() {
+        let dataset = vec![sample_graph()];
+        // An absurd learning rate reliably blows the loss up on every
+        // attempt (the saturating GRU caps it around ~3.3 rather than
+        // NaN, so a tight divergence factor is what detects it), and
+        // recovery cannot succeed because the cause is the config.
+        let cfg = TrainConfig { epochs: 30, learning_rate: 1e12, ..TrainConfig::default() };
+        let mut model = GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 8, ..GnnConfig::default() });
+        let health = HealthConfig {
+            max_retries: 2,
+            max_grad_norm: None,
+            divergence_factor: 2.0,
+            grace_epochs: 0,
+            ..HealthConfig::default()
+        };
+        let err = try_train(&mut model, &dataset, &cfg, &health).unwrap_err();
+        match err {
+            TrainError::RetriesExhausted { retries, .. } => assert_eq!(retries, 2),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_train_validates_inputs() {
+        let mut model = GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 1, ..GnnConfig::default() });
+        let health = HealthConfig::default();
+        assert_eq!(
+            try_train(&mut model, &[], &TrainConfig::default(), &health).unwrap_err(),
+            TrainError::EmptyDataset
+        );
+
+        let mut bad_shape = sample_graph();
+        bad_shape.features = Matrix::zeros(5, 4);
+        let err = try_train(&mut model, &[bad_shape], &TrainConfig::default(), &health)
+            .unwrap_err();
+        assert!(matches!(err, TrainError::FeatureShape { graph: 0, .. }), "{err:?}");
+
+        let mut bad_value = sample_graph();
+        bad_value.features[(0, 0)] = f64::NAN;
+        let err = try_train(&mut model, &[bad_value], &TrainConfig::default(), &health)
+            .unwrap_err();
+        assert_eq!(err, TrainError::NonFiniteFeatures { graph: 0 });
+
+        model.matrices_mut()[0][(0, 0)] = f64::INFINITY;
+        let err = try_train(&mut model, &[sample_graph()], &TrainConfig::default(), &health)
+            .unwrap_err();
+        assert_eq!(err, TrainError::NonFiniteParameters);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..8).map(|a| derive_seed(0x5EED, a)).collect();
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j]);
+            }
+            assert_ne!(seeds[i], 0x5EED);
+        }
     }
 }

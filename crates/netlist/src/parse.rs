@@ -435,7 +435,7 @@ fn parse_card(
                 vec![pos[0].clone(), pos[1].clone(), pos[2].clone()],
                 geometry,
             )
-            .expect("3 pins for MOS");
+            .map_err(|_| malformed(&format!("model `{}` is not a 3-pin MOS type", pos[4])))?;
             d.bulk = Some(pos[3].clone());
             d.multiplier = multiplier;
             sub.push_device(d).map_err(|_| malformed("duplicate element name"))?;
@@ -455,7 +455,7 @@ fn parse_card(
                 vec![pos[0].clone(), pos[1].clone(), pos[2].clone()],
                 geometry,
             )
-            .expect("3 pins for BJT");
+            .map_err(|_| malformed(&format!("model `{}` is not a 3-pin BJT type", pos[3])))?;
             d.multiplier = multiplier;
             sub.push_device(d).map_err(|_| malformed("duplicate element name"))?;
         }
@@ -470,7 +470,7 @@ fn parse_card(
                 vec![pos[0].clone(), pos[1].clone()],
                 geometry,
             )
-            .expect("2 pins for diode");
+            .map_err(|_| malformed("diode card does not take extra pins"))?;
             d.multiplier = multiplier;
             sub.push_device(d).map_err(|_| malformed("duplicate element name"))?;
         }
@@ -507,7 +507,9 @@ fn parse_card(
             };
             let geometry = geometry_from_params(&params, fallback);
             let mut d = Device::new(name, dtype, vec![pos[0].clone(), pos[1].clone()], geometry)
-                .expect("2 pins for passive");
+                .map_err(|_| {
+                    malformed("passive card's model names a device type with more pins")
+                })?;
             d.value = value;
             d.multiplier = multiplier;
             sub.push_device(d).map_err(|_| malformed("duplicate element name"))?;

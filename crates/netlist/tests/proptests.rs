@@ -1,7 +1,9 @@
 //! Property-based tests for the netlist crate: SI-value round trips,
-//! parser/writer round trips over generated netlists, and elaboration
-//! invariants.
+//! parser/writer round trips over generated netlists, elaboration
+//! invariants, and fault tolerance — byte soup and mutated-valid SPICE
+//! must produce located errors, never panics.
 
+use ancstr_netlist::error::ParseNetlistError;
 use ancstr_netlist::flat::FlatCircuit;
 use ancstr_netlist::parse::parse_spice;
 use ancstr_netlist::units::{format_si_value, parse_si_value};
@@ -33,6 +35,31 @@ proptest! {
         let src = lines.join("\n");
         let _ = parse_spice(&src);
     }
+}
+
+/// A parse error must render a message, and when it carries a source
+/// location, that location must be a real line of the input.
+fn prop_assert_parse_error_is_located(
+    e: &ParseNetlistError,
+    line_count: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert!(!e.to_string().is_empty());
+    let line = match e {
+        ParseNetlistError::MalformedCard { line, .. }
+        | ParseNetlistError::BadNumber { line, .. }
+        | ParseNetlistError::UnmatchedEnds { line }
+        | ParseNetlistError::NestedSubckt { line }
+        | ParseNetlistError::DuplicateSubckt { line, .. }
+        | ParseNetlistError::CardOutsideSubckt { line } => Some(*line),
+        _ => None,
+    };
+    if let Some(line) = line {
+        prop_assert!(
+            (1..=line_count).contains(&line),
+            "error names line {line}, input has {line_count}"
+        );
+    }
+    Ok(())
 }
 
 /// Strategy: a random single-subckt netlist with MOS devices and passives.
@@ -95,6 +122,67 @@ proptest! {
             let b = back.subckt(&sub.name).expect("template survives");
             prop_assert_eq!(b.devices().count(), sub.devices().count());
             prop_assert_eq!(b.instances().count(), sub.instances().count());
+        }
+    }
+
+    /// Dropping any one line from a valid netlist never panics in the
+    /// parser or the elaborator, and any parse error points at a real
+    /// source line.
+    #[test]
+    fn mutated_netlist_line_drop_never_panics(nl in arb_netlist(), pick in 0usize..4096) {
+        let text = write_spice(&nl);
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.remove(pick % lines.len());
+        let mutated = lines.join("\n");
+        match parse_spice(&mutated) {
+            Ok(back) => { let _ = FlatCircuit::elaborate(&back); }
+            Err(e) => prop_assert_parse_error_is_located(&e, lines.len())?,
+        }
+    }
+
+    /// Dropping any one token from any one card never panics, and the
+    /// error (if any) names the offending line or device.
+    #[test]
+    fn mutated_netlist_token_drop_never_panics(
+        nl in arb_netlist(),
+        pick_line in 0usize..4096,
+        pick_token in 0usize..4096,
+    ) {
+        let text = write_spice(&nl);
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let i = pick_line % lines.len();
+        let mut tokens: Vec<&str> = lines[i].split_whitespace().collect();
+        if !tokens.is_empty() {
+            tokens.remove(pick_token % tokens.len());
+            lines[i] = tokens.join(" ");
+        }
+        let mutated = lines.join("\n");
+        match parse_spice(&mutated) {
+            Ok(back) => {
+                if let Err(e) = FlatCircuit::elaborate(&back) {
+                    prop_assert!(!e.to_string().is_empty());
+                }
+            }
+            Err(e) => prop_assert_parse_error_is_located(&e, lines.len())?,
+        }
+    }
+
+    /// Overwriting any one character with arbitrary printable ASCII
+    /// never panics anywhere in parse → elaborate.
+    #[test]
+    fn mutated_netlist_char_flip_never_panics(
+        nl in arb_netlist(),
+        pick in 0usize..4096,
+        replacement in 0x20u8..0x7F,
+    ) {
+        let text = write_spice(&nl);
+        let mut chars: Vec<char> = text.chars().collect();
+        let i = pick % chars.len();
+        chars[i] = char::from(replacement);
+        let mutated: String = chars.into_iter().collect();
+        match parse_spice(&mutated) {
+            Ok(back) => { let _ = FlatCircuit::elaborate(&back); }
+            Err(e) => prop_assert_parse_error_is_located(&e, mutated.lines().count())?,
         }
     }
 

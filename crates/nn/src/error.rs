@@ -1,0 +1,159 @@
+//! Typed errors for the numeric substrate.
+//!
+//! The hot-path kernels ([`Matrix::matmul`](crate::Matrix::matmul) and
+//! friends) keep their `assert!` contracts — a shape mismatch deep in a
+//! training step is a programming error, and branch-free inner loops
+//! matter there. This module adds *checked entry points* for the places
+//! where data crosses a trust boundary (deserialized weights, injected
+//! test inputs, user-supplied buffers), so callers can turn malformed
+//! numerics into recoverable [`NnError`]s instead of panics.
+
+use std::fmt;
+
+use crate::matrix::Matrix;
+
+/// A recoverable numeric-substrate error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Two operands had incompatible shapes for the named operation.
+    ShapeMismatch {
+        /// The operation that was attempted (e.g. `matmul`).
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: (usize, usize),
+        /// Right-hand shape.
+        rhs: (usize, usize),
+    },
+    /// A buffer's length disagreed with the requested shape.
+    BufferLength {
+        /// Requested shape.
+        shape: (usize, usize),
+        /// Actual buffer length.
+        len: usize,
+    },
+    /// A matrix that must be finite contained a NaN or infinity.
+    NonFinite {
+        /// What the matrix was (caller-supplied label, e.g. `gradient`).
+        what: String,
+        /// Row of the first offending element.
+        row: usize,
+        /// Column of the first offending element.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            NnError::BufferLength { shape, len } => {
+                write!(f, "buffer of length {len} cannot fill a {shape:?} matrix")
+            }
+            NnError::NonFinite { what, row, col, value } => {
+                write!(f, "{what} has non-finite value {value} at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+impl Matrix {
+    /// Checked [`Matrix::from_vec`]: wrap a buffer, or report the length
+    /// mismatch instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::BufferLength`] when `data.len() != rows * cols`.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix, NnError> {
+        if data.len() != rows * cols {
+            return Err(NnError::BufferLength { shape: (rows, cols), len: data.len() });
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Checked [`Matrix::matmul`]: report inner-dimension mismatches
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::ShapeMismatch`] when `self.cols() != other.rows()`.
+    pub fn try_matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols() != other.rows() {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(self.matmul(other))
+    }
+
+    /// Verify every element is finite, reporting the first offender with
+    /// its position (a structured alternative to
+    /// [`Matrix::is_finite`](Matrix::is_finite) for error paths).
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::NonFinite`] naming `what` and the first bad element.
+    pub fn ensure_finite(&self, what: &str) -> Result<(), NnError> {
+        for r in 0..self.rows() {
+            for (c, &value) in self.row(r).iter().enumerate() {
+                if !value.is_finite() {
+                    return Err(NnError::NonFinite {
+                        what: what.to_owned(),
+                        row: r,
+                        col: c,
+                        value,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_from_vec_checks_length() {
+        assert!(Matrix::try_from_vec(2, 2, vec![0.0; 4]).is_ok());
+        let err = Matrix::try_from_vec(2, 2, vec![0.0; 3]).unwrap_err();
+        assert_eq!(err, NnError::BufferLength { shape: (2, 2), len: 3 });
+        assert!(err.to_string().contains("length 3"));
+    }
+
+    #[test]
+    fn try_matmul_checks_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.try_matmul(&b).unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { op: "matmul", .. }));
+        let c = Matrix::zeros(3, 4);
+        assert_eq!(a.try_matmul(&c).unwrap().shape(), (2, 4));
+    }
+
+    #[test]
+    fn ensure_finite_locates_first_offender() {
+        let mut m = Matrix::zeros(3, 2);
+        assert!(m.ensure_finite("weights").is_ok());
+        m[(1, 1)] = f64::NAN;
+        m[(2, 0)] = f64::INFINITY;
+        let err = m.ensure_finite("weights").unwrap_err();
+        match err {
+            NnError::NonFinite { ref what, row, col, value } => {
+                assert_eq!(what, "weights");
+                assert_eq!((row, col), (1, 1));
+                assert!(value.is_nan());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("weights"));
+    }
+}

@@ -37,6 +37,7 @@
 //! assert!(w.max_abs() < 1e-2);
 //! ```
 
+pub mod error;
 pub mod gru;
 pub mod init;
 pub mod linalg;
@@ -45,6 +46,7 @@ pub mod optim;
 pub mod sparse;
 pub mod tape;
 
+pub use error::NnError;
 pub use gru::{GruCell, GruLeaves};
 pub use matrix::{cosine_similarity, Matrix};
 pub use optim::Adam;

@@ -54,11 +54,11 @@ pub fn common_centroid_slots(count: usize) -> Vec<CentroidSlot> {
     // total must be odd too, which requires odd `cols` (an even-width
     // grid always has an even total).
     let mut cols = (count as f64).sqrt().ceil() as usize;
-    if count % 2 == 1 && cols % 2 == 0 {
+    if count % 2 == 1 && cols.is_multiple_of(2) {
         cols += 1;
     }
     let mut rows = count.div_ceil(cols);
-    if (rows * cols - count) % 2 != 0 {
+    if !(rows * cols - count).is_multiple_of(2) {
         rows += 1;
     }
 

@@ -112,6 +112,68 @@ fn bad_usage_fails_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
 }
 
+/// Exit codes are stable per failure stage: 2 usage, 3 I/O, 4 parse,
+/// 5 elaborate, 6 bad model file — so scripts can dispatch on them.
+#[test]
+fn exit_codes_identify_the_failing_stage() {
+    let dir = workdir("codes");
+    let sp = dir.join("sa.sp");
+    fs::write(&sp, NETLIST).unwrap();
+
+    // Usage errors: no command, and a wrong flag.
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["extract"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "extract with no netlist is a usage error");
+    let out = bin()
+        .args(["extract"])
+        .arg(&sp)
+        .args(["--epochs", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "zero epochs is a usage error, not a panic");
+
+    // Parse failure names the stage and the line.
+    let bad = dir.join("bad.sp");
+    fs::write(&bad, ".ends\n").unwrap();
+    let out = bin().args(["stats"]).arg(&bad).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse"), "{stderr}");
+
+    // Elaboration failure (instance of an undefined subcircuit).
+    let dangling = dir.join("dangling.sp");
+    fs::write(&dangling, ".subckt top a b\nX1 a b missing\n.ends\n").unwrap();
+    let out = bin().args(["stats"]).arg(&dangling).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(5), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("elaborate"), "{stderr}");
+
+    // Unreadable model file is an I/O error; a corrupt one is a
+    // load-model error.
+    let out = bin()
+        .args(["extract"])
+        .arg(&sp)
+        .args(["--model"])
+        .arg(dir.join("no-such-model.txt"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let corrupt = dir.join("corrupt-model.txt");
+    fs::write(&corrupt, "not a model\n").unwrap();
+    let out = bin()
+        .args(["extract"])
+        .arg(&sp)
+        .args(["--model"])
+        .arg(&corrupt)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(6), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("load-model"), "{stderr}");
+}
+
 #[test]
 fn groups_output_renders_paths() {
     let dir = workdir("groups");

@@ -1,0 +1,191 @@
+//! Fault-injection harness: every corruption operator in
+//! `ancstr_core::inject`, swept over multiple seeds, must drive the
+//! full pipeline to a **typed error or a degraded-but-valid result —
+//! never a panic**. Covers the netlist boundary (10 SPICE fault
+//! classes), the model-file boundary (6 classes), dataset-level faults
+//! (empty corpus), and in-training numerical faults (injected NaN
+//! gradient, recovered via checkpoint restore).
+
+use ancstr_core::{
+    inject_model, inject_spice, ExtractError, ExtractorConfig, ModelFault, SymmetryExtractor,
+    ALL_MODEL_FAULTS, ALL_SPICE_FAULTS,
+};
+use ancstr_gnn::{GnnModel, HealthConfig, TrainConfig, TrainError};
+use ancstr_netlist::flat::FlatCircuit;
+use ancstr_netlist::parse::parse_spice;
+
+/// A healthy two-level netlist exercising subcircuit instantiation,
+/// geometry parameters, and several device types.
+const GOOD_SRC: &str = "\
+.subckt diffpair inp inn outp outn ibias vdd vss
+M1 outp inp tail vss nch_lvt w=4u l=0.2u
+M2 outn inn tail vss nch_lvt w=4u l=0.2u
+M3 outp bias vdd vdd pch w=8u l=0.2u
+M4 outn bias vdd vdd pch w=8u l=0.2u
+M5 tail ibias vss vss nch w=2u l=0.5u
+R1 bias outp 10k
+R2 bias outn 10k
+C1 outp vss 20f
+C2 outn vss 20f
+.ends
+.subckt top a b oa ob ib vdd vss
+X1 a b oa ob ib vdd vss diffpair
+.ends
+";
+
+fn tiny_config() -> ExtractorConfig {
+    ExtractorConfig {
+        train: TrainConfig { epochs: 3, seed: 17, ..TrainConfig::default() },
+        ..ExtractorConfig::default()
+    }
+}
+
+/// A pre-trained extractor shared across mutated inputs (training once
+/// keeps the sweep fast; inference is the stage under test here).
+fn trained_extractor() -> SymmetryExtractor {
+    let nl = parse_spice(GOOD_SRC).expect("fixture is valid");
+    let flat = FlatCircuit::elaborate(&nl).expect("fixture elaborates");
+    let mut ex = SymmetryExtractor::try_new(tiny_config()).expect("dim matches");
+    let (_, health) = ex.try_fit(&[&flat], &HealthConfig::default()).expect("healthy fit");
+    assert!(health.clean(), "fixture training must be anomaly-free: {health:?}");
+    ex
+}
+
+/// Every SPICE fault class × several seeds, through parse → elaborate →
+/// guarded extraction. Any outcome is acceptable except a panic or an
+/// untyped failure.
+#[test]
+fn spice_faults_never_panic_anywhere_in_the_pipeline() {
+    let ex = trained_extractor();
+    let mut parse_errors = 0usize;
+    let mut elaborate_errors = 0usize;
+    let mut degraded = 0usize;
+    let mut survived = 0usize;
+
+    for fault in ALL_SPICE_FAULTS {
+        for seed in 0..6u64 {
+            let mutated = inject_spice(GOOD_SRC, fault, seed);
+            let nl = match parse_spice(&mutated) {
+                Ok(nl) => nl,
+                Err(e) => {
+                    // Typed, and it names a location.
+                    assert!(!e.to_string().is_empty(), "{fault:?}/{seed}");
+                    parse_errors += 1;
+                    continue;
+                }
+            };
+            let flat = match FlatCircuit::elaborate(&nl) {
+                Ok(flat) => flat,
+                Err(e) => {
+                    assert!(!e.to_string().is_empty(), "{fault:?}/{seed}");
+                    elaborate_errors += 1;
+                    continue;
+                }
+            };
+            // The mutation produced a *valid* circuit: inference must
+            // still complete without panicking.
+            match ex.try_extract(&flat) {
+                Ok(out) => {
+                    if out.detection.warnings.is_empty() {
+                        survived += 1;
+                    } else {
+                        degraded += 1;
+                    }
+                }
+                Err(e) => {
+                    assert!(e.exit_code() >= 4, "{fault:?}/{seed}: {e}");
+                }
+            }
+        }
+    }
+    // The sweep must exercise both rejection paths and the
+    // survived-mutation path, or the operators are too weak.
+    assert!(parse_errors > 0, "no fault ever failed parsing");
+    assert!(elaborate_errors > 0, "no fault ever failed elaboration");
+    assert!(survived + degraded > 0, "no mutated netlist ever reached inference");
+}
+
+/// Every model-file fault class × several seeds through
+/// `GnnModel::from_text` and the checked pipeline loader: either a
+/// typed error, or a model whose weights are all finite.
+#[test]
+fn model_faults_yield_typed_errors_or_finite_models() {
+    let ex = trained_extractor();
+    let text = ex.model().to_text();
+    for fault in ALL_MODEL_FAULTS {
+        for seed in 0..6u64 {
+            let mutated = inject_model(&text, fault, seed);
+            match GnnModel::from_text(&mutated) {
+                Ok(model) => assert!(
+                    model.is_finite(),
+                    "{fault:?}/{seed}: parser accepted a non-finite model"
+                ),
+                Err(e) => assert!(!e.to_string().is_empty(), "{fault:?}/{seed}"),
+            }
+            // The pipeline loader maps the same failures to load-model
+            // exit codes (6) and never panics.
+            if let Err(e) =
+                SymmetryExtractor::try_new(tiny_config()).unwrap().with_model_text(&mutated)
+            {
+                assert_eq!(e.exit_code(), 6, "{fault:?}/{seed}: {e}");
+            }
+        }
+    }
+    // Non-finite weights parse as f64, so only the explicit finiteness
+    // check can reject them: these two classes must always error.
+    for fault in [ModelFault::NanWeight, ModelFault::InfWeight] {
+        for seed in 0..6u64 {
+            let mutated = inject_model(&text, fault, seed);
+            assert!(
+                GnnModel::from_text(&mutated).is_err(),
+                "{fault:?}/{seed}: non-finite weight accepted"
+            );
+        }
+    }
+}
+
+/// Dataset-level fault: an empty training corpus is a typed error, not
+/// a panic deep inside the batch sampler.
+#[test]
+fn empty_corpus_is_a_typed_training_error() {
+    let mut ex = SymmetryExtractor::try_new(tiny_config()).unwrap();
+    let err = ex.try_fit(&[], &HealthConfig::default()).unwrap_err();
+    assert_eq!(err, ExtractError::Train(TrainError::EmptyDataset));
+    assert_eq!(err.exit_code(), 7);
+}
+
+/// In-training numerical fault at the integration level: a transient
+/// NaN gradient injected mid-training is recovered by checkpoint
+/// restore + re-seed, and the pipeline still produces a symmetric
+/// detection for a symmetric circuit.
+#[test]
+fn injected_nan_gradient_recovers_and_extraction_still_works() {
+    let nl = parse_spice(GOOD_SRC).unwrap();
+    let flat = FlatCircuit::elaborate(&nl).unwrap();
+    let mut ex = SymmetryExtractor::try_new(tiny_config()).unwrap();
+    let health_cfg =
+        HealthConfig { inject_nan_grad_at: Some(1), ..HealthConfig::default() };
+    let (report, health) = ex.try_fit(&[&flat], &health_cfg).expect("recovers");
+    assert_eq!(health.retries.len(), 1, "exactly one recovery: {health:?}");
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+
+    let out = ex.try_extract(&flat).expect("post-recovery inference works");
+    let id = |p: &str| flat.node_by_path(p).expect("path exists").id;
+    assert!(out
+        .detection
+        .constraints
+        .contains_pair(id("top/X1/M1"), id("top/X1/M2")));
+}
+
+/// Control: the harness itself is deterministic — the same fault and
+/// seed always produce the same mutated text, so failures reproduce.
+#[test]
+fn clean_inputs_and_injections_are_deterministic()  {
+    for fault in ALL_SPICE_FAULTS {
+        assert_eq!(inject_spice(GOOD_SRC, fault, 42), inject_spice(GOOD_SRC, fault, 42));
+    }
+    let model = trained_extractor().model().to_text();
+    for fault in ALL_MODEL_FAULTS {
+        assert_eq!(inject_model(&model, fault, 42), inject_model(&model, fault, 42));
+    }
+}

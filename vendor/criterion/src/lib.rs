@@ -1,0 +1,215 @@
+//! Offline in-workspace stand-in for the subset of the `criterion`
+//! benchmark API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `criterion` cannot be fetched. This crate implements a simple
+//! mean-of-samples timer behind the same API (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`, `black_box`)
+//! so `cargo bench` still runs every bench and prints timings, without
+//! upstream's statistical analysis, warm-up heuristics, or HTML
+//! reports.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to warm caches.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Benchmark a closure over one input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, total: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{group}/{id}: no samples recorded");
+        return;
+    }
+    let mean = b.total.as_secs_f64() / b.iters as f64;
+    let (value, unit) = if mean < 1e-6 {
+        (mean * 1e9, "ns")
+    } else if mean < 1e-3 {
+        (mean * 1e6, "µs")
+    } else if mean < 1.0 {
+        (mean * 1e3, "ms")
+    } else {
+        (mean, "s")
+    };
+    println!("{group}/{id}: {value:.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { name: name.into(), sample_size, _criterion: self }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b =
+            Bencher { samples: self.default_sample_size, total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        report("bench", id, &b);
+        self
+    }
+
+    /// Upstream parses CLI args here; we accept and ignore them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("test_group");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("scale", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_and_timing_run() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("ours", "ADC1").to_string(), "ours/ADC1");
+        assert_eq!(BenchmarkId::from_parameter("gru").to_string(), "gru");
+    }
+}
