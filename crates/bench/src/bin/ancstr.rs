@@ -3,7 +3,11 @@
 //! ```text
 //! ancstr extract <netlist.sp> [-o constraints.txt] [--model model.txt]
 //!                [--epochs N] [--seed S] [--groups]
+//!                [--run-dir DIR] [--resume] [--checkpoint-every N]
+//!                [--time-budget SECS]
 //! ancstr train   <netlist.sp>... --model-out model.txt [--epochs N]
+//!                [--run-dir DIR] [--resume] [--checkpoint-every N]
+//!                [--time-budget SECS]
 //! ancstr stats   <netlist.sp>
 //! ```
 //!
@@ -11,33 +15,52 @@
 //! pre-trained model (the inductive mode). `train` fits one universal
 //! model over several netlists and saves it.
 //!
+//! With `--run-dir`, every pipeline stage writes CRC-sealed artifacts
+//! into a durable run directory and records its status in an atomic
+//! manifest; training checkpoints every `--checkpoint-every` epochs
+//! (default 5). A crashed or deadline-cancelled run is continued with
+//! `--resume`, which validates the manifest against the current
+//! configuration, skips completed stages, and restarts training from
+//! the newest valid checkpoint — the resumed result is bit-identical to
+//! an uninterrupted run. `--time-budget SECS` arms a watchdog that
+//! requests cooperative cancellation at stage/epoch boundaries,
+//! flushing a final checkpoint before exiting with code 10.
+//!
 //! Exit codes are stable so scripts can dispatch on the failure stage:
 //! 0 success, 2 usage, 3 file I/O, then per pipeline stage
 //! ([`ExtractError::exit_code`]): 4 parse, 5 elaborate, 6 bad
-//! configuration or model file, 7 training, 8 inference.
+//! configuration or model file, 7 training, 8 inference, 9 run-store
+//! failure (corrupt/mismatched manifest or artifact), and 10 when the
+//! time budget expired with the run checkpointed for `--resume`.
 
 use std::fs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ancstr_core::groups::merge_groups;
+use ancstr_core::runstore::{DurableFit, RunError, RunOptions, RunSession};
 use ancstr_core::{
-    render_groups, write_constraints, ExtractError, ExtractorConfig, SymmetryExtractor,
+    confusion_from_decisions, detect_constraints, read_constraints, render_groups,
+    valid_pairs, write_constraints, ExtractError, ExtractorConfig, SymmetryExtractor,
 };
-use ancstr_gnn::{HealthConfig, HealthReport};
+use ancstr_gnn::{matrix_from_text, matrix_to_text, EmbedError, HealthConfig, HealthReport};
+use ancstr_netlist::constraint::ConstraintSet;
 use ancstr_netlist::flat::FlatCircuit;
 use ancstr_netlist::parse::parse_spice_file;
+use ancstr_nn::Matrix;
 
 fn usage() -> &'static str {
-    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S]\n  ancstr stats <netlist.sp>"
+    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS]\n  ancstr stats <netlist.sp>"
 }
 
 /// Everything that can go wrong, sorted by exit code: misuse of the
-/// command line (2), file I/O (3), and pipeline failures (4–8, from
-/// [`ExtractError::exit_code`]).
+/// command line (2), file I/O (3), pipeline failures (4–9, from
+/// [`ExtractError::exit_code`]), and deadline expiry (10).
 enum CliError {
     Usage(String),
     Io { path: String, detail: String },
     Pipeline { path: String, err: ExtractError },
+    Deadline { run_dir: String },
 }
 
 impl CliError {
@@ -46,6 +69,7 @@ impl CliError {
             CliError::Usage(_) => 2,
             CliError::Io { .. } => 3,
             CliError::Pipeline { err, .. } => err.exit_code(),
+            CliError::Deadline { .. } => 10,
         }
     }
 
@@ -58,6 +82,10 @@ impl CliError {
             CliError::Pipeline { path, err } => {
                 format!("`{path}` failed at the {} stage: {err}", err.stage())
             }
+            CliError::Deadline { run_dir } => format!(
+                "time budget expired; progress is checkpointed in `{run_dir}` — rerun with \
+                 --resume --run-dir {run_dir} to continue"
+            ),
         }
     }
 }
@@ -106,6 +134,11 @@ struct Args {
     seed: Option<u64>,
     groups: bool,
     dot: Option<String>,
+    metrics: Option<String>,
+    run_dir: Option<String>,
+    resume: bool,
+    checkpoint_every: Option<usize>,
+    time_budget: Option<u64>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -118,6 +151,11 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         seed: None,
         groups: false,
         dot: None,
+        metrics: None,
+        run_dir: None,
+        resume: false,
+        checkpoint_every: None,
+        time_budget: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -140,6 +178,27 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--seed" => args.seed = Some(take("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--groups" => args.groups = true,
             "--dot" => args.dot = Some(take("--dot")?),
+            "--metrics" => args.metrics = Some(take("--metrics")?),
+            "--run-dir" => args.run_dir = Some(take("--run-dir")?),
+            "--resume" => args.resume = true,
+            "--checkpoint-every" => {
+                let n: usize = take("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every (want a positive integer)")?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_owned());
+                }
+                args.checkpoint_every = Some(n);
+            }
+            "--time-budget" => {
+                let n: u64 = take("--time-budget")?
+                    .parse()
+                    .map_err(|_| "bad --time-budget (want seconds as a positive integer)")?;
+                if n == 0 {
+                    return Err("--time-budget must be at least 1 second".to_owned());
+                }
+                args.time_budget = Some(n);
+            }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => args.positional.push(other.to_owned()),
         }
@@ -147,10 +206,142 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
+/// Validate the durable-run flags and build [`RunOptions`], or `None`
+/// when no `--run-dir` was given. Flag misuse (resume/cadence/budget
+/// without a run directory, or an unwritable directory) is a usage
+/// error so scripts see exit code 2 before any work starts.
+fn run_options(args: &Args) -> Result<Option<RunOptions>, CliError> {
+    let Some(dir) = &args.run_dir else {
+        if args.resume {
+            return Err(usage_err("--resume needs --run-dir"));
+        }
+        if args.checkpoint_every.is_some() {
+            return Err(usage_err("--checkpoint-every needs --run-dir"));
+        }
+        if args.time_budget.is_some() {
+            return Err(usage_err("--time-budget needs --run-dir"));
+        }
+        return Ok(None);
+    };
+    // Fail fast on an unusable directory, before any training happens.
+    fs::create_dir_all(dir)
+        .map_err(|e| usage_err(format!("run directory `{dir}` cannot be created: {e}")))?;
+    let probe = std::path::Path::new(dir).join(".ancstr-writable-probe");
+    fs::write(&probe, b"probe")
+        .map_err(|e| usage_err(format!("run directory `{dir}` is not writable: {e}")))?;
+    let _ = fs::remove_file(&probe);
+
+    let mut opts = RunOptions::new(dir);
+    opts.resume = args.resume;
+    if let Some(n) = args.checkpoint_every {
+        opts.checkpoint_every = n;
+    }
+    if let Some(secs) = args.time_budget {
+        opts.cancel.arm_deadline(Duration::from_secs(secs));
+    }
+    // Crash-injection hook for the resume smoke tests: abort (as a
+    // kill would) right after the Nth checkpoint write.
+    opts.test_abort_after_checkpoints = std::env::var("ANCSTR_TEST_ABORT_AFTER_CHECKPOINTS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    Ok(Some(opts))
+}
+
+/// Render the Table V / Table VI metric columns (TPR, FPR, PPV, ACC,
+/// F₁) of the extracted constraints against the netlist's ground
+/// truth, overall and per symmetry level. Deterministic given the same
+/// constraints, so CI can diff it across crash/resume runs.
+fn render_metrics(flat: &FlatCircuit, constraints: &ConstraintSet) -> String {
+    use ancstr_netlist::SymmetryKind;
+    let gt = flat.ground_truth();
+    let pairs = valid_pairs(flat);
+    let confusion = |kind: Option<SymmetryKind>| {
+        confusion_from_decisions(
+            pairs
+                .iter()
+                .filter(|p| kind.is_none_or(|k| p.kind == k))
+                .map(|p| {
+                    let (a, b) = (p.pair.lo(), p.pair.hi());
+                    (constraints.contains_pair(a, b), gt.contains_pair(a, b))
+                }),
+        )
+    };
+    let mut out = String::from("# level tpr fpr ppv acc f1\n");
+    for (level, c) in [
+        ("overall", confusion(None)),
+        ("system", confusion(Some(SymmetryKind::System))),
+        ("device", confusion(Some(SymmetryKind::Device))),
+    ] {
+        out.push_str(&format!(
+            "{level} {:.6} {:.6} {:.6} {:.6} {:.6}\n",
+            c.tpr(),
+            c.fpr(),
+            c.ppv(),
+            c.acc(),
+            c.f1()
+        ));
+    }
+    out
+}
+
+/// Shared output tail of `extract`: optional DOT dump, then the
+/// constraint set (or merged groups) to `-o`/stdout.
+fn emit_outputs(args: &Args, flat: &FlatCircuit, constraints: &ConstraintSet) -> Result<(), CliError> {
+    if let Some(dot_path) = &args.dot {
+        use ancstr_graph::dot::{to_dot, DotOptions};
+        use ancstr_graph::{BuildOptions, HetMultigraph};
+        let g = HetMultigraph::from_circuit(flat, &BuildOptions { max_net_degree: Some(64) });
+        let constrained: std::collections::HashSet<_> = constraints
+            .iter()
+            .flat_map(|c| [c.pair.lo(), c.pair.hi()])
+            .collect();
+        let dot = to_dot(
+            &g,
+            &DotOptions::default(),
+            |v| flat.devices()[g.device_index(v)].path.clone(),
+            |v| constrained.contains(&flat.devices()[g.device_index(v)].node),
+        );
+        fs::write(dot_path, dot)
+            .map_err(|e| CliError::Io { path: dot_path.clone(), detail: e.to_string() })?;
+        eprintln!("wrote {dot_path}");
+    }
+
+    if let Some(path) = &args.metrics {
+        fs::write(path, render_metrics(flat, constraints))
+            .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
+        eprintln!("wrote {path}");
+    }
+
+    let text = if args.groups {
+        render_groups(flat, &merge_groups(constraints))
+    } else {
+        write_constraints(flat, constraints)
+    };
+    match &args.output {
+        Some(path) => {
+            fs::write(path, &text)
+                .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 fn cmd_extract(args: Args) -> Result<(), CliError> {
+    let run = run_options(&args)?;
     let [input] = args.positional.as_slice() else {
         return Err(usage_err("extract needs exactly one netlist"));
     };
+    if let Some(opts) = run {
+        if args.model.is_some() {
+            return Err(usage_err(
+                "--model cannot be combined with --run-dir: a durable run owns its own \
+                 training stage",
+            ));
+        }
+        return cmd_extract_durable(&args, input, opts);
+    }
     let flat = load(input)?;
     eprintln!(
         "{} devices, {} nets, {} hierarchy nodes",
@@ -189,49 +380,193 @@ fn cmd_extract(args: Args) -> Result<(), CliError> {
         result.detection.constraints.len(),
         result.runtime.as_secs_f64() * 1e3
     );
+    emit_outputs(&args, &flat, &result.detection.constraints)
+}
 
-    if let Some(dot_path) = &args.dot {
-        use ancstr_graph::dot::{to_dot, DotOptions};
-        use ancstr_graph::{BuildOptions, HetMultigraph};
-        let g = HetMultigraph::from_circuit(&flat, &BuildOptions { max_net_degree: Some(64) });
-        let constrained: std::collections::HashSet<_> = result
-            .detection
-            .constraints
-            .iter()
-            .flat_map(|c| [c.pair.lo(), c.pair.hi()])
-            .collect();
-        let dot = to_dot(
-            &g,
-            &DotOptions::default(),
-            |v| flat.devices()[g.device_index(v)].path.clone(),
-            |v| constrained.contains(&flat.devices()[g.device_index(v)].node),
-        );
-        fs::write(dot_path, dot)
-            .map_err(|e| CliError::Io { path: dot_path.clone(), detail: e.to_string() })?;
-        eprintln!("wrote {dot_path}");
-    }
+/// The crash-safe extract path: every stage lands in the run directory,
+/// completed stages are skipped on `--resume`, and the cancel token is
+/// honoured between stages (and, inside training, between epochs).
+fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(), CliError> {
+    let run_dir = opts.run_dir.display().to_string();
+    let config = config_with(args.epochs, args.seed);
+    let pipeline = |err: ExtractError| CliError::Pipeline { path: input.to_owned(), err };
+    let run_err =
+        |e: RunError| CliError::Pipeline { path: run_dir.clone(), err: ExtractError::Run(e) };
 
-    let text = if args.groups {
-        render_groups(&flat, &merge_groups(&result.detection.constraints))
-    } else {
-        write_constraints(&flat, &result.detection.constraints)
-    };
-    match args.output {
-        Some(path) => {
-            fs::write(&path, &text)
-                .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
-            eprintln!("wrote {path}");
+    let flat = load(input)?;
+    eprintln!(
+        "{} devices, {} nets, {} hierarchy nodes",
+        flat.devices().len(),
+        flat.net_count(),
+        flat.nodes().len()
+    );
+    let mut session =
+        RunSession::open(opts, "extract", &config, std::slice::from_ref(&input.to_owned()))
+            .map_err(run_err)?;
+    let deadline = |session: &RunSession| -> Result<(), CliError> {
+        if session.cancelled() {
+            Err(CliError::Deadline { run_dir: run_dir.clone() })
+        } else {
+            Ok(())
         }
-        None => print!("{text}"),
+    };
+
+    // Stage: graph. Cheap and deterministic, so the artifact is a
+    // sealed summary that pins what the rest of the run was built from.
+    if session.stage_done("graph") {
+        eprintln!("[run] graph stage already done; skipping");
+    } else {
+        let meta = format!(
+            "netlist {input}\ndevices {}\nnets {}\nnodes {}\n",
+            flat.devices().len(),
+            flat.net_count(),
+            flat.nodes().len()
+        );
+        session.complete_stage("graph", "graph.meta", "graph-meta", &meta).map_err(run_err)?;
     }
-    Ok(())
+    deadline(&session)?;
+
+    // Stage: train (checkpointed; resumes bit-identically).
+    let mut extractor = SymmetryExtractor::try_new(config.clone()).map_err(pipeline)?;
+    match extractor
+        .fit_durable(&[&flat], &HealthConfig::default(), &mut session)
+        .map_err(pipeline)?
+    {
+        DurableFit::Cancelled { after_epoch } => {
+            eprintln!("[run] training cancelled after epoch {after_epoch}; checkpoint flushed");
+            return Err(CliError::Deadline { run_dir });
+        }
+        DurableFit::Completed { report, health, resumed_from, notes } => {
+            for note in &notes {
+                eprintln!("[run] {note}");
+            }
+            if session.stage_done("train") && report.epoch_losses.is_empty() {
+                eprintln!("[run] train stage already done; skipping");
+            }
+            if let Some(epoch) = resumed_from {
+                eprintln!("[run] resumed training from the epoch-{epoch} checkpoint");
+            }
+            report_health(&health);
+            if let Some(loss) = report.epoch_losses.last() {
+                eprintln!("final loss {loss:.4}");
+            }
+        }
+    }
+    deadline(&session)?;
+
+    // Stage: embed. A corrupt artifact degrades to recomputation.
+    let tg = extractor.train_graph(&flat);
+    let expected_shape = (tg.tensors.vertex_count(), extractor.model().config().dim);
+    let compute_z = |extractor: &SymmetryExtractor| -> Result<Matrix, CliError> {
+        match extractor.model().try_embed(&tg.tensors, &tg.features) {
+            Ok(z) => Ok(z),
+            // Poisoned inputs still yield a degraded-but-valid run;
+            // detection quarantines the affected rows behind warnings.
+            Err(EmbedError::NonFiniteFeatures) => {
+                Ok(extractor.model().embed(&tg.tensors, &tg.features))
+            }
+            Err(other) => Err(pipeline(ExtractError::Embed(other))),
+        }
+    };
+    let z = if session.stage_done("embed") {
+        let reloaded = session
+            .store()
+            .read_artifact("embeddings.txt", "embeddings")
+            .map_err(|e| e.to_string())
+            .and_then(|payload| matrix_from_text(&payload).map_err(|e| e.to_string()));
+        match reloaded {
+            Ok(z) if z.shape() == expected_shape => {
+                eprintln!("[run] embed stage already done; loaded sealed embeddings");
+                z
+            }
+            Ok(z) => {
+                eprintln!(
+                    "[run] embeddings artifact has shape {:?}, expected {expected_shape:?}; \
+                     recomputing",
+                    z.shape()
+                );
+                let z = compute_z(&extractor)?;
+                session
+                    .store()
+                    .write_artifact("embeddings.txt", "embeddings", &matrix_to_text(&z))
+                    .map_err(run_err)?;
+                z
+            }
+            Err(reason) => {
+                eprintln!("[run] embeddings artifact unusable ({reason}); recomputing");
+                let z = compute_z(&extractor)?;
+                session
+                    .store()
+                    .write_artifact("embeddings.txt", "embeddings", &matrix_to_text(&z))
+                    .map_err(run_err)?;
+                z
+            }
+        }
+    } else {
+        let z = compute_z(&extractor)?;
+        session
+            .complete_stage("embed", "embeddings.txt", "embeddings", &matrix_to_text(&z))
+            .map_err(run_err)?;
+        z
+    };
+    deadline(&session)?;
+
+    // Stage: detect. The artifact is the exported constraint set.
+    let constraints = if session.stage_done("detect") {
+        let reloaded = session
+            .store()
+            .read_artifact("constraints.txt", "constraints")
+            .map_err(|e| e.to_string())
+            .and_then(|payload| read_constraints(&flat, &payload).map_err(|e| e.to_string()));
+        match reloaded {
+            Ok(set) => {
+                eprintln!("[run] detect stage already done; loaded sealed constraints");
+                set
+            }
+            Err(reason) => {
+                eprintln!("[run] constraints artifact unusable ({reason}); re-detecting");
+                let detection =
+                    detect_constraints(&flat, &z, &config.thresholds, &config.embed);
+                for warning in &detection.warnings {
+                    eprintln!("warning: {warning}");
+                }
+                session
+                    .store()
+                    .write_artifact(
+                        "constraints.txt",
+                        "constraints",
+                        &write_constraints(&flat, &detection.constraints),
+                    )
+                    .map_err(run_err)?;
+                detection.constraints
+            }
+        }
+    } else {
+        let detection = detect_constraints(&flat, &z, &config.thresholds, &config.embed);
+        for warning in &detection.warnings {
+            eprintln!("warning: {warning}");
+        }
+        session
+            .complete_stage(
+                "detect",
+                "constraints.txt",
+                "constraints",
+                &write_constraints(&flat, &detection.constraints),
+            )
+            .map_err(run_err)?;
+        detection.constraints
+    };
+
+    eprintln!("{} constraints (run `{run_dir}` complete)", constraints.len());
+    emit_outputs(args, &flat, &constraints)
 }
 
 fn cmd_train(args: Args) -> Result<(), CliError> {
+    let run = run_options(&args)?;
     if args.positional.is_empty() {
         return Err(usage_err("train needs at least one netlist"));
     }
-    let Some(model_out) = &args.model_out else {
+    let Some(model_out) = args.model_out.clone() else {
         return Err(usage_err("train needs --model-out"));
     };
     let circuits: Vec<FlatCircuit> = args
@@ -242,14 +577,61 @@ fn cmd_train(args: Args) -> Result<(), CliError> {
     let refs: Vec<&FlatCircuit> = circuits.iter().collect();
     let corpus = args.positional.join(", ");
     let pipeline = |err: ExtractError| CliError::Pipeline { path: corpus.clone(), err };
-    let mut extractor =
-        SymmetryExtractor::try_new(config_with(args.epochs, args.seed)).map_err(pipeline)?;
-    eprintln!("training on {} circuits ...", refs.len());
-    let (report, health) =
-        extractor.try_fit(&refs, &HealthConfig::default()).map_err(pipeline)?;
-    report_health(&health);
-    eprintln!("final loss {:.4}", report.final_loss());
-    fs::write(model_out, extractor.model().to_text())
+    let config = config_with(args.epochs, args.seed);
+    let mut extractor = SymmetryExtractor::try_new(config.clone()).map_err(pipeline)?;
+
+    if let Some(opts) = run {
+        let run_dir = opts.run_dir.display().to_string();
+        let run_err =
+            |e: RunError| CliError::Pipeline { path: run_dir.clone(), err: ExtractError::Run(e) };
+        let mut session =
+            RunSession::open(opts, "train", &config, &args.positional).map_err(run_err)?;
+        if session.stage_done("graph") {
+            eprintln!("[run] graph stage already done; skipping");
+        } else {
+            let meta = format!(
+                "netlists {corpus}\ncircuits {}\ndevices {}\n",
+                refs.len(),
+                refs.iter().map(|f| f.devices().len()).sum::<usize>()
+            );
+            session.complete_stage("graph", "graph.meta", "graph-meta", &meta).map_err(run_err)?;
+        }
+        if session.cancelled() {
+            return Err(CliError::Deadline { run_dir });
+        }
+        eprintln!("training on {} circuits ...", refs.len());
+        match extractor
+            .fit_durable(&refs, &HealthConfig::default(), &mut session)
+            .map_err(pipeline)?
+        {
+            DurableFit::Cancelled { after_epoch } => {
+                eprintln!(
+                    "[run] training cancelled after epoch {after_epoch}; checkpoint flushed"
+                );
+                return Err(CliError::Deadline { run_dir });
+            }
+            DurableFit::Completed { report, health, resumed_from, notes } => {
+                for note in &notes {
+                    eprintln!("[run] {note}");
+                }
+                if let Some(epoch) = resumed_from {
+                    eprintln!("[run] resumed training from the epoch-{epoch} checkpoint");
+                }
+                report_health(&health);
+                if let Some(loss) = report.epoch_losses.last() {
+                    eprintln!("final loss {loss:.4}");
+                }
+            }
+        }
+    } else {
+        eprintln!("training on {} circuits ...", refs.len());
+        let (report, health) =
+            extractor.try_fit(&refs, &HealthConfig::default()).map_err(pipeline)?;
+        report_health(&health);
+        eprintln!("final loss {:.4}", report.final_loss());
+    }
+
+    fs::write(&model_out, extractor.model().to_text())
         .map_err(|e| CliError::Io { path: model_out.clone(), detail: e.to_string() })?;
     eprintln!("wrote {model_out}");
     Ok(())

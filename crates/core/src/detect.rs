@@ -39,17 +39,30 @@ impl ThresholdConfig {
 /// A numerical-health warning attached to a detection: a hierarchy node
 /// whose feature vector contained NaN/Inf, so every pair touching it was
 /// skipped instead of being scored with a poisoned cosine similarity.
+///
+/// Warnings are *counted records*: one per affected node, carrying how
+/// many candidate pairs it suppressed, so a badly poisoned node emits
+/// one line instead of one line per pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NumericWarning {
     /// The affected node.
     pub node: ancstr_netlist::HierNodeId,
     /// Its hierarchical path (for human-readable reporting).
     pub path: String,
+    /// Number of candidate pairs skipped because this node's feature
+    /// vector was non-finite.
+    pub skipped_pairs: usize,
 }
 
 impl std::fmt::Display for NumericWarning {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "skipped `{}`: non-finite feature vector", self.path)
+        write!(
+            f,
+            "skipped {} pair{} touching `{}`: non-finite feature vector",
+            self.skipped_pairs,
+            if self.skipped_pairs == 1 { "" } else { "s" },
+            self.path
+        )
     }
 }
 
@@ -124,21 +137,27 @@ pub fn detect_constraints(
 
     let mut scored = Vec::new();
     let mut constraints = ConstraintSet::new();
-    let mut warnings = Vec::new();
-    let mut warned = std::collections::HashSet::new();
+    let mut warnings: Vec<NumericWarning> = Vec::new();
+    let mut warned = std::collections::HashMap::new();
     for candidate in valid_pairs(flat) {
         let za = feature_of(candidate.pair.lo());
         let zb = feature_of(candidate.pair.hi());
         // A NaN anywhere would turn the cosine score into NaN, which
         // compares false against every threshold and silently becomes a
-        // rejection. Surface it as a warning record instead.
+        // rejection. Surface it as a counted warning record instead.
         let mut skip = false;
         for (id, v) in [(candidate.pair.lo(), &za), (candidate.pair.hi(), &zb)] {
             if v.iter().any(|x| !x.is_finite()) {
                 skip = true;
-                if warned.insert(id) {
-                    warnings.push(NumericWarning { node: id, path: flat.node(id).path.clone() });
-                }
+                let slot = *warned.entry(id).or_insert_with(|| {
+                    warnings.push(NumericWarning {
+                        node: id,
+                        path: flat.node(id).path.clone(),
+                        skipped_pairs: 0,
+                    });
+                    warnings.len() - 1
+                });
+                warnings[slot].skipped_pairs += 1;
             }
         }
         if skip {
@@ -414,10 +433,17 @@ M4 b a s vss nch w=2u l=0.1u
         );
         // No NaN score leaks out.
         assert!(result.scored.iter().all(|s| s.score.is_finite()));
-        // The poisoned device is reported exactly once, by path.
+        // The poisoned device is reported exactly once, by path, with
+        // the number of pairs it suppressed.
         assert_eq!(result.warnings.len(), 1);
         assert_eq!(result.warnings[0].path, "cell/M1");
-        assert!(result.warnings[0].to_string().contains("cell/M1"));
+        assert!(result.warnings[0].skipped_pairs >= 1);
+        let rendered = result.warnings[0].to_string();
+        assert!(rendered.contains("cell/M1"), "{rendered}");
+        assert!(
+            rendered.contains(&result.warnings[0].skipped_pairs.to_string()),
+            "{rendered}"
+        );
         // The healthy pair is still detected.
         let m3 = flat.node_by_path("cell/M3").unwrap().id;
         let m4 = flat.node_by_path("cell/M4").unwrap().id;

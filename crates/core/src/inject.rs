@@ -1,9 +1,10 @@
 //! Seeded fault injection for robustness testing.
 //!
-//! Corruption operators over the two textual trust boundaries of the
-//! pipeline — SPICE netlist sources ([`SpiceFault`]) and serialized
-//! model files ([`ModelFault`]) — each deterministic in an explicit
-//! seed, so a failing case reproduces exactly. The integration suite
+//! Corruption operators over the textual trust boundaries of the
+//! pipeline — SPICE netlist sources ([`SpiceFault`]), serialized model
+//! files ([`ModelFault`]), and run-store checkpoint/manifest artifacts
+//! ([`CheckpointFault`]) — each deterministic in an explicit seed, so a
+//! failing case reproduces exactly. The integration suite
 //! (`tests/fault_injection.rs`) drives every operator through the full
 //! pipeline and asserts the invariant this module exists for: **every
 //! fault yields a typed error or a degraded-but-valid result, never a
@@ -291,6 +292,97 @@ pub fn inject_model(text: &str, fault: ModelFault, seed: u64) -> String {
     }
 }
 
+/// A corruption operator over CRC-sealed run-store artifacts
+/// (checkpoints and the run manifest; see [`crate::runstore`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointFault {
+    /// Cut the file, keeping roughly this fraction of its bytes; models
+    /// a crash mid-write on a filesystem without atomic rename (the
+    /// seal footer sits last, so any truncation destroys it).
+    TruncateTail {
+        /// Fraction of the bytes to keep.
+        keep_frac: f64,
+    },
+    /// Flip this many random bits; models silent media corruption. The
+    /// CRC-32 seal catches every such flip.
+    FlipBit {
+        /// Number of bit flips to apply.
+        count: usize,
+    },
+    /// Rewrite the manifest's `config_hash` to a stale value and
+    /// re-seal it, so the file *verifies* but belongs to a different
+    /// run; resume must reject it with a typed config mismatch, not
+    /// trust the checksum alone. A no-op on non-manifest artifacts.
+    StaleManifest,
+}
+
+/// All checkpoint/manifest fault classes, for exhaustive sweeps.
+pub const ALL_CHECKPOINT_FAULTS: [CheckpointFault; 3] = [
+    CheckpointFault::TruncateTail { keep_frac: 0.7 },
+    CheckpointFault::FlipBit { count: 1 },
+    CheckpointFault::StaleManifest,
+];
+
+/// Apply `fault` to a sealed artifact's text, deterministically in
+/// `seed`.
+pub fn inject_checkpoint(text: &str, fault: CheckpointFault, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match fault {
+        CheckpointFault::TruncateTail { keep_frac } => {
+            let keep = (text.len() as f64 * keep_frac.clamp(0.0, 1.0)) as usize;
+            let mut cut = keep.min(text.len());
+            while cut > 0 && !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text[..cut].to_owned()
+        }
+        CheckpointFault::FlipBit { count } => {
+            let mut bytes = text.as_bytes().to_vec();
+            if bytes.is_empty() {
+                return String::new();
+            }
+            for _ in 0..count {
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] ^= 1 << rng.gen_range(0..8u32);
+            }
+            // Corruption may break UTF-8; lossy decoding models what a
+            // reader would see (and still differs from the original).
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        CheckpointFault::StaleManifest => {
+            // Split off the seal footer, keeping its kind.
+            let Some(footer_start) = text.rfind("ancstr-seal ") else {
+                return text.to_owned();
+            };
+            let footer = &text[footer_start..];
+            let Some(kind) = footer
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("kind="))
+            else {
+                return text.to_owned();
+            };
+            let kind = kind.to_owned();
+            let payload = &text[..footer_start];
+            // Swap the config hash for a stale one, then re-seal so the
+            // checksum is *valid* — only semantic validation can catch it.
+            let Some(pos) = payload.find("\"config_hash\": \"") else {
+                return text.to_owned();
+            };
+            let val_start = pos + "\"config_hash\": \"".len();
+            let Some(val_len) = payload[val_start..].find('"') else {
+                return text.to_owned();
+            };
+            let stale = format!(
+                "{}{}{}",
+                &payload[..val_start],
+                "0".repeat(val_len),
+                &payload[val_start + val_len..]
+            );
+            ancstr_gnn::seal(&kind, &stale)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +437,36 @@ X1 a b o1 o2 ibb vdd vss dp
         }
         assert!(inject_model(&text, ModelFault::NanWeight, 5).contains("NaN"));
         assert!(inject_model(&text, ModelFault::InfWeight, 5).contains("inf"));
+    }
+
+    #[test]
+    fn checkpoint_faults_are_deterministic_and_break_the_seal() {
+        let sealed = ancstr_gnn::seal("checkpoint", "ancstr-ckpt v1\npayload data\n");
+        for fault in [
+            CheckpointFault::TruncateTail { keep_frac: 0.7 },
+            CheckpointFault::FlipBit { count: 1 },
+        ] {
+            let a = inject_checkpoint(&sealed, fault, 21);
+            assert_eq!(a, inject_checkpoint(&sealed, fault, 21), "{fault:?} deterministic");
+            assert_ne!(a, sealed, "{fault:?} must change the text");
+            assert!(
+                ancstr_gnn::open_sealed("checkpoint", &a).is_err(),
+                "{fault:?} must break checksum verification"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_manifest_keeps_a_valid_seal_but_zeroes_the_hash() {
+        let payload = "{\n  \"config_hash\": \"49c099dbacda8945\",\n  \"seed\": 7\n}\n";
+        let sealed = ancstr_gnn::seal("manifest", payload);
+        let stale = inject_checkpoint(&sealed, CheckpointFault::StaleManifest, 0);
+        assert_ne!(stale, sealed);
+        // The seal still verifies — only semantic validation catches it.
+        let opened = ancstr_gnn::open_sealed("manifest", &stale).unwrap();
+        assert!(opened.contains("\"config_hash\": \"0000000000000000\""), "{opened}");
+        // Non-manifest artifacts are left alone.
+        let ckpt = ancstr_gnn::seal("checkpoint", "ancstr-ckpt v1\n");
+        assert_eq!(inject_checkpoint(&ckpt, CheckpointFault::StaleManifest, 0), ckpt);
     }
 }

@@ -53,6 +53,7 @@ pub mod metrics;
 pub mod pairs;
 pub mod pipeline;
 pub mod recover;
+pub mod runstore;
 
 pub use consistency::{vote_template_consistency, ConsistencyOptions, ConsistencyReport};
 pub use detect::{
@@ -68,9 +69,14 @@ pub use metrics::{
 };
 pub use pairs::{pair_stats, valid_pairs, valid_pairs_of_kind, CandidatePair, PairStats};
 pub use inject::{
-    inject_model, inject_spice, ModelFault, SpiceFault, ALL_MODEL_FAULTS, ALL_SPICE_FAULTS,
+    inject_checkpoint, inject_model, inject_spice, CheckpointFault, ModelFault, SpiceFault,
+    ALL_CHECKPOINT_FAULTS, ALL_MODEL_FAULTS, ALL_SPICE_FAULTS,
 };
 pub use pipeline::{
     evaluate_detection, Evaluation, Extraction, ExtractorConfig, SymmetryExtractor,
 };
 pub use recover::ExtractError;
+pub use runstore::{
+    config_hash, write_atomic, CancelToken, DurableFit, RunError, RunManifest, RunOptions,
+    RunSession, RunStore, StageEntry, StageStatus, DEFAULT_CHECKPOINT_EVERY, MANIFEST_VERSION,
+};

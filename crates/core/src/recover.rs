@@ -51,13 +51,18 @@ pub enum ExtractError {
     /// Inference could not produce usable embeddings (e.g. the model's
     /// parameters are non-finite).
     Embed(EmbedError),
+    /// The durable run store failed: run-directory I/O, a corrupt or
+    /// mismatched manifest, or an unusable artifact (see
+    /// [`RunError`](crate::runstore::RunError)).
+    Run(crate::runstore::RunError),
 }
 
 impl ExtractError {
     /// A stable non-zero process exit code per error stage, for CLI
     /// consumers: parse = 4, elaborate = 5, configuration/model = 6,
-    /// training = 7, inference = 8. (Codes 1–3 are reserved for generic
-    /// failure, usage errors, and I/O respectively.)
+    /// training = 7, inference = 8, run store = 9. (Codes 1–3 are
+    /// reserved for generic failure, usage errors, and I/O
+    /// respectively; 10 is the CLI's deadline-expired code.)
     pub fn exit_code(&self) -> u8 {
         match self {
             ExtractError::Parse(_) => 4,
@@ -67,6 +72,7 @@ impl ExtractError {
             }
             ExtractError::Train(_) => 7,
             ExtractError::Embed(_) => 8,
+            ExtractError::Run(_) => 9,
         }
     }
 
@@ -79,6 +85,7 @@ impl ExtractError {
             ExtractError::Model(_) | ExtractError::ModelDim(_) => "load-model",
             ExtractError::Train(_) => "train",
             ExtractError::Embed(_) => "embed",
+            ExtractError::Run(_) => "run-store",
         }
     }
 }
@@ -97,6 +104,7 @@ impl fmt::Display for ExtractError {
             ExtractError::ModelDim(e) => write!(f, "load-model: {e}"),
             ExtractError::Train(e) => write!(f, "train: {e}"),
             ExtractError::Embed(e) => write!(f, "embed: {e}"),
+            ExtractError::Run(e) => write!(f, "run-store: {e}"),
         }
     }
 }
@@ -111,6 +119,7 @@ impl std::error::Error for ExtractError {
             ExtractError::ModelDim(e) => Some(e),
             ExtractError::Train(e) => Some(e),
             ExtractError::Embed(e) => Some(e),
+            ExtractError::Run(e) => Some(e),
         }
     }
 }
@@ -148,6 +157,12 @@ impl From<TrainError> for ExtractError {
 impl From<EmbedError> for ExtractError {
     fn from(e: EmbedError) -> ExtractError {
         ExtractError::Embed(e)
+    }
+}
+
+impl From<crate::runstore::RunError> for ExtractError {
+    fn from(e: crate::runstore::RunError) -> ExtractError {
+        ExtractError::Run(e)
     }
 }
 

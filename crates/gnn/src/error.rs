@@ -57,6 +57,21 @@ pub enum TrainError {
     },
     /// The model's parameters were already non-finite before training.
     NonFiniteParameters,
+    /// A resume checkpoint failed validation against the current model
+    /// or dataset (config mismatch, bad shapes, inconsistent epoch
+    /// counters).
+    InvalidCheckpoint {
+        /// What the validation found.
+        reason: String,
+    },
+    /// The periodic checkpoint sink failed to persist a checkpoint; the
+    /// run was stopped rather than continuing without durability.
+    CheckpointWrite {
+        /// Epoch (1-based completed-epoch count) being checkpointed.
+        epoch: usize,
+        /// The sink's error message.
+        reason: String,
+    },
     /// Every retry restored the best checkpoint and re-seeded, yet the
     /// anomaly persisted; training stopped with the budget exhausted.
     RetriesExhausted {
@@ -83,6 +98,12 @@ impl fmt::Display for TrainError {
             }
             TrainError::NonFiniteParameters => {
                 write!(f, "model parameters are non-finite before training")
+            }
+            TrainError::InvalidCheckpoint { reason } => {
+                write!(f, "resume checkpoint rejected: {reason}")
+            }
+            TrainError::CheckpointWrite { epoch, reason } => {
+                write!(f, "failed to persist checkpoint at epoch {epoch}: {reason}")
             }
             TrainError::RetriesExhausted { epoch, retries, cause } => write!(
                 f,

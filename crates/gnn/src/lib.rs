@@ -53,9 +53,12 @@ pub mod trainer;
 pub use error::{AnomalyCause, EmbedError, TrainError};
 pub use loss::{context_loss, ContextBatch, LossConfig};
 pub use model::{GnnConfig, GnnModel, ModelLeaves};
-pub use serialize::ParseModelError;
+pub use serialize::{
+    crc32, matrix_from_text, matrix_to_text, open_sealed, seal, ChecksumError, ParseModelError,
+};
 pub use tensors::GraphTensors;
 pub use trainer::{
-    train, try_train, HealthConfig, HealthEvent, HealthReport, TrainConfig, TrainGraph,
-    TrainReport,
+    train, try_train, try_train_resumable, CheckpointSink, HealthConfig, HealthEvent,
+    HealthReport, ResumableHooks, TrainConfig, TrainGraph, TrainOutcome, TrainReport,
+    TrainerState,
 };

@@ -22,7 +22,7 @@ use ancstr_nn::{Adam, Matrix};
 
 use crate::error::{AnomalyCause, TrainError};
 use crate::loss::{context_loss, ContextBatch, LossConfig};
-use crate::model::GnnModel;
+use crate::model::{GnnConfig, GnnModel};
 use crate::tensors::GraphTensors;
 
 /// One training graph: its tensors and initial vertex features.
@@ -315,6 +315,195 @@ fn restore(model: &mut GnnModel, saved: &[Matrix]) {
     }
 }
 
+/// Complete guarded-loop state at an epoch boundary — everything needed
+/// to resume training bit-identically after a crash: parameters, the
+/// recovery snapshot, optimizer moments, mid-stream RNG state, the
+/// shuffle permutation, and the retry lineage. Serialized/verified by
+/// [`TrainerState::to_text`](TrainerState::to_text) with a CRC-sealed
+/// envelope (see `serialize.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// Architecture of the model being trained (validated on resume).
+    pub gnn: GnnConfig,
+    /// Current model parameter matrices, in [`GnnModel::matrices`] order.
+    pub params: Vec<Matrix>,
+    /// Best-loss snapshot used by anomaly recovery.
+    pub best_params: Vec<Matrix>,
+    /// Best epoch loss so far (`+inf` before the first completed epoch).
+    pub best_loss: f64,
+    /// Completed epochs' losses; its length *is* the epoch counter.
+    pub epoch_losses: Vec<f64>,
+    /// Attempt number (0 = original run, bumped by anomaly recovery).
+    pub attempt: usize,
+    /// The current attempt's seed (`derive_seed` lineage from the base
+    /// config seed — validated on resume so crash/resume reproduces the
+    /// exact recovery path).
+    pub seed: u64,
+    /// Mid-attempt RNG state words ([`StdRng::state`]).
+    pub rng: [u64; 4],
+    /// The dataset shuffle permutation. Fisher–Yates mutates it in
+    /// place across epochs, so it must survive the crash.
+    pub order: Vec<usize>,
+    /// Adam step counter ([`Adam::steps`]).
+    pub adam_steps: u64,
+    /// Adam `(first, second)` moment slots in parameter order.
+    pub adam_moments: Vec<(Matrix, Matrix)>,
+    /// Gradient-clip counter carried into the resumed [`HealthReport`].
+    pub clipped_steps: usize,
+    /// Recovery events so far, replayed into the resumed report.
+    pub retries: Vec<HealthEvent>,
+}
+
+/// How a [`try_train_resumable`] run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainOutcome {
+    /// All configured epochs ran.
+    Completed,
+    /// The cancel hook fired at an epoch boundary; a final checkpoint
+    /// was flushed through the sink (when one is installed), so the run
+    /// is resumable from exactly this point.
+    Cancelled {
+        /// Completed epochs at the moment of cancellation.
+        after_epoch: usize,
+    },
+}
+
+/// Checkpoint sink callback: receives the captured state; `Err` is the
+/// write-failure reason and aborts training.
+pub type CheckpointSink<'a> = &'a mut dyn FnMut(&TrainerState) -> Result<(), String>;
+
+/// Durability hooks for [`try_train_resumable`]. The all-`None`
+/// [`Default`] reduces the resumable loop to exactly [`try_train`].
+#[derive(Default)]
+pub struct ResumableHooks<'a> {
+    /// Emit a checkpoint every N completed epochs (`None` disables
+    /// periodic checkpoints; a cancellation flush still happens).
+    pub checkpoint_every: Option<usize>,
+    /// Checkpoint sink. A sink failure aborts training with
+    /// [`TrainError::CheckpointWrite`] rather than silently running on
+    /// without durability.
+    pub on_checkpoint: Option<CheckpointSink<'a>>,
+    /// Cooperative cancellation, polled at every epoch boundary.
+    pub cancel: Option<&'a dyn Fn() -> bool>,
+    /// Resume from this checkpointed state instead of starting fresh.
+    pub resume_from: Option<TrainerState>,
+}
+
+#[allow(clippy::too_many_arguments)] // one slot per field of the state
+fn capture_state(
+    model: &GnnModel,
+    best_params: &[Matrix],
+    best_loss: f64,
+    epoch_losses: &[f64],
+    attempt: usize,
+    seed: u64,
+    rng: &StdRng,
+    order: &[usize],
+    opt: &Adam,
+    report: &HealthReport,
+) -> TrainerState {
+    TrainerState {
+        gnn: model.config().clone(),
+        params: snapshot(model),
+        best_params: best_params.to_vec(),
+        best_loss,
+        epoch_losses: epoch_losses.to_vec(),
+        attempt,
+        seed,
+        rng: rng.state(),
+        order: order.to_vec(),
+        adam_steps: opt.steps(),
+        adam_moments: opt.moments().to_vec(),
+        clipped_steps: report.clipped_steps,
+        retries: report.retries.to_vec(),
+    }
+}
+
+/// Validate a resume checkpoint against the live model, dataset, and
+/// configs before installing any of it.
+fn validate_resume(
+    state: &TrainerState,
+    model: &GnnModel,
+    dataset_len: usize,
+    config: &TrainConfig,
+) -> Result<(), TrainError> {
+    let bad = |reason: String| TrainError::InvalidCheckpoint { reason };
+    if state.gnn != *model.config() {
+        return Err(bad(format!(
+            "checkpoint model config {:?} does not match current {:?}",
+            state.gnn,
+            model.config()
+        )));
+    }
+    let shapes: Vec<(usize, usize)> = model.matrices().iter().map(|m| m.shape()).collect();
+    for (label, params) in [("params", &state.params), ("best-params", &state.best_params)] {
+        if params.len() != shapes.len() {
+            return Err(bad(format!(
+                "checkpoint has {} {label} matrices, model has {}",
+                params.len(),
+                shapes.len()
+            )));
+        }
+        for (i, (m, &shape)) in params.iter().zip(&shapes).enumerate() {
+            if m.shape() != shape {
+                return Err(bad(format!(
+                    "{label}[{i}] is {:?}, model expects {shape:?}",
+                    m.shape()
+                )));
+            }
+            if !m.is_finite() {
+                return Err(bad(format!("{label}[{i}] contains non-finite values")));
+            }
+        }
+    }
+    if !state.adam_moments.is_empty() && state.adam_moments.len() != shapes.len() {
+        return Err(bad(format!(
+            "checkpoint has {} Adam moment slots, model has {} parameters",
+            state.adam_moments.len(),
+            shapes.len()
+        )));
+    }
+    for (i, ((m, v), &shape)) in state.adam_moments.iter().zip(&shapes).enumerate() {
+        if m.shape() != shape || v.shape() != shape {
+            return Err(bad(format!("Adam moment slot {i} disagrees with parameter shape")));
+        }
+        if !m.is_finite() || !v.is_finite() {
+            return Err(bad(format!("Adam moment slot {i} contains non-finite values")));
+        }
+    }
+    if state.epoch_losses.iter().any(|l| !l.is_finite()) {
+        return Err(bad("checkpoint loss history contains non-finite values".into()));
+    }
+    if state.best_loss.is_nan() {
+        return Err(bad("checkpoint best-loss is NaN".into()));
+    }
+    let mut seen = vec![false; dataset_len];
+    if state.order.len() != dataset_len {
+        return Err(bad(format!(
+            "checkpoint shuffle order covers {} graphs, dataset has {dataset_len}",
+            state.order.len()
+        )));
+    }
+    for &i in &state.order {
+        if i >= dataset_len || seen[i] {
+            return Err(bad("checkpoint shuffle order is not a permutation".into()));
+        }
+        seen[i] = true;
+    }
+    let expected_seed = if state.attempt == 0 {
+        config.seed
+    } else {
+        derive_seed(config.seed, state.attempt as u64)
+    };
+    if state.seed != expected_seed {
+        return Err(bad(format!(
+            "checkpoint attempt {} seed {} does not derive from config seed {}",
+            state.attempt, state.seed, config.seed
+        )));
+    }
+    Ok(())
+}
+
 /// Guarded training: [`train`] plus NaN/Inf scans, gradient-norm
 /// clipping, divergence detection, and bounded checkpoint-restore
 /// recovery under deterministically derived seeds.
@@ -338,6 +527,35 @@ pub fn try_train(
     config: &TrainConfig,
     health: &HealthConfig,
 ) -> Result<(TrainReport, HealthReport), TrainError> {
+    let (report, health_report, outcome) =
+        try_train_resumable(model, dataset, config, health, ResumableHooks::default())?;
+    debug_assert_eq!(outcome, TrainOutcome::Completed, "no cancel hook was installed");
+    Ok((report, health_report))
+}
+
+/// [`try_train`] plus durability: periodic [`TrainerState`] checkpoints,
+/// cooperative cancellation at epoch boundaries (flushing a final
+/// checkpoint so the run stays resumable), and resumption from a
+/// checkpointed state that reproduces the uninterrupted run
+/// bit-identically — including PR 1's divergence-recovery re-seeds,
+/// whose lineage is validated and replayed from the checkpoint.
+///
+/// With default hooks this *is* [`try_train`]: same RNG call sequence,
+/// same arithmetic, same results.
+///
+/// # Errors
+///
+/// Everything [`try_train`] returns, plus
+/// [`TrainError::InvalidCheckpoint`] when `hooks.resume_from` disagrees
+/// with the live model/dataset/config, and
+/// [`TrainError::CheckpointWrite`] when the checkpoint sink fails.
+pub fn try_train_resumable(
+    model: &mut GnnModel,
+    dataset: &[TrainGraph],
+    config: &TrainConfig,
+    health: &HealthConfig,
+    mut hooks: ResumableHooks<'_>,
+) -> Result<(TrainReport, HealthReport, TrainOutcome), TrainError> {
     if dataset.is_empty() {
         return Err(TrainError::EmptyDataset);
     }
@@ -363,7 +581,24 @@ pub fn try_train(
     let mut attempt = 0usize;
     let mut seed = config.seed;
 
+    let mut resume = hooks.resume_from.take();
+    if let Some(state) = &resume {
+        validate_resume(state, model, dataset.len(), config)?;
+        restore(model, &state.params);
+        best_params = state.best_params.clone();
+        best_loss = state.best_loss;
+        epoch_losses = state.epoch_losses.clone();
+        attempt = state.attempt;
+        seed = state.seed;
+        report.clipped_steps = state.clipped_steps;
+        report.retries = state.retries.clone();
+    }
+
     'attempts: loop {
+        // Every attempt replays its setup from the attempt seed: the
+        // fixed batches are a deterministic function of the seed, so on
+        // resume we re-derive them and only then install the saved
+        // mid-stream RNG state, shuffle order, and optimizer moments.
         let mut rng = StdRng::seed_from_u64(seed);
         let mut opt = Adam::new(config.learning_rate);
         let fixed_batches: Vec<ContextBatch> = dataset
@@ -371,9 +606,39 @@ pub fn try_train(
             .map(|g| ContextBatch::sample(&g.tensors, &config.loss, &mut rng))
             .collect();
         let mut order: Vec<usize> = (0..dataset.len()).collect();
+        if let Some(state) = resume.take() {
+            rng = StdRng::from_state(state.rng);
+            order = state.order;
+            opt = Adam::restore(config.learning_rate, state.adam_steps, state.adam_moments);
+        }
 
         while epoch_losses.len() < config.epochs {
             let epoch = epoch_losses.len();
+            if hooks.cancel.is_some_and(|cancel| cancel()) {
+                if let Some(sink) = hooks.on_checkpoint.as_mut() {
+                    let state = capture_state(
+                        model,
+                        &best_params,
+                        best_loss,
+                        &epoch_losses,
+                        attempt,
+                        seed,
+                        &rng,
+                        &order,
+                        &opt,
+                        &report,
+                    );
+                    sink(&state).map_err(|reason| TrainError::CheckpointWrite {
+                        epoch,
+                        reason,
+                    })?;
+                }
+                return Ok((
+                    TrainReport { epoch_losses },
+                    report,
+                    TrainOutcome::Cancelled { after_epoch: epoch },
+                ));
+            }
             let guard = EpochGuard {
                 health,
                 epoch,
@@ -428,10 +693,31 @@ pub fn try_train(
                 });
                 continue 'attempts;
             }
+            let completed = epoch_losses.len();
+            if hooks.checkpoint_every.is_some_and(|every| completed.is_multiple_of(every)) {
+                if let Some(sink) = hooks.on_checkpoint.as_mut() {
+                    let state = capture_state(
+                        model,
+                        &best_params,
+                        best_loss,
+                        &epoch_losses,
+                        attempt,
+                        seed,
+                        &rng,
+                        &order,
+                        &opt,
+                        &report,
+                    );
+                    sink(&state).map_err(|reason| TrainError::CheckpointWrite {
+                        epoch: completed,
+                        reason,
+                    })?;
+                }
+            }
         }
         break;
     }
-    Ok((TrainReport { epoch_losses }, report))
+    Ok((TrainReport { epoch_losses }, report, TrainOutcome::Completed))
 }
 
 #[cfg(test)]
@@ -641,6 +927,238 @@ mod tests {
         let err = try_train(&mut model, &[sample_graph()], &TrainConfig::default(), &health)
             .unwrap_err();
         assert_eq!(err, TrainError::NonFiniteParameters);
+    }
+
+    #[test]
+    fn resumable_with_no_hooks_matches_try_train() {
+        let cfg = TrainConfig { epochs: 10, seed: 5, ..TrainConfig::default() };
+        let dataset = vec![sample_graph()];
+        let gnn = GnnConfig { dim: 6, layers: 2, seed: 3, ..GnnConfig::default() };
+        let mut a = GnnModel::new(gnn.clone());
+        let mut b = GnnModel::new(gnn);
+        let (ra, ha) = try_train(&mut a, &dataset, &cfg, &HealthConfig::default()).unwrap();
+        let (rb, hb, outcome) = try_train_resumable(
+            &mut b,
+            &dataset,
+            &cfg,
+            &HealthConfig::default(),
+            ResumableHooks::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome, TrainOutcome::Completed);
+        assert_eq!(ra, rb);
+        assert_eq!(ha, hb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_is_bit_identical() {
+        let cfg = TrainConfig { epochs: 8, seed: 11, ..TrainConfig::default() };
+        let dataset = vec![sample_graph()];
+        let gnn = GnnConfig { dim: 6, layers: 2, seed: 9, ..GnnConfig::default() };
+
+        // Reference: one uninterrupted run, collecting every-epoch
+        // checkpoints along the way.
+        let mut reference = GnnModel::new(gnn.clone());
+        let states = std::cell::RefCell::new(Vec::new());
+        let mut sink = |s: &TrainerState| {
+            states.borrow_mut().push(s.clone());
+            Ok(())
+        };
+        let (ref_report, _, outcome) = try_train_resumable(
+            &mut reference,
+            &dataset,
+            &cfg,
+            &HealthConfig::default(),
+            ResumableHooks {
+                checkpoint_every: Some(1),
+                on_checkpoint: Some(&mut sink),
+                ..ResumableHooks::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome, TrainOutcome::Completed);
+        let states = states.into_inner();
+        assert_eq!(states.len(), cfg.epochs);
+
+        // Restarting a fresh model from every checkpoint must land on
+        // the same weights and loss trajectory, bit for bit.
+        for state in states {
+            let resumed_at = state.epoch_losses.len();
+            let mut resumed = GnnModel::new(gnn.clone());
+            let (report, _, outcome) = try_train_resumable(
+                &mut resumed,
+                &dataset,
+                &cfg,
+                &HealthConfig::default(),
+                ResumableHooks { resume_from: Some(state), ..ResumableHooks::default() },
+            )
+            .unwrap();
+            assert_eq!(outcome, TrainOutcome::Completed);
+            assert_eq!(report, ref_report, "trajectory diverged resuming at {resumed_at}");
+            assert_eq!(resumed, reference, "weights diverged resuming at {resumed_at}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_survives_serialization_round_trip() {
+        let cfg = TrainConfig { epochs: 6, seed: 2, ..TrainConfig::default() };
+        let dataset = vec![sample_graph()];
+        let gnn = GnnConfig { dim: 6, layers: 2, seed: 1, ..GnnConfig::default() };
+        let mut reference = GnnModel::new(gnn.clone());
+        let captured = std::cell::RefCell::new(None);
+        let mut sink = |s: &TrainerState| {
+            *captured.borrow_mut() = Some(s.to_text());
+            Ok(())
+        };
+        let (ref_report, _, _) = try_train_resumable(
+            &mut reference,
+            &dataset,
+            &cfg,
+            &HealthConfig::default(),
+            ResumableHooks {
+                checkpoint_every: Some(3),
+                on_checkpoint: Some(&mut sink),
+                ..ResumableHooks::default()
+            },
+        )
+        .unwrap();
+        // Resume through the *textual* checkpoint format.
+        let text = captured.into_inner().unwrap();
+        let state = TrainerState::from_text(&text).unwrap();
+        let mut resumed = GnnModel::new(gnn);
+        let (report, _, _) = try_train_resumable(
+            &mut resumed,
+            &dataset,
+            &cfg,
+            &HealthConfig::default(),
+            ResumableHooks { resume_from: Some(state), ..ResumableHooks::default() },
+        )
+        .unwrap();
+        assert_eq!(report, ref_report);
+        assert_eq!(resumed, reference);
+    }
+
+    #[test]
+    fn cancellation_flushes_a_final_checkpoint_and_reports_the_epoch() {
+        let cfg = TrainConfig { epochs: 10, seed: 4, ..TrainConfig::default() };
+        let dataset = vec![sample_graph()];
+        let mut model =
+            GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 8, ..GnnConfig::default() });
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        let states = std::cell::RefCell::new(Vec::new());
+        let mut sink = |s: &TrainerState| {
+            states.borrow_mut().push(s.clone());
+            // Simulate a deadline firing after the second checkpoint.
+            if s.epoch_losses.len() >= 4 {
+                flag.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+            Ok(())
+        };
+        let cancel = || flag.load(std::sync::atomic::Ordering::SeqCst);
+        let (report, _, outcome) = try_train_resumable(
+            &mut model,
+            &dataset,
+            &cfg,
+            &HealthConfig::default(),
+            ResumableHooks {
+                checkpoint_every: Some(2),
+                on_checkpoint: Some(&mut sink),
+                cancel: Some(&cancel),
+                ..ResumableHooks::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome, TrainOutcome::Cancelled { after_epoch: 4 });
+        assert_eq!(report.epoch_losses.len(), 4);
+        // The final (cancellation) checkpoint carries the full state at
+        // the boundary.
+        let last = states.into_inner().pop().unwrap();
+        assert_eq!(last.epoch_losses.len(), 4);
+        assert_eq!(last.epoch_losses, report.epoch_losses);
+    }
+
+    #[test]
+    fn invalid_resume_checkpoints_are_rejected_with_typed_errors() {
+        let cfg = TrainConfig { epochs: 6, seed: 2, ..TrainConfig::default() };
+        let dataset = vec![sample_graph()];
+        let gnn = GnnConfig { dim: 6, layers: 2, seed: 1, ..GnnConfig::default() };
+
+        // Capture a genuine checkpoint to corrupt.
+        let mut model = GnnModel::new(gnn.clone());
+        let captured = std::cell::RefCell::new(None);
+        let mut sink = |s: &TrainerState| {
+            *captured.borrow_mut() = Some(s.clone());
+            Ok(())
+        };
+        try_train_resumable(
+            &mut model,
+            &dataset,
+            &cfg,
+            &HealthConfig::default(),
+            ResumableHooks {
+                checkpoint_every: Some(2),
+                on_checkpoint: Some(&mut sink),
+                ..ResumableHooks::default()
+            },
+        )
+        .unwrap();
+        let good = captured.into_inner().unwrap();
+
+        let run = |state: TrainerState| {
+            let mut m = GnnModel::new(gnn.clone());
+            try_train_resumable(
+                &mut m,
+                &dataset,
+                &cfg,
+                &HealthConfig::default(),
+                ResumableHooks { resume_from: Some(state), ..ResumableHooks::default() },
+            )
+            .map(|_| ())
+        };
+        // Config mismatch.
+        let mut bad = good.clone();
+        bad.gnn.seed += 1;
+        assert!(matches!(run(bad), Err(TrainError::InvalidCheckpoint { .. })));
+        // Non-permutation shuffle order.
+        let mut bad = good.clone();
+        bad.order = vec![0, 0];
+        assert!(matches!(run(bad), Err(TrainError::InvalidCheckpoint { .. })));
+        // Seed outside the derivation lineage.
+        let mut bad = good.clone();
+        bad.seed ^= 0x55;
+        assert!(matches!(run(bad), Err(TrainError::InvalidCheckpoint { .. })));
+        // Non-finite parameters.
+        let mut bad = good.clone();
+        bad.params[0][(0, 0)] = f64::NAN;
+        assert!(matches!(run(bad), Err(TrainError::InvalidCheckpoint { .. })));
+        // The untampered state still resumes fine.
+        assert!(run(good).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_sink_failure_is_a_typed_error() {
+        let cfg = TrainConfig { epochs: 6, seed: 2, ..TrainConfig::default() };
+        let dataset = vec![sample_graph()];
+        let mut model =
+            GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 1, ..GnnConfig::default() });
+        let mut sink = |_: &TrainerState| Err("disk full".to_owned());
+        let err = try_train_resumable(
+            &mut model,
+            &dataset,
+            &cfg,
+            &HealthConfig::default(),
+            ResumableHooks {
+                checkpoint_every: Some(2),
+                on_checkpoint: Some(&mut sink),
+                ..ResumableHooks::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::CheckpointWrite { epoch: 2, reason: "disk full".to_owned() }
+        );
     }
 
     #[test]

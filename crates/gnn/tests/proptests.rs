@@ -2,7 +2,7 @@
 //! graphs and configurations, and serialization round trips.
 
 use ancstr_gnn::model::Combiner;
-use ancstr_gnn::{GnnConfig, GnnModel, GraphTensors};
+use ancstr_gnn::{open_sealed, seal, GnnConfig, GnnModel, GraphTensors};
 use ancstr_graph::{HetMultigraph, VertexId};
 use ancstr_netlist::PortType;
 use ancstr_nn::Matrix;
@@ -70,6 +70,57 @@ proptest! {
                 prop_assert!((z[(0, c)] - z[(v, c)]).abs() < 1e-12);
             }
         }
+    }
+
+    /// Sealing any model yields a bit-identical payload on open, and the
+    /// checksummed round trip reproduces the model exactly.
+    #[test]
+    fn sealed_round_trip_is_bit_identical(
+        seed in 0u64..100,
+        layers in 1usize..4,
+        dim in 2usize..8,
+        mean in any::<bool>(),
+    ) {
+        let combiner = if mean { Combiner::MeanLinear } else { Combiner::Gru };
+        let model = GnnModel::new(GnnConfig { dim, layers, seed, combiner });
+        let payload = model.to_text();
+        let sealed = seal("model", &payload);
+        let opened = open_sealed("model", &sealed).expect("clean seal opens");
+        prop_assert_eq!(opened, payload.as_str());
+        let back = GnnModel::from_text_checksummed(&model.to_text_checksummed())
+            .expect("checksummed round trip parses");
+        prop_assert_eq!(back, model);
+    }
+
+    /// Corrupting any single byte of a sealed artifact — any position,
+    /// any non-zero bit flip — yields a typed checksum error, never a
+    /// panic and never silent acceptance.
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        seed in 0u64..50,
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let model = GnnModel::new(GnnConfig { dim: 4, layers: 2, seed, ..GnnConfig::default() });
+        let sealed = seal("model", &model.to_text());
+        let mut bytes = sealed.clone().into_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= xor;
+        let corrupt = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert!(corrupt != sealed, "xor is non-zero, text must change");
+        let err = open_sealed("model", &corrupt).expect_err("corruption must be caught");
+        prop_assert!(!err.to_string().is_empty());
+    }
+
+    /// Truncating a sealed artifact at any point is always detected:
+    /// the footer is written last, so losing the tail loses the seal.
+    #[test]
+    fn any_truncation_is_detected(seed in 0u64..50, keep_frac in 0.0f64..1.0) {
+        let model = GnnModel::new(GnnConfig { dim: 4, layers: 2, seed, ..GnnConfig::default() });
+        let sealed = seal("model", &model.to_text());
+        let keep = ((sealed.len() - 1) as f64 * keep_frac) as usize;
+        let truncated: String = sealed.chars().take(keep).collect();
+        prop_assert!(open_sealed("model", &truncated).is_err());
     }
 
     /// Neighbour sampling never *adds* edges and is the identity above

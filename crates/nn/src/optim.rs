@@ -55,6 +55,20 @@ impl Adam {
         self.t
     }
 
+    /// The per-parameter `(first, second)` moment slots, in parameter
+    /// order. Empty before the first [`Adam::step`].
+    pub fn moments(&self) -> &[(Matrix, Matrix)] {
+        &self.slots
+    }
+
+    /// Rebuild an optimizer mid-run from a durable checkpoint: the step
+    /// counter and moment slots captured by [`Adam::steps`] and
+    /// [`Adam::moments`]. The next [`Adam::step`] continues the exact
+    /// update sequence the checkpointed optimizer would have produced.
+    pub fn restore(lr: f64, t: u64, slots: Vec<(Matrix, Matrix)>) -> Adam {
+        Adam { t, slots, ..Adam::new(lr) }
+    }
+
     /// Apply one update to `params` given matching `grads`.
     ///
     /// # Panics

@@ -174,6 +174,144 @@ fn exit_codes_identify_the_failing_stage() {
     assert!(stderr.contains("load-model"), "{stderr}");
 }
 
+/// The README's "Exit codes" table is the authoritative contract:
+/// every code the binary can emit appears there, and nothing else.
+#[test]
+fn readme_exit_code_table_matches_the_binary() {
+    let readme = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
+    let text = fs::read_to_string(&readme).expect("README.md at the workspace root");
+    let section = text
+        .split("### Exit codes")
+        .nth(1)
+        .expect("README has an `### Exit codes` section");
+    let mut documented = Vec::new();
+    for line in section.lines() {
+        // Table rows look like: | `N` | meaning |
+        let Some(rest) = line.strip_prefix("| `") else { continue };
+        let Some((code, _)) = rest.split_once('`') else { continue };
+        documented.push(code.parse::<i32>().expect("exit code cell is an integer"));
+    }
+    assert_eq!(
+        documented,
+        vec![0, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        "README exit-code table drifted from the binary's contract"
+    );
+    // Spot-check the table against the real binary on both ends of the
+    // range: usage (2) and deadline (10) — the stage codes 3–6 are
+    // behaviourally pinned by `exit_codes_identify_the_failing_stage`.
+    let out = bin().args(["extract", "a.sp", "--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(section.contains("usage error"), "code 2 row describes usage errors");
+    assert!(section.contains("--resume"), "code 10 row points at --resume");
+}
+
+/// Durable-run flag validation happens before any work: zero or
+/// negative cadences/budgets, orphaned flags, and unusable run
+/// directories are all usage errors (exit 2) with a clear message.
+#[test]
+fn durable_flag_validation_is_exit_2() {
+    let dir = workdir("durable-usage");
+    let sp = dir.join("sa.sp");
+    fs::write(&sp, NETLIST).unwrap();
+
+    let cases: Vec<(Vec<String>, &str)> = vec![
+        (vec!["--resume".into()], "--resume needs --run-dir"),
+        (vec!["--checkpoint-every".into(), "5".into()], "needs --run-dir"),
+        (vec!["--time-budget".into(), "9".into()], "needs --run-dir"),
+        (
+            vec!["--run-dir".into(), dir.join("r0").display().to_string(),
+                 "--checkpoint-every".into(), "0".into()],
+            "--checkpoint-every must be at least 1",
+        ),
+        (
+            vec!["--run-dir".into(), dir.join("r1").display().to_string(),
+                 "--checkpoint-every".into(), "-3".into()],
+            "bad --checkpoint-every",
+        ),
+        (
+            vec!["--run-dir".into(), dir.join("r2").display().to_string(),
+                 "--time-budget".into(), "0".into()],
+            "--time-budget must be at least 1",
+        ),
+        (
+            vec!["--run-dir".into(), dir.join("r3").display().to_string(),
+                 "--time-budget".into(), "nope".into()],
+            "bad --time-budget",
+        ),
+    ];
+    for (flags, needle) in cases {
+        let out = bin().arg("extract").arg(&sp).args(&flags).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flags:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{flags:?}: {stderr}");
+    }
+
+    // A run directory that cannot be created (parent is a file).
+    let blocker = dir.join("blocker");
+    fs::write(&blocker, "not a directory").unwrap();
+    let out = bin()
+        .arg("extract")
+        .arg(&sp)
+        .arg("--run-dir")
+        .arg(blocker.join("run"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // --model and --run-dir are mutually exclusive: a durable run owns
+    // its own trained model artifact.
+    let out = bin()
+        .arg("extract")
+        .arg(&sp)
+        .args(["--model", "m.txt", "--run-dir"])
+        .arg(dir.join("r4"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// An expired `--time-budget` exits 10 with the run checkpointed;
+/// resuming makes forward progress from the saved epoch rather than
+/// starting over.
+#[test]
+fn time_budget_expiry_exits_10_and_is_resumable() {
+    let dir = workdir("deadline");
+    let sp = dir.join("sa.sp");
+    fs::write(&sp, NETLIST).unwrap();
+    let run = dir.join("run");
+
+    let newest_epoch = |run: &PathBuf| -> usize {
+        let mut names: Vec<String> = fs::read_dir(run.join("checkpoints"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        let last = names.last().expect("at least one checkpoint").clone();
+        last.trim_start_matches("epoch-").trim_end_matches(".ckpt").parse().unwrap()
+    };
+
+    // Far more epochs than one second allows.
+    let base = ["--epochs", "200000", "--seed", "3", "--checkpoint-every", "25",
+                "--time-budget", "1"];
+    let out = bin().arg("extract").arg(&sp).arg("--run-dir").arg(&run).args(base)
+        .output().unwrap();
+    assert_eq!(out.status.code(), Some(10), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("time budget expired"), "{stderr}");
+    assert!(stderr.contains("--resume"), "tells the user how to continue: {stderr}");
+    assert!(run.join("manifest.json").exists());
+    let first = newest_epoch(&run);
+
+    // Resume under the same (still too small) budget: exits 10 again,
+    // but from a strictly later checkpoint — progress accumulates.
+    let out = bin().arg("extract").arg(&sp).arg("--run-dir").arg(&run).arg("--resume")
+        .args(base).output().unwrap();
+    assert_eq!(out.status.code(), Some(10), "{}", String::from_utf8_lossy(&out.stderr));
+    let second = newest_epoch(&run);
+    assert!(second > first, "no progress across resume: {first} → {second}");
+}
+
 #[test]
 fn groups_output_renders_paths() {
     let dir = workdir("groups");

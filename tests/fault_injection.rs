@@ -7,8 +7,9 @@
 //! gradient, recovered via checkpoint restore).
 
 use ancstr_core::{
-    inject_model, inject_spice, ExtractError, ExtractorConfig, ModelFault, SymmetryExtractor,
-    ALL_MODEL_FAULTS, ALL_SPICE_FAULTS,
+    inject_checkpoint, inject_model, inject_spice, CheckpointFault, DurableFit, ExtractError,
+    ExtractorConfig, ModelFault, RunError, RunOptions, RunSession, SymmetryExtractor,
+    ALL_CHECKPOINT_FAULTS, ALL_MODEL_FAULTS, ALL_SPICE_FAULTS,
 };
 use ancstr_gnn::{GnnModel, HealthConfig, TrainConfig, TrainError};
 use ancstr_netlist::flat::FlatCircuit;
@@ -175,6 +176,229 @@ fn injected_nan_gradient_recovers_and_extraction_still_works() {
         .detection
         .constraints
         .contains_pair(id("top/X1/M1"), id("top/X1/M2")));
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / run-store boundary: every corruption operator applied to
+// on-disk run state must leave resume with a typed error or a recovery
+// note — never a panic, and never silently wrong weights.
+
+fn tmp_run(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ancstr-fault-run-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config() -> ExtractorConfig {
+    ExtractorConfig {
+        train: TrainConfig { epochs: 8, seed: 17, ..TrainConfig::default() },
+        ..ExtractorConfig::default()
+    }
+}
+
+/// Run a durable fit in `dir` and cancel it after three every-epoch
+/// checkpoints, leaving `checkpoints/epoch-00000{1,2,3}.ckpt` on disk
+/// and the `train` stage pending.
+fn interrupted_run(dir: &std::path::Path, flat: &FlatCircuit) {
+    let config = durable_config();
+    let mut opts = RunOptions::new(dir);
+    opts.checkpoint_every = 1;
+    opts.test_cancel_after_checkpoints = Some(3);
+    let mut session =
+        RunSession::open(opts, "extract", &config, &["fixture.sp".to_owned()]).unwrap();
+    let mut ex = SymmetryExtractor::try_new(config).unwrap();
+    let out = ex.fit_durable(&[flat], &HealthConfig::default(), &mut session).unwrap();
+    assert!(matches!(out, DurableFit::Cancelled { after_epoch: 3 }), "{out:?}");
+}
+
+/// Resume the run in `dir` with a fresh extractor, returning the
+/// outcome and the final model text.
+fn resume_run(dir: &std::path::Path) -> (DurableFit, String) {
+    let config = durable_config();
+    let mut opts = RunOptions::new(dir);
+    opts.resume = true;
+    opts.checkpoint_every = 1;
+    let mut session =
+        RunSession::open(opts, "extract", &config, &["fixture.sp".to_owned()]).unwrap();
+    let nl = parse_spice(GOOD_SRC).unwrap();
+    let flat = FlatCircuit::elaborate(&nl).unwrap();
+    let mut ex = SymmetryExtractor::try_new(config).unwrap();
+    let out = ex.fit_durable(&[&flat], &HealthConfig::default(), &mut session).unwrap();
+    (out, ex.model().to_text())
+}
+
+/// Paths of every checkpoint in the run, oldest first.
+fn checkpoint_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir.join("checkpoints"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    files.sort();
+    files
+}
+
+/// The uninterrupted reference weights for [`durable_config`].
+fn reference_weights(flat: &FlatCircuit) -> String {
+    let mut ex = SymmetryExtractor::try_new(durable_config()).unwrap();
+    let (_, health) = ex.try_fit(&[flat], &HealthConfig::default()).unwrap();
+    assert!(health.clean(), "{health:?}");
+    ex.model().to_text()
+}
+
+/// Truncation and bit flips on the newest checkpoint: resume skips it
+/// with a recovery note, falls back to the next-oldest valid one, and
+/// still lands on bit-identical final weights.
+#[test]
+fn corrupt_newest_checkpoint_is_skipped_and_resume_stays_bit_identical() {
+    let nl = parse_spice(GOOD_SRC).unwrap();
+    let flat = FlatCircuit::elaborate(&nl).unwrap();
+    let reference = reference_weights(&flat);
+
+    for fault in [
+        CheckpointFault::TruncateTail { keep_frac: 0.7 },
+        CheckpointFault::FlipBit { count: 1 },
+    ] {
+        for seed in 0..3u64 {
+            let dir = tmp_run(&format!("skip-{fault:?}-{seed}")
+                .replace(|c: char| !c.is_ascii_alphanumeric(), "-"));
+            interrupted_run(&dir, &flat);
+            let files = checkpoint_files(&dir);
+            assert_eq!(files.len(), 3, "{files:?}");
+            let newest = files.last().unwrap();
+            let text = std::fs::read_to_string(newest).unwrap();
+            std::fs::write(newest, inject_checkpoint(&text, fault, seed)).unwrap();
+
+            let (out, weights) = resume_run(&dir);
+            let DurableFit::Completed { resumed_from, notes, .. } = out else {
+                panic!("{fault:?}/{seed}: expected completion, got {out:?}");
+            };
+            assert_eq!(resumed_from, Some(2), "{fault:?}/{seed}");
+            assert!(
+                notes.iter().any(|n| n.contains("skip")),
+                "{fault:?}/{seed}: no skip note in {notes:?}"
+            );
+            assert_eq!(weights, reference, "{fault:?}/{seed}: weights diverged");
+        }
+    }
+}
+
+/// Destroying *every* checkpoint is still survivable: resume warns,
+/// retrains from scratch, and the deterministic seed lineage lands on
+/// the same weights.
+#[test]
+fn all_checkpoints_corrupt_falls_back_to_retraining() {
+    let nl = parse_spice(GOOD_SRC).unwrap();
+    let flat = FlatCircuit::elaborate(&nl).unwrap();
+    let dir = tmp_run("all-corrupt");
+    interrupted_run(&dir, &flat);
+    for (i, path) in checkpoint_files(&dir).iter().enumerate() {
+        let text = std::fs::read_to_string(path).unwrap();
+        let fault = CheckpointFault::TruncateTail { keep_frac: 0.5 };
+        std::fs::write(path, inject_checkpoint(&text, fault, i as u64)).unwrap();
+    }
+    let (out, weights) = resume_run(&dir);
+    let DurableFit::Completed { resumed_from, notes, .. } = out else {
+        panic!("expected completion, got {out:?}");
+    };
+    assert_eq!(resumed_from, None, "nothing valid to resume from");
+    assert!(!notes.is_empty(), "retraining silently: {notes:?}");
+    assert_eq!(weights, reference_weights(&flat));
+}
+
+/// The stale-manifest operator re-seals the manifest with a zeroed
+/// config hash: the CRC *verifies*, so only semantic validation can
+/// catch it — as a typed config mismatch mapping to exit code 9.
+#[test]
+fn stale_manifest_is_a_typed_config_mismatch() {
+    let nl = parse_spice(GOOD_SRC).unwrap();
+    let flat = FlatCircuit::elaborate(&nl).unwrap();
+    let dir = tmp_run("stale-manifest");
+    interrupted_run(&dir, &flat);
+    let path = dir.join("manifest.json");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let stale = inject_checkpoint(&text, CheckpointFault::StaleManifest, 0);
+    assert_ne!(stale, text, "operator must rewrite the manifest");
+    std::fs::write(&path, stale).unwrap();
+
+    let config = durable_config();
+    let mut opts = RunOptions::new(&dir);
+    opts.resume = true;
+    let err = RunSession::open(opts, "extract", &config, &["fixture.sp".to_owned()])
+        .unwrap_err();
+    assert!(
+        matches!(err, RunError::ConfigMismatch { field: "config_hash", .. }),
+        "{err:?}"
+    );
+    assert_eq!(ExtractError::from(err).exit_code(), 9);
+}
+
+/// Every checkpoint fault class × several seeds, applied to both the
+/// newest checkpoint and the manifest: resume either completes (with
+/// identical weights) or fails with a typed error. Never a panic.
+#[test]
+fn checkpoint_fault_sweep_never_panics() {
+    let nl = parse_spice(GOOD_SRC).unwrap();
+    let flat = FlatCircuit::elaborate(&nl).unwrap();
+    let reference = reference_weights(&flat);
+    let mut completions = 0usize;
+    let mut typed_errors = 0usize;
+
+    for fault in ALL_CHECKPOINT_FAULTS {
+        for seed in 0..4u64 {
+            for target_manifest in [false, true] {
+                let dir = tmp_run(&format!("sweep-{fault:?}-{seed}-{target_manifest}")
+                    .replace(|c: char| !c.is_ascii_alphanumeric(), "-"));
+                interrupted_run(&dir, &flat);
+                let path = if target_manifest {
+                    dir.join("manifest.json")
+                } else {
+                    checkpoint_files(&dir).pop().unwrap()
+                };
+                let text = std::fs::read_to_string(&path).unwrap();
+                std::fs::write(&path, inject_checkpoint(&text, fault, seed)).unwrap();
+
+                let config = durable_config();
+                let mut opts = RunOptions::new(&dir);
+                opts.resume = true;
+                opts.checkpoint_every = 1;
+                let session = RunSession::open(
+                    opts,
+                    "extract",
+                    &config,
+                    &["fixture.sp".to_owned()],
+                );
+                match session {
+                    Err(e) => {
+                        // Manifest damage: typed, and it maps to the
+                        // run-store exit code.
+                        assert!(!e.to_string().is_empty(), "{fault:?}/{seed}");
+                        assert_eq!(ExtractError::from(e).exit_code(), 9);
+                        typed_errors += 1;
+                    }
+                    Ok(mut session) => {
+                        let mut ex = SymmetryExtractor::try_new(config).unwrap();
+                        let out = ex
+                            .fit_durable(&[&flat], &HealthConfig::default(), &mut session)
+                            .expect("checkpoint damage is always recoverable");
+                        assert!(
+                            matches!(out, DurableFit::Completed { .. }),
+                            "{fault:?}/{seed}: {out:?}"
+                        );
+                        assert_eq!(
+                            ex.model().to_text(),
+                            reference,
+                            "{fault:?}/{seed}: weights diverged"
+                        );
+                        completions += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(completions > 0, "no corrupted run ever resumed");
+    assert!(typed_errors > 0, "no manifest fault was ever rejected");
 }
 
 /// Control: the harness itself is deterministic — the same fault and

@@ -191,6 +191,28 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for durable checkpoints:
+        /// [`StdRng::from_state`] on these words resumes the exact
+        /// stream, which a fresh [`super::SeedableRng::seed_from_u64`]
+        /// cannot (the seed only determines the *initial* state).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator mid-stream from [`StdRng::state`] words.
+        ///
+        /// An all-zero state is a xoshiro256++ fixed point (the stream
+        /// would be constant zero); it is re-seeded from 0 instead, so a
+        /// zeroed checkpoint degrades to a valid generator.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            if s == [0; 4] {
+                return <StdRng as super::SeedableRng>::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(state: u64) -> StdRng {
             let mut sm = state;
