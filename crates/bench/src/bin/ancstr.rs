@@ -4,11 +4,14 @@
 //! ancstr extract <netlist.sp> [-o constraints.txt] [--model model.txt]
 //!                [--epochs N] [--seed S] [--groups]
 //!                [--run-dir DIR] [--resume] [--checkpoint-every N]
-//!                [--time-budget SECS]
+//!                [--time-budget SECS] [--trace-out FILE]
+//!                [--log-format text|json] [-v|--quiet]
 //! ancstr train   <netlist.sp>... --model-out model.txt [--epochs N]
 //!                [--run-dir DIR] [--resume] [--checkpoint-every N]
-//!                [--time-budget SECS]
+//!                [--time-budget SECS] [--trace-out FILE]
 //! ancstr stats   <netlist.sp>
+//! ancstr obs-check [--trace FILE] [--require-stages a,b,..]
+//!                  [--require-epoch-events] [--prom FILE]
 //! ```
 //!
 //! `extract` trains on the input itself unless `--model` supplies a
@@ -26,37 +29,57 @@
 //! requests cooperative cancellation at stage/epoch boundaries,
 //! flushing a final checkpoint before exiting with code 10.
 //!
+//! Observability: `--trace-out FILE` streams span-based JSONL trace
+//! events (one JSON object per line; see the README "Observability"
+//! section for the schema) covering every pipeline stage plus
+//! per-epoch training telemetry; with `--run-dir` the same run also
+//! writes `<run-dir>/metrics.prom` (Prometheus text exposition) at
+//! every stage boundary — including on an aborted run, together with a
+//! terminal `run_aborted` trace event. `--log-format json` turns the
+//! diagnostic stderr stream into JSON lines, and `-v` / `--quiet`
+//! widen or silence it. With none of these flags set the pipeline runs
+//! the exact pre-observability code path and its outputs are
+//! byte-identical. `obs-check` re-validates a trace file and/or a
+//! `metrics.prom` exposition line-by-line (used by CI).
+//!
 //! Exit codes are stable so scripts can dispatch on the failure stage:
-//! 0 success, 2 usage, 3 file I/O, then per pipeline stage
-//! ([`ExtractError::exit_code`]): 4 parse, 5 elaborate, 6 bad
-//! configuration or model file, 7 training, 8 inference, 9 run-store
-//! failure (corrupt/mismatched manifest or artifact), and 10 when the
-//! time budget expired with the run checkpointed for `--resume`.
+//! 0 success, 1 failed `obs-check` validation, 2 usage, 3 file I/O,
+//! then per pipeline stage ([`ExtractError::exit_code`]): 4 parse, 5
+//! elaborate, 6 bad configuration or model file, 7 training, 8
+//! inference, 9 run-store failure (corrupt/mismatched manifest or
+//! artifact), and 10 when the time budget expired with the run
+//! checkpointed for `--resume`.
 
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use ancstr_core::groups::merge_groups;
 use ancstr_core::runstore::{DurableFit, RunError, RunOptions, RunSession};
 use ancstr_core::{
-    confusion_from_decisions, detect_constraints, read_constraints, render_groups,
-    valid_pairs, write_constraints, ExtractError, ExtractorConfig, SymmetryExtractor,
+    detect_constraints, load_netlist_observed, read_constraints, render_groups,
+    render_metrics_table, write_constraints, ExtractError, ExtractorConfig, PipelineObs,
+    SymmetryExtractor, STAGES,
 };
 use ancstr_gnn::{matrix_from_text, matrix_to_text, EmbedError, HealthConfig, HealthReport};
 use ancstr_netlist::constraint::ConstraintSet;
 use ancstr_netlist::flat::FlatCircuit;
-use ancstr_netlist::parse::parse_spice_file;
 use ancstr_nn::Matrix;
+use ancstr_obs::{
+    validate_exposition, validate_trace, LogFormat, Logger, Tracer, Verbosity,
+};
 
 fn usage() -> &'static str {
-    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS]\n  ancstr stats <netlist.sp>"
+    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]"
 }
 
-/// Everything that can go wrong, sorted by exit code: misuse of the
-/// command line (2), file I/O (3), pipeline failures (4–9, from
-/// [`ExtractError::exit_code`]), and deadline expiry (10).
+/// Everything that can go wrong, sorted by exit code: failed
+/// observability validation (1), misuse of the command line (2), file
+/// I/O (3), pipeline failures (4–9, from [`ExtractError::exit_code`]),
+/// and deadline expiry (10).
 enum CliError {
+    Validation(String),
     Usage(String),
     Io { path: String, detail: String },
     Pipeline { path: String, err: ExtractError },
@@ -66,6 +89,7 @@ enum CliError {
 impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
+            CliError::Validation(_) => 1,
             CliError::Usage(_) => 2,
             CliError::Io { .. } => 3,
             CliError::Pipeline { err, .. } => err.exit_code(),
@@ -77,6 +101,7 @@ impl CliError {
     /// pipeline stage that failed.
     fn message(&self) -> String {
         match self {
+            CliError::Validation(msg) => msg.clone(),
             CliError::Usage(msg) => format!("{msg}\n{}", usage()),
             CliError::Io { path, detail } => format!("cannot access `{path}`: {detail}"),
             CliError::Pipeline { path, err } => {
@@ -94,10 +119,18 @@ fn usage_err(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
-fn load(path: &str) -> Result<FlatCircuit, CliError> {
-    let pipeline = |err: ExtractError| CliError::Pipeline { path: path.to_owned(), err };
-    let nl = parse_spice_file(path).map_err(|e| pipeline(e.into()))?;
-    FlatCircuit::elaborate(&nl).map_err(|e| pipeline(e.into()))
+/// The CLI's observability context: one structured logger for stderr
+/// and one [`PipelineObs`] handle shared by every pipeline call. With
+/// no `--trace-out` and no `--run-dir` the obs handle is disabled and
+/// the pipeline takes its exact pre-observability code path.
+struct ObsCtx {
+    log: Logger,
+    obs: PipelineObs,
+}
+
+fn load(path: &str, ctx: &ObsCtx) -> Result<FlatCircuit, CliError> {
+    load_netlist_observed(path, &ctx.obs)
+        .map_err(|err| CliError::Pipeline { path: path.to_owned(), err })
 }
 
 fn config_with(epochs: Option<usize>, seed: Option<u64>) -> ExtractorConfig {
@@ -113,15 +146,15 @@ fn config_with(epochs: Option<usize>, seed: Option<u64>) -> ExtractorConfig {
 }
 
 /// Surface any training anomalies the guardrails recovered from.
-fn report_health(health: &HealthReport) {
+fn report_health(log: &Logger, health: &HealthReport) {
     for event in &health.retries {
-        eprintln!(
-            "warning: {} at epoch {} (attempt {}); restored best checkpoint, reseeded to {:#x}",
+        log.warn(format!(
+            "{} at epoch {} (attempt {}); restored best checkpoint, reseeded to {:#x}",
             event.cause, event.epoch, event.attempt, event.reseeded_to
-        );
+        ));
     }
     if health.clipped_steps > 0 {
-        eprintln!("warning: gradient norm clipped on {} steps", health.clipped_steps);
+        log.warn(format!("gradient norm clipped on {} steps", health.clipped_steps));
     }
 }
 
@@ -139,6 +172,14 @@ struct Args {
     resume: bool,
     checkpoint_every: Option<usize>,
     time_budget: Option<u64>,
+    trace_out: Option<String>,
+    log_format: LogFormat,
+    verbosity: Verbosity,
+    // obs-check inputs
+    trace: Option<String>,
+    prom: Option<String>,
+    require_stages: Option<String>,
+    require_epoch_events: bool,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -156,6 +197,13 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         resume: false,
         checkpoint_every: None,
         time_budget: None,
+        trace_out: None,
+        log_format: LogFormat::Text,
+        verbosity: Verbosity::Normal,
+        trace: None,
+        prom: None,
+        require_stages: None,
+        require_epoch_events: false,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -199,6 +247,18 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                 }
                 args.time_budget = Some(n);
             }
+            "--trace-out" => args.trace_out = Some(take("--trace-out")?),
+            "--log-format" => {
+                let v = take("--log-format")?;
+                args.log_format = LogFormat::parse(&v)
+                    .ok_or_else(|| format!("bad --log-format `{v}` (want text or json)"))?;
+            }
+            "-v" | "--verbose" => args.verbosity = Verbosity::Verbose,
+            "-q" | "--quiet" => args.verbosity = Verbosity::Quiet,
+            "--trace" => args.trace = Some(take("--trace")?),
+            "--prom" => args.prom = Some(take("--prom")?),
+            "--require-stages" => args.require_stages = Some(take("--require-stages")?),
+            "--require-epoch-events" => args.require_epoch_events = true,
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
             other => args.positional.push(other.to_owned()),
         }
@@ -239,54 +299,38 @@ fn run_options(args: &Args) -> Result<Option<RunOptions>, CliError> {
     if let Some(secs) = args.time_budget {
         opts.cancel.arm_deadline(Duration::from_secs(secs));
     }
-    // Crash-injection hook for the resume smoke tests: abort (as a
-    // kill would) right after the Nth checkpoint write.
+    // Crash-injection hooks for the resume/abort smoke tests: abort (as
+    // a kill would) or cancel (as the watchdog would) right after the
+    // Nth checkpoint write.
     opts.test_abort_after_checkpoints = std::env::var("ANCSTR_TEST_ABORT_AFTER_CHECKPOINTS")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    opts.test_cancel_after_checkpoints = std::env::var("ANCSTR_TEST_CANCEL_AFTER_CHECKPOINTS")
         .ok()
         .and_then(|v| v.parse().ok());
     Ok(Some(opts))
 }
 
-/// Render the Table V / Table VI metric columns (TPR, FPR, PPV, ACC,
-/// F₁) of the extracted constraints against the netlist's ground
-/// truth, overall and per symmetry level. Deterministic given the same
-/// constraints, so CI can diff it across crash/resume runs.
-fn render_metrics(flat: &FlatCircuit, constraints: &ConstraintSet) -> String {
-    use ancstr_netlist::SymmetryKind;
-    let gt = flat.ground_truth();
-    let pairs = valid_pairs(flat);
-    let confusion = |kind: Option<SymmetryKind>| {
-        confusion_from_decisions(
-            pairs
-                .iter()
-                .filter(|p| kind.is_none_or(|k| p.kind == k))
-                .map(|p| {
-                    let (a, b) = (p.pair.lo(), p.pair.hi());
-                    (constraints.contains_pair(a, b), gt.contains_pair(a, b))
-                }),
-        )
-    };
-    let mut out = String::from("# level tpr fpr ppv acc f1\n");
-    for (level, c) in [
-        ("overall", confusion(None)),
-        ("system", confusion(Some(SymmetryKind::System))),
-        ("device", confusion(Some(SymmetryKind::Device))),
-    ] {
-        out.push_str(&format!(
-            "{level} {:.6} {:.6} {:.6} {:.6} {:.6}\n",
-            c.tpr(),
-            c.fpr(),
-            c.ppv(),
-            c.acc(),
-            c.f1()
-        ));
+/// Write the current Prometheus exposition into `<run-dir>/metrics.prom`
+/// (atomic temp + rename). Called at every stage boundary; failures are
+/// surfaced as warnings — observability must never fail the run.
+fn write_prom_checkpoint(ctx: &ObsCtx, run_dir: &str) {
+    if !ctx.obs.enabled() {
+        return;
     }
-    out
+    if let Err(e) = ctx.obs.write_prom(&Path::new(run_dir).join("metrics.prom")) {
+        ctx.log.warn(format!("could not write metrics.prom: {e}"));
+    }
 }
 
 /// Shared output tail of `extract`: optional DOT dump, then the
 /// constraint set (or merged groups) to `-o`/stdout.
-fn emit_outputs(args: &Args, flat: &FlatCircuit, constraints: &ConstraintSet) -> Result<(), CliError> {
+fn emit_outputs(
+    ctx: &ObsCtx,
+    args: &Args,
+    flat: &FlatCircuit,
+    constraints: &ConstraintSet,
+) -> Result<(), CliError> {
     if let Some(dot_path) = &args.dot {
         use ancstr_graph::dot::{to_dot, DotOptions};
         use ancstr_graph::{BuildOptions, HetMultigraph};
@@ -303,13 +347,21 @@ fn emit_outputs(args: &Args, flat: &FlatCircuit, constraints: &ConstraintSet) ->
         );
         fs::write(dot_path, dot)
             .map_err(|e| CliError::Io { path: dot_path.clone(), detail: e.to_string() })?;
-        eprintln!("wrote {dot_path}");
+        ctx.log.info(format!("wrote {dot_path}"));
     }
 
+    // The metrics table and the Prometheus quality gauges share one
+    // source of truth (`ancstr_core::metrics::level_confusions`).
+    if ctx.obs.enabled() {
+        ctx.obs.record_quality(flat, constraints);
+    }
     if let Some(path) = &args.metrics {
-        fs::write(path, render_metrics(flat, constraints))
+        fs::write(path, render_metrics_table(flat, constraints))
             .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
-        eprintln!("wrote {path}");
+        ctx.log.info(format!("wrote {path}"));
+    }
+    if let Some(dir) = &args.run_dir {
+        write_prom_checkpoint(ctx, dir);
     }
 
     let text = if args.groups {
@@ -321,14 +373,14 @@ fn emit_outputs(args: &Args, flat: &FlatCircuit, constraints: &ConstraintSet) ->
         Some(path) => {
             fs::write(path, &text)
                 .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
-            eprintln!("wrote {path}");
+            ctx.log.info(format!("wrote {path}"));
         }
         None => print!("{text}"),
     }
     Ok(())
 }
 
-fn cmd_extract(args: Args) -> Result<(), CliError> {
+fn cmd_extract(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     let run = run_options(&args)?;
     let [input] = args.positional.as_slice() else {
         return Err(usage_err("extract needs exactly one netlist"));
@@ -340,15 +392,15 @@ fn cmd_extract(args: Args) -> Result<(), CliError> {
                  training stage",
             ));
         }
-        return cmd_extract_durable(&args, input, opts);
+        return cmd_extract_durable(ctx, &args, input, opts);
     }
-    let flat = load(input)?;
-    eprintln!(
+    let flat = load(input, ctx)?;
+    ctx.log.info(format!(
         "{} devices, {} nets, {} hierarchy nodes",
         flat.devices().len(),
         flat.net_count(),
         flat.nodes().len()
-    );
+    ));
 
     let pipeline = |err: ExtractError| CliError::Pipeline { path: input.clone(), err };
     let mut extractor =
@@ -362,44 +414,50 @@ fn cmd_extract(args: Args) -> Result<(), CliError> {
             path: model_path.clone(),
             err,
         })?;
-        eprintln!("loaded pre-trained model from {model_path}");
+        ctx.log.info(format!("loaded pre-trained model from {model_path}"));
     } else {
-        eprintln!("training on the input netlist ...");
-        let (report, health) =
-            extractor.try_fit(&[&flat], &HealthConfig::default()).map_err(pipeline)?;
-        report_health(&health);
-        eprintln!("final loss {:.4}", report.final_loss());
+        ctx.log.info("training on the input netlist ...");
+        let (report, health) = extractor
+            .try_fit_observed(&[&flat], &HealthConfig::default(), &ctx.obs)
+            .map_err(pipeline)?;
+        report_health(&ctx.log, &health);
+        ctx.log.info(format!("final loss {:.4}", report.final_loss()));
     }
 
-    let result = extractor.try_extract(&flat).map_err(pipeline)?;
+    let result = extractor.try_extract_observed(&flat, &ctx.obs).map_err(pipeline)?;
     for warning in &result.detection.warnings {
-        eprintln!("warning: {warning}");
+        ctx.log.warn(warning);
     }
-    eprintln!(
+    ctx.log.info(format!(
         "{} constraints in {:.1} ms",
         result.detection.constraints.len(),
         result.runtime.as_secs_f64() * 1e3
-    );
-    emit_outputs(&args, &flat, &result.detection.constraints)
+    ));
+    emit_outputs(ctx, &args, &flat, &result.detection.constraints)
 }
 
 /// The crash-safe extract path: every stage lands in the run directory,
 /// completed stages are skipped on `--resume`, and the cancel token is
 /// honoured between stages (and, inside training, between epochs).
-fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(), CliError> {
+fn cmd_extract_durable(
+    ctx: &ObsCtx,
+    args: &Args,
+    input: &str,
+    opts: RunOptions,
+) -> Result<(), CliError> {
     let run_dir = opts.run_dir.display().to_string();
     let config = config_with(args.epochs, args.seed);
     let pipeline = |err: ExtractError| CliError::Pipeline { path: input.to_owned(), err };
     let run_err =
         |e: RunError| CliError::Pipeline { path: run_dir.clone(), err: ExtractError::Run(e) };
 
-    let flat = load(input)?;
-    eprintln!(
+    let flat = load(input, ctx)?;
+    ctx.log.info(format!(
         "{} devices, {} nets, {} hierarchy nodes",
         flat.devices().len(),
         flat.net_count(),
         flat.nodes().len()
-    );
+    ));
     let mut session =
         RunSession::open(opts, "extract", &config, std::slice::from_ref(&input.to_owned()))
             .map_err(run_err)?;
@@ -414,7 +472,7 @@ fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(),
     // Stage: graph. Cheap and deterministic, so the artifact is a
     // sealed summary that pins what the rest of the run was built from.
     if session.stage_done("graph") {
-        eprintln!("[run] graph stage already done; skipping");
+        ctx.log.info("[run] graph stage already done; skipping");
     } else {
         let meta = format!(
             "netlist {input}\ndevices {}\nnets {}\nnodes {}\n",
@@ -424,37 +482,43 @@ fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(),
         );
         session.complete_stage("graph", "graph.meta", "graph-meta", &meta).map_err(run_err)?;
     }
+    write_prom_checkpoint(ctx, &run_dir);
     deadline(&session)?;
 
     // Stage: train (checkpointed; resumes bit-identically).
     let mut extractor = SymmetryExtractor::try_new(config.clone()).map_err(pipeline)?;
     match extractor
-        .fit_durable(&[&flat], &HealthConfig::default(), &mut session)
+        .fit_durable_observed(&[&flat], &HealthConfig::default(), &mut session, &ctx.obs)
         .map_err(pipeline)?
     {
         DurableFit::Cancelled { after_epoch } => {
-            eprintln!("[run] training cancelled after epoch {after_epoch}; checkpoint flushed");
+            ctx.log.info(format!(
+                "[run] training cancelled after epoch {after_epoch}; checkpoint flushed"
+            ));
             return Err(CliError::Deadline { run_dir });
         }
         DurableFit::Completed { report, health, resumed_from, notes } => {
             for note in &notes {
-                eprintln!("[run] {note}");
+                ctx.log.info(format!("[run] {note}"));
             }
             if session.stage_done("train") && report.epoch_losses.is_empty() {
-                eprintln!("[run] train stage already done; skipping");
+                ctx.log.info("[run] train stage already done; skipping");
             }
             if let Some(epoch) = resumed_from {
-                eprintln!("[run] resumed training from the epoch-{epoch} checkpoint");
+                ctx.log.info(format!("[run] resumed training from the epoch-{epoch} checkpoint"));
             }
-            report_health(&health);
+            report_health(&ctx.log, &health);
             if let Some(loss) = report.epoch_losses.last() {
-                eprintln!("final loss {loss:.4}");
+                ctx.log.info(format!("final loss {loss:.4}"));
             }
         }
     }
+    write_prom_checkpoint(ctx, &run_dir);
     deadline(&session)?;
 
     // Stage: embed. A corrupt artifact degrades to recomputation.
+    let _embed_span =
+        if ctx.obs.enabled() { Some(ctx.obs.stage("embed")) } else { None };
     let tg = extractor.train_graph(&flat);
     let expected_shape = (tg.tensors.vertex_count(), extractor.model().config().dim);
     let compute_z = |extractor: &SymmetryExtractor| -> Result<Matrix, CliError> {
@@ -476,15 +540,17 @@ fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(),
             .and_then(|payload| matrix_from_text(&payload).map_err(|e| e.to_string()));
         match reloaded {
             Ok(z) if z.shape() == expected_shape => {
-                eprintln!("[run] embed stage already done; loaded sealed embeddings");
+                ctx.log.info("[run] embed stage already done; loaded sealed embeddings");
                 z
             }
             Ok(z) => {
-                eprintln!(
-                    "[run] embeddings artifact has shape {:?}, expected {expected_shape:?}; \
+                let note = format!(
+                    "embeddings artifact has shape {:?}, expected {expected_shape:?}; \
                      recomputing",
                     z.shape()
                 );
+                ctx.obs.runstore_note(&note);
+                ctx.log.info(format!("[run] {note}"));
                 let z = compute_z(&extractor)?;
                 session
                     .store()
@@ -493,7 +559,9 @@ fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(),
                 z
             }
             Err(reason) => {
-                eprintln!("[run] embeddings artifact unusable ({reason}); recomputing");
+                let note = format!("embeddings artifact unusable ({reason}); recomputing");
+                ctx.obs.runstore_note(&note);
+                ctx.log.info(format!("[run] {note}"));
                 let z = compute_z(&extractor)?;
                 session
                     .store()
@@ -509,9 +577,13 @@ fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(),
             .map_err(run_err)?;
         z
     };
+    drop(_embed_span);
+    write_prom_checkpoint(ctx, &run_dir);
     deadline(&session)?;
 
     // Stage: detect. The artifact is the exported constraint set.
+    let _detect_span =
+        if ctx.obs.enabled() { Some(ctx.obs.stage("detect")) } else { None };
     let constraints = if session.stage_done("detect") {
         let reloaded = session
             .store()
@@ -520,15 +592,18 @@ fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(),
             .and_then(|payload| read_constraints(&flat, &payload).map_err(|e| e.to_string()));
         match reloaded {
             Ok(set) => {
-                eprintln!("[run] detect stage already done; loaded sealed constraints");
+                ctx.log.info("[run] detect stage already done; loaded sealed constraints");
                 set
             }
             Err(reason) => {
-                eprintln!("[run] constraints artifact unusable ({reason}); re-detecting");
+                let note = format!("constraints artifact unusable ({reason}); re-detecting");
+                ctx.obs.runstore_note(&note);
+                ctx.log.info(format!("[run] {note}"));
                 let detection =
                     detect_constraints(&flat, &z, &config.thresholds, &config.embed);
+                ctx.obs.record_detection(&detection);
                 for warning in &detection.warnings {
-                    eprintln!("warning: {warning}");
+                    ctx.log.warn(warning);
                 }
                 session
                     .store()
@@ -543,8 +618,9 @@ fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(),
         }
     } else {
         let detection = detect_constraints(&flat, &z, &config.thresholds, &config.embed);
+        ctx.obs.record_detection(&detection);
         for warning in &detection.warnings {
-            eprintln!("warning: {warning}");
+            ctx.log.warn(warning);
         }
         session
             .complete_stage(
@@ -556,12 +632,13 @@ fn cmd_extract_durable(args: &Args, input: &str, opts: RunOptions) -> Result<(),
             .map_err(run_err)?;
         detection.constraints
     };
+    drop(_detect_span);
 
-    eprintln!("{} constraints (run `{run_dir}` complete)", constraints.len());
-    emit_outputs(args, &flat, &constraints)
+    ctx.log.info(format!("{} constraints (run `{run_dir}` complete)", constraints.len()));
+    emit_outputs(ctx, args, &flat, &constraints)
 }
 
-fn cmd_train(args: Args) -> Result<(), CliError> {
+fn cmd_train(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     let run = run_options(&args)?;
     if args.positional.is_empty() {
         return Err(usage_err("train needs at least one netlist"));
@@ -572,7 +649,7 @@ fn cmd_train(args: Args) -> Result<(), CliError> {
     let circuits: Vec<FlatCircuit> = args
         .positional
         .iter()
-        .map(|p| load(p))
+        .map(|p| load(p, ctx))
         .collect::<Result<_, _>>()?;
     let refs: Vec<&FlatCircuit> = circuits.iter().collect();
     let corpus = args.positional.join(", ");
@@ -587,7 +664,7 @@ fn cmd_train(args: Args) -> Result<(), CliError> {
         let mut session =
             RunSession::open(opts, "train", &config, &args.positional).map_err(run_err)?;
         if session.stage_done("graph") {
-            eprintln!("[run] graph stage already done; skipping");
+            ctx.log.info("[run] graph stage already done; skipping");
         } else {
             let meta = format!(
                 "netlists {corpus}\ncircuits {}\ndevices {}\n",
@@ -596,52 +673,57 @@ fn cmd_train(args: Args) -> Result<(), CliError> {
             );
             session.complete_stage("graph", "graph.meta", "graph-meta", &meta).map_err(run_err)?;
         }
+        write_prom_checkpoint(ctx, &run_dir);
         if session.cancelled() {
             return Err(CliError::Deadline { run_dir });
         }
-        eprintln!("training on {} circuits ...", refs.len());
+        ctx.log.info(format!("training on {} circuits ...", refs.len()));
         match extractor
-            .fit_durable(&refs, &HealthConfig::default(), &mut session)
+            .fit_durable_observed(&refs, &HealthConfig::default(), &mut session, &ctx.obs)
             .map_err(pipeline)?
         {
             DurableFit::Cancelled { after_epoch } => {
-                eprintln!(
+                ctx.log.info(format!(
                     "[run] training cancelled after epoch {after_epoch}; checkpoint flushed"
-                );
+                ));
                 return Err(CliError::Deadline { run_dir });
             }
             DurableFit::Completed { report, health, resumed_from, notes } => {
                 for note in &notes {
-                    eprintln!("[run] {note}");
+                    ctx.log.info(format!("[run] {note}"));
                 }
                 if let Some(epoch) = resumed_from {
-                    eprintln!("[run] resumed training from the epoch-{epoch} checkpoint");
+                    ctx.log.info(format!(
+                        "[run] resumed training from the epoch-{epoch} checkpoint"
+                    ));
                 }
-                report_health(&health);
+                report_health(&ctx.log, &health);
                 if let Some(loss) = report.epoch_losses.last() {
-                    eprintln!("final loss {loss:.4}");
+                    ctx.log.info(format!("final loss {loss:.4}"));
                 }
             }
         }
+        write_prom_checkpoint(ctx, &run_dir);
     } else {
-        eprintln!("training on {} circuits ...", refs.len());
-        let (report, health) =
-            extractor.try_fit(&refs, &HealthConfig::default()).map_err(pipeline)?;
-        report_health(&health);
-        eprintln!("final loss {:.4}", report.final_loss());
+        ctx.log.info(format!("training on {} circuits ...", refs.len()));
+        let (report, health) = extractor
+            .try_fit_observed(&refs, &HealthConfig::default(), &ctx.obs)
+            .map_err(pipeline)?;
+        report_health(&ctx.log, &health);
+        ctx.log.info(format!("final loss {:.4}", report.final_loss()));
     }
 
     fs::write(&model_out, extractor.model().to_text())
         .map_err(|e| CliError::Io { path: model_out.clone(), detail: e.to_string() })?;
-    eprintln!("wrote {model_out}");
+    ctx.log.info(format!("wrote {model_out}"));
     Ok(())
 }
 
-fn cmd_stats(args: Args) -> Result<(), CliError> {
+fn cmd_stats(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     let [input] = args.positional.as_slice() else {
         return Err(usage_err("stats needs exactly one netlist"));
     };
-    let flat = load(input)?;
+    let flat = load(input, ctx)?;
     let stats = ancstr_core::pair_stats(&flat);
     println!("devices      {}", flat.devices().len());
     println!("nets         {}", flat.net_count());
@@ -651,6 +733,86 @@ fn cmd_stats(args: Args) -> Result<(), CliError> {
     println!("  device     {}", stats.device);
     println!("ground truth {}", stats.positives);
     Ok(())
+}
+
+/// Validate an observability artifact set: a JSONL trace (line-by-line
+/// schema + LIFO nesting, optionally requiring stage coverage and
+/// per-epoch telemetry) and/or a Prometheus text exposition. Exit code
+/// 1 on any validation failure, so CI can gate on it.
+fn cmd_obs_check(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
+    if args.trace.is_none() && args.prom.is_none() {
+        return Err(usage_err("obs-check needs --trace and/or --prom"));
+    }
+    if let Some(path) = &args.trace {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
+        let events = validate_trace(&text)
+            .map_err(|e| CliError::Validation(format!("`{path}` is not a valid trace: {e}")))?;
+        if events.is_empty() {
+            return Err(CliError::Validation(format!("`{path}` contains no trace events")));
+        }
+        if let Some(stages) = &args.require_stages {
+            let wanted: Vec<&str> = if stages == "all" {
+                STAGES.to_vec()
+            } else {
+                stages.split(',').filter(|s| !s.is_empty()).collect()
+            };
+            for stage in wanted {
+                if !events.iter().any(|e| e.kind == "span_start" && e.stage == stage) {
+                    return Err(CliError::Validation(format!(
+                        "`{path}` has no `{stage}` stage span"
+                    )));
+                }
+            }
+        }
+        if args.require_epoch_events {
+            let epochs = events
+                .iter()
+                .filter(|e| e.kind == "event" && e.span == "epoch")
+                .count();
+            if epochs == 0 {
+                return Err(CliError::Validation(format!(
+                    "`{path}` has no per-epoch training telemetry events"
+                )));
+            }
+            ctx.log.info(format!("{epochs} epoch telemetry events"));
+        }
+        ctx.log.info(format!("{path}: {} schema-valid trace events", events.len()));
+    }
+    if let Some(path) = &args.prom {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
+        let samples = validate_exposition(&text).map_err(|e| {
+            CliError::Validation(format!("`{path}` is not valid Prometheus exposition: {e}"))
+        })?;
+        ctx.log.info(format!("{path}: {samples} valid exposition samples"));
+    }
+    Ok(())
+}
+
+/// Flush terminal observability on an aborted run (watchdog
+/// cancellation → exit 10, run-store failure → exit 9): a `run_aborted`
+/// trace event, the abort counter, partial `metrics.prom`, and — when
+/// `--metrics` was requested — a partial metrics file recording the
+/// abort, so downstream tooling never waits on a file that will not
+/// appear.
+fn flush_abort(ctx: &ObsCtx, err: &CliError, metrics: Option<&str>, run_dir: Option<&str>) {
+    let code = err.exit_code();
+    ctx.obs.event(
+        "run",
+        "run_aborted",
+        &[("exit_code", u64::from(code).into()), ("reason", err.message().into())],
+    );
+    ctx.obs.metrics().counter_add("ancstr_run_aborted_total", &[], 1);
+    if let Some(dir) = run_dir {
+        write_prom_checkpoint(ctx, dir);
+    }
+    if let Some(path) = metrics {
+        let partial = format!("# level tpr fpr ppv acc f1\n# run_aborted exit_code={code}\n");
+        if fs::write(path, partial).is_ok() {
+            ctx.log.info(format!("wrote {path} (partial: run aborted)"));
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -666,17 +828,47 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    let log = Logger::stderr(args.log_format, args.verbosity);
+    let tracer = match &args.trace_out {
+        Some(path) => match Tracer::to_file(Path::new(path)) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                log.error(format!("cannot create trace file `{path}`: {e}"));
+                return ExitCode::from(3);
+            }
+        },
+        None => None,
+    };
+    // Observation is opt-in: enabled by `--trace-out` (JSONL tracing)
+    // or `--run-dir` (metrics.prom at stage boundaries). Otherwise the
+    // pipeline runs its exact pre-observability code path.
+    let obs = if tracer.is_some() || args.run_dir.is_some() {
+        PipelineObs::new(tracer)
+    } else {
+        PipelineObs::disabled()
+    };
+    let ctx = ObsCtx { log, obs };
+
+    let metrics_path = args.metrics.clone();
+    let run_dir = args.run_dir.clone();
     let result = match cmd.as_str() {
-        "extract" => cmd_extract(args),
-        "train" => cmd_train(args),
-        "stats" => cmd_stats(args),
+        "extract" => cmd_extract(&ctx, args),
+        "train" => cmd_train(&ctx, args),
+        "stats" => cmd_stats(&ctx, args),
+        "obs-check" => cmd_obs_check(&ctx, args),
         other => Err(usage_err(format!("unknown command `{other}`"))),
     };
-    match result {
+    let code = match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {}", e.message());
+            ctx.log.error(e.message());
+            if matches!(e.exit_code(), 9 | 10) {
+                flush_abort(&ctx, &e, metrics_path.as_deref(), run_dir.as_deref());
+            }
             ExitCode::from(e.exit_code())
         }
-    }
+    };
+    ctx.obs.flush();
+    code
 }

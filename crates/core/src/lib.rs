@@ -50,6 +50,7 @@ pub mod features;
 pub mod groups;
 pub mod inject;
 pub mod metrics;
+pub mod observe;
 pub mod pairs;
 pub mod pipeline;
 pub mod recover;
@@ -64,9 +65,10 @@ pub use export::{read_constraints, write_constraints, ParseConstraintError};
 pub use groups::{merge_groups, render_groups, SymmetryGroup};
 pub use features::{circuit_features, init_features, FeatureConfig, FEATURE_DIM};
 pub use metrics::{
-    confusion_from_decisions, pr_curve, roc_curve, Confusion, PrCurve, PrPoint, RocCurve,
-    RocPoint,
+    confusion_from_decisions, level_confusions, pr_curve, render_metrics_table, roc_curve,
+    Confusion, PrCurve, PrPoint, RocCurve, RocPoint,
 };
+pub use observe::{load_netlist_observed, PipelineObs, StageGuard, TrainTelemetry, STAGES};
 pub use pairs::{pair_stats, valid_pairs, valid_pairs_of_kind, CandidatePair, PairStats};
 pub use inject::{
     inject_checkpoint, inject_model, inject_spice, CheckpointFault, ModelFault, SpiceFault,

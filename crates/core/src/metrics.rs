@@ -209,6 +209,60 @@ pub fn pr_curve(samples: &[(f64, bool)]) -> PrCurve {
     PrCurve { points, average_precision: ap }
 }
 
+/// Table V / Table VI confusions of a constraint set against a
+/// circuit's ground truth, per symmetry level: `overall`, `system`,
+/// `device` (in that order).
+///
+/// This is the single source of truth behind both the CLI's
+/// `--metrics` table ([`render_metrics_table`]) and the Prometheus
+/// quality gauges, so the two can never drift apart.
+pub fn level_confusions(
+    flat: &ancstr_netlist::FlatCircuit,
+    constraints: &ancstr_netlist::constraint::ConstraintSet,
+) -> [(&'static str, Confusion); 3] {
+    use ancstr_netlist::SymmetryKind;
+    let gt = flat.ground_truth();
+    let pairs = crate::pairs::valid_pairs(flat);
+    let confusion = |kind: Option<SymmetryKind>| {
+        confusion_from_decisions(
+            pairs
+                .iter()
+                .filter(|p| kind.is_none_or(|k| p.kind == k))
+                .map(|p| {
+                    let (a, b) = (p.pair.lo(), p.pair.hi());
+                    (constraints.contains_pair(a, b), gt.contains_pair(a, b))
+                }),
+        )
+    };
+    [
+        ("overall", confusion(None)),
+        ("system", confusion(Some(SymmetryKind::System))),
+        ("device", confusion(Some(SymmetryKind::Device))),
+    ]
+}
+
+/// Render the Table V / Table VI metric columns (TPR, FPR, PPV, ACC,
+/// F₁) of the extracted constraints against the netlist's ground
+/// truth, overall and per symmetry level. Deterministic given the same
+/// constraints, so CI can diff it across crash/resume runs.
+pub fn render_metrics_table(
+    flat: &ancstr_netlist::FlatCircuit,
+    constraints: &ancstr_netlist::constraint::ConstraintSet,
+) -> String {
+    let mut out = String::from("# level tpr fpr ppv acc f1\n");
+    for (level, c) in level_confusions(flat, constraints) {
+        out.push_str(&format!(
+            "{level} {:.6} {:.6} {:.6} {:.6} {:.6}\n",
+            c.tpr(),
+            c.fpr(),
+            c.ppv(),
+            c.acc(),
+            c.f1()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,10 +38,11 @@ use std::time::Duration;
 
 use ancstr_gnn::{
     seal, try_train_resumable, HealthConfig, HealthReport, ResumableHooks, TrainOutcome,
-    TrainReport, TrainerState,
+    TrainReport, TrainerHooks, TrainerState,
 };
 use ancstr_netlist::FlatCircuit;
 
+use crate::observe::{PipelineObs, TrainTelemetry};
 use crate::pipeline::{ExtractorConfig, SymmetryExtractor};
 use crate::recover::ExtractError;
 
@@ -1011,6 +1012,26 @@ impl SymmetryExtractor {
         health: &HealthConfig,
         session: &mut RunSession,
     ) -> Result<DurableFit, ExtractError> {
+        self.fit_durable_observed(circuits, health, session, &PipelineObs::disabled())
+    }
+
+    /// [`SymmetryExtractor::fit_durable`] with observability: stage
+    /// spans for graph/feature/train work, per-epoch training telemetry
+    /// (through the read-only [`TrainerHooks`] observer), and every
+    /// checkpoint-scan/fallback recovery note mirrored as a structured
+    /// `runstore_note` trace event. With a disabled handle this *is*
+    /// `fit_durable`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`SymmetryExtractor::fit_durable`].
+    pub fn fit_durable_observed(
+        &mut self,
+        circuits: &[&FlatCircuit],
+        health: &HealthConfig,
+        session: &mut RunSession,
+        obs: &PipelineObs,
+    ) -> Result<DurableFit, ExtractError> {
         let mut notes = Vec::new();
 
         if session.stage_done("train") {
@@ -1018,6 +1039,9 @@ impl SymmetryExtractor {
             // the weights *and* the full report. Fall back to the model
             // artifact, and past that re-train.
             let (state, mut scan_notes) = session.store.latest_valid_checkpoint();
+            for n in &scan_notes {
+                obs.runstore_note(n);
+            }
             notes.append(&mut scan_notes);
             let state_fits = |state: &TrainerState| {
                 let slots = self.model().matrices();
@@ -1051,11 +1075,10 @@ impl SymmetryExtractor {
                             .map_err(ExtractError::Model)?;
                         *self =
                             SymmetryExtractor::new(self.config().clone()).with_model(model)?;
-                        notes.push(
-                            "train stage was done but no full checkpoint survived; \
-                             loaded sealed model artifact (loss history unavailable)"
-                                .to_owned(),
-                        );
+                        let note = "train stage was done but no full checkpoint survived; \
+                                    loaded sealed model artifact (loss history unavailable)";
+                        obs.runstore_note(note);
+                        notes.push(note.to_owned());
                         return Ok(DurableFit::Completed {
                             report: TrainReport { epoch_losses: Vec::new() },
                             health: HealthReport::default(),
@@ -1064,10 +1087,12 @@ impl SymmetryExtractor {
                         });
                     }
                     Err(e) => {
-                        notes.push(format!(
+                        let note = format!(
                             "train stage was marked done but its artifacts are gone \
                              ({e}); re-training"
-                        ));
+                        );
+                        obs.runstore_note(&note);
+                        notes.push(note);
                         if let Some(s) =
                             session.manifest.stages.iter_mut().find(|s| s.name == "train")
                         {
@@ -1079,17 +1104,32 @@ impl SymmetryExtractor {
         }
 
         let dataset: Vec<ancstr_gnn::TrainGraph> =
-            circuits.iter().map(|f| self.train_graph(f)).collect();
+            circuits.iter().map(|f| self.train_graph_observed(f, obs)).collect();
         let train_config = self.config().train.clone();
 
         let resume_state = if session.options.resume {
             let (state, mut scan_notes) = session.store.latest_valid_checkpoint();
+            for n in &scan_notes {
+                obs.runstore_note(n);
+            }
             notes.append(&mut scan_notes);
             state
         } else {
             None
         };
         let resumed_from = resume_state.as_ref().map(|s| s.epoch_losses.len());
+        let _train_span = obs.stage_with(
+            "train",
+            &[
+                ("epochs", train_config.epochs.into()),
+                ("circuits", circuits.len().into()),
+                ("seed", train_config.seed.into()),
+                ("checkpoint_every", session.options.checkpoint_every.into()),
+            ],
+        );
+        if let Some(epoch) = resumed_from {
+            obs.event("train", "resumed_from_checkpoint", &[("epoch", epoch.into())]);
+        }
 
         let store = session.store.clone();
         let writes = Arc::clone(&session.checkpoint_writes);
@@ -1110,11 +1150,15 @@ impl SymmetryExtractor {
         };
         let cancel_token = session.options.cancel.clone();
         let cancel = move || cancel_token.is_cancelled();
+        let mut telemetry = TrainTelemetry::new(obs.clone());
+        let observer: Option<&mut dyn TrainerHooks> =
+            if obs.enabled() { Some(&mut telemetry) } else { None };
         let hooks = ResumableHooks {
             checkpoint_every: Some(session.options.checkpoint_every.max(1)),
             on_checkpoint: Some(&mut sink),
             cancel: Some(&cancel),
             resume_from: resume_state,
+            observer,
         };
 
         let (report, health_report, outcome) =
@@ -1159,6 +1203,14 @@ impl SymmetryExtractor {
                     .write_artifact("model.txt", "model", &self.model().to_text())?;
                 session.record_seed_lineage(&health_report);
                 session.mark_done("train", Some("model.txt"))?;
+                obs.event(
+                    "train",
+                    "stage_sealed",
+                    &[
+                        ("artifact", "model.txt".into()),
+                        ("epochs", report.epoch_losses.len().into()),
+                    ],
+                );
                 Ok(DurableFit::Completed {
                     report,
                     health: health_report,

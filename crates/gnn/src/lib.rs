@@ -58,7 +58,7 @@ pub use serialize::{
 };
 pub use tensors::GraphTensors;
 pub use trainer::{
-    train, try_train, try_train_resumable, CheckpointSink, HealthConfig, HealthEvent,
-    HealthReport, ResumableHooks, TrainConfig, TrainGraph, TrainOutcome, TrainReport,
-    TrainerState,
+    train, try_train, try_train_resumable, CheckpointSink, EpochTelemetry, HealthConfig,
+    HealthEvent, HealthReport, ResumableHooks, TrainConfig, TrainGraph, TrainOutcome,
+    TrainReport, TrainerHooks, TrainerState,
 };

@@ -14,6 +14,8 @@
 //!   run the guardrails never fire and the loss trajectory equals
 //!   [`train`]'s exactly.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -162,12 +164,77 @@ fn derive_seed(base: u64, attempt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Per-epoch training telemetry passed to [`TrainerHooks::on_epoch`].
+///
+/// Gradient norms are the *global* (all-parameter) L2 norms the health
+/// monitor already computes; `pre`/`post` bracket the clipping step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochTelemetry {
+    /// Epoch index (0-based) this snapshot describes.
+    pub epoch: usize,
+    /// Recovery attempt the epoch ran under (0 = original run).
+    pub attempt: usize,
+    /// Mean context loss over the epoch.
+    pub loss: f64,
+    /// Optimizer steps taken this epoch.
+    pub steps: usize,
+    /// Largest pre-clip gradient norm seen this epoch.
+    pub grad_norm_max: f64,
+    /// Mean pre-clip gradient norm over the epoch's steps.
+    pub grad_norm_mean: f64,
+    /// Largest post-clip gradient norm this epoch.
+    pub grad_norm_post_clip_max: f64,
+    /// Steps whose gradient was norm-clipped this epoch.
+    pub clipped_steps: usize,
+}
+
+/// Read-only training observer for telemetry.
+///
+/// Every method defaults to a no-op and nothing an observer does can
+/// feed back into training: [`try_train`] / [`try_train_resumable`]
+/// follow the exact same RNG call sequence and arithmetic whether or
+/// not an observer is attached (proven by a unit test below).
+pub trait TrainerHooks {
+    /// Called after every successfully completed epoch.
+    fn on_epoch(&mut self, telemetry: &EpochTelemetry) {
+        let _ = telemetry;
+    }
+
+    /// Called when the health monitor recovers from an anomaly by
+    /// restoring the best checkpoint and re-seeding.
+    fn on_retry(&mut self, event: &HealthEvent) {
+        let _ = event;
+    }
+
+    /// Called after each checkpoint write with the completed-epoch
+    /// count and the sink's write latency.
+    fn on_checkpoint(&mut self, completed_epochs: usize, write_time: std::time::Duration) {
+        let _ = (completed_epochs, write_time);
+    }
+
+    /// Called when cooperative cancellation stops the run.
+    fn on_cancelled(&mut self, after_epoch: usize) {
+        let _ = after_epoch;
+    }
+}
+
+/// Per-epoch gradient-norm accumulator, filled only when an observer
+/// is attached (the extra square roots never touch the update math).
+#[derive(Debug, Clone, Copy, Default)]
+struct NormStats {
+    steps: usize,
+    sum: f64,
+    max: f64,
+    post_max: f64,
+}
+
 /// Per-epoch guardrail state threaded through [`epoch_pass`].
 struct EpochGuard<'a> {
     health: &'a HealthConfig,
     epoch: usize,
     attempt: usize,
     clipped_steps: &'a mut usize,
+    norms: Option<&'a mut NormStats>,
 }
 
 /// One full pass over the dataset. With `guard: None` this is exactly
@@ -243,6 +310,7 @@ fn epoch_pass(
             if !norm_sq.is_finite() {
                 return Err(AnomalyCause::NonFiniteGradient);
             }
+            let mut clipped_to = None;
             if let Some(max) = g.health.max_grad_norm {
                 let norm = norm_sq.sqrt();
                 if norm > max {
@@ -251,7 +319,15 @@ fn epoch_pass(
                         *m = m.scale(scale);
                     }
                     *g.clipped_steps += 1;
+                    clipped_to = Some(max);
                 }
+            }
+            if let Some(stats) = g.norms.as_deref_mut() {
+                let norm = norm_sq.sqrt();
+                stats.steps += 1;
+                stats.sum += norm;
+                stats.max = stats.max.max(norm);
+                stats.post_max = stats.post_max.max(clipped_to.unwrap_or(norm));
             }
         }
 
@@ -387,6 +463,9 @@ pub struct ResumableHooks<'a> {
     pub cancel: Option<&'a dyn Fn() -> bool>,
     /// Resume from this checkpointed state instead of starting fresh.
     pub resume_from: Option<TrainerState>,
+    /// Read-only telemetry observer (see [`TrainerHooks`]). Attaching
+    /// one never changes training results.
+    pub observer: Option<&'a mut dyn TrainerHooks>,
 }
 
 #[allow(clippy::too_many_arguments)] // one slot per field of the state
@@ -628,10 +707,17 @@ pub fn try_train_resumable(
                         &opt,
                         &report,
                     );
+                    let started = Instant::now();
                     sink(&state).map_err(|reason| TrainError::CheckpointWrite {
                         epoch,
                         reason,
                     })?;
+                    if let Some(obs) = hooks.observer.as_deref_mut() {
+                        obs.on_checkpoint(epoch, started.elapsed());
+                    }
+                }
+                if let Some(obs) = hooks.observer.as_deref_mut() {
+                    obs.on_cancelled(epoch);
                 }
                 return Ok((
                     TrainReport { epoch_losses },
@@ -639,11 +725,14 @@ pub fn try_train_resumable(
                     TrainOutcome::Cancelled { after_epoch: epoch },
                 ));
             }
+            let mut norms = hooks.observer.as_ref().map(|_| NormStats::default());
+            let clipped_before = report.clipped_steps;
             let guard = EpochGuard {
                 health,
                 epoch,
                 attempt,
                 clipped_steps: &mut report.clipped_steps,
+                norms: norms.as_mut(),
             };
             let outcome = epoch_pass(
                 model,
@@ -671,6 +760,23 @@ pub fn try_train_resumable(
                         best_loss = loss;
                         best_params = snapshot(model);
                     }
+                    if let Some(obs) = hooks.observer.as_deref_mut() {
+                        let stats = norms.unwrap_or_default();
+                        obs.on_epoch(&EpochTelemetry {
+                            epoch,
+                            attempt,
+                            loss,
+                            steps: stats.steps,
+                            grad_norm_max: stats.max,
+                            grad_norm_mean: if stats.steps > 0 {
+                                stats.sum / stats.steps as f64
+                            } else {
+                                0.0
+                            },
+                            grad_norm_post_clip_max: stats.post_max,
+                            clipped_steps: report.clipped_steps - clipped_before,
+                        });
+                    }
                     None
                 }
             };
@@ -691,6 +797,9 @@ pub fn try_train_resumable(
                     cause,
                     reseeded_to: seed,
                 });
+                if let Some(obs) = hooks.observer.as_deref_mut() {
+                    obs.on_retry(report.retries.last().expect("just pushed"));
+                }
                 continue 'attempts;
             }
             let completed = epoch_losses.len();
@@ -708,10 +817,14 @@ pub fn try_train_resumable(
                         &opt,
                         &report,
                     );
+                    let started = Instant::now();
                     sink(&state).map_err(|reason| TrainError::CheckpointWrite {
                         epoch: completed,
                         reason,
                     })?;
+                    if let Some(obs) = hooks.observer.as_deref_mut() {
+                        obs.on_checkpoint(completed, started.elapsed());
+                    }
                 }
             }
         }
@@ -846,6 +959,105 @@ mod tests {
         assert_eq!(report, plain_report);
         assert_eq!(guarded, plain);
         assert!(health.clean(), "{health:?}");
+    }
+
+    /// Collects every observer callback for assertions.
+    #[derive(Default)]
+    struct RecordingHooks {
+        epochs: Vec<EpochTelemetry>,
+        retries: Vec<HealthEvent>,
+        checkpoints: Vec<usize>,
+        cancelled_after: Option<usize>,
+    }
+
+    impl TrainerHooks for RecordingHooks {
+        fn on_epoch(&mut self, t: &EpochTelemetry) {
+            self.epochs.push(t.clone());
+        }
+        fn on_retry(&mut self, e: &HealthEvent) {
+            self.retries.push(e.clone());
+        }
+        fn on_checkpoint(&mut self, completed: usize, _write_time: std::time::Duration) {
+            self.checkpoints.push(completed);
+        }
+        fn on_cancelled(&mut self, after_epoch: usize) {
+            self.cancelled_after = Some(after_epoch);
+        }
+    }
+
+    #[test]
+    fn attached_observer_never_changes_training_results() {
+        let dataset = vec![sample_graph(), sample_graph()];
+        let cfg = TrainConfig { epochs: 8, ..TrainConfig::default() };
+        let gc = GnnConfig { dim: 6, layers: 2, seed: 8, ..GnnConfig::default() };
+
+        let mut bare = GnnModel::new(gc.clone());
+        let bare_out = try_train(&mut bare, &dataset, &cfg, &HealthConfig::default()).unwrap();
+
+        let mut observed = GnnModel::new(gc);
+        let mut hooks = RecordingHooks::default();
+        let (report, health, outcome) = try_train_resumable(
+            &mut observed,
+            &dataset,
+            &cfg,
+            &HealthConfig::default(),
+            ResumableHooks { observer: Some(&mut hooks), ..ResumableHooks::default() },
+        )
+        .unwrap();
+
+        assert_eq!((report.clone(), health), bare_out, "observer is read-only");
+        assert_eq!(observed, bare, "final weights are bit-identical");
+        assert_eq!(outcome, TrainOutcome::Completed);
+
+        // One telemetry record per epoch, in order, mirroring the losses.
+        assert_eq!(hooks.epochs.len(), cfg.epochs);
+        for (i, t) in hooks.epochs.iter().enumerate() {
+            assert_eq!(t.epoch, i);
+            assert_eq!(t.attempt, 0);
+            assert_eq!(t.loss, report.epoch_losses[i]);
+            assert!(t.steps > 0);
+            assert!(t.grad_norm_max >= t.grad_norm_mean);
+            assert!(t.grad_norm_max >= t.grad_norm_post_clip_max);
+            assert!(t.grad_norm_mean >= 0.0);
+        }
+        assert!(hooks.retries.is_empty());
+        assert!(hooks.cancelled_after.is_none());
+    }
+
+    #[test]
+    fn observer_sees_retry_and_checkpoint_events() {
+        let dataset = vec![sample_graph()];
+        let cfg = TrainConfig { epochs: 6, ..TrainConfig::default() };
+        let health = HealthConfig { inject_nan_grad_at: Some(2), ..HealthConfig::default() };
+        let mut model =
+            GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 5, ..GnnConfig::default() });
+        let mut hooks = RecordingHooks::default();
+        let mut stored = Vec::new();
+        let mut sink = |state: &TrainerState| {
+            stored.push(state.epoch_losses.len());
+            Ok(())
+        };
+        let (report, hr, _) = try_train_resumable(
+            &mut model,
+            &dataset,
+            &cfg,
+            &health,
+            ResumableHooks {
+                checkpoint_every: Some(2),
+                on_checkpoint: Some(&mut sink),
+                observer: Some(&mut hooks),
+                ..ResumableHooks::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.epoch_losses.len(), 6);
+        assert_eq!(hooks.retries, hr.retries, "observer saw the recovery");
+        assert_eq!(hooks.checkpoints, stored, "one callback per sink write");
+        assert_eq!(hooks.checkpoints, vec![2, 4, 6]);
+        // Epoch 2 ran twice (NaN then recovery); only the successful
+        // pass produces telemetry.
+        assert_eq!(hooks.epochs.len(), 6);
+        assert_eq!(hooks.epochs[2].attempt, 1);
     }
 
     #[test]

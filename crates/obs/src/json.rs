@@ -1,0 +1,263 @@
+//! Minimal JSON writing and parsing.
+//!
+//! The trace emitter needs to *write* one flat JSON object per line, and
+//! the schema validator needs to *read* those lines back. Both live here
+//! so the crate stays dependency-free. The parser handles the full JSON
+//! grammar (objects, arrays, strings with escapes, numbers, literals) —
+//! enough to validate any line a conforming tracer could emit, and to
+//! reject malformed ones.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as `f64`.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys keep insertion order is not required for
+    /// validation, so a sorted map is fine.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse one complete JSON document; trailing content is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&bytes, &mut pos)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(c: &[char], pos: &mut usize) {
+    while *pos < c.len() && matches!(c[*pos], ' ' | '\t' | '\n' | '\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(c: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(c, pos);
+    match c.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some('{') => parse_obj(c, pos),
+        Some('[') => parse_arr(c, pos),
+        Some('"') => parse_str(c, pos).map(Json::Str),
+        Some('t') => parse_lit(c, pos, "true", Json::Bool(true)),
+        Some('f') => parse_lit(c, pos, "false", Json::Bool(false)),
+        Some('n') => parse_lit(c, pos, "null", Json::Null),
+        Some(_) => parse_num(c, pos),
+    }
+}
+
+fn parse_lit(c: &[char], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    for l in lit.chars() {
+        if c.get(*pos) != Some(&l) {
+            return Err(format!("bad literal at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+    }
+    Ok(v)
+}
+
+fn parse_num(c: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < c.len()
+        && matches!(c[*pos], '0'..='9' | '-' | '+' | '.' | 'e' | 'E')
+    {
+        *pos += 1;
+    }
+    let s: String = c[start..*pos].iter().collect();
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{s}` at offset {start}"))
+}
+
+fn parse_str(c: &[char], pos: &mut usize) -> Result<String, String> {
+    if c.get(*pos) != Some(&'"') {
+        return Err(format!("expected string at offset {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match c.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match c.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            *pos += 1;
+                            let d = c
+                                .get(*pos)
+                                .and_then(|d| d.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err("bad escape".into()),
+                }
+                *pos += 1;
+            }
+            Some(&ch) => {
+                out.push(ch);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_obj(c: &[char], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(c, pos);
+    if c.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(c, pos);
+        let key = parse_str(c, pos)?;
+        skip_ws(c, pos);
+        if c.get(*pos) != Some(&':') {
+            return Err(format!("expected `:` at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let val = parse_value(c, pos)?;
+        if map.insert(key.clone(), val).is_some() {
+            return Err(format!("duplicate key `{key}`"));
+        }
+        skip_ws(c, pos);
+        match c.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_arr(c: &[char], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(c, pos);
+    if c.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(c, pos)?);
+        skip_ws(c, pos);
+        match c.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_simple_objects() {
+        let v = parse(r#"{"a":1,"b":"x\n","c":[true,null,-2.5e3]}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["a"].as_num(), Some(1.0));
+        assert_eq!(obj["b"].as_str(), Some("x\n"));
+        assert_eq!(
+            obj["c"],
+            Json::Arr(vec![Json::Bool(true), Json::Null, Json::Num(-2500.0)])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1}x", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_through_parse() {
+        let raw = "quote\" slash\\ newline\n tab\t ctrl\u{1} unicode\u{2603}";
+        let mut line = String::new();
+        write_escaped(&mut line, raw);
+        assert_eq!(parse(&line).unwrap().as_str(), Some(raw));
+    }
+}

@@ -1,0 +1,178 @@
+//! Structured stderr logging with text and JSON formats.
+//!
+//! The CLI's diagnostic output goes through one [`Logger`], so
+//! `--log-format json` turns every message into a machine-readable
+//! line and `-v` / `--quiet` adjust what is shown. Text mode keeps the
+//! exact message strings the CLI printed before this layer existed
+//! (with `warning:` / `error:` prefixes), so human-facing output does
+//! not change.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::json::write_escaped;
+
+/// Output format for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// Plain text, one message per line (the default).
+    #[default]
+    Text,
+    /// One JSON object per line: `{"level":"warn","msg":"..."}`.
+    Json,
+}
+
+impl LogFormat {
+    /// Parse a `--log-format` flag value.
+    pub fn parse(s: &str) -> Option<LogFormat> {
+        match s {
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// How much diagnostic output to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Verbosity {
+    /// Errors only (`--quiet`).
+    Quiet,
+    /// Errors, warnings and progress (the default).
+    #[default]
+    Normal,
+    /// Everything, including debug detail (`-v`).
+    Verbose,
+}
+
+/// A cheaply cloneable structured logger.
+#[derive(Clone)]
+pub struct Logger {
+    format: LogFormat,
+    verbosity: Verbosity,
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl Logger {
+    /// A logger writing to standard error.
+    pub fn stderr(format: LogFormat, verbosity: Verbosity) -> Logger {
+        Logger::to_writer(format, verbosity, Box::new(io::stderr()))
+    }
+
+    /// A logger writing to an arbitrary writer (tests).
+    pub fn to_writer(
+        format: LogFormat,
+        verbosity: Verbosity,
+        out: Box<dyn Write + Send>,
+    ) -> Logger {
+        Logger {
+            format,
+            verbosity,
+            out: Arc::new(Mutex::new(out)),
+        }
+    }
+
+    /// The configured verbosity.
+    pub fn verbosity(&self) -> Verbosity {
+        self.verbosity
+    }
+
+    fn emit(&self, level: &str, text_prefix: &str, msg: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let line = match self.format {
+            LogFormat::Text => format!("{text_prefix}{msg}"),
+            LogFormat::Json => {
+                let mut s = String::with_capacity(msg.len() + 32);
+                let _ = write!(s, "{{\"level\":\"{level}\",\"msg\":");
+                write_escaped(&mut s, msg);
+                s.push('}');
+                s
+            }
+        };
+        let _ = writeln!(out, "{line}");
+    }
+
+    /// Progress message; suppressed by `--quiet`.
+    pub fn info(&self, msg: impl std::fmt::Display) {
+        if self.verbosity > Verbosity::Quiet {
+            self.emit("info", "", &msg.to_string());
+        }
+    }
+
+    /// Warning; suppressed by `--quiet`. Text mode prefixes `warning: `.
+    pub fn warn(&self, msg: impl std::fmt::Display) {
+        if self.verbosity > Verbosity::Quiet {
+            self.emit("warn", "warning: ", &msg.to_string());
+        }
+    }
+
+    /// Error; always emitted. Text mode prefixes `error: `.
+    pub fn error(&self, msg: impl std::fmt::Display) {
+        self.emit("error", "error: ", &msg.to_string());
+    }
+
+    /// Debug detail; emitted only with `-v`.
+    pub fn debug(&self, msg: impl std::fmt::Display) {
+        if self.verbosity >= Verbosity::Verbose {
+            self.emit("debug", "", &msg.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuffer;
+
+    fn captive(format: LogFormat, verbosity: Verbosity) -> (Logger, TraceBuffer) {
+        let buf = TraceBuffer::default();
+        (
+            Logger::to_writer(format, verbosity, Box::new(buf.clone())),
+            buf,
+        )
+    }
+
+    #[test]
+    fn text_mode_keeps_legacy_prefixes() {
+        let (log, buf) = captive(LogFormat::Text, Verbosity::Normal);
+        log.info("loaded 3 circuits");
+        log.warn("skipped 1 pair");
+        log.error("boom");
+        assert_eq!(
+            buf.contents(),
+            "loaded 3 circuits\nwarning: skipped 1 pair\nerror: boom\n"
+        );
+    }
+
+    #[test]
+    fn json_mode_emits_parseable_lines() {
+        let (log, buf) = captive(LogFormat::Json, Verbosity::Normal);
+        log.warn("a \"quoted\" path");
+        let line = buf.contents();
+        let parsed = crate::json::parse(line.trim()).unwrap();
+        let obj = parsed.as_obj().unwrap();
+        assert_eq!(obj["level"].as_str(), Some("warn"));
+        assert_eq!(obj["msg"].as_str(), Some("a \"quoted\" path"));
+    }
+
+    #[test]
+    fn quiet_drops_info_and_warn_but_not_error() {
+        let (log, buf) = captive(LogFormat::Text, Verbosity::Quiet);
+        log.info("x");
+        log.warn("y");
+        log.debug("z");
+        log.error("kept");
+        assert_eq!(buf.contents(), "error: kept\n");
+    }
+
+    #[test]
+    fn debug_needs_verbose() {
+        let (log, buf) = captive(LogFormat::Text, Verbosity::Normal);
+        log.debug("hidden");
+        assert_eq!(buf.contents(), "");
+        let (log, buf) = captive(LogFormat::Text, Verbosity::Verbose);
+        log.debug("shown");
+        assert_eq!(buf.contents(), "shown\n");
+    }
+}

@@ -1,0 +1,444 @@
+//! A small metrics registry with Prometheus-style text exposition.
+//!
+//! Three metric kinds — monotonically increasing counters, last-write
+//! gauges, and fixed-bucket histograms — keyed by family name plus an
+//! optional label set. [`Registry::render`] produces the Prometheus
+//! text format (`# HELP` / `# TYPE` headers, cumulative `le` buckets
+//! with `+Inf`, `_sum` and `_count` series) in deterministic sorted
+//! order, and [`validate_exposition`] re-parses that format so tests
+//! and the CI smoke job can check any `metrics.prom` file.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Default duration buckets (seconds) for stage/latency histograms.
+pub const DURATION_BUCKETS_S: [f64; 9] =
+    [0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
+
+/// Default buckets for gradient-norm histograms.
+pub const GRAD_NORM_BUCKETS: [f64; 8] = [0.1, 0.5, 1.0, 5.0, 25.0, 100.0, 500.0, 1000.0];
+
+#[derive(Debug, Clone)]
+struct Hist {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    help: BTreeMap<String, String>,
+    counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), f64>,
+    hists: BTreeMap<(String, String), Hist>,
+}
+
+/// A cheaply cloneable metrics registry; clones share state.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+fn label_string(labels: &[(&str, &str)]) -> String {
+    let mut s = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""));
+    }
+    s
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Set the `# HELP` text for a metric family.
+    pub fn help(&self, name: &str, text: &str) {
+        self.lock().help.insert(name.to_string(), text.to_string());
+    }
+
+    /// Add `v` to a counter series (creating it at zero).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let key = (name.to_string(), label_string(labels));
+        *self.lock().counters.entry(key).or_insert(0) += v;
+    }
+
+    /// Set a gauge series to `v`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = (name.to_string(), label_string(labels));
+        self.lock().gauges.insert(key, v);
+    }
+
+    /// Record one observation into a fixed-bucket histogram series.
+    ///
+    /// `bounds` must be sorted ascending; the first call for a series
+    /// fixes its buckets and later calls reuse them.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64) {
+        let key = (name.to_string(), label_string(labels));
+        let mut inner = self.lock();
+        let h = inner.hists.entry(key).or_insert_with(|| Hist {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len()],
+            sum: 0.0,
+            count: 0,
+        });
+        for (i, b) in h.bounds.iter().enumerate() {
+            if v <= *b {
+                h.counts[i] += 1;
+            }
+        }
+        h.sum += v;
+        h.count += 1;
+    }
+
+    /// Read a counter series back (tests and exposition helpers).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = (name.to_string(), label_string(labels));
+        self.lock().counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        // Families in sorted order; the three kind-maps are expected to
+        // use disjoint family names.
+        let mut families: Vec<(&str, &str)> = Vec::new();
+        for (name, _) in inner.counters.keys() {
+            families.push((name, "counter"));
+        }
+        for (name, _) in inner.gauges.keys() {
+            families.push((name, "gauge"));
+        }
+        for (name, _) in inner.hists.keys() {
+            families.push((name, "histogram"));
+        }
+        families.sort();
+        families.dedup();
+
+        for (family, kind) in families {
+            if let Some(help) = inner.help.get(family) {
+                let _ = writeln!(out, "# HELP {family} {help}");
+            }
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            match kind {
+                "counter" => {
+                    for ((name, labels), v) in &inner.counters {
+                        if name == family {
+                            let _ = writeln!(out, "{}{} {v}", name, braced(labels));
+                        }
+                    }
+                }
+                "gauge" => {
+                    for ((name, labels), v) in &inner.gauges {
+                        if name == family {
+                            let _ = writeln!(out, "{}{} {}", name, braced(labels), fmt_f64(*v));
+                        }
+                    }
+                }
+                _ => {
+                    for ((name, labels), h) in &inner.hists {
+                        if name != family {
+                            continue;
+                        }
+                        // `observe` increments every bucket with bound >= v,
+                        // so stored counts are already cumulative.
+                        for (b, c) in h.bounds.iter().zip(&h.counts) {
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {c}",
+                                braced(&with_le(labels, &fmt_f64(*b)))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {}",
+                            braced(&with_le(labels, "+Inf")),
+                            h.count
+                        );
+                        let _ =
+                            writeln!(out, "{name}_sum{} {}", braced(labels), fmt_f64(h.sum));
+                        let _ = writeln!(out, "{name}_count{} {}", braced(labels), h.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+fn with_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("le=\"{le}\"")
+    } else {
+        format!("{labels},le=\"{le}\"")
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Validate Prometheus text exposition format line-by-line.
+///
+/// Checks that every non-comment line is `name[{labels}] value`, that
+/// metric names are legal, that every sample's family has a preceding
+/// `# TYPE` header, and that histogram `_bucket` cumulative counts are
+/// non-decreasing and end with `+Inf` equal to `_count`. Returns the
+/// number of samples.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    // (family, labels-without-le) -> (last cumulative, inf seen)
+    let mut bucket_state: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut inf_counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !is_metric_name(name) {
+                return Err(format!("line {n}: bad family name `{name}`"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {n}: bad TYPE `{kind}`"));
+            }
+            if typed.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {n}: duplicate TYPE for `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or free comment
+        }
+        let (name, labels, value) = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        let family = family_of(&name, &typed);
+        let Some(kind) = family.as_ref().and_then(|f| typed.get(f)) else {
+            return Err(format!("line {n}: sample `{name}` has no preceding TYPE"));
+        };
+        if *kind == "histogram" && name.ends_with("_bucket") {
+            let fam = family.clone().unwrap();
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .ok_or(format!("line {n}: `_bucket` sample without `le` label"))?;
+            let others = label_key_without_le(&labels);
+            let cum = value as u64;
+            let prev = bucket_state
+                .get(&(fam.clone(), others.clone()))
+                .copied()
+                .unwrap_or(0);
+            if cum < prev {
+                return Err(format!("line {n}: bucket counts decreased"));
+            }
+            bucket_state.insert((fam.clone(), others.clone()), cum);
+            if le == "+Inf" {
+                inf_counts.insert((fam, others), cum);
+            }
+        }
+        if *kind == "histogram" && name.ends_with("_count") {
+            let fam = family.unwrap();
+            let others = label_key_without_le(&labels);
+            if let Some(inf) = inf_counts.get(&(fam, others)) {
+                if *inf != value as u64 {
+                    return Err(format!("line {n}: `+Inf` bucket != `_count`"));
+                }
+            }
+        }
+        samples += 1;
+    }
+    if typed.is_empty() {
+        return Err("no TYPE headers found".into());
+    }
+    Ok(samples)
+}
+
+fn family_of(name: &str, typed: &BTreeMap<String, String>) -> Option<String> {
+    if typed.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if typed.get(stem).map(String::as_str) == Some("histogram") {
+                return Some(stem.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn label_key_without_le(labels: &[(String, String)]) -> String {
+    let mut kept: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    kept.sort();
+    kept.join(",")
+}
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_sample(line: &str) -> Result<(String, Vec<(String, String)>, f64), String> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == ':')
+    {
+        i += 1;
+    }
+    let name: String = chars[..i].iter().collect();
+    if !is_metric_name(&name) {
+        return Err(format!("bad metric name in `{line}`"));
+    }
+    let mut labels = Vec::new();
+    if chars.get(i) == Some(&'{') {
+        i += 1;
+        loop {
+            if chars.get(i) == Some(&'}') {
+                i += 1;
+                break;
+            }
+            let start = i;
+            while i < chars.len() && chars[i] != '=' {
+                i += 1;
+            }
+            let key: String = chars[start..i].iter().collect();
+            if chars.get(i) != Some(&'=') || chars.get(i + 1) != Some(&'"') {
+                return Err(format!("bad label syntax in `{line}`"));
+            }
+            i += 2;
+            let mut val = String::new();
+            loop {
+                match chars.get(i) {
+                    None => return Err(format!("unterminated label value in `{line}`")),
+                    Some('\\') => {
+                        i += 1;
+                        if let Some(&c) = chars.get(i) {
+                            val.push(c);
+                            i += 1;
+                        }
+                    }
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&c) => {
+                        val.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            labels.push((key, val));
+            if chars.get(i) == Some(&',') {
+                i += 1;
+            }
+        }
+    }
+    if chars.get(i) != Some(&' ') {
+        return Err(format!("expected space before value in `{line}`"));
+    }
+    let value_str: String = chars[i + 1..].iter().collect();
+    let value = match value_str.trim() {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        s => s
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value `{s}`"))?,
+    };
+    Ok((name, labels, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_and_valid() {
+        let r = Registry::new();
+        r.help("runs_total", "Total pipeline runs.");
+        r.counter_add("runs_total", &[], 1);
+        r.counter_add("stage_runs_total", &[("stage", "train")], 2);
+        r.gauge_set("loss", &[], 0.25);
+        r.observe("stage_seconds", &[("stage", "parse")], &[0.1, 1.0], 0.05);
+        r.observe("stage_seconds", &[("stage", "parse")], &[0.1, 1.0], 0.5);
+        r.observe("stage_seconds", &[("stage", "parse")], &[0.1, 1.0], 7.0);
+        let a = r.render();
+        let b = r.render();
+        assert_eq!(a, b);
+        // 2 counters + 1 gauge + histogram (2 buckets + +Inf + _sum + _count).
+        assert_eq!(validate_exposition(&a).unwrap(), 2 + 1 + 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        r.observe("h", &[], &[1.0, 2.0], 0.5);
+        r.observe("h", &[], &[1.0, 2.0], 1.5);
+        r.observe("h", &[], &[1.0, 2.0], 9.0);
+        let text = r.render();
+        assert!(text.contains("h_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("h_bucket{le=\"2\"} 2"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("h_sum 11"), "{text}");
+        assert!(text.contains("h_count 3"), "{text}");
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        for bad in [
+            "metric_without_type 1\n",
+            "# TYPE m counter\nm{x=\"1\" 2\n",
+            "# TYPE m counter\n9bad 1\n",
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+        ] {
+            assert!(validate_exposition(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Registry::new();
+        let c = r.clone();
+        c.counter_add("n", &[], 3);
+        assert_eq!(r.counter_value("n", &[]), 3);
+    }
+}

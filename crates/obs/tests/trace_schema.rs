@@ -1,0 +1,118 @@
+//! Trace-schema tests: a golden JSONL test pinning the exact event
+//! shape, and a proptest that randomly nested spans always close in
+//! LIFO order with non-negative durations.
+
+use ancstr_obs::{validate_line, validate_trace, Tracer};
+use proptest::prelude::*;
+
+/// Mask the two timing fields, which vary run to run, so the rest of
+/// the line can be compared byte-for-byte.
+fn mask_timing(line: &str) -> String {
+    let mut out = String::new();
+    let mut rest = line;
+    for key in ["\"ts_ns\":", "\"dur_ns\":"] {
+        if let Some(idx) = rest.find(key) {
+            let (head, tail) = rest.split_at(idx + key.len());
+            out.push_str(head);
+            out.push('T');
+            rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn golden_trace_matches_expected_lines() {
+    let (tracer, buf) = Tracer::in_memory();
+    {
+        let _parse = tracer.span("parse", "parse", &[("path", "a.sp".into())]);
+    }
+    {
+        let _train = tracer.span("train", "train", &[("epochs", 2u64.into())]);
+        tracer.event(
+            "train",
+            "epoch",
+            &[("epoch", 0u64.into()), ("loss", 1.5.into())],
+        );
+        {
+            let _ckpt = tracer.span("train", "checkpoint", &[]);
+        }
+    }
+    tracer.flush();
+
+    let got: Vec<String> = buf.contents().lines().map(mask_timing).collect();
+    let want = [
+        r#"{"ts_ns":T,"kind":"span_start","span":"parse","stage":"parse","id":1,"parent":0,"fields":{"path":"a.sp"}}"#,
+        r#"{"ts_ns":T,"kind":"span_end","span":"parse","stage":"parse","id":1,"parent":0,"dur_ns":T,"fields":{}}"#,
+        r#"{"ts_ns":T,"kind":"span_start","span":"train","stage":"train","id":2,"parent":0,"fields":{"epochs":2}}"#,
+        r#"{"ts_ns":T,"kind":"event","span":"epoch","stage":"train","id":3,"parent":2,"fields":{"epoch":0,"loss":1.5}}"#,
+        r#"{"ts_ns":T,"kind":"span_start","span":"checkpoint","stage":"train","id":4,"parent":2,"fields":{}}"#,
+        r#"{"ts_ns":T,"kind":"span_end","span":"checkpoint","stage":"train","id":4,"parent":2,"dur_ns":T,"fields":{}}"#,
+        r#"{"ts_ns":T,"kind":"span_end","span":"train","stage":"train","id":2,"parent":0,"dur_ns":T,"fields":{}}"#,
+    ];
+    assert_eq!(got, want, "golden trace drifted");
+}
+
+#[test]
+fn every_event_has_the_required_keys() {
+    let (tracer, buf) = Tracer::in_memory();
+    {
+        let _s = tracer.span("detect", "detect", &[]);
+        tracer.event("detect", "warning", &[("skipped_pairs", 3u64.into())]);
+    }
+    tracer.flush();
+    for line in buf.contents().lines() {
+        let ev = validate_line(line).expect("schema-valid line");
+        assert!(!ev.span.is_empty());
+        assert!(!ev.stage.is_empty());
+        // `fields` key itself is mandatory; validate_line errors if absent.
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// Random span trees: ops drawn from {close, event, open, open};
+    /// the resulting trace must always validate — LIFO close order,
+    /// non-decreasing timestamps, non-negative durations — because
+    /// RAII guards make any other shape unrepresentable.
+    #[test]
+    fn nested_spans_close_lifo_with_nonnegative_durations(
+        ops in prop::collection::vec(0u8..4, 1..40),
+    ) {
+        let (tracer, buf) = Tracer::in_memory();
+        let mut stack = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    stack.pop(); // close innermost (drop order = LIFO)
+                }
+                1 => tracer.event("stage", "tick", &[("i", (i as u64).into())]),
+                _ => stack.push(tracer.span(
+                    "stage",
+                    &format!("s{i}"),
+                    &[("depth", (stack.len() as u64).into())],
+                )),
+            }
+        }
+        while stack.pop().is_some() {} // close remaining spans innermost-first
+        tracer.flush();
+        let events = match validate_trace(&buf.contents()) {
+            Ok(events) => events,
+            Err(e) => return Err(TestCaseError::fail(e)),
+        };
+        let mut opens = 0usize;
+        let mut closes = 0usize;
+        for ev in &events {
+            match ev.kind.as_str() {
+                "span_start" => opens += 1,
+                "span_end" => {
+                    closes += 1;
+                    prop_assert!(ev.dur_ns.is_some());
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(opens, closes, "every span that opened also closed");
+    }
+}

@@ -193,7 +193,7 @@ fn readme_exit_code_table_matches_the_binary() {
     }
     assert_eq!(
         documented,
-        vec![0, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
         "README exit-code table drifted from the binary's contract"
     );
     // Spot-check the table against the real binary on both ends of the
