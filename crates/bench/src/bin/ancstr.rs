@@ -12,11 +12,25 @@
 //! ancstr stats   <netlist.sp>
 //! ancstr obs-check [--trace FILE] [--require-stages a,b,..]
 //!                  [--require-epoch-events] [--prom FILE]
+//! ancstr serve   --model model.txt [--port N] [--workers N]
+//!                [--queue-depth N] [--cache-entries N]
+//!                [--trace-out FILE] [--log-format text|json] [-v|--quiet]
 //! ```
 //!
 //! `extract` trains on the input itself unless `--model` supplies a
 //! pre-trained model (the inductive mode). `train` fits one universal
 //! model over several netlists and saves it.
+//!
+//! `serve` keeps a trained model warm in a long-lived HTTP daemon
+//! (`ancstr-serve`): `POST /v1/extract` takes a SPICE netlist body and
+//! returns the constraint set as JSON (byte-identical `constraints_text`
+//! to one-shot `extract --model`), `GET /healthz` and `GET /metrics`
+//! report liveness and Prometheus metrics, `POST /v1/models` hot-swaps
+//! the model from a sealed artifact, and `POST /v1/shutdown` drains and
+//! exits. On startup the daemon prints `listening on <addr>` to stdout
+//! (use `--port 0` for an ephemeral port and parse that line). The
+//! companion `loadgen` binary drives a running daemon for smoke tests
+//! and throughput baselines.
 //!
 //! With `--run-dir`, every pipeline stage writes CRC-sealed artifacts
 //! into a durable run directory and records its status in an atomic
@@ -71,7 +85,7 @@ use ancstr_obs::{
 };
 
 fn usage() -> &'static str {
-    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]"
+    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]"
 }
 
 /// Everything that can go wrong, sorted by exit code: failed
@@ -128,6 +142,38 @@ struct ObsCtx {
     obs: PipelineObs,
 }
 
+impl ObsCtx {
+    /// Build the observability context a command actually needs:
+    ///
+    /// - `stats` and `obs-check` never run the pipeline, so they skip
+    ///   tracer setup entirely (a stray `--trace-out` would otherwise
+    ///   create an empty file that fails `obs-check` later);
+    /// - `serve` always collects metrics — it exposes `/metrics` — and
+    ///   attaches a tracer only for `--trace-out`;
+    /// - `extract`/`train` enable observation iff `--trace-out` or
+    ///   `--run-dir` asks for it, keeping the exact pre-observability
+    ///   code path otherwise.
+    fn for_command(cmd: &str, args: &Args) -> Result<ObsCtx, CliError> {
+        let log = Logger::stderr(args.log_format, args.verbosity);
+        if matches!(cmd, "stats" | "obs-check") {
+            return Ok(ObsCtx { log, obs: PipelineObs::disabled() });
+        }
+        let tracer = match &args.trace_out {
+            Some(path) => Some(Tracer::to_file(Path::new(path)).map_err(|e| CliError::Io {
+                path: path.clone(),
+                detail: format!("cannot create trace file: {e}"),
+            })?),
+            None => None,
+        };
+        let obs = if cmd == "serve" || tracer.is_some() || args.run_dir.is_some() {
+            PipelineObs::new(tracer)
+        } else {
+            PipelineObs::disabled()
+        };
+        Ok(ObsCtx { log, obs })
+    }
+}
+
 fn load(path: &str, ctx: &ObsCtx) -> Result<FlatCircuit, CliError> {
     load_netlist_observed(path, &ctx.obs)
         .map_err(|err| CliError::Pipeline { path: path.to_owned(), err })
@@ -180,6 +226,11 @@ struct Args {
     prom: Option<String>,
     require_stages: Option<String>,
     require_epoch_events: bool,
+    // serve tunables
+    port: Option<u16>,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    cache_entries: Option<usize>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -204,6 +255,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         prom: None,
         require_stages: None,
         require_epoch_events: false,
+        port: None,
+        workers: None,
+        queue_depth: None,
+        cache_entries: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -257,6 +312,35 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "-q" | "--quiet" => args.verbosity = Verbosity::Quiet,
             "--trace" => args.trace = Some(take("--trace")?),
             "--prom" => args.prom = Some(take("--prom")?),
+            "--port" => {
+                args.port =
+                    Some(take("--port")?.parse().map_err(|_| "bad --port (want 0..=65535)")?);
+            }
+            "--workers" => {
+                let n: usize = take("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers (want a positive integer)")?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+                args.workers = Some(n);
+            }
+            "--queue-depth" => {
+                let n: usize = take("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "bad --queue-depth (want a positive integer)")?;
+                if n == 0 {
+                    return Err("--queue-depth must be at least 1".to_owned());
+                }
+                args.queue_depth = Some(n);
+            }
+            "--cache-entries" => {
+                args.cache_entries = Some(
+                    take("--cache-entries")?
+                        .parse()
+                        .map_err(|_| "bad --cache-entries (want an integer; 0 disables)")?,
+                );
+            }
             "--require-stages" => args.require_stages = Some(take("--require-stages")?),
             "--require-epoch-events" => args.require_epoch_events = true,
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
@@ -790,6 +874,70 @@ fn cmd_obs_check(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Run the extraction daemon until `POST /v1/shutdown` (or a signal via
+/// the admin endpoint) drains it. Prints `listening on <addr>` to
+/// stdout once the socket is bound — scripts and the integration tests
+/// parse that line to learn the ephemeral port when `--port 0` is used.
+fn cmd_serve(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
+    use std::io::Write as _;
+
+    if !args.positional.is_empty() {
+        return Err(usage_err("serve takes no positional arguments"));
+    }
+    let Some(model_path) = &args.model else {
+        return Err(usage_err("serve needs --model (train one with `ancstr train`)"));
+    };
+    // The daemon never trains and owns no run directory; reject the
+    // flags loudly instead of silently ignoring them.
+    if args.run_dir.is_some() || args.resume {
+        return Err(usage_err("serve does not support --run-dir/--resume"));
+    }
+    if args.epochs.is_some() || args.seed.is_some() {
+        return Err(usage_err("serve does not train; --epochs/--seed are not accepted"));
+    }
+
+    let text = fs::read_to_string(model_path)
+        .map_err(|e| CliError::Io { path: model_path.clone(), detail: e.to_string() })?;
+    let registry = ancstr_serve::ModelRegistry::load(&text, model_path)
+        .map_err(|err| CliError::Pipeline { path: model_path.clone(), err })?;
+    let fingerprint = registry.current().fingerprint_hex();
+
+    let mut cfg = ancstr_serve::ServeConfig {
+        addr: format!("127.0.0.1:{}", args.port.unwrap_or(7878)),
+        ..ancstr_serve::ServeConfig::default()
+    };
+    if let Some(n) = args.workers {
+        cfg.workers = n;
+    }
+    if let Some(n) = args.queue_depth {
+        cfg.queue_depth = n;
+    }
+    if let Some(n) = args.cache_entries {
+        cfg.cache_entries = n;
+    }
+    ctx.log.info(format!(
+        "model {fingerprint} from {model_path}; {} workers, queue {}, cache {}{}",
+        cfg.workers,
+        cfg.queue_depth,
+        cfg.cache_entries,
+        if ctx.obs.tracing() {
+            " (tracing on: requests are serialized for a valid trace stream)"
+        } else {
+            ""
+        }
+    ));
+    let server =
+        ancstr_serve::Server::start(cfg.clone(), std::sync::Arc::new(registry), ctx.obs.clone())
+            .map_err(|e| CliError::Io { path: cfg.addr.clone(), detail: e.to_string() })?;
+    // Stdout is block-buffered when piped; flush so a supervising
+    // process sees the address immediately.
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.wait();
+    ctx.log.info("drained all in-flight requests; exiting");
+    Ok(())
+}
+
 /// Flush terminal observability on an aborted run (watchdog
 /// cancellation → exit 10, run-store failure → exit 9): a `run_aborted`
 /// trace event, the abort counter, partial `metrics.prom`, and — when
@@ -829,26 +977,13 @@ fn main() -> ExitCode {
         }
     };
 
-    let log = Logger::stderr(args.log_format, args.verbosity);
-    let tracer = match &args.trace_out {
-        Some(path) => match Tracer::to_file(Path::new(path)) {
-            Ok(t) => Some(t),
-            Err(e) => {
-                log.error(format!("cannot create trace file `{path}`: {e}"));
-                return ExitCode::from(3);
-            }
-        },
-        None => None,
+    let ctx = match ObsCtx::for_command(cmd.as_str(), &args) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            return ExitCode::from(e.exit_code());
+        }
     };
-    // Observation is opt-in: enabled by `--trace-out` (JSONL tracing)
-    // or `--run-dir` (metrics.prom at stage boundaries). Otherwise the
-    // pipeline runs its exact pre-observability code path.
-    let obs = if tracer.is_some() || args.run_dir.is_some() {
-        PipelineObs::new(tracer)
-    } else {
-        PipelineObs::disabled()
-    };
-    let ctx = ObsCtx { log, obs };
 
     let metrics_path = args.metrics.clone();
     let run_dir = args.run_dir.clone();
@@ -857,6 +992,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&ctx, args),
         "stats" => cmd_stats(&ctx, args),
         "obs-check" => cmd_obs_check(&ctx, args),
+        "serve" => cmd_serve(&ctx, args),
         other => Err(usage_err(format!("unknown command `{other}`"))),
     };
     let code = match result {

@@ -1,0 +1,215 @@
+//! `loadgen` — a load client for the `ancstr serve` daemon.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7878 --netlist ota.sp [--requests N]
+//!         [--concurrency N] [--expect-cached]
+//! ```
+//!
+//! Fires `--requests` `POST /v1/extract` requests at the daemon from
+//! `--concurrency` threads, then reports a one-screen summary:
+//! status counts, cache hits, throughput, and latency percentiles. Two
+//! invariants are checked on every run and fail the process (exit 1)
+//! when violated:
+//!
+//! 1. every request must succeed with `200`, and
+//! 2. every response must carry the same `constraints_text` — the
+//!    daemon is deterministic, so divergence under concurrency is a
+//!    bug, not noise.
+//!
+//! `--expect-cached` additionally requires at least one response served
+//! from the result cache (used by the CI smoke job to prove the cache
+//! is actually in the request path). Exit codes: 0 success, 1 failed
+//! invariant, 2 usage, 3 connection/file errors.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ancstr_serve::client;
+
+fn usage() -> &'static str {
+    "usage:\n  loadgen --addr HOST:PORT --netlist FILE [--requests N] [--concurrency N] [--expect-cached]"
+}
+
+struct Options {
+    addr: SocketAddr,
+    netlist: String,
+    requests: usize,
+    concurrency: usize,
+    expect_cached: bool,
+}
+
+fn parse(raw: &[String]) -> Result<Options, String> {
+    let mut addr = None;
+    let mut netlist = None;
+    let mut requests = 32usize;
+    let mut concurrency = 8usize;
+    let mut expect_cached = false;
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => {
+                let v = take("--addr")?;
+                addr = Some(v.parse().map_err(|_| format!("bad --addr `{v}`"))?);
+            }
+            "--netlist" => netlist = Some(take("--netlist")?),
+            "--requests" => {
+                requests = take("--requests")?.parse().map_err(|_| "bad --requests")?;
+                if requests == 0 {
+                    return Err("--requests must be at least 1".to_owned());
+                }
+            }
+            "--concurrency" => {
+                concurrency = take("--concurrency")?.parse().map_err(|_| "bad --concurrency")?;
+                if concurrency == 0 {
+                    return Err("--concurrency must be at least 1".to_owned());
+                }
+            }
+            "--expect-cached" => expect_cached = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options {
+        addr: addr.ok_or("--addr is required")?,
+        netlist: netlist.ok_or("--netlist is required")?,
+        requests,
+        concurrency,
+        expect_cached,
+    })
+}
+
+/// One request's outcome, as much as the summary needs.
+struct Sample {
+    status: u16,
+    cached: bool,
+    latency: Duration,
+    /// The `constraints_text` JSON field, still escaped — byte equality
+    /// of the escaped form implies byte equality of the text itself.
+    constraints: Option<String>,
+}
+
+/// Pull a string field out of a flat JSON object without re-parsing:
+/// returns the escaped value between the quotes.
+fn raw_field(body: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = body.find(&marker)? + marker.len();
+    let rest = &body[start..];
+    let mut end = 0;
+    let bytes = rest.as_bytes();
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => return Some(rest[..end].to_owned()),
+            _ => end += 1,
+        }
+    }
+    None
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let body = std::fs::read(&opts.netlist)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.netlist))?;
+    let body = Arc::new(body);
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..opts.concurrency {
+            let body = Arc::clone(&body);
+            let samples = Arc::clone(&samples);
+            let next = Arc::clone(&next);
+            scope.spawn(move || {
+                while next.fetch_add(1, Ordering::SeqCst) < opts.requests {
+                    let t0 = Instant::now();
+                    let sample = match client::post(
+                        opts.addr,
+                        "/v1/extract",
+                        &body,
+                        Duration::from_secs(60),
+                    ) {
+                        Ok(reply) => {
+                            let text = reply.text();
+                            Sample {
+                                status: reply.status,
+                                cached: text.contains("\"cached\":true"),
+                                latency: t0.elapsed(),
+                                constraints: raw_field(&text, "constraints_text"),
+                            }
+                        }
+                        Err(_) => Sample {
+                            status: 0,
+                            cached: false,
+                            latency: t0.elapsed(),
+                            constraints: None,
+                        },
+                    };
+                    samples.lock().unwrap().push(sample);
+                }
+            });
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let samples = samples.lock().unwrap();
+    let ok = samples.iter().filter(|s| s.status == 200).count();
+    let cached = samples.iter().filter(|s| s.cached).count();
+    let errors = samples.len() - ok;
+    let mut latencies: Vec<Duration> = samples.iter().map(|s| s.latency).collect();
+    latencies.sort();
+    let pct = |p: f64| -> f64 {
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx].as_secs_f64() * 1e3
+    };
+    let distinct: std::collections::HashSet<&str> = samples
+        .iter()
+        .filter_map(|s| s.constraints.as_deref())
+        .collect();
+
+    println!("requests {}  ok {ok}  cached {cached}  errors {errors}", samples.len());
+    println!("throughput {:.1} req/s", samples.len() as f64 / elapsed.as_secs_f64());
+    println!("latency_ms p50 {:.2} p95 {:.2} max {:.2}", pct(0.50), pct(0.95), pct(1.0));
+
+    let mut healthy = true;
+    if errors > 0 {
+        eprintln!("error: {errors} request(s) did not return 200");
+        healthy = false;
+    }
+    if distinct.len() > 1 {
+        eprintln!(
+            "error: {} distinct constraint sets from one netlist — the daemon must be \
+             deterministic",
+            distinct.len()
+        );
+        healthy = false;
+    }
+    if opts.expect_cached && cached == 0 {
+        eprintln!("error: --expect-cached was set but no response was served from the cache");
+        healthy = false;
+    }
+    Ok(healthy)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&raw) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
+    }
+}

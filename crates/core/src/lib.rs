@@ -55,6 +55,7 @@ pub mod pairs;
 pub mod pipeline;
 pub mod recover;
 pub mod runstore;
+pub mod service;
 
 pub use consistency::{vote_template_consistency, ConsistencyOptions, ConsistencyReport};
 pub use detect::{
@@ -78,6 +79,7 @@ pub use pipeline::{
     evaluate_detection, Evaluation, Extraction, ExtractorConfig, SymmetryExtractor,
 };
 pub use recover::ExtractError;
+pub use service::{cache_key, extract_source, ServiceReply};
 pub use runstore::{
     config_hash, write_atomic, CancelToken, DurableFit, RunError, RunManifest, RunOptions,
     RunSession, RunStore, StageEntry, StageStatus, DEFAULT_CHECKPOINT_EVERY, MANIFEST_VERSION,

@@ -414,6 +414,21 @@ impl GnnModel {
         let payload = open_sealed("model", text).map_err(|e| err(e.to_string()))?;
         GnnModel::from_text(payload)
     }
+
+    /// A stable 64-bit FNV-1a fingerprint of the model's serialized
+    /// form (configuration + every weight, bit-exact). Two models share
+    /// a fingerprint exactly when [`GnnModel::to_text`] round trips
+    /// them identically, which makes it the right token for result
+    /// cache keys and for naming which weights a long-lived service is
+    /// currently holding warm.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.to_text().as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 fn parse_kv<'a>(
@@ -802,6 +817,82 @@ mod tests {
         assert_ne!(tampered, sealed);
         let err = GnnModel::from_text_checksummed(&tampered).unwrap_err();
         assert!(err.reason.contains("crc32") || err.reason.contains("declares"), "{err}");
+    }
+
+    #[test]
+    fn checksummed_model_rejects_truncated_envelope() {
+        // Truncation anywhere — including cuts that leave a complete,
+        // parseable model body but a damaged footer — is rejected with
+        // a typed error, never a panic: the reload endpoint feeds
+        // arbitrary request bodies straight into this parser.
+        let sealed = sample_model().to_text_checksummed();
+        for keep in [0, 1, sealed.len() / 4, sealed.len() / 2, sealed.len() - 1] {
+            let mut cut = keep;
+            while cut > 0 && !sealed.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let err = GnnModel::from_text_checksummed(&sealed[..cut]).unwrap_err();
+            assert!(
+                err.reason.contains("footer")
+                    || err.reason.contains("declares")
+                    || err.reason.contains("crc32"),
+                "cut at {keep}: unexpected error {err}"
+            );
+        }
+        // A whole-line truncation keeps the text well-formed but the
+        // declared length cannot match.
+        let without_last_payload_line: Vec<&str> = {
+            let lines: Vec<&str> = sealed.lines().collect();
+            let n = lines.len();
+            lines[..n - 2].iter().copied().chain(lines[n - 1..].iter().copied()).collect()
+        };
+        let shortened = format!("{}\n", without_last_payload_line.join("\n"));
+        let err = GnnModel::from_text_checksummed(&shortened).unwrap_err();
+        assert!(err.reason.contains("declares"), "{err}");
+    }
+
+    #[test]
+    fn checksummed_model_rejects_crc_mismatch() {
+        // Flip one payload byte for another of equal width: length
+        // still matches the footer, so only the CRC can catch it.
+        let sealed = sample_model().to_text_checksummed();
+        let flipped = if sealed.contains("0.") {
+            sealed.replacen("0.", "1.", 1)
+        } else {
+            sealed.replacen('1', "2", 1)
+        };
+        assert_ne!(flipped, sealed);
+        assert_eq!(flipped.len(), sealed.len(), "same-width tamper");
+        let err = GnnModel::from_text_checksummed(&flipped).unwrap_err();
+        assert!(err.reason.contains("crc32"), "{err}");
+    }
+
+    #[test]
+    fn checksummed_model_rejects_version_skew() {
+        // A well-sealed artifact (valid CRC) whose payload declares an
+        // unknown format version: the seal passes, the parser rejects.
+        let future = sample_model().to_text().replacen("ancstr-gnn v1", "ancstr-gnn v9", 1);
+        let sealed = seal("model", &future);
+        assert!(open_sealed("model", &sealed).is_ok(), "seal itself is valid");
+        let err = GnnModel::from_text_checksummed(&sealed).unwrap_err();
+        assert!(err.reason.contains("unsupported header"), "{err}");
+        // Same for a sealed-with-the-wrong-kind envelope.
+        let wrong_kind = seal("checkpoint", &sample_model().to_text());
+        let err = GnnModel::from_text_checksummed(&wrong_kind).unwrap_err();
+        assert!(err.reason.contains("kind"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_tracks_weight_identity() {
+        let a = sample_model();
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        // A round-tripped model is bit-identical, so it shares the
+        // fingerprint.
+        let back = GnnModel::from_text(&a.to_text()).unwrap();
+        assert_eq!(back.fingerprint(), a.fingerprint());
+        // Different seed → different weights → different fingerprint.
+        let b = GnnModel::new(GnnConfig { dim: 5, layers: 2, seed: 78, ..GnnConfig::default() });
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     fn sample_state() -> TrainerState {

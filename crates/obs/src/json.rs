@@ -1,11 +1,16 @@
-//! Minimal JSON writing and parsing.
+//! Minimal JSON writing and parsing — the workspace's one shared
+//! hand-rolled JSON layer.
 //!
-//! The trace emitter needs to *write* one flat JSON object per line, and
-//! the schema validator needs to *read* those lines back. Both live here
-//! so the crate stays dependency-free. The parser handles the full JSON
-//! grammar (objects, arrays, strings with escapes, numbers, literals) —
-//! enough to validate any line a conforming tracer could emit, and to
-//! reject malformed ones.
+//! The trace emitter needs to *write* one flat JSON object per line, the
+//! schema validator needs to *read* those lines back, and the `ancstr
+//! serve` daemon encodes its HTTP response bodies (and its load-test
+//! client decodes them) through the same [`Json`] type — one
+//! implementation instead of a second copy per consumer. Everything
+//! lives here so the crate stays dependency-free. The parser handles the
+//! full JSON grammar (objects, arrays, strings with escapes, numbers,
+//! literals) — enough to validate any line a conforming tracer could
+//! emit, and to reject malformed ones; [`Json::render`] is the inverse
+//! and produces a compact single-line document.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -51,6 +56,124 @@ impl Json {
             Json::Obj(m) => Some(m),
             _ => None,
         }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience: look a key up in an object value (`None` for
+    /// non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+
+    /// An empty object, ready for [`Json::set`] chaining.
+    pub fn obj() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// Insert `key` into an object value (builder style). Panics on
+    /// non-object values — construction sites always start from
+    /// [`Json::obj`].
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(m) => {
+                m.insert(key.to_owned(), value.into());
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Serialize to a compact single-line JSON document — the inverse of
+    /// [`parse`]. Non-finite numbers have no JSON spelling and render as
+    /// `null` (the same policy Prometheus clients use).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) if !n.is_finite() => out.push_str("null"),
+            Json::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
     }
 }
 
@@ -251,6 +374,27 @@ mod tests {
         for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\":1}x", "\"unterminated"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let doc = Json::obj()
+            .set("status", "ok")
+            .set("count", 3u64)
+            .set("ratio", 0.25)
+            .set("flag", true)
+            .set("none", Json::Null)
+            .set("items", vec![Json::from("a\nb"), Json::from(1.5)]);
+        let text = doc.render();
+        assert_eq!(parse(&text).unwrap(), doc);
+        // Objects render keys in sorted order, so output is stable.
+        assert_eq!(text, doc.render());
+    }
+
+    #[test]
+    fn render_maps_non_finite_numbers_to_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
     }
 
     #[test]

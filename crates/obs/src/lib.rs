@@ -39,6 +39,7 @@ pub mod log;
 pub mod metrics;
 pub mod trace;
 
+pub use json::Json;
 pub use log::{LogFormat, Logger, Verbosity};
 pub use metrics::{
     validate_exposition, Registry, DURATION_BUCKETS_S, GRAD_NORM_BUCKETS,

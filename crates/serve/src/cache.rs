@@ -1,0 +1,184 @@
+//! A content-addressed LRU cache of extraction replies.
+//!
+//! Keys come from [`ancstr_core::service::cache_key`]: an FNV-64 hash
+//! of the raw netlist bytes folded with the configuration hash and the
+//! serving model's fingerprint. Because the extraction pipeline is
+//! deterministic in exactly those three inputs, a hit can be served
+//! without re-running anything and is byte-identical to a fresh run —
+//! the property the concurrency-identity integration test asserts.
+//! Values are shared [`Arc`]s, so a cached reply costs one clone of a
+//! pointer, not of the constraint text.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use ancstr_core::ServiceReply;
+
+/// Point-in-time counters for `/healthz` and `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the pipeline.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct CacheInner {
+    /// key → (reply, recency tick of last touch).
+    map: HashMap<String, (Arc<ServiceReply>, u64)>,
+    /// recency tick → key; the smallest tick is the LRU victim.
+    order: BTreeMap<u64, String>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A bounded LRU result cache. Capacity 0 disables caching entirely
+/// (every lookup is a miss and nothing is stored).
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` replies.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Look `key` up, counting a hit or miss and refreshing recency on
+    /// a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<ServiceReply>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((reply, last)) => {
+                let reply = Arc::clone(reply);
+                let old = std::mem::replace(last, tick);
+                inner.order.remove(&old);
+                inner.order.insert(tick, key.to_owned());
+                inner.hits += 1;
+                Some(reply)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a reply, evicting the least-recently-used entry when at
+    /// capacity. A no-op for capacity 0 or when `key` is already
+    /// present (the pipeline is deterministic, so the resident value is
+    /// already correct).
+    pub fn put(&self, key: String, reply: Arc<ServiceReply>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        while inner.map.len() >= self.capacity {
+            let Some((&oldest, _)) = inner.order.iter().next() else { break };
+            if let Some(victim) = inner.order.remove(&oldest) {
+                inner.map.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.order.insert(tick, key.clone());
+        inner.map.insert(key, (reply, tick));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn reply(tag: &str) -> Arc<ServiceReply> {
+        Arc::new(ServiceReply {
+            constraints_text: tag.to_owned(),
+            warnings: Vec::new(),
+            devices: 1,
+            nets: 1,
+            constraints: 0,
+            runtime: Duration::ZERO,
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get("a").is_none());
+        cache.put("a".into(), reply("a"));
+        assert_eq!(cache.get("a").unwrap().constraints_text, "a");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.put("a".into(), reply("a"));
+        cache.put("b".into(), reply("b"));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.put("c".into(), reply("c"));
+        assert!(cache.get("b").is_none(), "b was the LRU entry");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn capacity_zero_disables_storage() {
+        let cache = ResultCache::new(0);
+        cache.put("a".into(), reply("a"));
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn duplicate_put_keeps_the_resident_value() {
+        let cache = ResultCache::new(2);
+        cache.put("a".into(), reply("first"));
+        cache.put("a".into(), reply("second"));
+        assert_eq!(cache.get("a").unwrap().constraints_text, "first");
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

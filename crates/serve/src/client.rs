@@ -1,0 +1,143 @@
+//! A small blocking HTTP client for talking to the daemon.
+//!
+//! Used by the `loadgen` bench client and the integration tests; it
+//! speaks exactly the dialect the server does (one request per
+//! connection, `Content-Length` framing, read-to-EOF responses) and
+//! nothing more.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::find_head_end;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as (lossy) UTF-8 text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Issue one request and read the full response.
+///
+/// # Errors
+///
+/// Connection, timeout, or transport failures; a response the parser
+/// cannot account for surfaces as [`io::ErrorKind::InvalidData`].
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<HttpReply> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+/// `GET path` with an empty body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<HttpReply> {
+    request(addr, "GET", path, b"", timeout)
+}
+
+/// `POST path` with `body`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &[u8], timeout: Duration) -> io::Result<HttpReply> {
+    request(addr, "POST", path, body, timeout)
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+fn parse_reply(raw: &[u8]) -> io::Result<HttpReply> {
+    let head_end = find_head_end(raw).ok_or_else(|| invalid("response has no header block"))?;
+    let head = std::str::from_utf8(&raw[..head_end.start])
+        .map_err(|_| invalid("response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| invalid("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut body = raw[head_end.end..].to_vec();
+    // `Connection: close` makes EOF authoritative, but honour a shorter
+    // declared length if the server sent one.
+    if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        body.truncate(len);
+    }
+    Ok(HttpReply { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let reply = parse_reply(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 2\r\n\r\nhi",
+        )
+        .unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.header("retry-after"), Some("1"));
+        assert_eq!(reply.text(), "hi");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_reply(b"not http at all").is_err());
+        assert!(parse_reply(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+}

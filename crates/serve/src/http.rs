@@ -1,0 +1,351 @@
+//! A minimal HTTP/1.1 message layer over blocking byte streams.
+//!
+//! Just enough of RFC 9112 for the extraction daemon and its load
+//! client: one request per connection (`Connection: close`), header and
+//! body size limits enforced while reading, `Content-Length` bodies
+//! only (no chunked encoding, no keep-alive, no TLS). Keeping the
+//! parser this small is what lets the crate stay dependency-free; the
+//! strictness doubles as input validation — anything the parser cannot
+//! account for byte-by-byte is rejected with a typed error, never
+//! buffered unboundedly.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/v1/extract`.
+    pub path: String,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Malformed request line, header syntax, or missing framing.
+    BadRequest(String),
+    /// The declared body exceeds the server's limit → 413.
+    BodyTooLarge {
+        /// Bytes the request declared.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+    /// The socket timed out before a full request arrived → 408.
+    Timeout,
+    /// The peer closed or the socket failed mid-read.
+    Io(io::Error),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ReadError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            ReadError::Timeout => write!(f, "timed out reading the request"),
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> ReadError {
+        if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) {
+            ReadError::Timeout
+        } else {
+            ReadError::Io(e)
+        }
+    }
+}
+
+/// Read and parse one request from `stream`.
+///
+/// # Errors
+///
+/// [`ReadError`] on malformed framing, an oversized head or body, a
+/// read timeout (the caller is expected to have armed one on the
+/// socket), or any transport failure.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, ReadError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::BadRequest(format!(
+                "headers exceed {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::BadRequest("connection closed mid-head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end.start])
+        .map_err(|_| ReadError::BadRequest("head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::BadRequest(format!(
+            "malformed request line `{request_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::BadRequest(format!("unsupported version `{version}`")));
+    }
+    if method.is_empty() || path.is_empty() || !path.starts_with('/') {
+        return Err(ReadError::BadRequest(format!(
+            "malformed request line `{request_line}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::BadRequest(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::BadRequest(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge { declared: content_length, limit: max_body });
+    }
+
+    let mut body = buf[head_end.end..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(64 * 1024)];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+/// Where the head ends: `start` is the offset of the blank-line
+/// separator, `end` the first body byte. Shared with the client-side
+/// response parser.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<std::ops::Range<usize>> {
+    if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(i..i + 4);
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|i| i..i + 2)
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond the framing set the writer always adds.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Response {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// A JSON response (`application/json`).
+    pub fn json(status: u16, body: &ancstr_obs::Json) -> Response {
+        let mut text = body.render();
+        text.push('\n');
+        Response::new(status)
+            .header("Content-Type", "application/json")
+            .with_body(text.into_bytes())
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response::new(status)
+            .header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.as_bytes().to_vec())
+    }
+
+    /// Add a header (builder style).
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Set the body (builder style).
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// Serialize status line + headers + body onto `stream`. Always
+    /// emits `Content-Length` and `Connection: close` — the daemon
+    /// serves one request per connection.
+    ///
+    /// # Errors
+    ///
+    /// Any transport write failure.
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes the daemon emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, ReadError> {
+        let mut cursor = io::Cursor::new(raw.to_vec());
+        read_request(&mut cursor, 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            b"POST /v1/extract HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/extract");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get_with_bare_lf() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            &b"nonsense\r\n\r\n"[..],
+            &b"GET /healthz SPICE/9\r\n\r\n"[..],
+            &b"GET healthz HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(parse(bad), Err(ReadError::BadRequest(_))),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 100000\r\n\r\n").unwrap_err();
+        assert!(matches!(err, ReadError::BodyTooLarge { declared: 100000, limit: 1024 }));
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, ReadError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn response_writes_framing_headers() {
+        let mut out = Vec::new();
+        Response::text(200, "hi").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\nhi"), "{text}");
+    }
+
+    #[test]
+    fn json_response_round_trips() {
+        let body = ancstr_obs::Json::obj().set("status", "ok").set("n", 3u64);
+        let mut out = Vec::new();
+        Response::json(200, &body).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let json_part = text.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(ancstr_obs::json::parse(json_part.trim()).unwrap(), body);
+    }
+}

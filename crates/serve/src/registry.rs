@@ -1,0 +1,174 @@
+//! The warm model registry: one trained [`GnnModel`] loaded once,
+//! shared by every worker, hot-swappable while requests are in flight.
+//!
+//! AncstrGNN is inductive (paper Section IV-C): a model trained once on
+//! a corpus generalizes to unseen netlists, so the expensive part —
+//! loading and validating weights — should happen once per model, not
+//! once per request. The registry holds the current
+//! [`SymmetryExtractor`] behind an [`RwLock`]'d [`Arc`]; requests grab
+//! a cheap snapshot and keep using it even if an operator swaps the
+//! model mid-flight, so a reload never corrupts an in-progress
+//! extraction. Reloads go through the checksummed envelope
+//! ([`GnnModel::from_text_checksummed`]) — an HTTP body is exactly the
+//! kind of transport where truncation and bit rot happen, and the seal
+//! turns both into clean `400`s instead of silently-wrong constraint
+//! sets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use ancstr_core::{ExtractError, ExtractorConfig, SymmetryExtractor};
+use ancstr_gnn::GnnModel;
+
+/// One loaded model and the extractor built around it.
+pub struct ModelEntry {
+    /// The warm extractor (model + configuration), shared read-only.
+    pub extractor: SymmetryExtractor,
+    /// [`GnnModel::fingerprint`] of the loaded weights — part of every
+    /// cache key, so a swap implicitly invalidates cached replies.
+    pub fingerprint: u64,
+    /// Where the weights came from (file path or reload peer), for
+    /// `/healthz` and logs.
+    pub source: String,
+    /// Monotonic reload counter: 1 for the boot model, +1 per swap.
+    pub generation: u64,
+}
+
+impl ModelEntry {
+    /// The fingerprint as fixed-width hex (the form used in JSON
+    /// replies and metrics labels).
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+}
+
+/// Shared registry of the currently-serving model.
+pub struct ModelRegistry {
+    current: RwLock<Arc<ModelEntry>>,
+    generation: AtomicU64,
+}
+
+fn entry_from_model(
+    model: GnnModel,
+    source: &str,
+    generation: u64,
+) -> Result<ModelEntry, ExtractError> {
+    let fingerprint = model.fingerprint();
+    let extractor = SymmetryExtractor::try_new(ExtractorConfig::default())?.with_model(model)?;
+    Ok(ModelEntry { extractor, fingerprint, source: source.to_owned(), generation })
+}
+
+/// Whether `text` carries the checksummed artifact envelope.
+fn is_sealed(text: &str) -> bool {
+    text.lines().next_back().is_some_and(|l| l.starts_with("ancstr-seal "))
+}
+
+impl ModelRegistry {
+    /// Load the boot model from serialized text. Accepts both the
+    /// plain [`GnnModel::to_text`] form (what `ancstr train` writes)
+    /// and the sealed [`GnnModel::to_text_checksummed`] envelope; a
+    /// present seal is always verified.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::Model`] on malformed or corrupt text,
+    /// [`ExtractError::ModelDim`] when the weights do not fit the
+    /// Table II feature width.
+    pub fn load(text: &str, source: &str) -> Result<ModelRegistry, ExtractError> {
+        let model = if is_sealed(text) {
+            GnnModel::from_text_checksummed(text)?
+        } else {
+            GnnModel::from_text(text)?
+        };
+        let entry = entry_from_model(model, source, 1)?;
+        Ok(ModelRegistry {
+            current: RwLock::new(Arc::new(entry)),
+            generation: AtomicU64::new(1),
+        })
+    }
+
+    /// A snapshot of the current model. The `Arc` keeps the snapshot
+    /// alive across a concurrent swap, so a request never observes a
+    /// half-replaced model.
+    pub fn current(&self) -> Arc<ModelEntry> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Hot-swap the serving model from a **sealed** artifact
+    /// ([`GnnModel::to_text_checksummed`]). The strictness is the
+    /// point: reload bodies travel over the network, and the CRC-32
+    /// seal converts truncation, bit flips, and version skew into typed
+    /// rejections before the old model is replaced. On any error the
+    /// previous model keeps serving.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::Model`] when the envelope or payload is invalid,
+    /// [`ExtractError::ModelDim`] on a dimension mismatch.
+    pub fn reload_sealed(&self, text: &str, source: &str) -> Result<Arc<ModelEntry>, ExtractError> {
+        let model = GnnModel::from_text_checksummed(text)?;
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let entry = Arc::new(entry_from_model(model, source, generation)?);
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&entry);
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ancstr_gnn::GnnConfig;
+
+    fn model(seed: u64) -> GnnModel {
+        GnnModel::new(GnnConfig {
+            dim: ancstr_core::FEATURE_DIM,
+            layers: 2,
+            seed,
+            ..GnnConfig::default()
+        })
+    }
+
+    #[test]
+    fn loads_plain_and_sealed_boot_models() {
+        let m = model(3);
+        for text in [m.to_text(), m.to_text_checksummed()] {
+            let reg = ModelRegistry::load(&text, "boot").unwrap();
+            let entry = reg.current();
+            assert_eq!(entry.fingerprint, m.fingerprint());
+            assert_eq!(entry.generation, 1);
+            assert_eq!(entry.source, "boot");
+        }
+    }
+
+    #[test]
+    fn boot_load_rejects_garbage_and_corrupt_seals() {
+        assert!(ModelRegistry::load("not a model", "x").is_err());
+        let sealed = model(3).to_text_checksummed();
+        let tampered = sealed.replacen("0.", "1.", 1);
+        assert!(ModelRegistry::load(&tampered, "x").is_err());
+    }
+
+    #[test]
+    fn reload_swaps_atomically_and_keeps_old_snapshots_alive() {
+        let reg = ModelRegistry::load(&model(3).to_text(), "boot").unwrap();
+        let before = reg.current();
+        let swapped = reg.reload_sealed(&model(4).to_text_checksummed(), "peer").unwrap();
+        assert_eq!(swapped.generation, 2);
+        assert_ne!(swapped.fingerprint, before.fingerprint);
+        assert_eq!(reg.current().fingerprint, swapped.fingerprint);
+        // The pre-swap snapshot still works (no use-after-swap hazard).
+        assert_eq!(before.generation, 1);
+    }
+
+    #[test]
+    fn reload_requires_the_sealed_envelope() {
+        let reg = ModelRegistry::load(&model(3).to_text(), "boot").unwrap();
+        let err = reg
+            .reload_sealed(&model(4).to_text(), "peer")
+            .map(|e| e.generation)
+            .unwrap_err();
+        assert!(matches!(err, ExtractError::Model(_)), "{err}");
+        // The failed reload left the boot model serving.
+        assert_eq!(reg.current().generation, 1);
+    }
+}

@@ -1,0 +1,594 @@
+//! The extraction daemon: accept loop, request routing, backpressure,
+//! deadlines, and graceful shutdown.
+//!
+//! Architecture in one paragraph: a single accept thread owns the
+//! [`TcpListener`] and a [`WorkerPool`]. Accepted connections are
+//! submitted to the pool's bounded queue without blocking — when the
+//! queue is full the accept thread answers `503` + `Retry-After`
+//! directly, without even reading the request, so overload sheds load
+//! in O(1) instead of growing latency. Workers parse the request under
+//! a per-request deadline, route it, and run extraction against a warm
+//! model snapshot from the [`ModelRegistry`], consulting the
+//! content-addressed [`ResultCache`] first. Shutdown (`POST
+//! /v1/shutdown` or [`ShutdownHandle::signal`]) flips a flag and
+//! self-connects to unblock `accept`; the accept loop then closes the
+//! queue and drains every request already admitted before
+//! [`Server::wait`] returns.
+//!
+//! One deliberate trade-off: the tracer's output format guarantees
+//! globally LIFO span nesting with monotonic timestamps (that is what
+//! `validate_trace` checks), which concurrent requests would violate.
+//! When `--trace-out` is active the daemon therefore serializes request
+//! handling through a trace gate — correctness of the trace stream over
+//! parallelism. Without tracing there is no gate and requests run fully
+//! concurrently.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ancstr_core::{cache_key, extract_source, ExtractError, PipelineObs, ServiceReply};
+use ancstr_obs::metrics::DURATION_BUCKETS_S;
+use ancstr_obs::Json;
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::registry::{ModelEntry, ModelRegistry};
+
+/// Tunables for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`. Port 0 picks an ephemeral
+    /// port (read it back via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Bounded queue depth; beyond it connections get `503`.
+    pub queue_depth: usize,
+    /// Result-cache capacity in replies (0 disables caching).
+    pub cache_entries: usize,
+    /// Per-request deadline covering queue wait + read + handling.
+    pub request_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            cache_entries: 256,
+            request_timeout: Duration::from_secs(30),
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Shared request-handling state (one per daemon, behind an `Arc`).
+struct Ctx {
+    registry: Arc<ModelRegistry>,
+    cache: ResultCache,
+    obs: PipelineObs,
+    shutdown: Arc<AtomicBool>,
+    /// Present iff a tracer is attached; holding it serializes traced
+    /// request handling (see the module docs).
+    trace_gate: Option<Mutex<()>>,
+    request_timeout: Duration,
+    max_body: usize,
+    started: Instant,
+    local_addr: SocketAddr,
+    /// Cache counters already published to the metrics registry, so
+    /// `/metrics` can emit monotonic deltas.
+    published: Mutex<CacheStats>,
+}
+
+/// A handle that asks a running [`Server`] to stop accepting and drain.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown: sets the flag and pokes the listener with a
+    /// throwaway connection so a blocking `accept` observes it.
+    pub fn signal(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+/// A running daemon. Dropping the struct does not stop it — call
+/// [`ShutdownHandle::signal`] (or `POST /v1/shutdown`) and then
+/// [`Server::wait`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept thread and worker pool, and return
+    /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// Any failure to bind or inspect the listening socket.
+    pub fn start(
+        cfg: ServeConfig,
+        registry: Arc<ModelRegistry>,
+        obs: PipelineObs,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        register_help(&obs);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let ctx = Arc::new(Ctx {
+            registry,
+            cache: ResultCache::new(cfg.cache_entries),
+            trace_gate: obs.tracing().then(|| Mutex::new(())),
+            obs,
+            shutdown: Arc::clone(&shutdown),
+            request_timeout: cfg.request_timeout,
+            max_body: cfg.max_body_bytes,
+            started: Instant::now(),
+            local_addr: addr,
+            published: Mutex::new(CacheStats::default()),
+        });
+        let flag = Arc::clone(&shutdown);
+        let accept = thread::Builder::new()
+            .name("ancstr-serve-accept".to_owned())
+            .spawn(move || accept_loop(listener, cfg, ctx, flag))?;
+        Ok(Server { addr, shutdown, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle other threads can use to stop the daemon.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { flag: Arc::clone(&self.shutdown), addr: self.addr }
+    }
+
+    /// Block until the daemon has stopped accepting and every admitted
+    /// request has been answered.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, cfg: ServeConfig, ctx: Arc<Ctx>, flag: Arc<AtomicBool>) {
+    let worker_ctx = Arc::clone(&ctx);
+    let pool = WorkerPool::new(cfg.workers, cfg.queue_depth, move |(stream, accepted)| {
+        handle_conn(&worker_ctx, stream, accepted);
+    });
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        if flag.load(Ordering::SeqCst) {
+            break; // the wake connection itself, or a race with it
+        }
+        match pool.submit((stream, Instant::now())) {
+            Ok(()) => {
+                ctx.obs
+                    .metrics()
+                    .gauge_set("ancstr_serve_queue_depth", &[], pool.depth() as f64);
+            }
+            Err((reason, (mut stream, _))) => {
+                let reason = match reason {
+                    SubmitError::Full => "queue_full",
+                    SubmitError::Closed => "closed",
+                };
+                ctx.obs
+                    .metrics()
+                    .counter_add("ancstr_serve_rejected_total", &[("reason", reason)], 1);
+                // Shed load without reading the request: the client gets
+                // an immediate, honest signal instead of queueing.
+                let _ = Response::new(503).header("Retry-After", "1").write_to(&mut stream);
+            }
+        }
+    }
+    drop(listener);
+    pool.shutdown();
+    ctx.obs.metrics().gauge_set("ancstr_serve_queue_depth", &[], 0.0);
+    ctx.obs.flush();
+}
+
+/// Register help texts for the daemon's metric families (idempotent).
+fn register_help(obs: &PipelineObs) {
+    let m = obs.metrics();
+    m.help("ancstr_http_requests_total", "HTTP requests answered, by route and status code.");
+    m.help("ancstr_http_request_seconds", "Request handling time (read + route + respond), by route.");
+    m.help("ancstr_serve_queue_depth", "Connections waiting in the bounded accept queue.");
+    m.help("ancstr_serve_rejected_total", "Connections shed before handling, by reason.");
+    m.help("ancstr_serve_cache_hits_total", "Extract requests answered from the result cache.");
+    m.help("ancstr_serve_cache_misses_total", "Extract requests that ran the pipeline.");
+    m.help("ancstr_serve_cache_evictions_total", "Cached replies evicted by the LRU bound.");
+    m.help("ancstr_serve_cache_entries", "Replies currently resident in the result cache.");
+    m.help("ancstr_serve_model_reloads_total", "Model hot-swap attempts, by result.");
+}
+
+/// Handle one admitted connection end-to-end.
+fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant) {
+    // The deadline covers time already spent queued: a request that
+    // starved in the queue is answered with 503 rather than processed
+    // long after the client gave up.
+    let Some(remaining) = ctx.request_timeout.checked_sub(accepted.elapsed()) else {
+        ctx.obs
+            .metrics()
+            .counter_add("ancstr_serve_rejected_total", &[("reason", "deadline")], 1);
+        let _ = Response::new(503).header("Retry-After", "1").write_to(&mut stream);
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(remaining));
+    let _ = stream.set_write_timeout(Some(ctx.request_timeout));
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_owned());
+
+    let started = Instant::now();
+    let req = match read_request(&mut stream, ctx.max_body) {
+        Ok(req) => req,
+        Err(err) => {
+            let (status, route) = match &err {
+                ReadError::BadRequest(_) => (400, "malformed"),
+                ReadError::BodyTooLarge { .. } => (413, "malformed"),
+                ReadError::Timeout => (408, "malformed"),
+                ReadError::Io(_) => {
+                    // The peer vanished; nobody is listening for a reply.
+                    return;
+                }
+            };
+            finish(ctx, &mut stream, route, started, error_response(status, &err.to_string()));
+            return;
+        }
+    };
+
+    // Serialize traced handling; see the module docs for why.
+    let _gate = ctx
+        .trace_gate
+        .as_ref()
+        .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()));
+    let route = route_label(&req);
+    let response = {
+        let _span = ctx
+            .obs
+            .stage_with("serve", &[("route", route.into()), ("peer", peer.as_str().into())]);
+        dispatch(ctx, &req, &peer)
+    };
+    finish(ctx, &mut stream, route, started, response);
+}
+
+/// Record request metrics and write the response.
+fn finish(ctx: &Ctx, stream: &mut TcpStream, route: &str, started: Instant, response: Response) {
+    let metrics = ctx.obs.metrics();
+    metrics.counter_add(
+        "ancstr_http_requests_total",
+        &[("route", route), ("code", &response.status.to_string())],
+        1,
+    );
+    metrics.observe(
+        "ancstr_http_request_seconds",
+        &[("route", route)],
+        &DURATION_BUCKETS_S,
+        started.elapsed().as_secs_f64(),
+    );
+    let _ = response.write_to(stream);
+}
+
+/// The metrics label for a request path: known routes keep their path,
+/// everything else collapses into `other` to bound label cardinality.
+fn route_label(req: &Request) -> &'static str {
+    match req.path.as_str() {
+        "/v1/extract" => "/v1/extract",
+        "/v1/models" => "/v1/models",
+        "/v1/shutdown" => "/v1/shutdown",
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        _ => "other",
+    }
+}
+
+fn dispatch(ctx: &Ctx, req: &Request, peer: &str) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/extract") => extract_route(ctx, req, peer),
+        ("GET", "/healthz") => healthz_route(ctx),
+        ("GET", "/metrics") => metrics_route(ctx),
+        ("POST", "/v1/models") => models_route(ctx, req, peer),
+        ("POST", "/v1/shutdown") => shutdown_route(ctx),
+        (_, "/v1/extract" | "/v1/models" | "/v1/shutdown" | "/healthz" | "/metrics") => {
+            error_response(405, &format!("{} is not supported on {}", req.method, req.path))
+        }
+        _ => error_response(404, &format!("no endpoint at {}", req.path)),
+    }
+}
+
+/// A JSON error body: `{"error": "..."}` plus optional stage fields.
+fn error_response(status: u16, message: &str) -> Response {
+    Response::json(status, &Json::obj().set("error", message))
+}
+
+fn extract_route(ctx: &Ctx, req: &Request, peer: &str) -> Response {
+    let Ok(source) = std::str::from_utf8(&req.body) else {
+        return error_response(400, "request body is not valid UTF-8");
+    };
+    if source.trim().is_empty() {
+        return error_response(400, "empty netlist body");
+    }
+    // Snapshot the model once; the whole request is served by exactly
+    // this entry even if a hot-swap lands mid-flight.
+    let entry = ctx.registry.current();
+    let key = cache_key(&req.body, entry.extractor.config(), entry.fingerprint);
+    if let Some(reply) = ctx.cache.get(&key) {
+        return reply_response(&reply, &entry, true);
+    }
+    match extract_source(source, peer, &entry.extractor, &ctx.obs) {
+        Ok(reply) => {
+            let reply = Arc::new(reply);
+            ctx.cache.put(key, Arc::clone(&reply));
+            reply_response(&reply, &entry, false)
+        }
+        Err(err) => {
+            // Parse/elaborate failures indict the client's netlist;
+            // everything downstream is the server's problem.
+            let status = match err.exit_code() {
+                4 | 5 => 400,
+                _ => 500,
+            };
+            extract_error_response(status, &err)
+        }
+    }
+}
+
+fn extract_error_response(status: u16, err: &ExtractError) -> Response {
+    Response::json(
+        status,
+        &Json::obj()
+            .set("error", err.to_string())
+            .set("stage", err.stage())
+            .set("exit_code", u64::from(err.exit_code())),
+    )
+}
+
+fn reply_response(reply: &ServiceReply, entry: &ModelEntry, cached: bool) -> Response {
+    let warnings: Vec<Json> = reply.warnings.iter().map(|w| Json::from(w.as_str())).collect();
+    Response::json(
+        200,
+        &Json::obj()
+            .set("cached", cached)
+            .set("constraints", reply.constraints as u64)
+            .set("constraints_text", reply.constraints_text.as_str())
+            .set("devices", reply.devices as u64)
+            .set("nets", reply.nets as u64)
+            .set("model", entry.fingerprint_hex())
+            .set("generation", entry.generation)
+            .set("runtime_ms", reply.runtime.as_secs_f64() * 1e3)
+            .set("warnings", warnings),
+    )
+}
+
+fn healthz_route(ctx: &Ctx) -> Response {
+    let entry = ctx.registry.current();
+    let stats = ctx.cache.stats();
+    Response::json(
+        200,
+        &Json::obj()
+            .set("status", "ok")
+            .set("uptime_seconds", ctx.started.elapsed().as_secs_f64())
+            .set(
+                "model",
+                Json::obj()
+                    .set("fingerprint", entry.fingerprint_hex())
+                    .set("generation", entry.generation)
+                    .set("source", entry.source.as_str()),
+            )
+            .set(
+                "cache",
+                Json::obj()
+                    .set("hits", stats.hits)
+                    .set("misses", stats.misses)
+                    .set("evictions", stats.evictions)
+                    .set("entries", stats.entries as u64),
+            ),
+    )
+}
+
+fn metrics_route(ctx: &Ctx) -> Response {
+    publish_cache_metrics(ctx);
+    Response::new(200)
+        .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        .with_body(ctx.obs.metrics().render().into_bytes())
+}
+
+/// Fold the cache's counters into the Prometheus registry as monotonic
+/// deltas since the previous publish.
+fn publish_cache_metrics(ctx: &Ctx) {
+    let now = ctx.cache.stats();
+    let mut last = ctx.published.lock().unwrap_or_else(|e| e.into_inner());
+    let m = ctx.obs.metrics();
+    m.counter_add("ancstr_serve_cache_hits_total", &[], now.hits - last.hits);
+    m.counter_add("ancstr_serve_cache_misses_total", &[], now.misses - last.misses);
+    m.counter_add("ancstr_serve_cache_evictions_total", &[], now.evictions - last.evictions);
+    m.gauge_set("ancstr_serve_cache_entries", &[], now.entries as f64);
+    *last = now;
+}
+
+fn models_route(ctx: &Ctx, req: &Request, peer: &str) -> Response {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return error_response(400, "model body is not valid UTF-8");
+    };
+    match ctx.registry.reload_sealed(text, peer) {
+        Ok(entry) => {
+            ctx.obs.metrics().counter_add(
+                "ancstr_serve_model_reloads_total",
+                &[("result", "ok")],
+                1,
+            );
+            Response::json(
+                200,
+                &Json::obj()
+                    .set("fingerprint", entry.fingerprint_hex())
+                    .set("generation", entry.generation),
+            )
+        }
+        Err(err) => {
+            ctx.obs.metrics().counter_add(
+                "ancstr_serve_model_reloads_total",
+                &[("result", "rejected")],
+                1,
+            );
+            error_response(400, &err.to_string())
+        }
+    }
+}
+
+fn shutdown_route(ctx: &Ctx) -> Response {
+    ctx.shutdown.store(true, Ordering::SeqCst);
+    // Unblock the accept thread; the admitted-but-unanswered requests
+    // (including this one) still drain before the daemon exits.
+    let _ = TcpStream::connect_timeout(&ctx.local_addr, Duration::from_secs(1));
+    Response::json(200, &Json::obj().set("status", "draining"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use ancstr_gnn::{GnnConfig, GnnModel};
+
+    const NETLIST: &str = "\
+.subckt ota inp inn out vdd vss
+M1 x inp t vss nch w=2u l=0.1u
+M2 y inn t vss nch w=2u l=0.1u
+M3 x x vdd vdd pch w=4u l=0.1u
+M4 out x vdd vdd pch w=4u l=0.1u
+M5 t t vss vss nch w=1u l=0.1u
+.ends
+";
+
+    fn start_server(cache_entries: usize) -> Server {
+        let model = GnnModel::new(GnnConfig {
+            dim: ancstr_core::FEATURE_DIM,
+            layers: 2,
+            seed: 11,
+            ..GnnConfig::default()
+        });
+        let registry =
+            Arc::new(ModelRegistry::load(&model.to_text(), "unit-test").unwrap());
+        let cfg = ServeConfig {
+            workers: 2,
+            cache_entries,
+            ..ServeConfig::default()
+        };
+        Server::start(cfg, registry, PipelineObs::new(None)).unwrap()
+    }
+
+    fn stop(server: Server) {
+        server.shutdown_handle().signal();
+        server.wait();
+    }
+
+    const T: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn serves_health_and_unknown_routes() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let health = client::get(addr, "/healthz", T).unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.text().contains("\"status\":\"ok\""), "{}", health.text());
+        assert_eq!(client::get(addr, "/nope", T).unwrap().status, 404);
+        assert_eq!(client::get(addr, "/v1/extract", T).unwrap().status, 405);
+        stop(server);
+    }
+
+    #[test]
+    fn extract_route_serves_and_caches() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let first = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(first.status, 200, "{}", first.text());
+        assert!(first.text().contains("\"cached\":false"), "{}", first.text());
+        let second = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(second.status, 200);
+        assert!(second.text().contains("\"cached\":true"), "{}", second.text());
+        // Identical payloads modulo the cached flag and runtime.
+        let strip = |s: &str| {
+            s.lines()
+                .next()
+                .unwrap()
+                .replace("\"cached\":true", "")
+                .replace("\"cached\":false", "")
+                .split("\"runtime_ms\"")
+                .next()
+                .unwrap()
+                .to_owned()
+        };
+        assert_eq!(strip(&first.text()), strip(&second.text()));
+        // The metrics endpoint reports the hit and the miss.
+        let metrics = client::get(addr, "/metrics", T).unwrap().text();
+        assert!(metrics.contains("ancstr_serve_cache_hits_total 1"), "{metrics}");
+        assert!(metrics.contains("ancstr_serve_cache_misses_total 1"), "{metrics}");
+        assert!(metrics.contains("ancstr_http_requests_total"), "{metrics}");
+        stop(server);
+    }
+
+    #[test]
+    fn extract_route_rejects_bad_netlists() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let bad = client::post(addr, "/v1/extract", b"M1 a b\n", T).unwrap();
+        assert_eq!(bad.status, 400, "{}", bad.text());
+        assert!(bad.text().contains("\"stage\":\"parse\""), "{}", bad.text());
+        let empty = client::post(addr, "/v1/extract", b"", T).unwrap();
+        assert_eq!(empty.status, 400);
+        stop(server);
+    }
+
+    #[test]
+    fn model_reload_requires_a_sealed_envelope() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let next = GnnModel::new(GnnConfig {
+            dim: ancstr_core::FEATURE_DIM,
+            layers: 2,
+            seed: 12,
+            ..GnnConfig::default()
+        });
+        let plain = client::post(addr, "/v1/models", next.to_text().as_bytes(), T).unwrap();
+        assert_eq!(plain.status, 400, "{}", plain.text());
+        let sealed =
+            client::post(addr, "/v1/models", next.to_text_checksummed().as_bytes(), T).unwrap();
+        assert_eq!(sealed.status, 200, "{}", sealed.text());
+        assert!(sealed.text().contains("\"generation\":2"), "{}", sealed.text());
+        stop(server);
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains_and_exits() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let reply = client::post(addr, "/v1/shutdown", b"", T).unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(reply.text().contains("draining"), "{}", reply.text());
+        server.wait(); // must return, not hang
+    }
+}

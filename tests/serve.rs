@@ -1,0 +1,305 @@
+//! End-to-end tests for the `ancstr serve` daemon.
+//!
+//! The headline property is **concurrency identity**: N parallel
+//! clients hammering one daemon must each receive a constraint set
+//! byte-identical to what one-shot `ancstr extract --model` writes for
+//! the same netlist and model — and the result cache must actually be
+//! in the request path (asserted through the `/metrics` counters), not
+//! just present in the code.
+
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use ancstr_obs::json;
+use ancstr_serve::client;
+
+const NETLIST: &str = "\
+.subckt sa inp inn outp outn clk vdd vss
+*.class comparator
+M1 x1 inp tail vss nch_lvt w=6u l=0.1u
+M2 x2 inn tail vss nch_lvt w=6u l=0.1u
+M3 outn outp x1 vss nch_lvt w=6u l=0.1u
+M4 outp outn x2 vss nch_lvt w=6u l=0.1u
+M5 outn outp vdd vdd pch_lvt w=12u l=0.1u
+M6 outp outn vdd vdd pch_lvt w=12u l=0.1u
+M7 tail clk vss vss nch w=12u l=0.1u
+.ends
+";
+
+/// A second, structurally different circuit (five-transistor OTA) for
+/// the mixed-traffic identity test — the model never saw it during
+/// training, exercising the inductive serve-unseen-netlists path.
+const OTA: &str = "\
+.subckt ota inp inn out vdd vss
+M1 x inp t vss nch w=2u l=0.1u
+M2 y inn t vss nch w=2u l=0.1u
+M3 x x vdd vdd pch w=4u l=0.1u
+M4 out x vdd vdd pch w=4u l=0.1u
+M5 t t vss vss nch w=1u l=0.1u
+.ends
+";
+
+const T: Duration = Duration::from_secs(60);
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ancstr"))
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ancstr-serve-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+/// Train a model via the CLI and return (netlist path, model path).
+fn trained_model(dir: &Path) -> (PathBuf, PathBuf) {
+    let sp = dir.join("sa.sp");
+    fs::write(&sp, NETLIST).unwrap();
+    let model = dir.join("model.txt");
+    let out = bin()
+        .args(["train"])
+        .arg(&sp)
+        .args(["--model-out"])
+        .arg(&model)
+        .args(["--epochs", "12", "--seed", "7", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    (sp, model)
+}
+
+/// A daemon child plus the address it bound. Killed on drop so a failed
+/// assertion cannot leak a listener.
+struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    fn spawn(model: &Path, extra: &[&str]) -> Daemon {
+        let mut child = bin()
+            .args(["serve", "--model"])
+            .arg(model)
+            .args(["--port", "0", "--quiet"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        // The daemon announces its (ephemeral) address as the first
+        // stdout line; block until it arrives.
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("daemon prints its address");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line `{line}`"))
+            .parse()
+            .expect("address parses");
+        Daemon { child, addr }
+    }
+
+    /// Graceful stop: `POST /v1/shutdown`, then the process must exit 0.
+    fn shutdown(mut self) {
+        let reply = client::post(self.addr, "/v1/shutdown", b"", T).expect("shutdown responds");
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        let status = self.child.wait().expect("daemon exits");
+        assert_eq!(status.code(), Some(0), "daemon must drain and exit cleanly");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The value of a Prometheus counter line like `name 3` (no labels).
+fn counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("`{name}` not in /metrics:\n{metrics}"))
+        .trim()
+        .parse()
+        .expect("counter value parses")
+}
+
+/// One-shot `extract --model` output for `source`, via the CLI.
+fn one_shot_reference(dir: &Path, model: &Path, tag: &str, source: &str) -> String {
+    let sp = dir.join(format!("{tag}.sp"));
+    fs::write(&sp, source).unwrap();
+    let out_path = dir.join(format!("{tag}.reference.txt"));
+    let out = bin()
+        .args(["extract"])
+        .arg(&sp)
+        .args(["--model"])
+        .arg(model)
+        .args(["-o"])
+        .arg(&out_path)
+        .args(["--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "extract failed: {}", String::from_utf8_lossy(&out.stderr));
+    fs::read_to_string(&out_path).unwrap()
+}
+
+#[test]
+fn concurrent_clients_match_the_one_shot_cli_byte_for_byte() {
+    let dir = workdir("identity");
+    let (_sp, model) = trained_model(&dir);
+
+    // References: one-shot extraction of two different circuits with
+    // the same model — the comparator it trained on and an OTA it has
+    // never seen (the inductive case).
+    let references =
+        [one_shot_reference(&dir, &model, "sa", NETLIST), one_shot_reference(&dir, &model, "ota", OTA)];
+    assert!(references[0].contains("sym"), "reference extraction found no constraints");
+    assert_ne!(references[0], references[1], "fixtures must be distinguishable");
+
+    let daemon = Daemon::spawn(&model, &["--workers", "4", "--cache-entries", "32"]);
+    let addr = daemon.addr;
+
+    // N parallel clients over mixed circuits, two requests each: the
+    // second wave can only be answered from the cache or by identical
+    // recomputation.
+    const CLIENTS: usize = 8;
+    let sources = [NETLIST, OTA];
+    let bodies: Vec<(usize, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                scope.spawn(move || {
+                    let which = i % 2;
+                    let mut texts = Vec::new();
+                    for _ in 0..2 {
+                        let reply =
+                            client::post(addr, "/v1/extract", sources[which].as_bytes(), T)
+                                .expect("request succeeds");
+                        assert_eq!(reply.status, 200, "{}", reply.text());
+                        texts.push((which, reply.text()));
+                    }
+                    texts
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+
+    assert_eq!(bodies.len(), CLIENTS * 2);
+    for (which, body) in &bodies {
+        let parsed = json::parse(body.trim()).expect("response is valid JSON");
+        let text = parsed
+            .get("constraints_text")
+            .and_then(|v| v.as_str())
+            .expect("constraints_text present");
+        // Byte identity with the one-shot CLI, under full concurrency.
+        assert_eq!(text, references[*which], "daemon output diverged from one-shot extract");
+        assert!(parsed.get("warnings").and_then(|w| w.as_arr()).is_some());
+    }
+
+    // The cache must have answered everything past the first sight of
+    // each distinct netlist: two misses computed replies, everyone
+    // else hit without re-running the pipeline.
+    let metrics = client::get(addr, "/metrics", T).expect("/metrics responds").text();
+    assert_eq!(counter(&metrics, "ancstr_serve_cache_misses_total"), 2, "{metrics}");
+    let hits = counter(&metrics, "ancstr_serve_cache_hits_total");
+    assert_eq!(hits, (CLIENTS * 2 - 2) as u64, "{metrics}");
+    assert!(
+        metrics.contains("ancstr_http_requests_total{route=\"/v1/extract\",code=\"200\"} 16"),
+        "{metrics}"
+    );
+
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_maps_errors_and_serves_health() {
+    let dir = workdir("errors");
+    let (_sp, model) = trained_model(&dir);
+    let daemon = Daemon::spawn(&model, &[]);
+    let addr = daemon.addr;
+
+    let health = client::get(addr, "/healthz", T).unwrap();
+    assert_eq!(health.status, 200);
+    let parsed = json::parse(health.text().trim()).unwrap();
+    assert_eq!(parsed.get("status").and_then(|s| s.as_str()), Some("ok"));
+
+    // Malformed SPICE → 400 with the failing stage named.
+    let bad = client::post(addr, "/v1/extract", b"M1 a b\n", T).unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert_eq!(
+        json::parse(bad.text().trim()).unwrap().get("stage").and_then(|s| s.as_str()),
+        Some("parse")
+    );
+
+    // Unknown route and wrong method.
+    assert_eq!(client::get(addr, "/nope", T).unwrap().status, 404);
+    assert_eq!(client::get(addr, "/v1/extract", T).unwrap().status, 405);
+
+    daemon.shutdown();
+}
+
+#[test]
+fn model_hot_swap_changes_the_serving_fingerprint() {
+    let dir = workdir("swap");
+    let (sp, model) = trained_model(&dir);
+
+    // A second model: same corpus, different seed.
+    let other = dir.join("other.txt");
+    let out = bin()
+        .args(["train"])
+        .arg(&sp)
+        .args(["--model-out"])
+        .arg(&other)
+        .args(["--epochs", "12", "--seed", "8", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let daemon = Daemon::spawn(&model, &[]);
+    let addr = daemon.addr;
+    let before = client::get(addr, "/healthz", T).unwrap().text();
+    let before_fp = json::parse(before.trim())
+        .unwrap()
+        .get("model")
+        .and_then(|m| m.get("fingerprint").and_then(|f| f.as_str()).map(str::to_owned))
+        .unwrap();
+
+    // A plain (unsealed) model body is refused and changes nothing.
+    let plain = fs::read(&other).unwrap();
+    assert_eq!(client::post(addr, "/v1/models", &plain, T).unwrap().status, 400);
+
+    // Reload needs the sealed envelope; build it in-process.
+    let sealed = {
+        let text = fs::read_to_string(&other).unwrap();
+        ancstr_gnn::GnnModel::from_text(&text).unwrap().to_text_checksummed()
+    };
+    let swap = client::post(addr, "/v1/models", sealed.as_bytes(), T).unwrap();
+    assert_eq!(swap.status, 200, "{}", swap.text());
+
+    let after = client::get(addr, "/healthz", T).unwrap().text();
+    let parsed = json::parse(after.trim()).unwrap();
+    let after_fp = parsed
+        .get("model")
+        .and_then(|m| m.get("fingerprint").and_then(|f| f.as_str()).map(str::to_owned))
+        .unwrap();
+    assert_ne!(before_fp, after_fp, "hot-swap must change the serving fingerprint");
+    assert_eq!(
+        parsed.get("model").and_then(|m| m.get("generation")).and_then(|g| g.as_num()),
+        Some(2.0)
+    );
+
+    // The swapped-in model serves extractions.
+    let reply = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.text());
+
+    daemon.shutdown();
+}
