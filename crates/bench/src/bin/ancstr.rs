@@ -15,11 +15,24 @@
 //! ancstr serve   --model model.txt [--port N] [--workers N]
 //!                [--queue-depth N] [--cache-entries N]
 //!                [--trace-out FILE] [--log-format text|json] [-v|--quiet]
+//! ancstr bench   [netlist.sp...] [-o report.json] [--epochs N] [--seed S]
+//!                [--threads N]
 //! ```
 //!
 //! `extract` trains on the input itself unless `--model` supplies a
 //! pre-trained model (the inductive mode). `train` fits one universal
 //! model over several netlists and saves it.
+//!
+//! `--threads N` caps the deterministic compute layer's worker count
+//! (default: the machine's available parallelism). Outputs are
+//! byte-identical at every thread count — `--threads 1` runs the exact
+//! same computation sequentially.
+//!
+//! `bench` times each pipeline stage (graph-build, train, embed,
+//! detect) on the ADC1–ADC5 suite — or on the given netlists — at 1, 2,
+//! and N threads, writes a JSON report (default `BENCH_PR5.json`), and
+//! fails with exit code 1 if any thread count changes the extraction
+//! output hash.
 //!
 //! `serve` keeps a trained model warm in a long-lived HTTP daemon
 //! (`ancstr-serve`): `POST /v1/extract` takes a SPICE netlist body and
@@ -67,7 +80,7 @@
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ancstr_core::groups::merge_groups;
 use ancstr_core::runstore::{DurableFit, RunError, RunOptions, RunSession};
@@ -85,7 +98,7 @@ use ancstr_obs::{
 };
 
 fn usage() -> &'static str {
-    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]"
+    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--threads N] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--threads N] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--threads N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr bench [netlist.sp...] [-o report.json] [--epochs N] [--seed S] [--threads N]"
 }
 
 /// Everything that can go wrong, sorted by exit code: failed
@@ -155,7 +168,7 @@ impl ObsCtx {
     ///   code path otherwise.
     fn for_command(cmd: &str, args: &Args) -> Result<ObsCtx, CliError> {
         let log = Logger::stderr(args.log_format, args.verbosity);
-        if matches!(cmd, "stats" | "obs-check") {
+        if matches!(cmd, "stats" | "obs-check" | "bench") {
             return Ok(ObsCtx { log, obs: PipelineObs::disabled() });
         }
         let tracer = match &args.trace_out {
@@ -231,6 +244,8 @@ struct Args {
     workers: Option<usize>,
     queue_depth: Option<usize>,
     cache_entries: Option<usize>,
+    // compute-layer thread cap (None = available parallelism)
+    threads: Option<usize>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -259,6 +274,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         workers: None,
         queue_depth: None,
         cache_entries: None,
+        threads: None,
     };
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -340,6 +356,15 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                         .parse()
                         .map_err(|_| "bad --cache-entries (want an integer; 0 disables)")?,
                 );
+            }
+            "--threads" => {
+                let n: usize = take("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads (want a positive integer)")?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                args.threads = Some(n);
             }
             "--require-stages" => args.require_stages = Some(take("--require-stages")?),
             "--require-epoch-events" => args.require_epoch_events = true,
@@ -819,6 +844,155 @@ fn cmd_stats(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Names of the timed pipeline stages, in execution order.
+const BENCH_STAGES: [&str; 5] = ["graph-build", "train", "embed", "detect", "total"];
+
+/// FNV-1a over a byte slice, continuing from `hash` — the bench report's
+/// output fingerprint (constraints text, scores, warnings).
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Time every pipeline stage on the ADC1–ADC5 suite (or the given
+/// netlists) at 1, 2, and N threads, write a JSON report, and fail if
+/// any thread count changes the extraction output.
+///
+/// The report is the PR's performance artifact: one record per
+/// `(stage, threads)` with the summed wall time over the suite and the
+/// speedup relative to the single-thread run, plus the per-thread-count
+/// output hash CI gates on.
+fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
+    if args.run_dir.is_some() || args.resume {
+        return Err(usage_err("bench does not support --run-dir/--resume"));
+    }
+    let out_path = args.output.clone().unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+
+    let suite: Vec<(String, FlatCircuit)> = if args.positional.is_empty() {
+        ancstr_bench::adc_dataset()
+            .into_iter()
+            .map(|b| (b.name.to_owned(), b.flat))
+            .collect()
+    } else {
+        let mut v = Vec::with_capacity(args.positional.len());
+        for p in &args.positional {
+            v.push((p.clone(), load(p, ctx)?));
+        }
+        v
+    };
+
+    let config = config_with(args.epochs, args.seed);
+    let max_threads = args.threads.unwrap_or_else(ancstr_par::available_parallelism);
+    let mut counts = vec![1usize, 2, max_threads];
+    counts.sort_unstable();
+    counts.dedup();
+
+    // wall[c][s] = summed milliseconds for thread count `counts[c]`,
+    // stage `BENCH_STAGES[s]`.
+    let mut wall = vec![[0f64; BENCH_STAGES.len()]; counts.len()];
+    let mut hashes = vec![0u64; counts.len()];
+
+    for (ci, &t) in counts.iter().enumerate() {
+        ancstr_par::set_threads(t);
+        ctx.log.info(format!("bench: {} circuits at {t} thread(s)", suite.len()));
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for (name, flat) in &suite {
+            let pipeline = |err: ExtractError| CliError::Pipeline { path: name.clone(), err };
+            let total0 = Instant::now();
+
+            let t0 = Instant::now();
+            let mut extractor =
+                SymmetryExtractor::try_new(config.clone()).map_err(pipeline)?;
+            let tg = extractor.train_graph(flat);
+            wall[ci][0] += t0.elapsed().as_secs_f64() * 1e3;
+
+            let t1 = Instant::now();
+            extractor
+                .try_fit_observed(&[flat], &HealthConfig::default(), &ctx.obs)
+                .map_err(pipeline)?;
+            wall[ci][1] += t1.elapsed().as_secs_f64() * 1e3;
+
+            let t2 = Instant::now();
+            let z = extractor.model().embed(&tg.tensors, &tg.features);
+            wall[ci][2] += t2.elapsed().as_secs_f64() * 1e3;
+
+            let t3 = Instant::now();
+            let detection = detect_constraints(flat, &z, &config.thresholds, &config.embed);
+            wall[ci][3] += t3.elapsed().as_secs_f64() * 1e3;
+            wall[ci][4] += total0.elapsed().as_secs_f64() * 1e3;
+
+            // Fingerprint everything detection produced, in order:
+            // exported constraints, every score bit pattern, warnings.
+            hash = fnv1a(hash, write_constraints(flat, &detection.constraints).as_bytes());
+            for s in &detection.scored {
+                hash = fnv1a(hash, &s.score.to_bits().to_le_bytes());
+                hash = fnv1a(hash, &[u8::from(s.accepted)]);
+                hash = fnv1a(hash, &s.threshold.to_bits().to_le_bytes());
+            }
+            for w in &detection.warnings {
+                hash = fnv1a(hash, w.to_string().as_bytes());
+            }
+        }
+        hashes[ci] = hash;
+    }
+    // Restore the CLI-wide thread cap the sweep overrode.
+    ancstr_par::set_threads(args.threads.unwrap_or(0));
+
+    let identical = hashes.iter().all(|&h| h == hashes[0]);
+    let names: Vec<String> = suite.iter().map(|(n, _)| format!("\"{n}\"")).collect();
+    let mut records = String::new();
+    for (si, stage) in BENCH_STAGES.iter().enumerate() {
+        for (ci, &t) in counts.iter().enumerate() {
+            let ms = wall[ci][si];
+            let speedup = if ms > 0.0 { wall[0][si] / ms } else { 1.0 };
+            if !records.is_empty() {
+                records.push_str(",\n");
+            }
+            records.push_str(&format!(
+                "    {{\"stage\": \"{stage}\", \"threads\": {t}, \"wall_ms\": {ms:.3}, \
+                 \"speedup\": {speedup:.3}}}"
+            ));
+        }
+    }
+    let hash_entries: Vec<String> = counts
+        .iter()
+        .zip(&hashes)
+        .map(|(t, h)| format!("\"{t}\": \"{h:016x}\""))
+        .collect();
+    let report = format!(
+        "{{\n  \"schema\": \"ancstr-bench-v1\",\n  \"suite\": [{}],\n  \
+         \"thread_counts\": {counts:?},\n  \"output_hashes\": {{{}}},\n  \
+         \"identical_across_threads\": {identical},\n  \"records\": [\n{records}\n  ]\n}}\n",
+        names.join(", "),
+        hash_entries.join(", "),
+    );
+    fs::write(&out_path, &report)
+        .map_err(|e| CliError::Io { path: out_path.clone(), detail: e.to_string() })?;
+    ctx.log.info(format!("wrote {out_path}"));
+
+    println!("{:<12} {:>8} {:>12} {:>9}", "stage", "threads", "wall_ms", "speedup");
+    for (si, stage) in BENCH_STAGES.iter().enumerate() {
+        for (ci, &t) in counts.iter().enumerate() {
+            let ms = wall[ci][si];
+            let speedup = if ms > 0.0 { wall[0][si] / ms } else { 1.0 };
+            println!("{stage:<12} {t:>8} {ms:>12.3} {speedup:>8.2}x");
+        }
+    }
+
+    if !identical {
+        return Err(CliError::Validation(format!(
+            "extraction output diverged across thread counts: hashes {:?} for threads {:?}",
+            hashes.iter().map(|h| format!("{h:016x}")).collect::<Vec<_>>(),
+            counts,
+        )));
+    }
+    println!("output identical across thread counts {counts:?}");
+    Ok(())
+}
+
 /// Validate an observability artifact set: a JSONL trace (line-by-line
 /// schema + LIFO nesting, optionally requiring stage coverage and
 /// per-epoch telemetry) and/or a Prometheus text exposition. Exit code
@@ -977,6 +1151,12 @@ fn main() -> ExitCode {
         }
     };
 
+    // Cap the compute layer before any pipeline work; `bench` manages
+    // the count itself (sweeping 1, 2, N) and reads the cap as its N.
+    if let Some(n) = args.threads {
+        ancstr_par::set_threads(n);
+    }
+
     let ctx = match ObsCtx::for_command(cmd.as_str(), &args) {
         Ok(ctx) => ctx,
         Err(e) => {
@@ -993,6 +1173,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&ctx, args),
         "obs-check" => cmd_obs_check(&ctx, args),
         "serve" => cmd_serve(&ctx, args),
+        "bench" => cmd_bench(&ctx, args),
         other => Err(usage_err(format!("unknown command `{other}`"))),
     };
     let code = match result {

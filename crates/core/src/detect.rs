@@ -3,7 +3,7 @@
 
 use ancstr_netlist::flat::{FlatCircuit, HierNodeKind};
 use ancstr_netlist::{ConstraintSet, SymmetryConstraint, SymmetryKind};
-use ancstr_nn::{cosine_similarity, Matrix};
+use ancstr_nn::{cosine_similarity, dot, Matrix};
 
 use crate::embed::{embed_all_blocks, EmbedOptions};
 use crate::pairs::{valid_pairs, CandidatePair};
@@ -126,44 +126,71 @@ pub fn detect_constraints(
     let lambda_sys = thresholds.system_threshold(flat.max_subcircuit_size());
     let block_embeddings = embed_all_blocks(flat, z, embed);
 
-    let feature_of = |id: ancstr_netlist::HierNodeId| -> Vec<f64> {
+    fn feature_of<'a>(
+        flat: &FlatCircuit,
+        z: &'a Matrix,
+        block_embeddings: &'a [Option<Vec<f64>>],
+        id: ancstr_netlist::HierNodeId,
+    ) -> &'a [f64] {
         match &flat.node(id).kind {
-            HierNodeKind::Device(i) => z.row(*i).to_vec(),
+            HierNodeKind::Device(i) => z.row(*i),
             HierNodeKind::Block { .. } => block_embeddings[id.0]
-                .clone()
+                .as_deref()
                 .expect("every block has an embedding"),
         }
-    };
+    }
+
+    /// What the parallel scoring pass found for one candidate, in
+    /// candidate order; folded serially below so warning/constraint
+    /// encounter order is identical to the historical sequential loop.
+    enum PairOutcome {
+        Scored(f64),
+        Skipped { lo_bad: bool, hi_bad: bool },
+    }
+
+    let candidates = valid_pairs(flat);
+    let outcomes = ancstr_par::map_items(&candidates, 64, |candidate| {
+        let za = feature_of(flat, z, &block_embeddings, candidate.pair.lo());
+        let zb = feature_of(flat, z, &block_embeddings, candidate.pair.hi());
+        // A NaN anywhere would turn the cosine score into NaN, which
+        // compares false against every threshold and silently becomes a
+        // rejection. Surface it as a counted warning record instead.
+        let lo_bad = za.iter().any(|x| !x.is_finite());
+        let hi_bad = zb.iter().any(|x| !x.is_finite());
+        if lo_bad || hi_bad {
+            PairOutcome::Skipped { lo_bad, hi_bad }
+        } else {
+            PairOutcome::Scored(cosine_similarity(za, zb))
+        }
+    });
 
     let mut scored = Vec::new();
     let mut constraints = ConstraintSet::new();
     let mut warnings: Vec<NumericWarning> = Vec::new();
     let mut warned = std::collections::HashMap::new();
-    for candidate in valid_pairs(flat) {
-        let za = feature_of(candidate.pair.lo());
-        let zb = feature_of(candidate.pair.hi());
-        // A NaN anywhere would turn the cosine score into NaN, which
-        // compares false against every threshold and silently becomes a
-        // rejection. Surface it as a counted warning record instead.
-        let mut skip = false;
-        for (id, v) in [(candidate.pair.lo(), &za), (candidate.pair.hi(), &zb)] {
-            if v.iter().any(|x| !x.is_finite()) {
-                skip = true;
-                let slot = *warned.entry(id).or_insert_with(|| {
-                    warnings.push(NumericWarning {
-                        node: id,
-                        path: flat.node(id).path.clone(),
-                        skipped_pairs: 0,
+    for (candidate, outcome) in candidates.into_iter().zip(outcomes) {
+        let score = match outcome {
+            PairOutcome::Skipped { lo_bad, hi_bad } => {
+                for (id, bad) in
+                    [(candidate.pair.lo(), lo_bad), (candidate.pair.hi(), hi_bad)]
+                {
+                    if !bad {
+                        continue;
+                    }
+                    let slot = *warned.entry(id).or_insert_with(|| {
+                        warnings.push(NumericWarning {
+                            node: id,
+                            path: flat.node(id).path.clone(),
+                            skipped_pairs: 0,
+                        });
+                        warnings.len() - 1
                     });
-                    warnings.len() - 1
-                });
-                warnings[slot].skipped_pairs += 1;
+                    warnings[slot].skipped_pairs += 1;
+                }
+                continue;
             }
-        }
-        if skip {
-            continue;
-        }
-        let score = cosine_similarity(&za, &zb);
+            PairOutcome::Scored(score) => score,
+        };
         let threshold = match candidate.kind {
             SymmetryKind::System => lambda_sys,
             SymmetryKind::Device => thresholds.device,
@@ -208,6 +235,20 @@ pub fn detect_self_symmetric(
         paired.insert(c.pair.hi());
     }
 
+    // Hoisted per-device row norms: the nested neighbour check below
+    // compares O(pairs) combinations, and recomputing both norms inside
+    // `cosine_similarity` per comparison re-normalized each row once
+    // per *pair* instead of once per *device*. `row_norms` uses the
+    // exact arithmetic of `cosine_similarity`'s denominators, so the
+    // quotient below is bit-identical to the old nested call.
+    let norms = z.row_norms();
+    let cosine = |iu: usize, iw: usize| -> f64 {
+        if norms[iu] == 0.0 || norms[iw] == 0.0 {
+            return 0.0;
+        }
+        dot(z.row(iu), z.row(iw)) / (norms[iu] * norms[iw])
+    };
+
     let mut out = Vec::new();
     for (i, d) in flat.devices().iter().enumerate() {
         if paired.contains(&d.node) {
@@ -221,11 +262,7 @@ pub fn detect_self_symmetric(
         // Every neighbour must have a distinct matching partner.
         let all_paired = neighbors.iter().all(|&u| {
             neighbors.iter().any(|&w| {
-                u != w
-                    && cosine_similarity(
-                        z.row(g.device_index(u)),
-                        z.row(g.device_index(w)),
-                    ) > pair_threshold
+                u != w && cosine(g.device_index(u), g.device_index(w)) > pair_threshold
             })
         });
         if all_paired {

@@ -80,8 +80,13 @@ pub fn embed_all_blocks(
     options: &EmbedOptions,
 ) -> Vec<Option<Vec<f64>>> {
     let mut out = vec![None; flat.nodes().len()];
-    for b in flat.blocks() {
-        out[b.id.0] = Some(embed_circuit(flat, b.id, z, options));
+    let blocks: Vec<HierNodeId> = flat.blocks().map(|b| b.id).collect();
+    // Each block runs its own subcircuit PageRank — independent work,
+    // fanned out across blocks; `map_items` returns results in block
+    // order, so the scatter below is deterministic.
+    let embeddings = ancstr_par::map_items(&blocks, 1, |&id| embed_circuit(flat, id, z, options));
+    for (id, e) in blocks.into_iter().zip(embeddings) {
+        out[id.0] = Some(e);
     }
     out
 }

@@ -906,6 +906,30 @@ mod tests {
     }
 
     #[test]
+    fn training_is_bit_identical_at_every_thread_count() {
+        // The kernels under the tape (matmul/spmm/activations) fan out
+        // across worker threads; the epoch loop itself is sequential
+        // (SGD order is semantic). Ordered chunking must keep the whole
+        // trajectory — losses and final weights — bit-identical.
+        let dataset = vec![sample_graph(), sample_graph()];
+        let cfg = TrainConfig { epochs: 4, ..TrainConfig::default() };
+        let train_at = |t: usize| {
+            ancstr_par::set_threads(t);
+            let mut m =
+                GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 8, ..GnnConfig::default() });
+            let r = train(&mut m, &dataset, &cfg);
+            (m, r)
+        };
+        let (m1, r1) = train_at(1);
+        for t in [2usize, 8] {
+            let (mt, rt) = train_at(t);
+            assert_eq!(mt, m1, "weights diverged at {t} threads");
+            assert_eq!(rt, r1, "loss trajectory diverged at {t} threads");
+        }
+        ancstr_par::set_threads(0);
+    }
+
+    #[test]
     fn trained_embeddings_align_symmetric_pairs() {
         let mut model = GnnModel::new(GnnConfig { dim: 6, layers: 2, seed: 33, ..GnnConfig::default() });
         let graph = sample_graph();

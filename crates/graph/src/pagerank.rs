@@ -52,17 +52,20 @@ pub fn pagerank(g: &SimpleDigraph, options: &PageRankOptions) -> Vec<f64> {
     let mut pr = vec![1.0 / nf; n];
     let mut next = vec![0.0; n];
 
+    // Out-degrees are loop invariants: hoist the float conversions and
+    // the dangling-vertex scan out of the power iteration. The ranks
+    // stay bit-identical (`pr[u] / out_deg[u]` is the same division).
+    let out_deg: Vec<f64> = (0..n).map(|v| g.out_degree(v) as f64).collect();
+    let dangling_vertices: Vec<usize> = (0..n).filter(|&v| g.out_degree(v) == 0).collect();
+
     for _ in 0..options.max_iterations {
         // Rank from dangling vertices spreads uniformly.
-        let dangling: f64 = (0..n)
-            .filter(|&v| g.out_degree(v) == 0)
-            .map(|v| pr[v])
-            .sum();
+        let dangling: f64 = dangling_vertices.iter().map(|&v| pr[v]).sum();
         let dangling_share = gamma * dangling / nf;
         for (v, slot) in next.iter_mut().enumerate() {
             let mut acc = 0.0;
             for &u in g.in_neighbors(v) {
-                acc += pr[u] / g.out_degree(u) as f64;
+                acc += pr[u] / out_deg[u];
             }
             *slot = base + dangling_share + gamma * acc;
         }

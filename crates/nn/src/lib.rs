@@ -48,7 +48,7 @@ pub mod tape;
 
 pub use error::NnError;
 pub use gru::{GruCell, GruLeaves};
-pub use matrix::{cosine_similarity, Matrix};
+pub use matrix::{axpy, cosine_similarity, dot, Matrix};
 pub use optim::Adam;
 pub use sparse::SparseMatrix;
 pub use tape::{log_sigmoid, sigmoid, Gradients, NodeId, SparseId, Tape};

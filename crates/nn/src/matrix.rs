@@ -1,8 +1,24 @@
 //! Dense row-major `f64` matrices — the numeric workhorse of the
 //! substrate.
+//!
+//! # Kernel design
+//!
+//! The hot kernels ([`Matrix::matmul`], [`Matrix::matmul_transposed`],
+//! [`Matrix::map_par`]) are written so that the parallel path is
+//! **bit-identical** to the sequential one at any thread count:
+//!
+//! * work is split across *output rows*, so every output element is
+//!   written by exactly one thread;
+//! * the per-element accumulation order (ascending `k`) is the same in
+//!   the scalar, cache-blocked, and parallel variants — tiles advance
+//!   in ascending `k`, and column-blocking only regroups independent
+//!   output elements;
+//! * the `a == 0.0` multiplicand skip is applied identically
+//!   everywhere (skipping is *not* the same as multiplying when the
+//!   other operand holds an `inf`/`NaN`, so every variant must agree).
 
 use std::fmt;
-use std::ops::{Index, IndexMut};
+use std::ops::{Index, IndexMut, Range};
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -127,6 +143,10 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
+    /// Cache-blocked ikj kernel, row-parallel for large products; the
+    /// result is bit-identical at every thread count (see the module
+    /// docs).
+    ///
     /// # Panics
     ///
     /// Panics on an inner-dimension mismatch.
@@ -138,20 +158,41 @@ impl Matrix {
             other.shape()
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let inner = self.cols;
+        let n = other.cols;
+        par_row_chunks(
+            self.rows,
+            n,
+            &mut out.data,
+            min_rows_for(inner * n),
+            |rows, chunk| matmul_rows(&self.data, inner, rows, &other.data, n, chunk),
+        );
         out
+    }
+
+    /// Transposed-RHS matrix product `self · otherᵀ` — the backward
+    /// pass's `dC · Bᵀ` without asking every caller to transpose.
+    ///
+    /// Bit-identical to `self.matmul(&other.transpose())` by
+    /// construction: one transposed copy of `other` feeds the blocked
+    /// kernel. The copy costs `O(k·n)` but keeps the inner loop in the
+    /// ikj orientation, whose independent per-`j` accumulators
+    /// vectorize; a copy-free row-dot formulation pays a loop-carried
+    /// dependence on the accumulator (reassociating it would change the
+    /// bits) and measured slower than transpose-then-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols() == other.cols()`.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_transposed shape mismatch: {:?} · {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        self.matmul(&other.transpose())
     }
 
     /// Transpose.
@@ -198,6 +239,43 @@ impl Matrix {
             cols: self.cols,
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
+    }
+
+    /// Apply `f` element-wise, in parallel for large matrices.
+    ///
+    /// Bit-identical to [`Matrix::map`] at any thread count (each
+    /// element is independent). Worth it only when `f` is expensive —
+    /// the activation transcendentals (`tanh`, `exp`) qualify; `x * k`
+    /// does not.
+    pub fn map_par(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        let base = ancstr_par::SendPtr::new(out.data.as_mut_ptr());
+        ancstr_par::for_each_chunk(self.data.len(), MAP_PAR_MIN_CHUNK, |range| {
+            // Sound: chunk ranges are disjoint, so each element is
+            // written by exactly one thread.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(base.get().add(range.start), range.len())
+            };
+            for (o, &x) in dst.iter_mut().zip(&self.data[range]) {
+                *o = f(x);
+            }
+        });
+        out
+    }
+
+    /// The L2 norm of every row, computed exactly as
+    /// [`cosine_similarity`] computes its per-vector norms (sum of
+    /// squares in index order, then square root).
+    pub fn row_norms(&self) -> Vec<f64> {
+        ancstr_par::map_chunks(self.rows, min_rows_for(self.cols), |rows| {
+            rows.map(|r| {
+                self.row(r).iter().map(|x| x * x).sum::<f64>().sqrt()
+            })
+            .collect::<Vec<f64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// `+=` in place.
@@ -293,6 +371,107 @@ impl fmt::Display for Matrix {
         }
         write!(f, "]")
     }
+}
+
+/// Column-block width for the blocked matmul tiles: sized so one
+/// output-row block plus one RHS-row block stay L1-resident.
+const J_BLOCK: usize = 256;
+
+/// Inner-dimension block depth: bounds the RHS tile (`K_BLOCK ×
+/// J_BLOCK` doubles ≈ 512 KiB) touched per output-row block.
+const K_BLOCK: usize = 256;
+
+/// Minimum elements per chunk for parallel element-wise maps; sized so
+/// a chunk of transcendentals clearly outweighs pool dispatch.
+const MAP_PAR_MIN_CHUNK: usize = 2048;
+
+/// Per-chunk floor of ~32k mul-adds keeps pool dispatch overhead under
+/// a few percent of chunk compute.
+const PAR_MIN_CHUNK_WORK: usize = 32_768;
+
+/// Minimum rows per parallel chunk for a kernel doing `work_per_row`
+/// mul-adds per row.
+pub(crate) fn min_rows_for(work_per_row: usize) -> usize {
+    (PAR_MIN_CHUNK_WORK / work_per_row.max(1)).max(1)
+}
+
+/// Run `f` over chunks of rows, handing each invocation the mutable
+/// sub-slice of `data` covering exactly its rows. Chunks are disjoint,
+/// so the parallel writes are race-free.
+pub(crate) fn par_row_chunks(
+    rows: usize,
+    cols: usize,
+    data: &mut [f64],
+    min_rows: usize,
+    f: impl Fn(Range<usize>, &mut [f64]) + Sync,
+) {
+    assert_eq!(data.len(), rows * cols, "row-chunk buffer shape mismatch");
+    let base = ancstr_par::SendPtr::new(data.as_mut_ptr());
+    ancstr_par::for_each_chunk(rows, min_rows, |range| {
+        // Sound: row ranges are disjoint and each slice covers only
+        // this chunk's rows.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(range.start * cols), range.len() * cols)
+        };
+        f(range, chunk);
+    });
+}
+
+/// The ikj matmul kernel for one block of output rows, cache-blocked
+/// over the inner dimension and the output columns.
+///
+/// `out` must be zeroed and cover exactly `rows`. Per output element
+/// the accumulation visits `k` in globally ascending order — tiles
+/// advance in ascending `k` and column blocks partition independent
+/// elements — so the result is bit-identical to the unblocked ikj loop
+/// (and the naive ijk loop) with the same `a == 0.0` skip.
+fn matmul_rows(
+    a: &[f64],
+    inner: usize,
+    rows: Range<usize>,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    for (li, i) in rows.enumerate() {
+        let arow = &a[i * inner..(i + 1) * inner];
+        let orow = &mut out[li * n..(li + 1) * n];
+        for k0 in (0..inner).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(inner);
+            for j0 in (0..n).step_by(J_BLOCK) {
+                let j1 = (j0 + J_BLOCK).min(n);
+                for (k, &av) in (k0..k1).zip(&arow[k0..k1]) {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[k * n + j0..k * n + j1];
+                    for (o, &bv) in orow[j0..j1].iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fused AXPY: `y += a · x`, the accumulation primitive the sparse
+/// kernels share.
+///
+/// # Panics
+///
+/// Panics on a length mismatch.
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// Dot product in ascending index order — the exact accumulation
+/// [`cosine_similarity`] uses for its numerator, so callers that cache
+/// [`Matrix::row_norms`] can reproduce its quotient bit-for-bit.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
 /// Cosine similarity between two equal-or-different-length vectors; the
@@ -399,5 +578,129 @@ mod tests {
     fn display_is_nonempty() {
         let a = Matrix::zeros(2, 2);
         assert!(!format!("{a}").is_empty());
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG dep in this crate).
+    fn lcg_matrix(rows: usize, cols: usize, seed: &mut u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| {
+            *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        })
+    }
+
+    /// The historical reference: naive ijk with the `a == 0.0` skip.
+    fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                for k in 0..a.cols() {
+                    let av = a[(i, k)];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    out[(i, j)] += av * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_same_bits(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "bit divergence: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive_across_block_boundaries() {
+        let mut seed = 7;
+        // Shapes straddling J_BLOCK/K_BLOCK boundaries and the
+        // parallel-dispatch threshold.
+        for (m, k, n) in [(3, 5, 4), (17, 300, 9), (5, 260, 270), (600, 18, 18), (64, 257, 31)] {
+            let mut a = lcg_matrix(m, k, &mut seed);
+            // Exercise the zero-skip path too.
+            if m > 1 && k > 2 {
+                a[(1, 2)] = 0.0;
+            }
+            let b = lcg_matrix(k, n, &mut seed);
+            assert_same_bits(&a.matmul(&b), &matmul_naive(&a, &b));
+        }
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_at_every_thread_count() {
+        let before = ancstr_par::threads();
+        let mut seed = 99;
+        let a = lcg_matrix(700, 19, &mut seed);
+        let b = lcg_matrix(19, 23, &mut seed);
+        ancstr_par::set_threads(1);
+        let reference = a.matmul(&b);
+        for t in [2usize, 4, 8] {
+            ancstr_par::set_threads(t);
+            assert_same_bits(&a.matmul(&b), &reference);
+        }
+        ancstr_par::set_threads(before);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose_bitwise() {
+        let mut seed = 13;
+        for (m, k, n) in [(4, 6, 3), (320, 18, 18), (9, 270, 12)] {
+            let mut a = lcg_matrix(m, k, &mut seed);
+            a[(0, 0)] = 0.0;
+            let bt = lcg_matrix(n, k, &mut seed);
+            assert_same_bits(&a.matmul_transposed(&bt), &a.matmul(&bt.transpose()));
+        }
+    }
+
+    #[test]
+    fn matmul_zero_skip_semantics_preserved() {
+        // Skipping a == 0.0 must keep ignoring inf/NaN in the other
+        // operand, exactly like the historical kernel.
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[f64::INFINITY], &[2.0]]);
+        assert_eq!(a.matmul(&b)[(0, 0)], 2.0);
+        assert_eq!(a.matmul_transposed(&b.transpose())[(0, 0)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_transposed shape mismatch")]
+    fn matmul_transposed_checks_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(5, 4);
+        let _ = a.matmul_transposed(&b);
+    }
+
+    #[test]
+    fn map_par_matches_map_bitwise() {
+        let mut seed = 3;
+        let m = lcg_matrix(123, 45, &mut seed);
+        let before = ancstr_par::threads();
+        for t in [1usize, 4] {
+            ancstr_par::set_threads(t);
+            assert_same_bits(&m.map_par(|x| x.tanh()), &m.map(|x| x.tanh()));
+        }
+        ancstr_par::set_threads(before);
+    }
+
+    #[test]
+    fn row_norms_match_cosine_denominators() {
+        let mut seed = 21;
+        let m = lcg_matrix(40, 7, &mut seed);
+        let norms = m.row_norms();
+        assert_eq!(norms.len(), m.rows());
+        for (r, norm) in norms.iter().enumerate() {
+            let expect = m.row(r).iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert_eq!(norm.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_and_dot_basics() {
+        let mut y = vec![1.0, 2.0];
+        axpy(&mut y, 2.0, &[10.0, 20.0]);
+        assert_eq!(y, vec![21.0, 42.0]);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
     }
 }

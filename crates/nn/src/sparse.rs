@@ -1,7 +1,15 @@
 //! Sparse matrices in triplet form, used for the GNN's constant
 //! adjacency operators (one per edge type).
+//!
+//! The dense products group the triplets by output row with a stable
+//! counting sort (a throwaway CSR view), then accumulate row-by-row
+//! with the fused [`axpy`] kernel, in parallel across disjoint output
+//! rows for large operands. Stability is what keeps the result
+//! bit-identical to the historical "walk the triplets in storage
+//! order" loop: each output element still receives its contributions
+//! in the original triplet order.
 
-use crate::matrix::Matrix;
+use crate::matrix::{axpy, min_rows_for, par_row_chunks, Matrix};
 
 /// A sparse `rows × cols` matrix stored as `(row, col, value)` triplets.
 ///
@@ -70,15 +78,7 @@ impl SparseMatrix {
     /// Panics if `self.cols() != dense.rows()`.
     pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
         assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
-        let mut out = Matrix::zeros(self.rows, dense.cols());
-        for &(r, c, v) in &self.triplets {
-            let src = dense.row(c).to_vec();
-            let dst = out.row_mut(r);
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d += v * s;
-            }
-        }
-        out
+        self.grouped_product(self.rows, dense, |&(r, _, _)| r, |&(_, c, _)| c)
     }
 
     /// Dense product with the transpose: `selfᵀ · dense` (the backward
@@ -89,14 +89,66 @@ impl SparseMatrix {
     /// Panics if `self.rows() != dense.rows()`.
     pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
         assert_eq!(self.rows, dense.rows(), "spmmᵀ shape mismatch");
-        let mut out = Matrix::zeros(self.cols, dense.cols());
-        for &(r, c, v) in &self.triplets {
-            let src = dense.row(r).to_vec();
-            let dst = out.row_mut(c);
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d += v * s;
-            }
+        self.grouped_product(self.cols, dense, |&(_, c, _)| c, |&(r, _, _)| r)
+    }
+
+    /// Shared kernel for both dense products: `out_row(t)` names the
+    /// output row a triplet accumulates into, `src_row(t)` the dense
+    /// row it reads.
+    fn grouped_product(
+        &self,
+        out_rows: usize,
+        dense: &Matrix,
+        out_row: impl Fn(&(usize, usize, f64)) -> usize + Sync,
+        src_row: impl Fn(&(usize, usize, f64)) -> usize + Sync,
+    ) -> Matrix {
+        let cols = dense.cols();
+        let mut out = Matrix::zeros(out_rows, cols);
+        if self.triplets.is_empty() {
+            return out;
         }
+        let avg_work = (self.triplets.len() * cols.max(1)) / out_rows.max(1);
+        let min_rows = min_rows_for(avg_work);
+        // The grouping pass only earns its keep when rows actually fan
+        // out; otherwise walk the triplets directly — the grouped path
+        // accumulates each output element in exactly this order, so the
+        // two are bit-identical (pinned by the tests below).
+        if !ancstr_par::would_parallelize(out_rows, min_rows) {
+            for t in &self.triplets {
+                axpy(out.row_mut(out_row(t)), t.2, dense.row(src_row(t)));
+            }
+            return out;
+        }
+        // Stable counting sort of triplet indices by output row.
+        let mut starts = vec![0usize; out_rows + 1];
+        for t in &self.triplets {
+            starts[out_row(t) + 1] += 1;
+        }
+        for r in 0..out_rows {
+            starts[r + 1] += starts[r];
+        }
+        let mut cursor = starts.clone();
+        let mut order = vec![0u32; self.triplets.len()];
+        for (idx, t) in self.triplets.iter().enumerate() {
+            let r = out_row(t);
+            order[cursor[r]] = idx as u32;
+            cursor[r] += 1;
+        }
+        par_row_chunks(
+            out_rows,
+            cols,
+            out.as_mut_slice(),
+            min_rows,
+            |rows, chunk| {
+                for (li, r) in rows.enumerate() {
+                    let dst = &mut chunk[li * cols..(li + 1) * cols];
+                    for &idx in &order[starts[r]..starts[r + 1]] {
+                        let t = &self.triplets[idx as usize];
+                        axpy(dst, t.2, dense.row(src_row(t)));
+                    }
+                }
+            },
+        );
         out
     }
 
@@ -160,5 +212,51 @@ mod tests {
         assert_eq!(s.nnz(), 0);
         let x = Matrix::filled(3, 4, 7.0);
         assert_eq!(s.matmul_dense(&x), Matrix::zeros(2, 4));
+    }
+
+    /// The historical kernel: walk the triplets in storage order.
+    fn spmm_reference(s: &SparseMatrix, dense: &Matrix, transpose: bool) -> Matrix {
+        let out_rows = if transpose { s.cols() } else { s.rows() };
+        let mut out = Matrix::zeros(out_rows, dense.cols());
+        for &(r, c, v) in s.triplets() {
+            let (dst, src) = if transpose { (c, r) } else { (r, c) };
+            for (d, &sv) in out.row_mut(dst).iter_mut().zip(dense.row(src)) {
+                *d += v * sv;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn grouped_spmm_is_bit_identical_to_triplet_order_walk() {
+        // Unsorted rows, duplicates, and an empty row — the stable
+        // grouping must preserve each element's accumulation order.
+        let mut seed = 5u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let triplets: Vec<(usize, usize, f64)> = (0..4000)
+            .map(|i| ((i * 31 + 7) % 97, (i * 17 + 3) % 23, rnd()))
+            .collect();
+        let s = SparseMatrix::from_triplets(100, 23, triplets);
+        let x = Matrix::from_fn(23, 18, |_, _| rnd());
+        let before = ancstr_par::threads();
+        for t in [1usize, 4, 8] {
+            ancstr_par::set_threads(t);
+            let fwd = s.matmul_dense(&x);
+            let reference = spmm_reference(&s, &x, false);
+            assert_eq!(fwd.shape(), reference.shape());
+            for (a, b) in fwd.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let y = Matrix::from_fn(100, 18, |_, _| rnd());
+            let bwd = s.transpose_matmul_dense(&y);
+            let reference_t = spmm_reference(&s, &y, true);
+            for (a, b) in bwd.as_slice().iter().zip(reference_t.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        ancstr_par::set_threads(before);
     }
 }

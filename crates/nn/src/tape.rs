@@ -191,19 +191,19 @@ impl Tape {
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(sigmoid);
+        let v = self.value(a).map_par(sigmoid);
         self.push(v, Op::Sigmoid(a))
     }
 
     /// Element-wise `tanh`.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(f64::tanh);
+        let v = self.value(a).map_par(f64::tanh);
         self.push(v, Op::Tanh(a))
     }
 
     /// Element-wise `log σ` (stable; the building block of Eq. 2).
     pub fn log_sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.value(a).map(log_sigmoid);
+        let v = self.value(a).map_par(log_sigmoid);
         self.push(v, Op::LogSigmoid(a))
     }
 
@@ -285,7 +285,9 @@ impl Tape {
             Op::Leaf => {}
             Op::MatMul(a, b) => {
                 let (av, bv) = (self.value(*a), self.value(*b));
-                add_to(grads, *a, g.matmul(&bv.transpose()));
+                // dA = dC·Bᵀ via the transposed-RHS fast path (bit-identical
+                // to materializing Bᵀ, see `Matrix::matmul_transposed`).
+                add_to(grads, *a, g.matmul_transposed(bv));
                 add_to(grads, *b, av.transpose().matmul(g));
             }
             Op::SpMm(s, b) => {
@@ -310,18 +312,18 @@ impl Tape {
             Op::Scale(a, k) => add_to(grads, *a, g.scale(*k)),
             Op::Sigmoid(a) => {
                 let s = &self.nodes[i].value;
-                let ds = s.map(|x| x * (1.0 - x));
+                let ds = s.map_par(|x| x * (1.0 - x));
                 add_to(grads, *a, g.mul_elem(&ds));
             }
             Op::Tanh(a) => {
                 let t = &self.nodes[i].value;
-                let dt = t.map(|x| 1.0 - x * x);
+                let dt = t.map_par(|x| 1.0 - x * x);
                 add_to(grads, *a, g.mul_elem(&dt));
             }
             Op::LogSigmoid(a) => {
                 // d/dx log σ(x) = 1 − σ(x) = σ(−x)
                 let x = self.value(*a);
-                let d = x.map(|v| sigmoid(-v));
+                let d = x.map_par(|v| sigmoid(-v));
                 add_to(grads, *a, g.mul_elem(&d));
             }
             Op::Neg(a) => add_to(grads, *a, g.scale(-1.0)),
@@ -329,9 +331,8 @@ impl Tape {
                 let src = self.value(*a);
                 let mut d = Matrix::zeros(src.rows(), src.cols());
                 for (r, &idx) in indices.iter().enumerate() {
-                    let grow = g.row(r).to_vec();
                     let drow = d.row_mut(idx);
-                    for (x, y) in drow.iter_mut().zip(grow) {
+                    for (x, &y) in drow.iter_mut().zip(g.row(r)) {
                         *x += y;
                     }
                 }

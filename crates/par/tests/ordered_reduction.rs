@@ -1,0 +1,61 @@
+//! Property tests for the determinism contract: the ordered reduction
+//! produced by the worker pool matches a sequential fold for random
+//! input sizes, chunk granularities, and thread counts.
+
+use ancstr_par::{chunk_count, chunk_size, map_chunks, map_items, set_threads};
+use proptest::prelude::*;
+
+/// The sequential fold `map_chunks` must match: visit each chunk range
+/// of `0..n` in ascending order and collect `f`'s results.
+fn sequential_fold<R>(n: usize, min_chunk: usize, mut f: impl FnMut(std::ops::Range<usize>) -> R) -> Vec<R> {
+    let size = chunk_size(n, min_chunk);
+    (0..chunk_count(n, min_chunk))
+        .map(|idx| f(idx * size..((idx + 1) * size).min(n)))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn map_chunks_matches_sequential_fold(
+        n in 0usize..3000,
+        min_chunk in 1usize..200,
+        threads in 1usize..9,
+    ) {
+        set_threads(threads);
+        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        let parallel = map_chunks(n, min_chunk, |r| data[r].iter().copied().max());
+        let sequential = sequential_fold(n, min_chunk, |r| data[r].iter().copied().max());
+        set_threads(0);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn float_chunk_sums_are_bit_stable_across_thread_counts(
+        values in prop::collection::vec(-1e3f64..1e3, 0..2500),
+        min_chunk in 1usize..128,
+    ) {
+        let fold = |t: usize| {
+            set_threads(t);
+            let partials = map_chunks(values.len(), min_chunk, |r| values[r].iter().sum::<f64>());
+            partials.into_iter().fold(0.0f64, |acc, p| acc + p)
+        };
+        let reference = fold(1);
+        for t in [2usize, 3, 8] {
+            prop_assert_eq!(fold(t).to_bits(), reference.to_bits());
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn map_items_matches_serial_map(
+        items in prop::collection::vec(any::<i64>(), 0..2000),
+        min_chunk in 1usize..64,
+        threads in 1usize..9,
+    ) {
+        set_threads(threads);
+        let parallel = map_items(&items, min_chunk, |x| x.wrapping_mul(31).wrapping_add(7));
+        set_threads(0);
+        let serial: Vec<i64> = items.iter().map(|x| x.wrapping_mul(31).wrapping_add(7)).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+}

@@ -413,6 +413,9 @@ fn healthz_route(ctx: &Ctx) -> Response {
 
 fn metrics_route(ctx: &Ctx) -> Response {
     publish_cache_metrics(ctx);
+    // Effective compute-layer thread count (the `--threads` flag, or
+    // the machine's available parallelism when unset).
+    ctx.obs.metrics().gauge_set("ancstr_par_threads", &[], ancstr_par::threads() as f64);
     Response::new(200)
         .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         .with_body(ctx.obs.metrics().render().into_bytes())
@@ -548,6 +551,7 @@ M5 t t vss vss nch w=1u l=0.1u
         assert!(metrics.contains("ancstr_serve_cache_hits_total 1"), "{metrics}");
         assert!(metrics.contains("ancstr_serve_cache_misses_total 1"), "{metrics}");
         assert!(metrics.contains("ancstr_http_requests_total"), "{metrics}");
+        assert!(metrics.contains("ancstr_par_threads"), "{metrics}");
         stop(server);
     }
 
