@@ -98,7 +98,7 @@ use ancstr_obs::{
 };
 
 fn usage() -> &'static str {
-    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--threads N] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--threads N] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--threads N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr bench [netlist.sp...] [-o report.json] [--epochs N] [--seed S] [--threads N]"
+    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--threads N] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--threads N] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--default-deadline-ms N] [--chaos] [--metrics FILE] [--threads N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr bench [netlist.sp...] [-o report.json] [--epochs N] [--seed S] [--threads N]"
 }
 
 /// Everything that can go wrong, sorted by exit code: failed
@@ -244,6 +244,8 @@ struct Args {
     workers: Option<usize>,
     queue_depth: Option<usize>,
     cache_entries: Option<usize>,
+    default_deadline_ms: Option<u64>,
+    chaos: bool,
     // compute-layer thread cap (None = available parallelism)
     threads: Option<usize>,
 }
@@ -274,6 +276,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         workers: None,
         queue_depth: None,
         cache_entries: None,
+        default_deadline_ms: None,
+        chaos: false,
         threads: None,
     };
     let mut it = raw.iter();
@@ -357,6 +361,16 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                         .map_err(|_| "bad --cache-entries (want an integer; 0 disables)")?,
                 );
             }
+            "--default-deadline-ms" => {
+                let n: u64 = take("--default-deadline-ms")?
+                    .parse()
+                    .map_err(|_| "bad --default-deadline-ms (want milliseconds)")?;
+                if n == 0 {
+                    return Err("--default-deadline-ms must be at least 1".to_owned());
+                }
+                args.default_deadline_ms = Some(n);
+            }
+            "--chaos" => args.chaos = true,
             "--threads" => {
                 let n: usize = take("--threads")?
                     .parse()
@@ -1089,6 +1103,16 @@ fn cmd_serve(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     if let Some(n) = args.cache_entries {
         cfg.cache_entries = n;
     }
+    if let Some(ms) = args.default_deadline_ms {
+        cfg.default_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    cfg.chaos = args.chaos;
+    if args.chaos {
+        ctx.log.info("chaos cooperation enabled: x-ancstr-chaos headers are honored (test rigs only)");
+    }
+    // `--metrics FILE` on the daemon means "persist the final snapshot
+    // on drain" — the live view is always `GET /metrics`.
+    cfg.metrics_out = args.metrics.as_ref().map(std::path::PathBuf::from);
     ctx.log.info(format!(
         "model {fingerprint} from {model_path}; {} workers, queue {}, cache {}{}",
         cfg.workers,

@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7878 --netlist ota.sp [--requests N]
-//!         [--concurrency N] [--expect-cached]
+//!         [--concurrency N] [--expect-cached] [--retry-seed S]
+//!         [--chaos SEED]
 //! ```
 //!
 //! Fires `--requests` `POST /v1/extract` requests at the daemon from
 //! `--concurrency` threads, then reports a one-screen summary:
-//! status counts, cache hits, throughput, and latency percentiles. Two
-//! invariants are checked on every run and fail the process (exit 1)
-//! when violated:
+//! status counts, cache hits, throughput, and latency percentiles.
+//! Requests shed by the daemon (`503`/`429`) are retried on a seeded
+//! jittered exponential backoff that honors the server's `Retry-After`
+//! hint (`--retry-seed` pins the schedule, so runs are reproducible).
+//! Two invariants are checked on every run and fail the process
+//! (exit 1) when violated:
 //!
 //! 1. every request must succeed with `200`, and
 //! 2. every response must carry the same `constraints_text` — the
@@ -18,7 +22,19 @@
 //!
 //! `--expect-cached` additionally requires at least one response served
 //! from the result cache (used by the CI smoke job to prove the cache
-//! is actually in the request path). Exit codes: 0 success, 1 failed
+//! is actually in the request path).
+//!
+//! `--chaos SEED` switches to the fault-injection soak: every serve
+//! fault operator from `ancstr_core::inject` (truncated bodies, torn
+//! writes, stalled reads, injected worker panics, corrupt model
+//! uploads) is compiled into a deterministic wire plan from the seed —
+//! no wall-clock randomness — and replayed `--requests` rounds against
+//! the daemon (start it with `--chaos` so panic headers are honored).
+//! After every fault the harness asserts the resilience invariants: the
+//! daemon answers a clean follow-up request with the exact baseline
+//! bytes (no wedged workers, no silent corruption), a faulted exchange
+//! never yields a `200` with wrong bytes, and the request counters in
+//! `/metrics` only ever move forward. Exit codes: 0 success, 1 failed
 //! invariant, 2 usage, 3 connection/file errors.
 
 use std::net::SocketAddr;
@@ -27,10 +43,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ancstr_serve::client;
+use ancstr_core::{plan_serve_fault, ALL_SERVE_FAULTS};
+use ancstr_serve::client::{self, RetryPolicy};
 
 fn usage() -> &'static str {
-    "usage:\n  loadgen --addr HOST:PORT --netlist FILE [--requests N] [--concurrency N] [--expect-cached]"
+    "usage:\n  loadgen --addr HOST:PORT --netlist FILE [--requests N] [--concurrency N] [--expect-cached] [--retry-seed S] [--chaos SEED]"
 }
 
 struct Options {
@@ -39,6 +56,8 @@ struct Options {
     requests: usize,
     concurrency: usize,
     expect_cached: bool,
+    retry_seed: u64,
+    chaos: Option<u64>,
 }
 
 fn parse(raw: &[String]) -> Result<Options, String> {
@@ -47,6 +66,8 @@ fn parse(raw: &[String]) -> Result<Options, String> {
     let mut requests = 32usize;
     let mut concurrency = 8usize;
     let mut expect_cached = false;
+    let mut retry_seed = 1u64;
+    let mut chaos = None;
     let mut it = raw.iter();
     while let Some(a) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -71,6 +92,12 @@ fn parse(raw: &[String]) -> Result<Options, String> {
                 }
             }
             "--expect-cached" => expect_cached = true,
+            "--retry-seed" => {
+                retry_seed = take("--retry-seed")?.parse().map_err(|_| "bad --retry-seed")?;
+            }
+            "--chaos" => {
+                chaos = Some(take("--chaos")?.parse().map_err(|_| "bad --chaos (want a seed)")?);
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -80,6 +107,8 @@ fn parse(raw: &[String]) -> Result<Options, String> {
         requests,
         concurrency,
         expect_cached,
+        retry_seed,
+        chaos,
     })
 }
 
@@ -125,13 +154,24 @@ fn run(opts: &Options) -> Result<bool, String> {
             let samples = Arc::clone(&samples);
             let next = Arc::clone(&next);
             scope.spawn(move || {
-                while next.fetch_add(1, Ordering::SeqCst) < opts.requests {
+                loop {
+                    let index = next.fetch_add(1, Ordering::SeqCst);
+                    if index >= opts.requests {
+                        break;
+                    }
+                    // Per-request seed: every request gets its own
+                    // deterministic retry schedule, and distinct
+                    // requests de-synchronize instead of stampeding.
+                    let policy = RetryPolicy::new(opts.retry_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
                     let t0 = Instant::now();
-                    let sample = match client::post(
+                    let sample = match client::request_with_retry(
                         opts.addr,
+                        "POST",
                         "/v1/extract",
+                        &[],
                         &body,
                         Duration::from_secs(60),
+                        &policy,
                     ) {
                         Ok(reply) => {
                             let text = reply.text();
@@ -195,6 +235,117 @@ fn run(opts: &Options) -> Result<bool, String> {
     Ok(healthy)
 }
 
+/// Sum every `ancstr_http_requests_total{...}` sample in a metrics
+/// scrape — the monotone witness for the chaos soak.
+fn requests_total(metrics: &str) -> u64 {
+    metrics
+        .lines()
+        .filter(|l| l.starts_with("ancstr_http_requests_total"))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .sum()
+}
+
+/// The seeded chaos soak: replay every fault operator, and after each
+/// one require the daemon to answer a clean request with the exact
+/// baseline bytes.
+fn run_chaos(opts: &Options, seed: u64) -> Result<bool, String> {
+    const T: Duration = Duration::from_secs(30);
+    let body = std::fs::read(&opts.netlist)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.netlist))?;
+
+    // The fault-free baseline everything else is compared against.
+    let baseline = client::post(opts.addr, "/v1/extract", &body, T)
+        .map_err(|e| format!("baseline request failed: {e}"))?;
+    if baseline.status != 200 {
+        return Err(format!("baseline request returned {}", baseline.status));
+    }
+    let baseline_constraints = raw_field(&baseline.text(), "constraints_text")
+        .ok_or("baseline reply has no constraints_text")?;
+
+    let mut healthy = true;
+    let mut fail = |msg: String| {
+        eprintln!("error: {msg}");
+        healthy = false;
+    };
+    let mut last_total = 0u64;
+    let mut faults_run = 0usize;
+    let policy = RetryPolicy::new(seed);
+
+    for round in 0..opts.requests {
+        for (i, fault) in ALL_SERVE_FAULTS.iter().enumerate() {
+            // Seed per (round, operator): deterministic for a fixed
+            // --chaos seed, different wire bytes across rounds.
+            let plan_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((round * ALL_SERVE_FAULTS.len() + i) as u64);
+            let plan = plan_serve_fault(*fault, "POST", "/v1/extract", &body, plan_seed);
+            let outcome = client::send_plan(opts.addr, &plan, T)
+                .map_err(|e| format!("chaos plan {fault:?} could not connect: {e}"))?;
+            faults_run += 1;
+
+            // Invariant: a faulted exchange may fail any way it likes,
+            // but a 200 with bytes that differ from the baseline is
+            // silent corruption.
+            if let Some(reply) = &outcome.reply {
+                if reply.status == 200 {
+                    if let Some(c) = raw_field(&reply.text(), "constraints_text") {
+                        if c != baseline_constraints {
+                            fail(format!("{fault:?}: 200 reply with wrong constraint bytes"));
+                        }
+                    }
+                }
+            }
+
+            // Invariant: the daemon is not wedged — a clean request on
+            // a fresh connection succeeds (retrying through shed
+            // replies) and reproduces the baseline bytes.
+            match client::request_with_retry(
+                opts.addr, "POST", "/v1/extract", &[], &body, T, &policy,
+            ) {
+                Ok(probe) if probe.status == 200 => {
+                    if raw_field(&probe.text(), "constraints_text").as_deref()
+                        != Some(baseline_constraints.as_str())
+                    {
+                        fail(format!("{fault:?}: recovery reply diverged from the baseline"));
+                    }
+                }
+                Ok(probe) => fail(format!(
+                    "{fault:?}: recovery request returned {} — a worker may be wedged",
+                    probe.status
+                )),
+                Err(e) => fail(format!("{fault:?}: recovery request failed: {e}")),
+            }
+
+            // Invariant: counters only move forward.
+            match client::get(opts.addr, "/metrics", T) {
+                Ok(m) => {
+                    let total = requests_total(&m.text());
+                    if total < last_total {
+                        fail(format!(
+                            "{fault:?}: ancstr_http_requests_total went backwards ({last_total} -> {total})"
+                        ));
+                    }
+                    last_total = total;
+                }
+                Err(e) => fail(format!("{fault:?}: /metrics scrape failed: {e}")),
+            }
+        }
+    }
+
+    println!(
+        "chaos seed {seed}: {faults_run} fault injections over {} round(s), {} operator(s); \
+         requests_total {last_total}",
+        opts.requests,
+        ALL_SERVE_FAULTS.len(),
+    );
+    if healthy {
+        println!("all resilience invariants held");
+    }
+    Ok(healthy)
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&raw) {
@@ -204,7 +355,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&opts) {
+    let outcome = match opts.chaos {
+        Some(seed) => run_chaos(&opts, seed),
+        None => run(&opts),
+    };
+    match outcome {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),
         Err(e) => {

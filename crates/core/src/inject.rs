@@ -383,6 +383,183 @@ pub fn inject_checkpoint(text: &str, fault: CheckpointFault, seed: u64) -> Strin
     }
 }
 
+// ---------------------------------------------------------------------
+// Serve-layer faults
+
+/// A fault operator over the daemon's HTTP transport: each one compiles
+/// a request into a deterministic [`WirePlan`] — an explicit sequence
+/// of socket writes and pauses — that a raw-socket executor (the serve
+/// crate's `client::send_plan`) replays byte-for-byte. Keeping the
+/// *plan* here and the *socket* in the serve crate preserves the crate
+/// layering (core cannot depend on serve) while keeping every fault
+/// seeded: the same `(fault, request, seed)` triple always produces the
+/// same bytes at the same offsets, so a failing chaos case reproduces
+/// exactly, independent of wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeFault {
+    /// Declare the full `Content-Length` but send only this fraction of
+    /// the body before half-closing; models a client dying mid-upload.
+    /// The server must answer a clean `400`/`408`, never hang or serve
+    /// a truncated extraction.
+    TruncateBody {
+        /// Fraction of the body bytes actually sent.
+        keep_frac: f64,
+    },
+    /// Deliver a well-formed request shredded into this many separate
+    /// writes with short pauses between them; models pathological TCP
+    /// segmentation. The server must reassemble it and answer exactly
+    /// as if it arrived in one piece.
+    TornWrite {
+        /// Number of socket writes the request is split into.
+        fragments: usize,
+    },
+    /// Send a seeded prefix of the request head, then stall for this
+    /// long without ever completing it; models a slowloris client. The
+    /// server's read deadline must reclaim the worker (`408` or a
+    /// dropped connection), never wait forever.
+    StalledRead {
+        /// How long the client stays silent before giving up.
+        hold_ms: u64,
+    },
+    /// A well-formed request carrying the `x-ancstr-chaos: panic`
+    /// cooperation header; a chaos-enabled server panics inside the
+    /// handler. The supervised pool must answer `500` with a
+    /// `worker_panic` stage and keep the worker slot alive.
+    WorkerPanic,
+    /// Flip one seeded bit inside a sealed model upload body; the
+    /// CRC-32 seal (or the canary inference) must reject it and the old
+    /// model must keep serving.
+    CorruptModelUpload,
+}
+
+/// All serve-layer fault classes, for exhaustive sweeps.
+pub const ALL_SERVE_FAULTS: [ServeFault; 5] = [
+    ServeFault::TruncateBody { keep_frac: 0.5 },
+    ServeFault::TornWrite { fragments: 7 },
+    ServeFault::StalledRead { hold_ms: 800 },
+    ServeFault::WorkerPanic,
+    ServeFault::CorruptModelUpload,
+];
+
+/// One step of a [`WirePlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireStep {
+    /// Write these bytes to the socket.
+    Send(Vec<u8>),
+    /// Sleep this long before the next step.
+    Pause(std::time::Duration),
+}
+
+/// A deterministic socket script: the executor connects, replays the
+/// steps in order, half-closes the write side, and (when
+/// `expect_reply`) reads whatever response the server produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePlan {
+    /// Socket writes and pauses, in order.
+    pub steps: Vec<WireStep>,
+    /// Whether the executor should try to read a response afterwards.
+    pub expect_reply: bool,
+}
+
+/// Serialize a one-shot HTTP/1.1 request in the exact dialect the
+/// daemon speaks (`Content-Length` framing, `Connection: close`).
+fn raw_request(method: &str, path: &str, extra_headers: &[(&str, &str)], body: &[u8]) -> Vec<u8> {
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: chaos\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut raw = head.into_bytes();
+    raw.extend_from_slice(body);
+    raw
+}
+
+/// Compile `fault` applied to a `method path` request with `body` into
+/// a [`WirePlan`], deterministically in `seed`.
+pub fn plan_serve_fault(
+    fault: ServeFault,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    seed: u64,
+) -> WirePlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match fault {
+        ServeFault::TruncateBody { keep_frac } => {
+            let keep = (body.len() as f64 * keep_frac.clamp(0.0, 1.0)) as usize;
+            let mut raw = raw_request(method, path, &[], body);
+            raw.truncate(raw.len() - (body.len() - keep.min(body.len())));
+            WirePlan { steps: vec![WireStep::Send(raw)], expect_reply: true }
+        }
+        ServeFault::TornWrite { fragments } => {
+            let raw = raw_request(method, path, &[], body);
+            let fragments = fragments.clamp(1, raw.len().max(1));
+            // Seeded cut points; sorted + deduped so every byte is sent
+            // exactly once, in order.
+            let mut cuts: Vec<usize> =
+                (0..fragments - 1).map(|_| rng.gen_range(1..raw.len().max(2))).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let mut steps = Vec::new();
+            let mut start = 0;
+            for cut in cuts.into_iter().chain(std::iter::once(raw.len())) {
+                if cut > start {
+                    steps.push(WireStep::Send(raw[start..cut].to_vec()));
+                    steps.push(WireStep::Pause(std::time::Duration::from_millis(
+                        rng.gen_range(1..5),
+                    )));
+                    start = cut;
+                }
+            }
+            steps.pop(); // no trailing pause after the final write
+            WirePlan { steps, expect_reply: true }
+        }
+        ServeFault::StalledRead { hold_ms } => {
+            let raw = raw_request(method, path, &[], body);
+            // A strict prefix of the *head*, so the request can never
+            // be complete when the stall begins.
+            let head_len = raw
+                .windows(4)
+                .position(|w| w == b"\r\n\r\n")
+                .map_or(raw.len(), |i| i + 4);
+            let keep = rng.gen_range(1..head_len.max(2) - 1);
+            WirePlan {
+                steps: vec![
+                    WireStep::Send(raw[..keep].to_vec()),
+                    WireStep::Pause(std::time::Duration::from_millis(hold_ms)),
+                ],
+                expect_reply: true,
+            }
+        }
+        ServeFault::WorkerPanic => WirePlan {
+            steps: vec![WireStep::Send(raw_request(
+                method,
+                path,
+                &[("x-ancstr-chaos", "panic")],
+                body,
+            ))],
+            expect_reply: true,
+        },
+        ServeFault::CorruptModelUpload => {
+            let mut corrupted = body.to_vec();
+            if !corrupted.is_empty() {
+                let i = rng.gen_range(0..corrupted.len());
+                corrupted[i] ^= 1 << rng.gen_range(0..8u32);
+            }
+            WirePlan {
+                steps: vec![WireStep::Send(raw_request(method, "/v1/models", &[], &corrupted))],
+                expect_reply: true,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +631,99 @@ X1 a b o1 o2 ibb vdd vss dp
                 "{fault:?} must break checksum verification"
             );
         }
+    }
+
+    /// Flatten a plan's `Send` steps back into one byte stream.
+    fn sent_bytes(plan: &WirePlan) -> Vec<u8> {
+        plan.steps
+            .iter()
+            .filter_map(|s| match s {
+                WireStep::Send(b) => Some(b.as_slice()),
+                WireStep::Pause(_) => None,
+            })
+            .collect::<Vec<_>>()
+            .concat()
+    }
+
+    #[test]
+    fn serve_fault_plans_are_seed_deterministic() {
+        for fault in ALL_SERVE_FAULTS {
+            let a = plan_serve_fault(fault, "POST", "/v1/extract", SRC.as_bytes(), 17);
+            let b = plan_serve_fault(fault, "POST", "/v1/extract", SRC.as_bytes(), 17);
+            assert_eq!(a, b, "{fault:?} must be deterministic in the seed");
+        }
+    }
+
+    #[test]
+    fn torn_write_reassembles_to_the_intact_request() {
+        let intact = raw_request("POST", "/v1/extract", &[], SRC.as_bytes());
+        let plan = plan_serve_fault(
+            ServeFault::TornWrite { fragments: 7 },
+            "POST",
+            "/v1/extract",
+            SRC.as_bytes(),
+            3,
+        );
+        assert!(plan.steps.len() > 2, "{plan:?}");
+        assert_eq!(sent_bytes(&plan), intact, "torn writes must not lose or reorder bytes");
+    }
+
+    #[test]
+    fn truncate_body_declares_more_than_it_sends() {
+        let plan = plan_serve_fault(
+            ServeFault::TruncateBody { keep_frac: 0.5 },
+            "POST",
+            "/v1/extract",
+            SRC.as_bytes(),
+            3,
+        );
+        let sent = sent_bytes(&plan);
+        let text = String::from_utf8_lossy(&sent);
+        assert!(
+            text.contains(&format!("Content-Length: {}", SRC.len())),
+            "must declare the full body: {text}"
+        );
+        assert!(sent.len() < raw_request("POST", "/v1/extract", &[], SRC.as_bytes()).len());
+    }
+
+    #[test]
+    fn stalled_read_never_completes_the_head() {
+        let plan = plan_serve_fault(
+            ServeFault::StalledRead { hold_ms: 5 },
+            "GET",
+            "/healthz",
+            b"",
+            9,
+        );
+        let sent = sent_bytes(&plan);
+        assert!(!sent.windows(4).any(|w| w == b"\r\n\r\n"), "head must stay incomplete");
+        assert!(matches!(plan.steps.last(), Some(WireStep::Pause(_))));
+    }
+
+    #[test]
+    fn corrupt_model_upload_flips_exactly_one_bit() {
+        let model =
+            GnnModel::new(GnnConfig { dim: 4, layers: 1, seed: 9, ..GnnConfig::default() });
+        let sealed = model.to_text_checksummed();
+        let plan = plan_serve_fault(
+            ServeFault::CorruptModelUpload,
+            "POST",
+            "/v1/models",
+            sealed.as_bytes(),
+            4,
+        );
+        let sent = sent_bytes(&plan);
+        let intact = raw_request("POST", "/v1/models", &[], sealed.as_bytes());
+        assert_eq!(sent.len(), intact.len());
+        let diffs = sent.iter().zip(&intact).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1, "exactly one corrupted byte");
+    }
+
+    #[test]
+    fn worker_panic_plan_carries_the_cooperation_header() {
+        let plan = plan_serve_fault(ServeFault::WorkerPanic, "POST", "/v1/extract", b"x", 0);
+        let text = String::from_utf8_lossy(&sent_bytes(&plan)).into_owned();
+        assert!(text.contains("x-ancstr-chaos: panic"), "{text}");
     }
 
     #[test]

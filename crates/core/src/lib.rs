@@ -72,14 +72,15 @@ pub use metrics::{
 pub use observe::{load_netlist_observed, PipelineObs, StageGuard, TrainTelemetry, STAGES};
 pub use pairs::{pair_stats, valid_pairs, valid_pairs_of_kind, CandidatePair, PairStats};
 pub use inject::{
-    inject_checkpoint, inject_model, inject_spice, CheckpointFault, ModelFault, SpiceFault,
-    ALL_CHECKPOINT_FAULTS, ALL_MODEL_FAULTS, ALL_SPICE_FAULTS,
+    inject_checkpoint, inject_model, inject_spice, plan_serve_fault, CheckpointFault, ModelFault,
+    ServeFault, SpiceFault, WirePlan, WireStep, ALL_CHECKPOINT_FAULTS, ALL_MODEL_FAULTS,
+    ALL_SERVE_FAULTS, ALL_SPICE_FAULTS,
 };
 pub use pipeline::{
     evaluate_detection, Evaluation, Extraction, ExtractorConfig, SymmetryExtractor,
 };
 pub use recover::ExtractError;
-pub use service::{cache_key, extract_source, ServiceReply};
+pub use service::{cache_key, extract_source, extract_source_cancellable, ServiceReply};
 pub use runstore::{
     config_hash, write_atomic, CancelToken, DurableFit, RunError, RunManifest, RunOptions,
     RunSession, RunStore, StageEntry, StageStatus, DEFAULT_CHECKPOINT_EVERY, MANIFEST_VERSION,

@@ -397,8 +397,36 @@ impl SymmetryExtractor {
         flat: &FlatCircuit,
         obs: &PipelineObs,
     ) -> Result<Extraction, ExtractError> {
+        self.try_extract_cancellable(flat, obs, &crate::runstore::CancelToken::new())
+    }
+
+    /// [`SymmetryExtractor::try_extract_observed`] under a
+    /// [`CancelToken`](crate::runstore::CancelToken): the token is
+    /// polled at every stage boundary (before graph build, before
+    /// embedding, before detection), so a request whose deadline
+    /// expires mid-pipeline stops occupying a worker at the next
+    /// boundary instead of running to completion for nobody. The
+    /// checks are read-only — with a never-cancelled token this is
+    /// byte-identical to `try_extract_observed`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::Cancelled`] when the token trips; otherwise
+    /// exactly those of [`SymmetryExtractor::try_extract`].
+    pub fn try_extract_cancellable(
+        &self,
+        flat: &FlatCircuit,
+        obs: &PipelineObs,
+        cancel: &crate::runstore::CancelToken,
+    ) -> Result<Extraction, ExtractError> {
+        if cancel.is_cancelled() {
+            return Err(ExtractError::Cancelled);
+        }
         let start = Instant::now();
         let tg = self.train_graph_observed(flat, obs);
+        if cancel.is_cancelled() {
+            return Err(ExtractError::Cancelled);
+        }
         let z = {
             let _g = obs.stage("embed");
             match self.model().try_embed(&tg.tensors, &tg.features) {
@@ -416,6 +444,9 @@ impl SymmetryExtractor {
                 Err(other) => return Err(ExtractError::Embed(other)),
             }
         };
+        if cancel.is_cancelled() {
+            return Err(ExtractError::Cancelled);
+        }
         let detection = {
             let _g = obs.stage("detect");
             detect_constraints(flat, &z, &self.config().thresholds, &self.config().embed)

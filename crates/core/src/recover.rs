@@ -55,14 +55,19 @@ pub enum ExtractError {
     /// mismatched manifest, or an unusable artifact (see
     /// [`RunError`](crate::runstore::RunError)).
     Run(crate::runstore::RunError),
+    /// The request's [`CancelToken`](crate::runstore::CancelToken)
+    /// tripped (explicit cancellation or deadline expiry) before the
+    /// pipeline finished; the partial work is discarded.
+    Cancelled,
 }
 
 impl ExtractError {
     /// A stable non-zero process exit code per error stage, for CLI
     /// consumers: parse = 4, elaborate = 5, configuration/model = 6,
-    /// training = 7, inference = 8, run store = 9. (Codes 1–3 are
-    /// reserved for generic failure, usage errors, and I/O
-    /// respectively; 10 is the CLI's deadline-expired code.)
+    /// training = 7, inference = 8, run store = 9, cancellation /
+    /// deadline expiry = 10 (the same code the CLI exits with when its
+    /// time budget runs out). Codes 1–3 are reserved for generic
+    /// failure, usage errors, and I/O respectively.
     pub fn exit_code(&self) -> u8 {
         match self {
             ExtractError::Parse(_) => 4,
@@ -73,6 +78,7 @@ impl ExtractError {
             ExtractError::Train(_) => 7,
             ExtractError::Embed(_) => 8,
             ExtractError::Run(_) => 9,
+            ExtractError::Cancelled => 10,
         }
     }
 
@@ -86,6 +92,7 @@ impl ExtractError {
             ExtractError::Train(_) => "train",
             ExtractError::Embed(_) => "embed",
             ExtractError::Run(_) => "run-store",
+            ExtractError::Cancelled => "deadline",
         }
     }
 }
@@ -105,6 +112,9 @@ impl fmt::Display for ExtractError {
             ExtractError::Train(e) => write!(f, "train: {e}"),
             ExtractError::Embed(e) => write!(f, "embed: {e}"),
             ExtractError::Run(e) => write!(f, "run-store: {e}"),
+            ExtractError::Cancelled => {
+                write!(f, "deadline: cancelled before the pipeline finished")
+            }
         }
     }
 }
@@ -120,6 +130,7 @@ impl std::error::Error for ExtractError {
             ExtractError::Train(e) => Some(e),
             ExtractError::Embed(e) => Some(e),
             ExtractError::Run(e) => Some(e),
+            ExtractError::Cancelled => None,
         }
     }
 }

@@ -595,16 +595,48 @@ impl RunManifest {
 // Cancellation
 
 /// Cooperative cancellation flag, checked at stage and epoch
-/// boundaries. Cloning shares the flag.
+/// boundaries. Cloning shares the flag (and copies the deadline, if
+/// any).
+///
+/// Two expiry mechanisms coexist: the explicit [`CancelToken::cancel`]
+/// flag (shared across clones) and an optional *passive* deadline
+/// ([`CancelToken::with_deadline`]) that needs no watchdog thread —
+/// [`CancelToken::is_cancelled`] simply compares against the clock.
+/// The passive form is what request-scoped callers (the serve daemon)
+/// use: thousands of short-lived tokens per second must not each spawn
+/// a thread.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    deadline: Option<std::time::Instant>,
 }
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled token with no deadline.
     pub fn new() -> CancelToken {
         CancelToken::default()
+    }
+
+    /// This token with a passive expiry instant. Checking
+    /// [`CancelToken::is_cancelled`] at or past `at` reports
+    /// cancellation without any watchdog thread. An earlier existing
+    /// deadline is kept (deadlines only ever tighten).
+    pub fn with_deadline(mut self, at: std::time::Instant) -> CancelToken {
+        self.deadline = Some(match self.deadline {
+            Some(existing) => existing.min(at),
+            None => at,
+        });
+        self
+    }
+
+    /// A fresh token that passively expires `budget` from now.
+    pub fn expiring_in(budget: Duration) -> CancelToken {
+        CancelToken::new().with_deadline(std::time::Instant::now() + budget)
+    }
+
+    /// The passive expiry instant, if one was set.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
     }
 
     /// Request cancellation. Irrevocable.
@@ -612,13 +644,18 @@ impl CancelToken {
         self.flag.store(true, Ordering::SeqCst);
     }
 
-    /// Has cancellation been requested?
+    /// Has cancellation been requested (explicitly, or by passing the
+    /// passive deadline)?
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::SeqCst)
+            || self.deadline.is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// Arm a watchdog thread that cancels this token after `budget`.
-    /// The thread is detached; it dies with the process.
+    /// The thread is detached; it dies with the process. Long-lived
+    /// CLI runs use this so the flag also trips for clones that were
+    /// taken *before* the deadline was armed; request-scoped callers
+    /// should prefer the thread-free [`CancelToken::with_deadline`].
     pub fn arm_deadline(&self, budget: Duration) {
         let flag = Arc::clone(&self.flag);
         std::thread::spawn(move || {

@@ -26,7 +26,7 @@ use crate::export::write_constraints;
 use crate::observe::PipelineObs;
 use crate::pipeline::{ExtractorConfig, SymmetryExtractor};
 use crate::recover::ExtractError;
-use crate::runstore::config_hash;
+use crate::runstore::{config_hash, CancelToken};
 
 /// The service-level result of one extraction request.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,10 +66,37 @@ pub fn extract_source(
     extractor: &SymmetryExtractor,
     obs: &PipelineObs,
 ) -> Result<ServiceReply, ExtractError> {
+    extract_source_cancellable(source, origin, extractor, obs, &CancelToken::new())
+}
+
+/// [`extract_source`] under a [`CancelToken`]: the token is polled at
+/// every stage boundary (parse → elaborate → graph/embed/detect), so a
+/// request whose deadline has already passed — or passes mid-pipeline —
+/// returns [`ExtractError::Cancelled`] at the next boundary instead of
+/// holding a worker hostage. With a never-cancelled token this is
+/// byte-identical to [`extract_source`] (the checks are read-only).
+///
+/// # Errors
+///
+/// [`ExtractError::Cancelled`] when the token trips; otherwise exactly
+/// those of [`extract_source`].
+pub fn extract_source_cancellable(
+    source: &str,
+    origin: &str,
+    extractor: &SymmetryExtractor,
+    obs: &PipelineObs,
+    cancel: &CancelToken,
+) -> Result<ServiceReply, ExtractError> {
+    if cancel.is_cancelled() {
+        return Err(ExtractError::Cancelled);
+    }
     let netlist = {
         let _g = obs.stage_with("parse", &[("path", origin.into())]);
         parse_spice(source)?
     };
+    if cancel.is_cancelled() {
+        return Err(ExtractError::Cancelled);
+    }
     let flat = {
         let _g = obs.stage("elaborate");
         FlatCircuit::elaborate(&netlist)?
@@ -83,7 +110,7 @@ pub fn extract_source(
             ("nets", flat.net_count().into()),
         ],
     );
-    let extraction = extractor.try_extract_observed(&flat, obs)?;
+    let extraction = extractor.try_extract_cancellable(&flat, obs, cancel)?;
     let mut warnings: Vec<String> =
         extraction.detection.warnings.iter().map(|w| w.to_string()).collect();
     warnings.sort();
@@ -188,6 +215,38 @@ M7 tail clk vss vss nch w=12u l=0.1u
         let obs = PipelineObs::disabled();
         let err = extract_source("M1 a b\n", "bad", &ex, &obs).unwrap_err();
         assert_eq!(err.exit_code(), 4, "malformed SPICE is a parse error: {err}");
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_the_deadline_stage() {
+        let ex = trained_extractor();
+        let obs = PipelineObs::disabled();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = extract_source_cancellable(NETLIST, "t", &ex, &obs, &cancel).unwrap_err();
+        assert_eq!(err, ExtractError::Cancelled);
+        assert_eq!(err.exit_code(), 10);
+        assert_eq!(err.stage(), "deadline");
+    }
+
+    #[test]
+    fn expired_passive_deadline_aborts_without_a_watchdog_thread() {
+        let ex = trained_extractor();
+        let obs = PipelineObs::disabled();
+        let cancel = CancelToken::expiring_in(Duration::ZERO);
+        let err = extract_source_cancellable(NETLIST, "t", &ex, &obs, &cancel).unwrap_err();
+        assert_eq!(err, ExtractError::Cancelled);
+    }
+
+    #[test]
+    fn unarmed_token_is_byte_identical_to_the_plain_path() {
+        let ex = trained_extractor();
+        let obs = PipelineObs::disabled();
+        let plain = extract_source(NETLIST, "t", &ex, &obs).unwrap();
+        let guarded =
+            extract_source_cancellable(NETLIST, "t", &ex, &obs, &CancelToken::new()).unwrap();
+        assert_eq!(plain.constraints_text, guarded.constraints_text);
+        assert_eq!(plain.warnings, guarded.warnings);
     }
 
     #[test]

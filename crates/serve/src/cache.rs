@@ -181,4 +181,76 @@ mod tests {
         assert_eq!(cache.get("a").unwrap().constraints_text, "first");
         assert_eq!(cache.stats().entries, 1);
     }
+
+    #[test]
+    fn concurrent_mixed_traffic_keeps_counters_and_entries_consistent() {
+        // 8 threads × 200 operations over 4 hot keys against a
+        // capacity-4 cache: every key stays resident (no evictions, no
+        // lost entries), every get after the warm-up hits, and the
+        // counter totals add up exactly.
+        const THREADS: usize = 8;
+        const OPS: usize = 200;
+        let cache = Arc::new(ResultCache::new(4));
+        let keys = ["a", "b", "c", "d"];
+        for k in keys {
+            cache.put(k.to_owned(), reply(k));
+        }
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for op in 0..OPS {
+                        let k = keys[(t + op) % keys.len()];
+                        let got = cache.get(k).expect("resident keys never vanish");
+                        assert_eq!(got.constraints_text, k, "wrong value under contention");
+                        // Redundant puts must not clobber or duplicate.
+                        cache.put(k.to_owned(), reply("imposter"));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits, (THREADS * OPS) as u64, "every post-warm-up get hits");
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.evictions, 0, "at-capacity hot set must not thrash");
+        assert_eq!(stats.entries, keys.len());
+        // The values are still the originals, not the imposters.
+        for k in keys {
+            assert_eq!(cache.get(k).unwrap().constraints_text, k);
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_over_capacity_never_lose_the_count_invariant() {
+        // Distinct keys from every thread against a small cache: the
+        // internal map/order structures must agree at the end —
+        // entries == capacity, and inserts == evictions + entries.
+        const THREADS: usize = 8;
+        const OPS: usize = 100;
+        let cache = Arc::new(ResultCache::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for op in 0..OPS {
+                        let k = format!("{t}-{op}");
+                        cache.put(k.clone(), reply(&k));
+                        // A get immediately after our own put may hit or
+                        // miss (another thread can evict us) but must
+                        // never return a different key's reply.
+                        if let Some(got) = cache.get(&k) {
+                            assert_eq!(got.constraints_text, k);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8, "cache must sit exactly at capacity");
+        assert_eq!(
+            stats.evictions + stats.entries as u64,
+            (THREADS * OPS) as u64,
+            "every insert is either resident or evicted — none lost"
+        );
+    }
 }

@@ -3,11 +3,16 @@
 //! Used by the `loadgen` bench client and the integration tests; it
 //! speaks exactly the dialect the server does (one request per
 //! connection, `Content-Length` framing, read-to-EOF responses) and
-//! nothing more.
+//! nothing more. Two resilience-facing extras live here too: a seeded
+//! [`RetryPolicy`] that honors the server's `Retry-After` hints, and
+//! [`send_plan`], the executor for the deterministic fault plans
+//! ([`ancstr_core::WirePlan`]) the chaos harness compiles.
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
+
+use ancstr_core::{WirePlan, WireStep};
 
 use crate::http::find_head_end;
 
@@ -51,13 +56,30 @@ pub fn request(
     body: &[u8],
     timeout: Duration,
 ) -> io::Result<HttpReply> {
+    request_with(addr, method, path, &[], body, timeout)
+}
+
+/// [`request`] with extra request headers.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<HttpReply> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n", body.len());
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
@@ -82,6 +104,159 @@ pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<HttpRe
 /// See [`request`].
 pub fn post(addr: SocketAddr, path: &str, body: &[u8], timeout: Duration) -> io::Result<HttpReply> {
     request(addr, "POST", path, body, timeout)
+}
+
+/// `POST path` with `body` and extra request headers.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post_with(
+    addr: SocketAddr,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<HttpReply> {
+    request_with(addr, "POST", path, headers, body, timeout)
+}
+
+/// Deterministic retry schedule for shed (`503`/`429`) replies and
+/// transport errors: capped exponential backoff plus seeded jitter,
+/// never shorter than the server's own `Retry-After` hint.
+///
+/// The jitter is a pure function of `(seed, attempt)` — no wall clock,
+/// no global RNG — so a test that fixes the seed sees the exact same
+/// schedule every run, while a fleet of real clients (each seeded
+/// differently) still de-synchronizes instead of stampeding the daemon
+/// in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so `1` disables retries).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt; doubles per attempt.
+    pub base: Duration,
+    /// Upper bound on the pre-jitter backoff.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A sensible default schedule: 4 attempts, 50ms base, 2s cap.
+    pub fn new(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed,
+        }
+    }
+
+    /// The pause before retry number `attempt` (1-based: the delay
+    /// after the first failure is `delay(1, ..)`). `retry_after` is the
+    /// server's hint, which acts as a floor.
+    pub fn delay(&self, attempt: u32, retry_after: Option<Duration>) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(20);
+        let backoff = self.base.saturating_mul(1 << doublings).min(self.cap);
+        // splitmix-style scramble of (seed, attempt), then xorshift:
+        // cheap, deterministic, and good enough to spread clients out.
+        let mut x = self.seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        // Jitter in [0, backoff/2].
+        let half = backoff.as_nanos().min(u128::from(u64::MAX)) as u64 / 2;
+        let jitter = Duration::from_nanos(if half == 0 { 0 } else { x % (half + 1) });
+        let delay = backoff.saturating_add(jitter);
+        match retry_after {
+            Some(hint) => delay.max(hint),
+            None => delay,
+        }
+    }
+}
+
+/// [`request_with`] under a [`RetryPolicy`]: `503`/`429` replies and
+/// transport errors are retried on the policy's schedule; every other
+/// reply (including other errors like `400`) returns immediately. The
+/// last reply or error is returned when attempts run out.
+///
+/// # Errors
+///
+/// The final transport error when every attempt failed to get a reply.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> io::Result<HttpReply> {
+    let attempts = policy.max_attempts.max(1);
+    for attempt in 1..=attempts {
+        let last = attempt == attempts;
+        match request_with(addr, method, path, headers, body, timeout) {
+            Ok(reply) if (reply.status == 503 || reply.status == 429) && !last => {
+                let hint = reply
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .map(Duration::from_secs);
+                std::thread::sleep(policy.delay(attempt, hint));
+            }
+            Ok(reply) => return Ok(reply),
+            Err(err) => {
+                if last {
+                    return Err(err);
+                }
+                std::thread::sleep(policy.delay(attempt, None));
+            }
+        }
+    }
+    unreachable!("the loop always returns on its last attempt")
+}
+
+/// What came back from replaying a fault plan.
+#[derive(Debug)]
+pub struct PlanOutcome {
+    /// The server's reply, when it sent a parseable one.
+    pub reply: Option<HttpReply>,
+    /// A send step failed mid-plan (the server cut the connection).
+    pub write_error: bool,
+}
+
+/// Replay a compiled chaos [`WirePlan`] against the daemon: send each
+/// fragment, honor each pause, half-close the write side, and read
+/// whatever reply the server managed to produce. Transport failures
+/// mid-plan are an expected outcome (the server is allowed to cut off
+/// an abusive connection), so they are reported in the outcome rather
+/// than as errors.
+///
+/// # Errors
+///
+/// Only failures to establish the connection at all.
+pub fn send_plan(addr: SocketAddr, plan: &WirePlan, timeout: Duration) -> io::Result<PlanOutcome> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut write_error = false;
+    for step in &plan.steps {
+        match step {
+            WireStep::Send(bytes) => {
+                if stream.write_all(bytes).and_then(|()| stream.flush()).is_err() {
+                    write_error = true;
+                    break;
+                }
+            }
+            WireStep::Pause(pause) => std::thread::sleep(*pause),
+        }
+    }
+    // Half-close: the server sees EOF where the plan stopped, exactly
+    // like a client that died mid-request.
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut raw = Vec::new();
+    let _ = stream.read_to_end(&mut raw);
+    Ok(PlanOutcome { reply: parse_reply(&raw).ok(), write_error })
 }
 
 fn invalid(msg: &str) -> io::Error {
@@ -139,5 +314,27 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_reply(b"not http at all").is_err());
         assert!(parse_reply(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn retry_delays_are_deterministic_per_seed() {
+        let a = RetryPolicy::new(7);
+        let b = RetryPolicy::new(7);
+        let c = RetryPolicy::new(8);
+        let schedule = |p: &RetryPolicy| (1..=4).map(|n| p.delay(n, None)).collect::<Vec<_>>();
+        assert_eq!(schedule(&a), schedule(&b), "same seed, same schedule");
+        assert_ne!(schedule(&a), schedule(&c), "different seeds de-synchronize");
+    }
+
+    #[test]
+    fn retry_delays_grow_honor_hints_and_cap() {
+        let p = RetryPolicy::new(3);
+        // Growth: the pre-jitter backoff doubles, and jitter adds at
+        // most half, so attempt n+2 always exceeds attempt n.
+        assert!(p.delay(3, None) > p.delay(1, None));
+        // The server's hint is a floor.
+        assert!(p.delay(1, Some(Duration::from_secs(9))) >= Duration::from_secs(9));
+        // The cap bounds the runaway end (cap + half jitter).
+        assert!(p.delay(20, None) <= p.cap + p.cap / 2 + Duration::from_nanos(1));
     }
 }

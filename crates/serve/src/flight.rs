@@ -1,0 +1,176 @@
+//! Single-flight coalescing of concurrent identical requests.
+//!
+//! Without it, N clients posting the same netlist in the instant
+//! before its reply is cached all miss and all run the pipeline — the
+//! thundering herd turns one cold request into N cold requests exactly
+//! when the daemon can least afford it. [`SingleFlight`] elects one
+//! leader per cache key; everyone else blocks (bounded by their own
+//! deadline) until the leader finishes and then reads the cache.
+//!
+//! The leadership token is a guard that releases on `Drop`, so a
+//! leader that panics or errors out still wakes its followers — one of
+//! them simply takes over. Nothing here knows about the cache or HTTP;
+//! it is a keyed mutual-exclusion primitive with waiting.
+
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Keyed leader election: at most one [`FlightGuard`] exists per key.
+pub struct SingleFlight {
+    inflight: Mutex<HashSet<String>>,
+    done: Condvar,
+}
+
+/// Leadership over one key; dropping it (normally or by unwinding)
+/// releases the key and wakes every waiter.
+pub struct FlightGuard<'a> {
+    flight: &'a SingleFlight,
+    key: String,
+}
+
+impl Default for SingleFlight {
+    fn default() -> SingleFlight {
+        SingleFlight::new()
+    }
+}
+
+impl SingleFlight {
+    /// An empty flight table: every key is free.
+    pub fn new() -> SingleFlight {
+        SingleFlight { inflight: Mutex::new(HashSet::new()), done: Condvar::new() }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashSet<String>> {
+        self.inflight.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Try to become the leader for `key`. `None` means another thread
+    /// currently leads it — [`wait`](SingleFlight::wait) for them.
+    pub fn begin(&self, key: &str) -> Option<FlightGuard<'_>> {
+        let mut set = self.lock();
+        if set.contains(key) {
+            return None;
+        }
+        set.insert(key.to_owned());
+        Some(FlightGuard { flight: self, key: key.to_owned() })
+    }
+
+    /// Block until `key` has no leader or `timeout` elapses, whichever
+    /// comes first. Returns `true` if the key is free on return.
+    pub fn wait(&self, key: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut set = self.lock();
+        while set.contains(key) {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            set = self
+                .done
+                .wait_timeout(set, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        true
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut set = self.flight.lock();
+        set.remove(&self.key);
+        drop(set);
+        self.flight.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn one_leader_per_key_and_keys_are_independent() {
+        let flight = SingleFlight::new();
+        let a = flight.begin("a").expect("first leader");
+        assert!(flight.begin("a").is_none(), "key `a` already led");
+        let b = flight.begin("b").expect("other keys are free");
+        drop(a);
+        assert!(flight.begin("a").is_some(), "dropping the guard frees the key");
+        drop(b);
+    }
+
+    #[test]
+    fn wait_times_out_while_led_and_returns_once_released() {
+        let flight = SingleFlight::new();
+        let guard = flight.begin("k").unwrap();
+        assert!(!flight.wait("k", Duration::from_millis(20)), "leader still holds the key");
+        drop(guard);
+        assert!(flight.wait("k", Duration::from_millis(20)));
+        assert!(flight.wait("never-led", Duration::ZERO), "free keys return immediately");
+    }
+
+    #[test]
+    fn a_panicking_leader_still_wakes_its_followers() {
+        let flight = Arc::new(SingleFlight::new());
+        let woke = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            let f = Arc::clone(&flight);
+            let leader = scope.spawn(move || {
+                let _guard = f.begin("k").unwrap();
+                std::thread::sleep(Duration::from_millis(30));
+                panic!("leader dies mid-compute");
+            });
+            // Give the leader time to take the key, then pile on.
+            std::thread::sleep(Duration::from_millis(10));
+            for _ in 0..4 {
+                let f = Arc::clone(&flight);
+                let woke = Arc::clone(&woke);
+                scope.spawn(move || {
+                    assert!(f.wait("k", Duration::from_secs(5)), "unwinding must release");
+                    woke.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            assert!(leader.join().is_err(), "leader panicked by design");
+        });
+        assert_eq!(woke.load(Ordering::SeqCst), 4);
+        assert!(flight.begin("k").is_some(), "key is free after the unwind");
+    }
+
+    #[test]
+    fn followers_coalesce_onto_one_computation() {
+        // 8 threads race for the same key; exactly one computes at a
+        // time, and everyone who waited sees the key released.
+        let flight = Arc::new(SingleFlight::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let flight = Arc::clone(&flight);
+                let computes = Arc::clone(&computes);
+                let concurrent = Arc::clone(&concurrent);
+                scope.spawn(move || loop {
+                    match flight.begin("k") {
+                        Some(_guard) => {
+                            assert_eq!(
+                                concurrent.fetch_add(1, Ordering::SeqCst),
+                                0,
+                                "two leaders for one key"
+                            );
+                            std::thread::sleep(Duration::from_millis(2));
+                            concurrent.fetch_sub(1, Ordering::SeqCst);
+                            computes.fetch_add(1, Ordering::SeqCst);
+                            break;
+                        }
+                        None => {
+                            flight.wait("k", Duration::from_secs(5));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 8, "every thread eventually led");
+    }
+}

@@ -11,9 +11,55 @@
 
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 /// Upper bound on the request line + headers block.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on the number of header lines in one request.
+pub const MAX_HEADER_COUNT: usize = 64;
+
+/// Upper bound on one header line's length in bytes.
+pub const MAX_HEADER_LINE_BYTES: usize = 1024;
+
+/// Bounds enforced while reading one request. Every limit exists so a
+/// hostile client cannot make the server allocate or wait without
+/// bound: the head/header limits cap memory (→ `431`), `max_body` caps
+/// the payload (→ `413`), and `deadline` caps *total* read time — a
+/// slowloris client trickling one byte per poll keeps each socket read
+/// fast, so only a wall-clock bound across reads ends it (→ `408`).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadLimits {
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Largest accepted request line + headers block in bytes.
+    pub max_head_bytes: usize,
+    /// Most header lines accepted in one request.
+    pub max_headers: usize,
+    /// Longest accepted single header line in bytes.
+    pub max_header_line: usize,
+    /// Absolute instant by which the full request must have arrived.
+    pub deadline: Option<Instant>,
+}
+
+impl ReadLimits {
+    /// Default bounds with the given body limit and no deadline.
+    pub fn new(max_body: usize) -> ReadLimits {
+        ReadLimits {
+            max_body,
+            max_head_bytes: MAX_HEAD_BYTES,
+            max_headers: MAX_HEADER_COUNT,
+            max_header_line: MAX_HEADER_LINE_BYTES,
+            deadline: None,
+        }
+    }
+
+    /// These limits with a total-read-time deadline (builder style).
+    pub fn with_deadline(mut self, at: Instant) -> ReadLimits {
+        self.deadline = Some(at);
+        self
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -51,6 +97,15 @@ pub enum ReadError {
         /// The server's limit.
         limit: usize,
     },
+    /// The head block, a header line, or the header count exceeds its
+    /// bound → 431.
+    HeadTooLarge {
+        /// Which bound tripped (`head bytes`, `header count`,
+        /// `header line`).
+        what: &'static str,
+        /// The server's limit for that bound.
+        limit: usize,
+    },
     /// The socket timed out before a full request arrived → 408.
     Timeout,
     /// The peer closed or the socket failed mid-read.
@@ -63,6 +118,9 @@ impl fmt::Display for ReadError {
             ReadError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ReadError::BodyTooLarge { declared, limit } => {
                 write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            ReadError::HeadTooLarge { what, limit } => {
+                write!(f, "request {what} exceeds the limit of {limit}")
             }
             ReadError::Timeout => write!(f, "timed out reading the request"),
             ReadError::Io(e) => write!(f, "i/o error: {e}"),
@@ -80,24 +138,29 @@ impl From<io::Error> for ReadError {
     }
 }
 
-/// Read and parse one request from `stream`.
+/// Read and parse one request from `stream` under `limits`.
 ///
 /// # Errors
 ///
-/// [`ReadError`] on malformed framing, an oversized head or body, a
-/// read timeout (the caller is expected to have armed one on the
-/// socket), or any transport failure.
-pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, ReadError> {
+/// [`ReadError`] on malformed framing, an oversized head, header set,
+/// or body, a read timeout (per-read via the socket timeout the caller
+/// armed, or total via [`ReadLimits::deadline`]), or any transport
+/// failure.
+pub fn read_request(stream: &mut impl Read, limits: &ReadLimits) -> Result<Request, ReadError> {
     // Accumulate until the blank line that ends the head.
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let head_end = loop {
         if let Some(i) = find_head_end(&buf) {
             break i;
         }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(ReadError::BadRequest(format!(
-                "headers exceed {MAX_HEAD_BYTES} bytes"
-            )));
+        if buf.len() > limits.max_head_bytes {
+            return Err(ReadError::HeadTooLarge {
+                what: "head bytes",
+                limit: limits.max_head_bytes,
+            });
+        }
+        if limits.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ReadError::Timeout);
         }
         let mut chunk = [0u8; 4096];
         let n = stream.read(&mut chunk)?;
@@ -133,6 +196,18 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         if line.is_empty() {
             continue;
         }
+        if line.len() > limits.max_header_line {
+            return Err(ReadError::HeadTooLarge {
+                what: "header line",
+                limit: limits.max_header_line,
+            });
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ReadError::HeadTooLarge {
+                what: "header count",
+                limit: limits.max_headers,
+            });
+        }
         let Some((name, value)) = line.split_once(':') else {
             return Err(ReadError::BadRequest(format!("malformed header `{line}`")));
         };
@@ -148,12 +223,15 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         })
         .transpose()?
         .unwrap_or(0);
-    if content_length > max_body {
-        return Err(ReadError::BodyTooLarge { declared: content_length, limit: max_body });
+    if content_length > limits.max_body {
+        return Err(ReadError::BodyTooLarge { declared: content_length, limit: limits.max_body });
     }
 
     let mut body = buf[head_end.end..].to_vec();
     while body.len() < content_length {
+        if limits.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ReadError::Timeout);
+        }
         let mut chunk = vec![0u8; (content_length - body.len()).min(64 * 1024)];
         let n = stream.read(&mut chunk)?;
         if n == 0 {
@@ -263,6 +341,7 @@ pub fn status_reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         413 => "Content Too Large",
         422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -275,7 +354,7 @@ mod tests {
 
     fn parse(raw: &[u8]) -> Result<Request, ReadError> {
         let mut cursor = io::Cursor::new(raw.to_vec());
-        read_request(&mut cursor, 1024)
+        read_request(&mut cursor, &ReadLimits::new(1024))
     }
 
     #[test]
@@ -326,6 +405,54 @@ mod tests {
     fn truncated_body_is_an_error() {
         let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
         assert!(matches!(err, ReadError::BadRequest(_)), "{err}");
+    }
+
+    #[test]
+    fn bounds_header_count_and_line_length() {
+        // One absurdly long header line.
+        let long = format!(
+            "GET /x HTTP/1.1\r\nx-long: {}\r\n\r\n",
+            "v".repeat(MAX_HEADER_LINE_BYTES + 1)
+        );
+        let err = parse(long.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, ReadError::HeadTooLarge { what: "header line", .. }),
+            "{err}"
+        );
+
+        // Too many individually-small headers.
+        let mut many = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADER_COUNT {
+            many.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        let err = parse(many.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, ReadError::HeadTooLarge { what: "header count", .. }),
+            "{err}"
+        );
+
+        // An oversized head block as a whole.
+        let huge = format!("GET /x HTTP/1.1\r\nx: {}", "y".repeat(MAX_HEAD_BYTES + 8));
+        let err = parse(huge.as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadError::HeadTooLarge { what: "head bytes", .. }), "{err}");
+
+        // Exactly-at-the-bound requests still parse.
+        let mut ok = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..MAX_HEADER_COUNT - 1 {
+            ok.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        ok.push_str("\r\n");
+        assert!(parse(ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn an_expired_deadline_times_the_read_out() {
+        let mut cursor = io::Cursor::new(b"GET /x HT".to_vec());
+        let limits = ReadLimits::new(1024)
+            .with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let err = read_request(&mut cursor, &limits).unwrap_err();
+        assert!(matches!(err, ReadError::Timeout), "{err}");
     }
 
     #[test]

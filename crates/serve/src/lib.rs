@@ -29,6 +29,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod flight;
 pub mod http;
 pub mod pool;
 pub mod registry;
@@ -36,6 +37,7 @@ pub mod server;
 
 pub use cache::{CacheStats, ResultCache};
 pub use client::HttpReply;
+pub use flight::SingleFlight;
 pub use http::{Request, Response};
 pub use pool::{SubmitError, WorkerPool};
 pub use registry::{ModelEntry, ModelRegistry};

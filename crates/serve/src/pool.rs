@@ -1,4 +1,4 @@
-//! A fixed worker thread pool over a bounded job queue.
+//! A fixed, *supervised* worker thread pool over a bounded job queue.
 //!
 //! The queue is the daemon's backpressure mechanism: [`WorkerPool::submit`]
 //! never blocks — when the queue is at capacity it returns
@@ -7,10 +7,22 @@
 //! without bound. Shutdown is graceful by construction:
 //! [`WorkerPool::shutdown`] closes the queue to new work, lets the
 //! workers drain every job already accepted, and joins them.
+//!
+//! Supervision: every job runs under [`std::panic::catch_unwind`], so a
+//! panicking handler never kills its worker thread — the slot survives
+//! and keeps serving. After a panic the slot sleeps a capped
+//! exponential backoff (doubling per *consecutive* panic, reset by the
+//! first clean job) before dequeuing again, so a poisoned queue cannot
+//! spin a worker at 100% CPU re-panicking. The backoff schedule is a
+//! pure function of the consecutive-panic count — deterministic, no
+//! randomness, no wall-clock dependence beyond the sleep itself.
 
 use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 /// Why a job was not accepted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +31,40 @@ pub enum SubmitError {
     Full,
     /// The pool is shutting down and accepts no new work.
     Closed,
+}
+
+/// How a pool restarts panicked worker slots.
+#[derive(Clone)]
+pub struct Supervision {
+    /// Backoff after the first consecutive panic; doubles per further
+    /// consecutive panic.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff, however many panics in a row.
+    pub backoff_cap: Duration,
+    /// Called (with the worker index) after each caught panic, before
+    /// the backoff sleep — the daemon counts restarts here.
+    pub on_panic: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl Default for Supervision {
+    fn default() -> Supervision {
+        Supervision {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            on_panic: None,
+        }
+    }
+}
+
+impl Supervision {
+    /// The backoff before the next dequeue after `consecutive` panics
+    /// in a row (1-based): `base * 2^(consecutive-1)`, capped.
+    pub fn backoff(&self, consecutive: u32) -> Duration {
+        let doublings = consecutive.saturating_sub(1).min(20);
+        self.backoff_base
+            .saturating_mul(1u32 << doublings)
+            .min(self.backoff_cap)
+    }
 }
 
 struct State<J> {
@@ -30,19 +76,34 @@ struct Shared<J> {
     state: Mutex<State<J>>,
     wake: Condvar,
     capacity: usize,
+    panics: AtomicU64,
 }
 
-/// A fixed-size worker pool consuming jobs from a bounded queue.
+/// A fixed-size supervised worker pool consuming jobs from a bounded
+/// queue.
 pub struct WorkerPool<J: Send + 'static> {
     shared: Arc<Shared<J>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl<J: Send + 'static> WorkerPool<J> {
-    /// Spawn `workers` threads that each run `handler` on dequeued
-    /// jobs. `capacity` bounds the number of queued (not yet running)
-    /// jobs; both are clamped to at least 1.
+    /// [`WorkerPool::supervised`] with the default [`Supervision`].
     pub fn new<F>(workers: usize, capacity: usize, handler: F) -> WorkerPool<J>
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        WorkerPool::supervised(workers, capacity, Supervision::default(), handler)
+    }
+
+    /// Spawn `workers` threads that each run `handler` on dequeued
+    /// jobs under panic supervision. `capacity` bounds the number of
+    /// queued (not yet running) jobs; both are clamped to at least 1.
+    pub fn supervised<F>(
+        workers: usize,
+        capacity: usize,
+        supervision: Supervision,
+        handler: F,
+    ) -> WorkerPool<J>
     where
         F: Fn(J) + Send + Sync + 'static,
     {
@@ -50,32 +111,49 @@ impl<J: Send + 'static> WorkerPool<J> {
             state: Mutex::new(State { jobs: VecDeque::new(), open: true }),
             wake: Condvar::new(),
             capacity: capacity.max(1),
+            panics: AtomicU64::new(0),
         });
         let handler = Arc::new(handler);
         let workers = (0..workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let handler = Arc::clone(&handler);
+                let supervision = supervision.clone();
                 thread::Builder::new()
                     .name(format!("ancstr-serve-worker-{i}"))
-                    .spawn(move || loop {
-                        let job = {
-                            let mut state =
-                                shared.state.lock().unwrap_or_else(|e| e.into_inner());
-                            loop {
-                                if let Some(job) = state.jobs.pop_front() {
-                                    break job;
+                    .spawn(move || {
+                        let mut consecutive_panics: u32 = 0;
+                        loop {
+                            let job = {
+                                let mut state =
+                                    shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                                loop {
+                                    if let Some(job) = state.jobs.pop_front() {
+                                        break job;
+                                    }
+                                    if !state.open {
+                                        return; // closed and drained
+                                    }
+                                    state = shared
+                                        .wake
+                                        .wait(state)
+                                        .unwrap_or_else(|e| e.into_inner());
                                 }
-                                if !state.open {
-                                    return; // closed and drained
+                            };
+                            // The job is consumed either way; a panic
+                            // only costs *this* request, never the slot.
+                            match panic::catch_unwind(AssertUnwindSafe(|| handler(job))) {
+                                Ok(()) => consecutive_panics = 0,
+                                Err(_) => {
+                                    shared.panics.fetch_add(1, Ordering::SeqCst);
+                                    consecutive_panics += 1;
+                                    if let Some(hook) = &supervision.on_panic {
+                                        hook(i);
+                                    }
+                                    thread::sleep(supervision.backoff(consecutive_panics));
                                 }
-                                state = shared
-                                    .wake
-                                    .wait(state)
-                                    .unwrap_or_else(|e| e.into_inner());
                             }
-                        };
-                        handler(job);
+                        }
                     })
                     .expect("spawn worker thread")
             })
@@ -108,6 +186,11 @@ impl<J: Send + 'static> WorkerPool<J> {
     /// Jobs currently queued (excluding ones already being handled).
     pub fn depth(&self) -> usize {
         self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
+    }
+
+    /// Total handler panics caught (and survived) so far.
+    pub fn panics(&self) -> u64 {
+        self.shared.panics.load(Ordering::SeqCst)
     }
 
     /// Close the queue, drain every already-accepted job, and join the
@@ -196,5 +279,84 @@ mod tests {
             state.open = false;
         }
         assert_eq!(pool.submit(1).map_err(|(e, _)| e), Err(SubmitError::Closed));
+    }
+
+    /// Silence the default panic printer for tests that panic on
+    /// purpose, restoring it afterwards.
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let saved = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        drop(panic::take_hook());
+        panic::set_hook(saved);
+        out
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_worker() {
+        with_quiet_panics(|| {
+            let done = Arc::new(AtomicUsize::new(0));
+            let seen = Arc::clone(&done);
+            let restarts = Arc::new(AtomicUsize::new(0));
+            let counted = Arc::clone(&restarts);
+            let supervision = Supervision {
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(4),
+                on_panic: Some(Arc::new(move |_| {
+                    counted.fetch_add(1, Ordering::SeqCst);
+                })),
+            };
+            // A single worker: if a panic killed it, the later jobs
+            // would never run and shutdown would hang on a dead pool.
+            let pool = WorkerPool::supervised(1, 32, supervision, move |n: usize| {
+                if n == 0 {
+                    panic!("chaos");
+                }
+                seen.fetch_add(1, Ordering::SeqCst);
+            });
+            for job in [0, 0, 0, 1, 1, 1] {
+                pool.submit(job).unwrap();
+            }
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while done.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+                thread::sleep(Duration::from_millis(2));
+            }
+            assert_eq!(pool.panics(), 3, "all three panics were caught");
+            pool.shutdown();
+            assert_eq!(done.load(Ordering::SeqCst), 3, "clean jobs after panics still ran");
+            assert_eq!(restarts.load(Ordering::SeqCst), 3, "every panic hit the hook");
+        });
+    }
+
+    #[test]
+    fn panic_counter_is_visible_through_the_pool() {
+        with_quiet_panics(|| {
+            let pool = WorkerPool::new(2, 8, |_: usize| panic!("always"));
+            for i in 0..4 {
+                pool.submit(i).unwrap();
+            }
+            // Wait for the queue to drain (jobs panic quickly).
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while pool.panics() < 4 && std::time::Instant::now() < deadline {
+                thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(pool.panics(), 4);
+            pool.shutdown();
+        });
+    }
+
+    #[test]
+    fn backoff_doubles_per_consecutive_panic_and_caps() {
+        let s = Supervision {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+            on_panic: None,
+        };
+        assert_eq!(s.backoff(1), Duration::from_millis(10));
+        assert_eq!(s.backoff(2), Duration::from_millis(20));
+        assert_eq!(s.backoff(3), Duration::from_millis(40));
+        assert_eq!(s.backoff(4), Duration::from_millis(80));
+        assert_eq!(s.backoff(5), Duration::from_millis(100), "capped");
+        assert_eq!(s.backoff(40), Duration::from_millis(100), "no overflow far past the cap");
     }
 }

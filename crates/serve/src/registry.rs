@@ -14,11 +14,28 @@
 //! turns both into clean `400`s instead of silently-wrong constraint
 //! sets.
 
+use std::collections::HashSet;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ancstr_core::{ExtractError, ExtractorConfig, SymmetryExtractor};
 use ancstr_gnn::GnnModel;
+use ancstr_netlist::{parse::parse_spice, FlatCircuit};
+
+/// The tiny built-in circuit the canary inference runs against before a
+/// hot-swapped model is committed: a cross-coupled pair any usable
+/// model must embed to finite vectors. Cheap enough (5 devices) to run
+/// on every reload.
+const CANARY_NETLIST: &str = "\
+.subckt canary q qb en vdd vss
+M1 q qb tail vss nch w=4u l=0.2u
+M2 qb q tail vss nch w=4u l=0.2u
+M3 q qb vdd vdd pch w=8u l=0.2u
+M4 qb q vdd vdd pch w=8u l=0.2u
+M5 tail en vss vss nch w=2u l=0.5u
+.ends
+";
 
 /// One loaded model and the extractor built around it.
 pub struct ModelEntry {
@@ -42,10 +59,62 @@ impl ModelEntry {
     }
 }
 
+/// Why a guarded hot-swap was refused. Either way the previous model
+/// keeps serving — a reload can never leave the daemon without a good
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReloadError {
+    /// The circuit breaker is open for this exact body: an earlier
+    /// upload of identical bytes already failed validation, so the
+    /// artifact is quarantined and re-validation is skipped.
+    BreakerOpen {
+        /// FNV-64 of the quarantined body.
+        key: u64,
+    },
+    /// Validation failed now (and the body was quarantined): the
+    /// checksum seal, model parse, dimension check, or canary inference
+    /// rejected it.
+    Rejected {
+        /// Which validation step refused the upload (`seal`, `build`,
+        /// or `canary`).
+        step: &'static str,
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReloadError::BreakerOpen { key } => write!(
+                f,
+                "circuit breaker open: this model body (key {key:016x}) already failed \
+                 validation and is quarantined"
+            ),
+            ReloadError::Rejected { step, reason } => {
+                write!(f, "model rejected at {step}: {reason}")
+            }
+        }
+    }
+}
+
+/// Point-in-time circuit-breaker state, for readiness reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerState {
+    /// Distinct quarantined upload bodies.
+    pub quarantined: usize,
+    /// Total guarded reloads refused (first rejections + breaker hits).
+    pub rejected_total: u64,
+}
+
 /// Shared registry of the currently-serving model.
 pub struct ModelRegistry {
     current: RwLock<Arc<ModelEntry>>,
     generation: AtomicU64,
+    /// FNV-64 keys of upload bodies that already failed validation;
+    /// identical re-uploads are refused without re-validating.
+    quarantined: Mutex<HashSet<u64>>,
+    rejected_total: AtomicU64,
 }
 
 fn entry_from_model(
@@ -61,6 +130,38 @@ fn entry_from_model(
 /// Whether `text` carries the checksummed artifact envelope.
 fn is_sealed(text: &str) -> bool {
     text.lines().next_back().is_some_and(|l| l.starts_with("ancstr-seal "))
+}
+
+/// FNV-1a 64 over the raw upload body — the quarantine key. Hashing
+/// the *bytes* (not a parsed fingerprint) means even un-parseable
+/// bodies get a stable identity the breaker can pin.
+fn body_key(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// First-inference check: the candidate extractor must produce a clean
+/// extraction of the built-in canary circuit — no error *and* no
+/// quarantined devices (non-finite embeddings). Catches models that
+/// deserialize fine but are numerically unusable, before any client
+/// traffic sees them.
+fn canary_check(extractor: &SymmetryExtractor) -> Result<(), String> {
+    let netlist = parse_spice(CANARY_NETLIST).expect("built-in canary netlist parses");
+    let flat = FlatCircuit::elaborate(&netlist).expect("built-in canary netlist elaborates");
+    let extraction = extractor
+        .try_extract(&flat)
+        .map_err(|e| format!("canary inference failed: {e}"))?;
+    if !extraction.detection.warnings.is_empty() {
+        return Err(format!(
+            "canary inference quarantined {} device(s) (non-finite embeddings)",
+            extraction.detection.warnings.len()
+        ));
+    }
+    Ok(())
 }
 
 impl ModelRegistry {
@@ -84,6 +185,8 @@ impl ModelRegistry {
         Ok(ModelRegistry {
             current: RwLock::new(Arc::new(entry)),
             generation: AtomicU64::new(1),
+            quarantined: Mutex::new(HashSet::new()),
+            rejected_total: AtomicU64::new(0),
         })
     }
 
@@ -111,6 +214,51 @@ impl ModelRegistry {
         let entry = Arc::new(entry_from_model(model, source, generation)?);
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&entry);
         Ok(entry)
+    }
+
+    /// [`ModelRegistry::reload_sealed`] behind a circuit breaker and a
+    /// canary inference. Validation runs **before** the swap: checksum
+    /// seal → model build → first inference on the built-in canary
+    /// circuit. Any failure quarantines the upload body (by byte hash),
+    /// leaves the last good generation serving, and opens the breaker
+    /// for that exact body — an identical re-upload is refused
+    /// immediately without re-running validation. This is the path
+    /// `POST /v1/models` uses.
+    ///
+    /// # Errors
+    ///
+    /// [`ReloadError::BreakerOpen`] for a quarantined body,
+    /// [`ReloadError::Rejected`] when validation fails now.
+    pub fn reload_guarded(&self, text: &str, source: &str) -> Result<Arc<ModelEntry>, ReloadError> {
+        let key = body_key(text);
+        if self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).contains(&key) {
+            self.rejected_total.fetch_add(1, Ordering::SeqCst);
+            return Err(ReloadError::BreakerOpen { key });
+        }
+        let reject = |step: &'static str, reason: String| {
+            self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).insert(key);
+            self.rejected_total.fetch_add(1, Ordering::SeqCst);
+            ReloadError::Rejected { step, reason }
+        };
+        let model = GnnModel::from_text_checksummed(text)
+            .map_err(|e| reject("seal", e.to_string()))?;
+        // Build with a placeholder generation; the real one is assigned
+        // only at commit, so failed validations never burn a number.
+        let candidate = entry_from_model(model, source, 0)
+            .map_err(|e| reject("build", e.to_string()))?;
+        canary_check(&candidate.extractor).map_err(|reason| reject("canary", reason))?;
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let entry = Arc::new(ModelEntry { generation, ..candidate });
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&entry);
+        Ok(entry)
+    }
+
+    /// Current circuit-breaker state, for `/healthz/ready` and metrics.
+    pub fn breaker(&self) -> BreakerState {
+        BreakerState {
+            quarantined: self.quarantined.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            rejected_total: self.rejected_total.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -158,6 +306,97 @@ mod tests {
         assert_eq!(reg.current().fingerprint, swapped.fingerprint);
         // The pre-swap snapshot still works (no use-after-swap hazard).
         assert_eq!(before.generation, 1);
+    }
+
+    /// `ModelEntry` holds a live extractor and has no `Debug`, so
+    /// `unwrap_err` does not apply; this is the moral equivalent.
+    fn reload_err(reg: &ModelRegistry, text: &str) -> ReloadError {
+        match reg.reload_guarded(text, "peer") {
+            Ok(_) => panic!("expected the reload to be rejected"),
+            Err(err) => err,
+        }
+    }
+
+    #[test]
+    fn guarded_reload_swaps_a_good_model() {
+        let reg = ModelRegistry::load(&model(3).to_text(), "boot").unwrap();
+        let entry = reg.reload_guarded(&model(4).to_text_checksummed(), "peer").unwrap();
+        assert_eq!(entry.generation, 2);
+        assert_eq!(reg.current().fingerprint, entry.fingerprint);
+        assert_eq!(reg.breaker(), BreakerState::default());
+    }
+
+    #[test]
+    fn guarded_reload_quarantines_and_opens_the_breaker() {
+        let reg = ModelRegistry::load(&model(3).to_text(), "boot").unwrap();
+        let good_fp = reg.current().fingerprint;
+        let tampered = model(4).to_text_checksummed().replacen("0.", "1.", 1);
+
+        // First upload: validated, rejected, quarantined.
+        let err = reload_err(&reg, &tampered);
+        assert!(matches!(err, ReloadError::Rejected { step: "seal", .. }), "{err}");
+
+        // Identical re-upload: the breaker answers without re-validating.
+        let err = reload_err(&reg, &tampered);
+        assert!(matches!(err, ReloadError::BreakerOpen { .. }), "{err}");
+        assert_eq!(reg.breaker(), BreakerState { quarantined: 1, rejected_total: 2 });
+
+        // The last good model never stopped serving.
+        assert_eq!(reg.current().fingerprint, good_fp);
+        assert_eq!(reg.current().generation, 1);
+    }
+
+    #[test]
+    fn failed_validation_burns_no_generation_numbers() {
+        let reg = ModelRegistry::load(&model(3).to_text(), "boot").unwrap();
+        let _ = reload_err(&reg, "garbage");
+        let _ = reload_err(&reg, &model(5).to_text()); // unsealed
+        let entry = reg.reload_guarded(&model(4).to_text_checksummed(), "peer").unwrap();
+        assert_eq!(entry.generation, 2, "rejections must not consume generations");
+    }
+
+    #[test]
+    fn canary_rejects_a_numerically_poisoned_extractor() {
+        // Poisoned weights (not representable in a sealed upload — the
+        // parser rejects NaN) still cannot sneak past the canary, which
+        // guards the semantic gap between "deserializes" and "serves".
+        let mut poisoned = model(9);
+        poisoned.matrices_mut()[0][(0, 0)] = f64::NAN;
+        let ex = SymmetryExtractor::new(ExtractorConfig::default())
+            .with_model(poisoned)
+            .unwrap();
+        let err = canary_check(&ex).unwrap_err();
+        assert!(err.contains("canary inference failed"), "{err}");
+        // A healthy extractor passes.
+        let ok = SymmetryExtractor::new(ExtractorConfig::default())
+            .with_model(model(9))
+            .unwrap();
+        assert!(canary_check(&ok).is_ok());
+    }
+
+    #[test]
+    fn guarded_reload_runs_the_canary_on_parseable_models() {
+        // Finite but adversarial weights: ±1e308 in the same dot
+        // product overflows to inf − inf = NaN during inference. The
+        // seal verifies and the model parses — only the canary's first
+        // inference can catch it.
+        let reg = ModelRegistry::load(&model(3).to_text(), "boot").unwrap();
+        let mut bad = model(4);
+        for m in bad.matrices_mut() {
+            let (rows, cols) = m.shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    m[(r, c)] = if (r + c) % 2 == 0 { 1e308 } else { -1e308 };
+                }
+            }
+        }
+        let err = reload_err(&reg, &bad.to_text_checksummed());
+        assert!(
+            matches!(err, ReloadError::Rejected { step: "canary", .. }),
+            "expected a canary rejection, got: {err}"
+        );
+        assert_eq!(reg.current().generation, 1, "rollback to the last good generation");
+        assert_eq!(reg.breaker().quarantined, 1);
     }
 
     #[test]

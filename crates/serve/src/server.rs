@@ -1,19 +1,28 @@
 //! The extraction daemon: accept loop, request routing, backpressure,
-//! deadlines, and graceful shutdown.
+//! deadlines, admission control, and graceful shutdown.
 //!
 //! Architecture in one paragraph: a single accept thread owns the
-//! [`TcpListener`] and a [`WorkerPool`]. Accepted connections are
-//! submitted to the pool's bounded queue without blocking — when the
-//! queue is full the accept thread answers `503` + `Retry-After`
-//! directly, without even reading the request, so overload sheds load
-//! in O(1) instead of growing latency. Workers parse the request under
-//! a per-request deadline, route it, and run extraction against a warm
-//! model snapshot from the [`ModelRegistry`], consulting the
-//! content-addressed [`ResultCache`] first. Shutdown (`POST
-//! /v1/shutdown` or [`ShutdownHandle::signal`]) flips a flag and
+//! [`TcpListener`] and a supervised [`WorkerPool`]. Accepted
+//! connections are submitted to the pool's bounded queue without
+//! blocking — when the queue is full the accept thread answers `503` +
+//! `Retry-After` directly, without even reading the request, so
+//! overload sheds load in O(1) instead of growing latency. Between the
+//! full-queue cliff and normal operation sits a brownout band: when the
+//! queue crosses its high watermark the daemon keeps answering cache
+//! hits but sheds cold (cache-miss) extract requests with `503`, and
+//! leaves brownout only once the queue drains below the low watermark
+//! (hysteresis, so the flag does not flap). Workers parse the request
+//! under bounded framing limits and a per-request deadline, route it,
+//! and run extraction against a warm model snapshot from the
+//! [`ModelRegistry`], consulting the content-addressed [`ResultCache`]
+//! first. Every request runs under `catch_unwind` twice: once around
+//! routing (a panicking handler becomes a clean `500` with stage
+//! `worker_panic`) and once in the pool itself (whatever else unwinds
+//! restarts the worker slot with capped exponential backoff). Shutdown
+//! (`POST /v1/shutdown` or [`ShutdownHandle::signal`]) flips a flag and
 //! self-connects to unblock `accept`; the accept loop then closes the
-//! queue and drains every request already admitted before
-//! [`Server::wait`] returns.
+//! queue, drains every request already admitted, and flushes metrics
+//! and traces to disk before [`Server::wait`] returns.
 //!
 //! One deliberate trade-off: the tracer's output format guarantees
 //! globally LIFO span nesting with monotonic timestamps (that is what
@@ -21,22 +30,34 @@
 //! When `--trace-out` is active the daemon therefore serializes request
 //! handling through a trace gate — correctness of the trace stream over
 //! parallelism. Without tracing there is no gate and requests run fully
-//! concurrently.
+//! concurrently. The gate is held by the connection handler *outside*
+//! the `catch_unwind` around routing, so a panicking route cannot
+//! poison it.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use ancstr_core::{cache_key, extract_source, ExtractError, PipelineObs, ServiceReply};
+use ancstr_core::{
+    cache_key, extract_source_cancellable, write_atomic, CancelToken, ExtractError, PipelineObs,
+    ServiceReply,
+};
 use ancstr_obs::metrics::DURATION_BUCKETS_S;
 use ancstr_obs::Json;
 
 use crate::cache::{CacheStats, ResultCache};
-use crate::http::{read_request, ReadError, Request, Response};
-use crate::pool::{SubmitError, WorkerPool};
-use crate::registry::{ModelEntry, ModelRegistry};
+use crate::flight::SingleFlight;
+use crate::http::{read_request, ReadError, ReadLimits, Request, Response};
+use crate::pool::{SubmitError, Supervision, WorkerPool};
+use crate::registry::{ModelEntry, ModelRegistry, ReloadError};
+
+/// How many consecutive `accept()` failures the loop tolerates before
+/// concluding the listener is beyond saving and draining out.
+const MAX_CONSECUTIVE_ACCEPT_ERRORS: u32 = 100;
 
 /// Tunables for one daemon instance.
 #[derive(Debug, Clone)]
@@ -54,6 +75,21 @@ pub struct ServeConfig {
     pub request_timeout: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Default extraction deadline (`--default-deadline-ms`), tightened
+    /// further per request by the `x-ancstr-deadline-ms` header. `None`
+    /// leaves only `request_timeout` in force.
+    pub default_deadline: Option<Duration>,
+    /// Queue depth at which brownout begins (cold traffic is shed).
+    pub brownout_high: usize,
+    /// Queue depth at which brownout ends. Must be `<= brownout_high`;
+    /// the gap is the hysteresis band.
+    pub brownout_low: usize,
+    /// Honor `x-ancstr-chaos` fault-cooperation headers (test rigs
+    /// only; never enable in production).
+    pub chaos: bool,
+    /// When set, the drain path writes the final metrics snapshot here
+    /// (Prometheus text format) before the daemon exits.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +101,11 @@ impl Default for ServeConfig {
             cache_entries: 256,
             request_timeout: Duration::from_secs(30),
             max_body_bytes: 4 * 1024 * 1024,
+            default_deadline: None,
+            brownout_high: 48,
+            brownout_low: 16,
+            chaos: false,
+            metrics_out: None,
         }
     }
 }
@@ -73,6 +114,9 @@ impl Default for ServeConfig {
 struct Ctx {
     registry: Arc<ModelRegistry>,
     cache: ResultCache,
+    /// Coalesces concurrent misses on one cache key onto one pipeline
+    /// run (anti-thundering-herd).
+    flight: SingleFlight,
     obs: PipelineObs,
     shutdown: Arc<AtomicBool>,
     /// Present iff a tracer is attached; holding it serializes traced
@@ -80,6 +124,13 @@ struct Ctx {
     trace_gate: Option<Mutex<()>>,
     request_timeout: Duration,
     max_body: usize,
+    default_deadline: Option<Duration>,
+    /// Set while admission control sheds cold traffic.
+    brownout: AtomicBool,
+    /// Requests whose handler panicked (both catch layers).
+    worker_panics: AtomicU64,
+    chaos: bool,
+    metrics_out: Option<PathBuf>,
     started: Instant,
     local_addr: SocketAddr,
     /// Cache counters already published to the metrics registry, so
@@ -131,11 +182,17 @@ impl Server {
         let ctx = Arc::new(Ctx {
             registry,
             cache: ResultCache::new(cfg.cache_entries),
+            flight: SingleFlight::new(),
             trace_gate: obs.tracing().then(|| Mutex::new(())),
             obs,
             shutdown: Arc::clone(&shutdown),
             request_timeout: cfg.request_timeout,
             max_body: cfg.max_body_bytes,
+            default_deadline: cfg.default_deadline,
+            brownout: AtomicBool::new(false),
+            worker_panics: AtomicU64::new(0),
+            chaos: cfg.chaos,
+            metrics_out: cfg.metrics_out.clone(),
             started: Instant::now(),
             local_addr: addr,
             published: Mutex::new(CacheStats::default()),
@@ -168,14 +225,49 @@ impl Server {
 
 fn accept_loop(listener: TcpListener, cfg: ServeConfig, ctx: Arc<Ctx>, flag: Arc<AtomicBool>) {
     let worker_ctx = Arc::clone(&ctx);
-    let pool = WorkerPool::new(cfg.workers, cfg.queue_depth, move |(stream, accepted)| {
-        handle_conn(&worker_ctx, stream, accepted);
-    });
+    let panic_ctx = Arc::clone(&ctx);
+    let supervision = Supervision {
+        on_panic: Some(Arc::new(move |worker| {
+            // The dispatch-level catch already answered the client for
+            // route panics; this layer fires for anything that escapes
+            // it (chaos `panic-raw`, framing bugs) and restarts the
+            // slot.
+            panic_ctx.worker_panics.fetch_add(1, Ordering::SeqCst);
+            panic_ctx.obs.metrics().counter_add(
+                "ancstr_serve_worker_panics_total",
+                &[("layer", "pool")],
+                1,
+            );
+            panic_ctx.obs.event("serve", "worker_restart", &[("worker", worker.into())]);
+        })),
+        ..Supervision::default()
+    };
+    let pool = WorkerPool::supervised(
+        cfg.workers,
+        cfg.queue_depth,
+        supervision,
+        move |(stream, accepted, shed_cold)| {
+            handle_conn(&worker_ctx, stream, accepted, shed_cold);
+        },
+    );
+    let mut consecutive_errors: u32 = 0;
     loop {
         let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
+            Ok((stream, _)) => {
+                consecutive_errors = 0;
+                stream
+            }
             Err(_) => {
                 if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                ctx.obs.metrics().counter_add("ancstr_serve_accept_errors_total", &[], 1);
+                consecutive_errors += 1;
+                if consecutive_errors >= MAX_CONSECUTIVE_ACCEPT_ERRORS {
+                    // The listener is wedged (fd exhaustion, interface
+                    // gone). Drain what was admitted and exit cleanly
+                    // instead of spinning forever.
+                    flag.store(true, Ordering::SeqCst);
                     break;
                 }
                 thread::sleep(Duration::from_millis(5));
@@ -185,13 +277,17 @@ fn accept_loop(listener: TcpListener, cfg: ServeConfig, ctx: Arc<Ctx>, flag: Arc
         if flag.load(Ordering::SeqCst) {
             break; // the wake connection itself, or a race with it
         }
-        match pool.submit((stream, Instant::now())) {
+        // Tag the request with the brownout state at admission: the
+        // decision is made once, here, so a flap mid-handling cannot
+        // shed a request that was admitted under normal operation.
+        let shed_cold = ctx.brownout.load(Ordering::SeqCst);
+        match pool.submit((stream, Instant::now(), shed_cold)) {
             Ok(()) => {
-                ctx.obs
-                    .metrics()
-                    .gauge_set("ancstr_serve_queue_depth", &[], pool.depth() as f64);
+                let depth = pool.depth();
+                ctx.obs.metrics().gauge_set("ancstr_serve_queue_depth", &[], depth as f64);
+                update_brownout(&ctx, depth, cfg.brownout_high, cfg.brownout_low);
             }
-            Err((reason, (mut stream, _))) => {
+            Err((reason, (mut stream, _, _))) => {
                 let reason = match reason {
                     SubmitError::Full => "queue_full",
                     SubmitError::Closed => "closed",
@@ -208,6 +304,37 @@ fn accept_loop(listener: TcpListener, cfg: ServeConfig, ctx: Arc<Ctx>, flag: Arc
     drop(listener);
     pool.shutdown();
     ctx.obs.metrics().gauge_set("ancstr_serve_queue_depth", &[], 0.0);
+    drain_flush(&ctx);
+}
+
+/// Hysteresis for the brownout flag: enter at the high watermark, leave
+/// at the low one, hold in between.
+fn update_brownout(ctx: &Ctx, depth: usize, high: usize, low: usize) {
+    let was = ctx.brownout.load(Ordering::SeqCst);
+    let now = if depth >= high.max(1) {
+        true
+    } else if depth <= low {
+        false
+    } else {
+        was
+    };
+    if now != was {
+        ctx.brownout.store(now, Ordering::SeqCst);
+        ctx.obs.metrics().gauge_set("ancstr_serve_brownout", &[], f64::from(u8::from(now)));
+        ctx.obs.event("serve", "brownout", &[("active", now.into()), ("depth", depth.into())]);
+    }
+}
+
+/// The end of the drain path: fold in the final cache counters, persist
+/// the metrics snapshot when configured, and flush the trace stream.
+/// Every accept-loop exit (shutdown endpoint, signal, wedged listener)
+/// funnels through here, so operators get a complete final snapshot
+/// even on unhappy paths.
+fn drain_flush(ctx: &Ctx) {
+    publish_cache_metrics(ctx);
+    if let Some(path) = &ctx.metrics_out {
+        let _ = write_atomic(path, &ctx.obs.metrics().render());
+    }
     ctx.obs.flush();
 }
 
@@ -223,13 +350,20 @@ fn register_help(obs: &PipelineObs) {
     m.help("ancstr_serve_cache_evictions_total", "Cached replies evicted by the LRU bound.");
     m.help("ancstr_serve_cache_entries", "Replies currently resident in the result cache.");
     m.help("ancstr_serve_model_reloads_total", "Model hot-swap attempts, by result.");
+    m.help("ancstr_serve_model_quarantined", "Upload bodies quarantined by the reload circuit breaker.");
+    m.help("ancstr_serve_worker_panics_total", "Request handlers that panicked, by catch layer.");
+    m.help("ancstr_serve_deadline_expired_total", "Extractions aborted because the per-request deadline expired.");
+    m.help("ancstr_serve_brownout_sheds_total", "Cold (cache-miss) extract requests shed during brownout.");
+    m.help("ancstr_serve_brownout", "1 while admission control is shedding cold traffic.");
+    m.help("ancstr_serve_accept_errors_total", "Errors returned by the listener's accept().");
 }
 
 /// Handle one admitted connection end-to-end.
-fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant) {
+fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant, shed_cold: bool) {
     // The deadline covers time already spent queued: a request that
     // starved in the queue is answered with 503 rather than processed
     // long after the client gave up.
+    let hard_deadline = accepted + ctx.request_timeout;
     let Some(remaining) = ctx.request_timeout.checked_sub(accepted.elapsed()) else {
         ctx.obs
             .metrics()
@@ -245,12 +379,18 @@ fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant) {
         .unwrap_or_else(|_| "unknown".to_owned());
 
     let started = Instant::now();
-    let req = match read_request(&mut stream, ctx.max_body) {
+    // Framing limits: body size, header count/length, and the hard
+    // deadline — a slowloris client dripping bytes is cut off at the
+    // same deadline as everyone else, between reads, regardless of the
+    // per-read socket timeout.
+    let limits = ReadLimits::new(ctx.max_body).with_deadline(hard_deadline);
+    let req = match read_request(&mut stream, &limits) {
         Ok(req) => req,
         Err(err) => {
             let (status, route) = match &err {
                 ReadError::BadRequest(_) => (400, "malformed"),
                 ReadError::BodyTooLarge { .. } => (413, "malformed"),
+                ReadError::HeadTooLarge { .. } => (431, "malformed"),
                 ReadError::Timeout => (408, "malformed"),
                 ReadError::Io(_) => {
                     // The peer vanished; nobody is listening for a reply.
@@ -262,7 +402,27 @@ fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant) {
         }
     };
 
-    // Serialize traced handling; see the module docs for why.
+    // Chaos hook exercising the *pool* supervision layer: the panic
+    // escapes the dispatch-level catch below, so the client sees a torn
+    // connection and the worker slot restarts under backoff.
+    if ctx.chaos && req.header("x-ancstr-chaos") == Some("panic-raw") {
+        panic!("chaos: injected pre-dispatch panic");
+    }
+
+    // The extraction deadline: the hard per-request budget, tightened
+    // by the daemon-wide default and the client's own header. The token
+    // keeps whichever deadline is earliest.
+    let mut cancel = CancelToken::new().with_deadline(hard_deadline);
+    if let Some(budget) = ctx.default_deadline {
+        cancel = cancel.with_deadline(Instant::now() + budget);
+    }
+    if let Some(ms) = req.header("x-ancstr-deadline-ms").and_then(|v| v.trim().parse::<u64>().ok())
+    {
+        cancel = cancel.with_deadline(Instant::now() + Duration::from_millis(ms));
+    }
+
+    // Serialize traced handling; see the module docs for why. Held
+    // outside the catch_unwind so a panicking route cannot poison it.
     let _gate = ctx
         .trace_gate
         .as_ref()
@@ -272,7 +432,23 @@ fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant) {
         let _span = ctx
             .obs
             .stage_with("serve", &[("route", route.into()), ("peer", peer.as_str().into())]);
-        dispatch(ctx, &req, &peer)
+        // Panic isolation, layer one: a handler panic becomes a clean
+        // 500 on this connection and the worker keeps its slot.
+        panic::catch_unwind(AssertUnwindSafe(|| dispatch(ctx, &req, &peer, &cancel, shed_cold)))
+            .unwrap_or_else(|_| {
+                ctx.worker_panics.fetch_add(1, Ordering::SeqCst);
+                ctx.obs.metrics().counter_add(
+                    "ancstr_serve_worker_panics_total",
+                    &[("layer", "dispatch")],
+                    1,
+                );
+                Response::json(
+                    500,
+                    &Json::obj()
+                        .set("error", "the request handler panicked; the worker recovered")
+                        .set("stage", "worker_panic"),
+                )
+            })
     };
     finish(ctx, &mut stream, route, started, response);
 }
@@ -302,21 +478,42 @@ fn route_label(req: &Request) -> &'static str {
         "/v1/models" => "/v1/models",
         "/v1/shutdown" => "/v1/shutdown",
         "/healthz" => "/healthz",
+        "/healthz/live" => "/healthz/live",
+        "/healthz/ready" => "/healthz/ready",
         "/metrics" => "/metrics",
         _ => "other",
     }
 }
 
-fn dispatch(ctx: &Ctx, req: &Request, peer: &str) -> Response {
+fn dispatch(ctx: &Ctx, req: &Request, peer: &str, cancel: &CancelToken, shed_cold: bool) -> Response {
+    if ctx.chaos {
+        match req.header("x-ancstr-chaos") {
+            // Exercises the dispatch-level catch: clean 500, same
+            // connection, worker survives.
+            Some("panic") => panic!("chaos: injected dispatch panic"),
+            // Simulates a stuck handler so deadline propagation has
+            // something real to cut short.
+            Some(v) => {
+                if let Some(ms) = v.strip_prefix("stall-ms:").and_then(|n| n.parse::<u64>().ok()) {
+                    thread::sleep(Duration::from_millis(ms));
+                }
+            }
+            None => {}
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/extract") => extract_route(ctx, req, peer),
+        ("POST", "/v1/extract") => extract_route(ctx, req, peer, cancel, shed_cold),
         ("GET", "/healthz") => healthz_route(ctx),
+        ("GET", "/healthz/live") => Response::json(200, &Json::obj().set("status", "alive")),
+        ("GET", "/healthz/ready") => readyz_route(ctx),
         ("GET", "/metrics") => metrics_route(ctx),
         ("POST", "/v1/models") => models_route(ctx, req, peer),
         ("POST", "/v1/shutdown") => shutdown_route(ctx),
-        (_, "/v1/extract" | "/v1/models" | "/v1/shutdown" | "/healthz" | "/metrics") => {
-            error_response(405, &format!("{} is not supported on {}", req.method, req.path))
-        }
+        (
+            _,
+            "/v1/extract" | "/v1/models" | "/v1/shutdown" | "/healthz" | "/healthz/live"
+            | "/healthz/ready" | "/metrics",
+        ) => error_response(405, &format!("{} is not supported on {}", req.method, req.path)),
         _ => error_response(404, &format!("no endpoint at {}", req.path)),
     }
 }
@@ -326,31 +523,77 @@ fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, &Json::obj().set("error", message))
 }
 
-fn extract_route(ctx: &Ctx, req: &Request, peer: &str) -> Response {
+fn extract_route(
+    ctx: &Ctx,
+    req: &Request,
+    peer: &str,
+    cancel: &CancelToken,
+    shed_cold: bool,
+) -> Response {
     let Ok(source) = std::str::from_utf8(&req.body) else {
         return error_response(400, "request body is not valid UTF-8");
     };
     if source.trim().is_empty() {
         return error_response(400, "empty netlist body");
     }
+    // An already-expired budget is 408 even when the answer is cached:
+    // the client stopped waiting, and a deterministic status beats a
+    // reply whose fate depends on cache temperature.
+    if cancel.is_cancelled() {
+        ctx.obs.metrics().counter_add("ancstr_serve_deadline_expired_total", &[], 1);
+        return extract_error_response(408, &ExtractError::Cancelled);
+    }
     // Snapshot the model once; the whole request is served by exactly
     // this entry even if a hot-swap lands mid-flight.
     let entry = ctx.registry.current();
     let key = cache_key(&req.body, entry.extractor.config(), entry.fingerprint);
+    // Single-flight: at most one worker computes any given key. A
+    // follower waits — bounded by its own deadline — for the leader to
+    // publish, then takes leadership itself just long enough to read
+    // the cache. This turns N identical cold requests into one
+    // pipeline run and makes the hit/miss counters deterministic.
+    let _lead = loop {
+        match ctx.flight.begin(&key) {
+            Some(guard) => break guard,
+            None => {
+                ctx.flight.wait(&key, Duration::from_millis(50));
+                if cancel.is_cancelled() {
+                    ctx.obs.metrics().counter_add("ancstr_serve_deadline_expired_total", &[], 1);
+                    return extract_error_response(408, &ExtractError::Cancelled);
+                }
+            }
+        }
+    };
     if let Some(reply) = ctx.cache.get(&key) {
+        // Cache hits are cheap; brownout never sheds them.
         return reply_response(&reply, &entry, true);
     }
-    match extract_source(source, peer, &entry.extractor, &ctx.obs) {
+    if shed_cold {
+        ctx.obs.metrics().counter_add("ancstr_serve_brownout_sheds_total", &[], 1);
+        return Response::json(
+            503,
+            &Json::obj()
+                .set("error", "brownout: the daemon is shedding cold requests; retry shortly")
+                .set("stage", "brownout"),
+        )
+        .header("Retry-After", "1");
+    }
+    match extract_source_cancellable(source, peer, &entry.extractor, &ctx.obs, cancel) {
         Ok(reply) => {
             let reply = Arc::new(reply);
             ctx.cache.put(key, Arc::clone(&reply));
             reply_response(&reply, &entry, false)
         }
         Err(err) => {
-            // Parse/elaborate failures indict the client's netlist;
-            // everything downstream is the server's problem.
+            // Parse/elaborate failures indict the client's netlist; an
+            // expired deadline is the client's budget; everything
+            // downstream is the server's problem.
             let status = match err.exit_code() {
                 4 | 5 => 400,
+                10 => {
+                    ctx.obs.metrics().counter_add("ancstr_serve_deadline_expired_total", &[], 1);
+                    408
+                }
                 _ => 500,
             };
             extract_error_response(status, &err)
@@ -388,17 +631,26 @@ fn reply_response(reply: &ServiceReply, entry: &ModelEntry, cached: bool) -> Res
 fn healthz_route(ctx: &Ctx) -> Response {
     let entry = ctx.registry.current();
     let stats = ctx.cache.stats();
+    let breaker = ctx.registry.breaker();
     Response::json(
         200,
         &Json::obj()
             .set("status", "ok")
             .set("uptime_seconds", ctx.started.elapsed().as_secs_f64())
+            .set("brownout", ctx.brownout.load(Ordering::SeqCst))
+            .set("worker_panics", ctx.worker_panics.load(Ordering::SeqCst))
             .set(
                 "model",
                 Json::obj()
                     .set("fingerprint", entry.fingerprint_hex())
                     .set("generation", entry.generation)
                     .set("source", entry.source.as_str()),
+            )
+            .set(
+                "breaker",
+                Json::obj()
+                    .set("quarantined", breaker.quarantined as u64)
+                    .set("rejected_total", breaker.rejected_total),
             )
             .set(
                 "cache",
@@ -409,6 +661,29 @@ fn healthz_route(ctx: &Ctx) -> Response {
                     .set("entries", stats.entries as u64),
             ),
     )
+}
+
+/// Readiness is stricter than liveness: a draining or browned-out
+/// daemon is alive (do not restart it) but not ready (stop routing new
+/// traffic to it).
+fn readyz_route(ctx: &Ctx) -> Response {
+    let mut reasons: Vec<Json> = Vec::new();
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        reasons.push("draining".into());
+    }
+    if ctx.brownout.load(Ordering::SeqCst) {
+        reasons.push("brownout".into());
+    }
+    let ready = reasons.is_empty();
+    let body = Json::obj()
+        .set("status", if ready { "ready" } else { "degraded" })
+        .set("reasons", reasons)
+        .set("quarantined_models", ctx.registry.breaker().quarantined as u64);
+    let mut resp = Response::json(if ready { 200 } else { 503 }, &body);
+    if !ready {
+        resp = resp.header("Retry-After", "1");
+    }
+    resp
 }
 
 fn metrics_route(ctx: &Ctx) -> Response {
@@ -438,13 +713,13 @@ fn models_route(ctx: &Ctx, req: &Request, peer: &str) -> Response {
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return error_response(400, "model body is not valid UTF-8");
     };
-    match ctx.registry.reload_sealed(text, peer) {
+    let m = ctx.obs.metrics();
+    let result = ctx.registry.reload_guarded(text, peer);
+    let breaker = ctx.registry.breaker();
+    m.gauge_set("ancstr_serve_model_quarantined", &[], breaker.quarantined as f64);
+    match result {
         Ok(entry) => {
-            ctx.obs.metrics().counter_add(
-                "ancstr_serve_model_reloads_total",
-                &[("result", "ok")],
-                1,
-            );
+            m.counter_add("ancstr_serve_model_reloads_total", &[("result", "ok")], 1);
             Response::json(
                 200,
                 &Json::obj()
@@ -452,13 +727,16 @@ fn models_route(ctx: &Ctx, req: &Request, peer: &str) -> Response {
                     .set("generation", entry.generation),
             )
         }
-        Err(err) => {
-            ctx.obs.metrics().counter_add(
-                "ancstr_serve_model_reloads_total",
-                &[("result", "rejected")],
-                1,
-            );
-            error_response(400, &err.to_string())
+        Err(err @ ReloadError::BreakerOpen { .. }) => {
+            m.counter_add("ancstr_serve_model_reloads_total", &[("result", "breaker_open")], 1);
+            Response::json(
+                422,
+                &Json::obj().set("error", err.to_string()).set("stage", "breaker"),
+            )
+        }
+        Err(err @ ReloadError::Rejected { step, .. }) => {
+            m.counter_add("ancstr_serve_model_reloads_total", &[("result", "rejected")], 1);
+            Response::json(400, &Json::obj().set("error", err.to_string()).set("stage", step))
         }
     }
 }
@@ -487,21 +765,23 @@ M5 t t vss vss nch w=1u l=0.1u
 .ends
 ";
 
-    fn start_server(cache_entries: usize) -> Server {
-        let model = GnnModel::new(GnnConfig {
+    fn test_model(seed: u64) -> GnnModel {
+        GnnModel::new(GnnConfig {
             dim: ancstr_core::FEATURE_DIM,
             layers: 2,
-            seed: 11,
+            seed,
             ..GnnConfig::default()
-        });
+        })
+    }
+
+    fn start_with(cfg: ServeConfig) -> Server {
         let registry =
-            Arc::new(ModelRegistry::load(&model.to_text(), "unit-test").unwrap());
-        let cfg = ServeConfig {
-            workers: 2,
-            cache_entries,
-            ..ServeConfig::default()
-        };
+            Arc::new(ModelRegistry::load(&test_model(11).to_text(), "unit-test").unwrap());
         Server::start(cfg, registry, PipelineObs::new(None)).unwrap()
+    }
+
+    fn start_server(cache_entries: usize) -> Server {
+        start_with(ServeConfig { workers: 2, cache_entries, ..ServeConfig::default() })
     }
 
     fn stop(server: Server) {
@@ -520,6 +800,19 @@ M5 t t vss vss nch w=1u l=0.1u
         assert!(health.text().contains("\"status\":\"ok\""), "{}", health.text());
         assert_eq!(client::get(addr, "/nope", T).unwrap().status, 404);
         assert_eq!(client::get(addr, "/v1/extract", T).unwrap().status, 405);
+        stop(server);
+    }
+
+    #[test]
+    fn liveness_and_readiness_split() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let live = client::get(addr, "/healthz/live", T).unwrap();
+        assert_eq!(live.status, 200);
+        assert!(live.text().contains("\"status\":\"alive\""), "{}", live.text());
+        let ready = client::get(addr, "/healthz/ready", T).unwrap();
+        assert_eq!(ready.status, 200, "{}", ready.text());
+        assert!(ready.text().contains("\"status\":\"ready\""), "{}", ready.text());
         stop(server);
     }
 
@@ -568,21 +861,197 @@ M5 t t vss vss nch w=1u l=0.1u
     }
 
     #[test]
+    fn an_exhausted_default_deadline_maps_to_408() {
+        let server = start_with(ServeConfig {
+            workers: 2,
+            cache_entries: 8,
+            default_deadline: Some(Duration::ZERO),
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        let reply = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(reply.status, 408, "{}", reply.text());
+        assert!(reply.text().contains("\"stage\":\"deadline\""), "{}", reply.text());
+        let metrics = client::get(addr, "/metrics", T).unwrap().text();
+        assert!(metrics.contains("ancstr_serve_deadline_expired_total 1"), "{metrics}");
+        stop(server);
+    }
+
+    #[test]
+    fn the_deadline_header_tightens_the_budget_per_request() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let reply = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-deadline-ms", "0")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(reply.status, 408, "{}", reply.text());
+        // Without the header the same request succeeds.
+        let ok = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(ok.status, 200, "{}", ok.text());
+        stop(server);
+    }
+
+    #[test]
+    fn brownout_sheds_cold_requests_but_serves_cached_ones() {
+        // high watermark 1 + low watermark 0: submitting any request
+        // while another is queued latches brownout; serial requests
+        // against a single worker keep it latched long enough to observe
+        // deterministically by priming the flag with depth >= 1.
+        let server = start_with(ServeConfig {
+            workers: 1,
+            cache_entries: 8,
+            brownout_high: 1,
+            brownout_low: 0,
+            chaos: true,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        // Prime the cache while healthy.
+        let warm = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(warm.status, 200, "{}", warm.text());
+        // Latch brownout: stall the single worker, then pile requests
+        // into the queue so depth crosses the high watermark. Every
+        // probe is submitted (and thus tagged at admission) while the
+        // stall still holds the worker, then they drain FIFO.
+        let stalled = thread::spawn(move || {
+            client::post_with(addr, "/healthz", &[("x-ancstr-chaos", "stall-ms:1500")], b"", T)
+        });
+        thread::sleep(Duration::from_millis(200));
+        let latch = thread::spawn(move || client::get(addr, "/healthz", T));
+        thread::sleep(Duration::from_millis(200));
+        // Cache hit: admitted in brownout but served anyway.
+        let hit = thread::spawn(move || client::post(addr, "/v1/extract", NETLIST.as_bytes(), T));
+        // Cold request: admitted in brownout, cache miss, shed.
+        let cold = NETLIST.replace("w=1u", "w=3u");
+        let shed = thread::spawn(move || client::post(addr, "/v1/extract", cold.as_bytes(), T));
+        thread::sleep(Duration::from_millis(200));
+        let ready = thread::spawn(move || client::get(addr, "/healthz/ready", T));
+
+        assert!(stalled.join().unwrap().is_ok());
+        assert!(latch.join().unwrap().is_ok());
+        let hit = hit.join().unwrap().unwrap();
+        assert_eq!(hit.status, 200, "{}", hit.text());
+        assert!(hit.text().contains("\"cached\":true"), "{}", hit.text());
+        let shed = shed.join().unwrap().unwrap();
+        assert_eq!(shed.status, 503, "{}", shed.text());
+        assert_eq!(shed.header("retry-after"), Some("1"));
+        assert!(shed.text().contains("\"stage\":\"brownout\""), "{}", shed.text());
+        let ready = ready.join().unwrap().unwrap();
+        assert_eq!(ready.status, 503, "{}", ready.text());
+        assert!(ready.text().contains("brownout"), "{}", ready.text());
+        stop(server);
+    }
+
+    #[test]
+    fn a_dispatch_panic_is_answered_500_and_the_worker_survives() {
+        let server = start_with(ServeConfig {
+            workers: 1,
+            cache_entries: 8,
+            chaos: true,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        let boom = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-chaos", "panic")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(boom.status, 500, "{}", boom.text());
+        assert!(boom.text().contains("\"stage\":\"worker_panic\""), "{}", boom.text());
+        // The same (sole) worker keeps serving.
+        let after = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(after.status, 200, "{}", after.text());
+        let metrics = client::get(addr, "/metrics", T).unwrap().text();
+        assert!(
+            metrics.contains("ancstr_serve_worker_panics_total{layer=\"dispatch\"} 1"),
+            "{metrics}"
+        );
+        stop(server);
+    }
+
+    #[test]
+    fn a_raw_panic_restarts_the_worker_slot() {
+        let server = start_with(ServeConfig {
+            workers: 1,
+            cache_entries: 8,
+            chaos: true,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        // The panic fires before the dispatch catch: the connection is
+        // torn (no reply) and the pool supervisor restarts the slot.
+        let torn = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-chaos", "panic-raw")],
+            NETLIST.as_bytes(),
+            T,
+        );
+        assert!(torn.is_err(), "a raw panic must tear the connection: {torn:?}");
+        // The daemon still answers on the next connection.
+        let after = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(after.status, 200, "{}", after.text());
+        let metrics = client::get(addr, "/metrics", T).unwrap().text();
+        assert!(
+            metrics.contains("ancstr_serve_worker_panics_total{layer=\"pool\"} 1"),
+            "{metrics}"
+        );
+        stop(server);
+    }
+
+    #[test]
+    fn chaos_headers_are_inert_without_the_flag() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let reply = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-chaos", "panic")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        stop(server);
+    }
+
+    #[test]
     fn model_reload_requires_a_sealed_envelope() {
         let server = start_server(8);
         let addr = server.local_addr();
-        let next = GnnModel::new(GnnConfig {
-            dim: ancstr_core::FEATURE_DIM,
-            layers: 2,
-            seed: 12,
-            ..GnnConfig::default()
-        });
+        let next = test_model(12);
         let plain = client::post(addr, "/v1/models", next.to_text().as_bytes(), T).unwrap();
         assert_eq!(plain.status, 400, "{}", plain.text());
         let sealed =
             client::post(addr, "/v1/models", next.to_text_checksummed().as_bytes(), T).unwrap();
         assert_eq!(sealed.status, 200, "{}", sealed.text());
         assert!(sealed.text().contains("\"generation\":2"), "{}", sealed.text());
+        stop(server);
+    }
+
+    #[test]
+    fn repeated_bad_uploads_open_the_breaker() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let tampered = test_model(12).to_text_checksummed().replacen("0.", "1.", 1);
+        let first = client::post(addr, "/v1/models", tampered.as_bytes(), T).unwrap();
+        assert_eq!(first.status, 400, "{}", first.text());
+        assert!(first.text().contains("\"stage\":\"seal\""), "{}", first.text());
+        let second = client::post(addr, "/v1/models", tampered.as_bytes(), T).unwrap();
+        assert_eq!(second.status, 422, "{}", second.text());
+        assert!(second.text().contains("\"stage\":\"breaker\""), "{}", second.text());
+        // The boot model never stopped serving.
+        let health = client::get(addr, "/healthz", T).unwrap();
+        assert!(health.text().contains("\"generation\":1"), "{}", health.text());
+        assert!(health.text().contains("\"quarantined\":1"), "{}", health.text());
         stop(server);
     }
 
@@ -594,5 +1063,25 @@ M5 t t vss vss nch w=1u l=0.1u
         assert_eq!(reply.status, 200);
         assert!(reply.text().contains("draining"), "{}", reply.text());
         server.wait(); // must return, not hang
+    }
+
+    #[test]
+    fn drain_writes_the_metrics_snapshot_when_configured() {
+        let dir = std::env::temp_dir().join(format!("ancstr-serve-drain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("metrics.prom");
+        let server = start_with(ServeConfig {
+            workers: 2,
+            cache_entries: 8,
+            metrics_out: Some(out.clone()),
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        assert_eq!(client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap().status, 200);
+        stop(server);
+        let snapshot = std::fs::read_to_string(&out).unwrap();
+        assert!(snapshot.contains("ancstr_serve_cache_misses_total 1"), "{snapshot}");
+        assert!(snapshot.contains("ancstr_http_requests_total"), "{snapshot}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

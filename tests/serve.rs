@@ -248,6 +248,39 @@ fn daemon_maps_errors_and_serves_health() {
 }
 
 #[test]
+fn graceful_drain_flushes_metrics_and_trace_to_disk() {
+    let dir = workdir("drain");
+    let (_sp, model) = trained_model(&dir);
+    let prom = dir.join("metrics.prom");
+    let trace = dir.join("trace.jsonl");
+    let daemon = Daemon::spawn(
+        &model,
+        &[
+            "--metrics",
+            prom.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ],
+    );
+    let addr = daemon.addr;
+    let reply = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.text());
+    daemon.shutdown();
+
+    // The drain path must leave a complete final snapshot on disk.
+    let snapshot = fs::read_to_string(&prom).expect("metrics.prom written on drain");
+    assert!(snapshot.contains("ancstr_serve_cache_misses_total 1"), "{snapshot}");
+    assert!(
+        snapshot.contains("ancstr_http_requests_total{route=\"/v1/extract\",code=\"200\"} 1"),
+        "{snapshot}"
+    );
+    // Queue gauge reset to zero before the final write.
+    assert!(snapshot.contains("ancstr_serve_queue_depth 0"), "{snapshot}");
+    let traced = fs::read_to_string(&trace).expect("trace flushed on drain");
+    assert!(traced.contains("\"serve\""), "{traced}");
+}
+
+#[test]
 fn model_hot_swap_changes_the_serving_fingerprint() {
     let dir = workdir("swap");
     let (sp, model) = trained_model(&dir);
