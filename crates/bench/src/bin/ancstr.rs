@@ -14,6 +14,7 @@
 //!                  [--require-epoch-events] [--prom FILE]
 //! ancstr serve   --model model.txt [--port N] [--workers N]
 //!                [--queue-depth N] [--cache-entries N]
+//!                [--peers host:port,..] [--batch-max N] [--model-slots N]
 //!                [--trace-out FILE] [--log-format text|json] [-v|--quiet]
 //! ancstr bench   [netlist.sp...] [-o report.json] [--epochs N] [--seed S]
 //!                [--threads N]
@@ -246,6 +247,9 @@ struct Args {
     cache_entries: Option<usize>,
     default_deadline_ms: Option<u64>,
     chaos: bool,
+    peers: Option<String>,
+    batch_max: Option<usize>,
+    model_slots: Option<usize>,
     // compute-layer thread cap (None = available parallelism)
     threads: Option<usize>,
 }
@@ -278,6 +282,9 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         cache_entries: None,
         default_deadline_ms: None,
         chaos: false,
+        peers: None,
+        batch_max: None,
+        model_slots: None,
         threads: None,
     };
     let mut it = raw.iter();
@@ -371,6 +378,25 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                 args.default_deadline_ms = Some(n);
             }
             "--chaos" => args.chaos = true,
+            "--peers" => args.peers = Some(take("--peers")?),
+            "--batch-max" => {
+                let n: usize = take("--batch-max")?
+                    .parse()
+                    .map_err(|_| "bad --batch-max (want a positive integer)")?;
+                if n == 0 {
+                    return Err("--batch-max must be at least 1".to_owned());
+                }
+                args.batch_max = Some(n);
+            }
+            "--model-slots" => {
+                let n: usize = take("--model-slots")?
+                    .parse()
+                    .map_err(|_| "bad --model-slots (want a positive integer)")?;
+                if n == 0 {
+                    return Err("--model-slots must be at least 1".to_owned());
+                }
+                args.model_slots = Some(n);
+            }
             "--threads" => {
                 let n: usize = take("--threads")?
                     .parse()
@@ -1086,8 +1112,11 @@ fn cmd_serve(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
 
     let text = fs::read_to_string(model_path)
         .map_err(|e| CliError::Io { path: model_path.clone(), detail: e.to_string() })?;
-    let registry = ancstr_serve::ModelRegistry::load(&text, model_path)
-        .map_err(|err| CliError::Pipeline { path: model_path.clone(), err })?;
+    let registry = match args.model_slots {
+        Some(n) => ancstr_serve::ModelRegistry::load_with_slots(&text, model_path, n),
+        None => ancstr_serve::ModelRegistry::load(&text, model_path),
+    }
+    .map_err(|err| CliError::Pipeline { path: model_path.clone(), err })?;
     let fingerprint = registry.current().fingerprint_hex();
 
     let mut cfg = ancstr_serve::ServeConfig {
@@ -1105,6 +1134,19 @@ fn cmd_serve(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     }
     if let Some(ms) = args.default_deadline_ms {
         cfg.default_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(p) = &args.peers {
+        cfg.peers =
+            p.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect();
+        if !cfg.peers.is_empty() {
+            ctx.log.info(format!(
+                "fleet mode: {} peer(s), cache keys partitioned by rendezvous hash",
+                cfg.peers.len()
+            ));
+        }
+    }
+    if let Some(n) = args.batch_max {
+        cfg.batch_max = n;
     }
     cfg.chaos = args.chaos;
     if args.chaos {

@@ -80,7 +80,10 @@ pub use pipeline::{
     evaluate_detection, Evaluation, Extraction, ExtractorConfig, SymmetryExtractor,
 };
 pub use recover::ExtractError;
-pub use service::{cache_key, extract_source, extract_source_cancellable, ServiceReply};
+pub use service::{
+    cache_key, extract_source, extract_source_batch, extract_source_batch_cancellable,
+    extract_source_cancellable, ServiceReply,
+};
 pub use runstore::{
     config_hash, write_atomic, CancelToken, DurableFit, RunError, RunManifest, RunOptions,
     RunSession, RunStore, StageEntry, StageStatus, DEFAULT_CHECKPOINT_EVERY, MANIFEST_VERSION,

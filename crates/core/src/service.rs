@@ -22,6 +22,7 @@ use std::time::Duration;
 use ancstr_netlist::parse::parse_spice;
 use ancstr_netlist::FlatCircuit;
 
+use crate::detect::detect_constraints;
 use crate::export::write_constraints;
 use crate::observe::PipelineObs;
 use crate::pipeline::{ExtractorConfig, SymmetryExtractor};
@@ -122,6 +123,167 @@ pub fn extract_source_cancellable(
         warnings,
         runtime: extraction.runtime,
     })
+}
+
+/// [`extract_source_batch_cancellable`] with a never-cancelled token.
+///
+/// # Errors
+///
+/// Never fails as a whole; per-item errors ride inside the returned
+/// vector.
+pub fn extract_source_batch(
+    items: &[(&str, &str)],
+    extractor: &SymmetryExtractor,
+    obs: &PipelineObs,
+) -> Vec<Result<ServiceReply, ExtractError>> {
+    extract_source_batch_cancellable(items, extractor, obs, &CancelToken::new())
+        .expect("an unarmed token never cancels")
+}
+
+/// Batched [`extract_source_cancellable`]: run many `(source, origin)`
+/// requests against one warm extractor, sharing a single GNN forward
+/// pass over the block-diagonal fusion of their graphs
+/// ([`GnnModel::embed_batch`](ancstr_gnn::GnnModel::embed_batch)).
+///
+/// Per-item semantics match the solo path exactly:
+///
+/// - parse/elaborate/graph-build failures stay with their item (the
+///   inner `Err`); healthy batch-mates are unaffected;
+/// - an item with non-finite features degrades (a `degraded_embed`
+///   event, then a best-effort embed) just like the solo path — and
+///   because the fused forward computes every output row from that
+///   row's part alone, its NaNs cannot reach any other item's bytes;
+/// - a non-finite *model* fails every item, as it would solo;
+/// - successful replies are byte-identical to what
+///   [`extract_source_cancellable`] returns for the same item (pinned
+///   by `tests/serve_batch.rs` at batch sizes 1/4/16).
+///
+/// # Errors
+///
+/// The outer `Err` is always [`ExtractError::Cancelled`] and means the
+/// shared pass was abandoned at a stage boundary — no item completed.
+/// All other failures are per-item.
+pub fn extract_source_batch_cancellable(
+    items: &[(&str, &str)],
+    extractor: &SymmetryExtractor,
+    obs: &PipelineObs,
+    cancel: &CancelToken,
+) -> Result<Vec<Result<ServiceReply, ExtractError>>, ExtractError> {
+    use ancstr_gnn::{EmbedError, TrainGraph};
+
+    struct Prepared {
+        flat: FlatCircuit,
+        tg: TrainGraph,
+    }
+
+    if cancel.is_cancelled() {
+        return Err(ExtractError::Cancelled);
+    }
+    let start = std::time::Instant::now();
+
+    // Front half, per item: parse → elaborate → graph/features. Each
+    // item's staged failure is its own; the batch keeps going.
+    let mut fronts: Vec<Result<Prepared, ExtractError>> = Vec::with_capacity(items.len());
+    for &(source, origin) in items {
+        fronts.push((|| {
+            let netlist = {
+                let _g = obs.stage_with("parse", &[("path", origin.into())]);
+                parse_spice(source)?
+            };
+            let flat = {
+                let _g = obs.stage("elaborate");
+                FlatCircuit::elaborate(&netlist)?
+            };
+            obs.event(
+                "elaborate",
+                "circuit_loaded",
+                &[
+                    ("path", origin.into()),
+                    ("devices", flat.devices().len().into()),
+                    ("nets", flat.net_count().into()),
+                ],
+            );
+            let tg = extractor.train_graph_observed(&flat, obs);
+            Ok(Prepared { flat, tg })
+        })());
+        if cancel.is_cancelled() {
+            return Err(ExtractError::Cancelled);
+        }
+    }
+
+    // Shared back half: one fused forward pass over every item that
+    // survived its front half. Per-item embed policy mirrors the solo
+    // path: non-finite *features* degrade the item but still run it
+    // (its NaNs stay inside its own block rows), while a non-finite
+    // *model* fails the item — unless degradation already claimed it,
+    // matching `try_embed`'s check order.
+    let model_finite = extractor.model().is_finite();
+    let embeddings: Vec<Option<ancstr_nn::Matrix>> = {
+        let _g = obs.stage("embed");
+        for front in &mut fronts {
+            let degraded = match &*front {
+                Ok(p) => !p.tg.features.is_finite(),
+                Err(_) => continue,
+            };
+            if degraded {
+                obs.event(
+                    "embed",
+                    "degraded_embed",
+                    &[("cause", "non-finite features".into())],
+                );
+            } else if !model_finite {
+                *front = Err(ExtractError::Embed(EmbedError::NonFiniteParameters));
+            }
+        }
+        let parts: Vec<_> = fronts
+            .iter()
+            .filter_map(|f| f.as_ref().ok().map(|p| (&p.tg.tensors, &p.tg.features)))
+            .collect();
+        let zs = if parts.is_empty() {
+            Vec::new()
+        } else {
+            extractor.model().embed_batch(&parts)
+        };
+        let mut split = zs.into_iter();
+        fronts
+            .iter()
+            .map(|f| f.as_ref().ok().map(|_| split.next().expect("one z per part")))
+            .collect()
+    };
+    if cancel.is_cancelled() {
+        return Err(ExtractError::Cancelled);
+    }
+
+    // Back half, per item: detection over its slice of the fused pass.
+    Ok(fronts
+        .into_iter()
+        .zip(embeddings)
+        .map(|(front, z)| {
+            let p = front?;
+            let z = z.expect("every surviving item has an embedding");
+            let detection = {
+                let _g = obs.stage("detect");
+                detect_constraints(
+                    &p.flat,
+                    &z,
+                    &extractor.config().thresholds,
+                    &extractor.config().embed,
+                )
+            };
+            obs.record_detection(&detection);
+            let mut warnings: Vec<String> =
+                detection.warnings.iter().map(|w| w.to_string()).collect();
+            warnings.sort();
+            Ok(ServiceReply {
+                constraints_text: write_constraints(&p.flat, &detection.constraints),
+                devices: p.flat.devices().len(),
+                nets: p.flat.net_count(),
+                constraints: detection.constraints.len(),
+                warnings,
+                runtime: start.elapsed(),
+            })
+        })
+        .collect())
 }
 
 /// The content address of a service reply: an FNV-1a 64-bit hash over
@@ -247,6 +409,61 @@ M7 tail clk vss vss nch w=12u l=0.1u
             extract_source_cancellable(NETLIST, "t", &ex, &obs, &CancelToken::new()).unwrap();
         assert_eq!(plain.constraints_text, guarded.constraints_text);
         assert_eq!(plain.warnings, guarded.warnings);
+    }
+
+    const OTHER: &str = "\
+.subckt ota inp inn out ib vdd vss
+M1 n1 inp tail vss nch w=4u l=0.2u
+M2 out inn tail vss nch w=4u l=0.2u
+M3 n1 n1 vdd vdd pch w=8u l=0.2u
+M4 out n1 vdd vdd pch w=8u l=0.2u
+M5 tail ib vss vss nch w=2u l=0.5u
+.ends
+";
+
+    #[test]
+    fn batched_extraction_is_byte_identical_to_solo_extraction() {
+        let ex = trained_extractor();
+        let obs = PipelineObs::disabled();
+        let items = [(NETLIST, "a"), (OTHER, "b"), (NETLIST, "c")];
+        let batched = extract_source_batch(&items, &ex, &obs);
+        assert_eq!(batched.len(), 3);
+        for ((source, origin), got) in items.iter().zip(&batched) {
+            let got = got.as_ref().expect("well-formed items succeed");
+            let solo = extract_source(source, origin, &ex, &obs).unwrap();
+            assert_eq!(got.constraints_text, solo.constraints_text);
+            assert_eq!(got.warnings, solo.warnings);
+            assert_eq!(got.devices, solo.devices);
+            assert_eq!(got.nets, solo.nets);
+            assert_eq!(got.constraints, solo.constraints);
+        }
+    }
+
+    #[test]
+    fn batched_extraction_keeps_failures_with_their_item() {
+        let ex = trained_extractor();
+        let obs = PipelineObs::disabled();
+        let items = [(NETLIST, "good"), ("M1 a b\n", "bad"), (OTHER, "also-good")];
+        let batched = extract_source_batch(&items, &ex, &obs);
+        assert_eq!(batched[1].as_ref().unwrap_err().exit_code(), 4);
+        let solo = extract_source(NETLIST, "good", &ex, &obs).unwrap();
+        assert_eq!(
+            batched[0].as_ref().unwrap().constraints_text,
+            solo.constraints_text,
+            "a malformed batch-mate must not change a healthy reply"
+        );
+        assert!(batched[2].is_ok());
+    }
+
+    #[test]
+    fn batched_extraction_cancels_as_a_whole() {
+        let ex = trained_extractor();
+        let obs = PipelineObs::disabled();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = extract_source_batch_cancellable(&[(NETLIST, "t")], &ex, &obs, &cancel)
+            .unwrap_err();
+        assert_eq!(err, ExtractError::Cancelled);
     }
 
     #[test]

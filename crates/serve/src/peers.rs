@@ -1,0 +1,177 @@
+//! Replica-aware cache partitioning: rendezvous (highest-random-weight)
+//! hashing over a static peer list.
+//!
+//! A fleet of replicas each holds an LRU result cache; without
+//! partitioning, every replica re-computes and re-caches the same hot
+//! keys. Rendezvous hashing assigns each cache key one *owner* replica
+//! — every node scores `fnv64(node ‖ key)` for all nodes and the
+//! highest score wins — so all replicas agree on ownership without any
+//! coordination, and removing a node only remaps the keys that node
+//! owned (minimal disruption, the property ring-based consistent
+//! hashing is usually reached for, without the virtual-node
+//! bookkeeping).
+//!
+//! The ring only *names* the owner; the server decides what to do with
+//! it: a cold miss whose owner is a peer is forwarded over the normal
+//! HTTP client under a per-hop deadline carved from the request budget,
+//! and **any** hop failure — dead peer, slow peer, non-200 — degrades
+//! to local compute. Failover is a cache miss, never a client-visible
+//! error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// FNV-1a 64 over `node ‖ 0x1f ‖ key` — the rendezvous score. The
+/// `0x1f` separator keeps `("ab","c")` and `("a","bc")` distinct.
+fn score(node: &str, key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in node.as_bytes().iter().chain(&[0x1f]).chain(key.as_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The static replica set, from this node's point of view.
+pub struct PeerRing {
+    self_addr: String,
+    peers: Vec<String>,
+    forwards_ok: AtomicU64,
+    failovers: AtomicU64,
+}
+
+impl PeerRing {
+    /// A ring over this node (`self_addr`, its advertised `host:port`)
+    /// plus the `--peers` list. Every replica must be configured with
+    /// the same total node set (its own address swapped between the
+    /// two roles) for ownership to agree fleet-wide.
+    pub fn new(self_addr: String, peers: Vec<String>) -> PeerRing {
+        PeerRing {
+            self_addr,
+            peers,
+            forwards_ok: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether any peers are configured (an empty ring owns everything
+    /// locally and never forwards).
+    pub fn has_peers(&self) -> bool {
+        !self.peers.is_empty()
+    }
+
+    /// This node's advertised address.
+    pub fn self_addr(&self) -> &str {
+        &self.self_addr
+    }
+
+    /// The configured peer addresses.
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// The replica that owns `key`: `None` means this node, `Some` a
+    /// peer worth forwarding to. Ties (astronomically unlikely with a
+    /// 64-bit score) break toward the lexicographically larger address
+    /// so all replicas still agree.
+    pub fn owner(&self, key: &str) -> Option<&str> {
+        let mut best: (u64, &str) = (score(&self.self_addr, key), self.self_addr.as_str());
+        for p in &self.peers {
+            let s = (score(p, key), p.as_str());
+            if s > best {
+                best = s;
+            }
+        }
+        (best.1 != self.self_addr).then_some(best.1)
+    }
+
+    /// Count a successful peer forward (the owner answered in time).
+    pub fn count_forward_ok(&self) {
+        self.forwards_ok.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Count a failover: the owning peer was dead, slow, or unhealthy
+    /// and the request degraded to local compute.
+    pub fn count_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Total successful peer forwards.
+    pub fn forwards_ok_total(&self) -> u64 {
+        self.forwards_ok.load(Ordering::SeqCst)
+    }
+
+    /// Total failovers to local compute.
+    pub fn failovers_total(&self) -> u64 {
+        self.failovers.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<String> {
+        (0u64..512)
+            .map(|i| format!("{:016x}", i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect()
+    }
+
+    #[test]
+    fn an_empty_ring_owns_everything_locally() {
+        let ring = PeerRing::new("a:1".into(), Vec::new());
+        assert!(!ring.has_peers());
+        for k in keys() {
+            assert_eq!(ring.owner(&k), None);
+        }
+    }
+
+    #[test]
+    fn all_replicas_agree_on_ownership() {
+        let a = PeerRing::new("n1:1".into(), vec!["n2:1".into(), "n3:1".into()]);
+        let b = PeerRing::new("n2:1".into(), vec!["n3:1".into(), "n1:1".into()]);
+        for k in keys() {
+            let from_a = a.owner(&k).unwrap_or("n1:1");
+            let from_b = b.owner(&k).unwrap_or("n2:1");
+            assert_eq!(from_a, from_b, "key {k} has two owners");
+        }
+    }
+
+    #[test]
+    fn ownership_spreads_across_the_fleet() {
+        let ring = PeerRing::new("n1:1".into(), vec!["n2:1".into(), "n3:1".into()]);
+        let mut counts = std::collections::HashMap::new();
+        for k in keys() {
+            *counts.entry(ring.owner(&k).unwrap_or("n1:1")).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3, "every replica owns some keys: {counts:?}");
+        for (&node, &n) in &counts {
+            assert!(n > 512 / 9, "{node} owns only {n}/512 keys: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_remaps_its_own_keys() {
+        let full = PeerRing::new("n1:1".into(), vec!["n2:1".into(), "n3:1".into()]);
+        let survivor = PeerRing::new("n1:1".into(), vec!["n3:1".into()]);
+        for k in keys() {
+            let before = full.owner(&k).unwrap_or("n1:1");
+            if before != "n2:1" {
+                assert_eq!(
+                    survivor.owner(&k).unwrap_or("n1:1"),
+                    before,
+                    "key {k} moved although its owner survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failover_counters_accumulate() {
+        let ring = PeerRing::new("a:1".into(), vec!["b:1".into()]);
+        ring.count_forward_ok();
+        ring.count_failover();
+        ring.count_failover();
+        assert_eq!(ring.forwards_ok_total(), 1);
+        assert_eq!(ring.failovers_total(), 2);
+    }
+}

@@ -42,18 +42,18 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use ancstr_core::{
-    cache_key, extract_source_cancellable, write_atomic, CancelToken, ExtractError, PipelineObs,
-    ServiceReply,
-};
+use ancstr_core::{cache_key, write_atomic, CancelToken, ExtractError, PipelineObs, ServiceReply};
 use ancstr_obs::metrics::DURATION_BUCKETS_S;
 use ancstr_obs::Json;
 
+use crate::batch::{BatchJob, BatchOutcome, Batcher};
 use crate::cache::{CacheStats, ResultCache};
+use crate::client;
 use crate::flight::SingleFlight;
 use crate::http::{read_request, ReadError, ReadLimits, Request, Response};
+use crate::peers::PeerRing;
 use crate::pool::{SubmitError, Supervision, WorkerPool};
-use crate::registry::{ModelEntry, ModelRegistry, ReloadError};
+use crate::registry::{ModelEntry, ModelRegistry, ReloadError, ResolveError};
 
 /// How many consecutive `accept()` failures the loop tolerates before
 /// concluding the listener is beyond saving and draining out.
@@ -87,6 +87,12 @@ pub struct ServeConfig {
     /// Honor `x-ancstr-chaos` fault-cooperation headers (test rigs
     /// only; never enable in production).
     pub chaos: bool,
+    /// Replica peers (`--peers host:port,host:port`) for consistent-hash
+    /// cache partitioning. Empty = standalone node, never forwards.
+    pub peers: Vec<String>,
+    /// Largest number of queued extract requests fused into one batched
+    /// forward pass (`--batch-max`).
+    pub batch_max: usize,
     /// When set, the drain path writes the final metrics snapshot here
     /// (Prometheus text format) before the daemon exits.
     pub metrics_out: Option<PathBuf>,
@@ -105,6 +111,8 @@ impl Default for ServeConfig {
             brownout_high: 48,
             brownout_low: 16,
             chaos: false,
+            peers: Vec::new(),
+            batch_max: 16,
             metrics_out: None,
         }
     }
@@ -117,6 +125,11 @@ struct Ctx {
     /// Coalesces concurrent misses on one cache key onto one pipeline
     /// run (anti-thundering-herd).
     flight: SingleFlight,
+    /// Fuses queued same-model extract requests into one forward pass,
+    /// bisecting failed batches to isolate poison requests.
+    batcher: Batcher,
+    /// The replica set for consistent-hash cache partitioning.
+    ring: PeerRing,
     obs: PipelineObs,
     shutdown: Arc<AtomicBool>,
     /// Present iff a tracer is attached; holding it serializes traced
@@ -129,6 +142,8 @@ struct Ctx {
     brownout: AtomicBool,
     /// Requests whose handler panicked (both catch layers).
     worker_panics: AtomicU64,
+    /// Requests isolated as batch poison by bisection.
+    poisoned: AtomicU64,
     chaos: bool,
     metrics_out: Option<PathBuf>,
     started: Instant,
@@ -136,6 +151,20 @@ struct Ctx {
     /// Cache counters already published to the metrics registry, so
     /// `/metrics` can emit monotonic deltas.
     published: Mutex<CacheStats>,
+    /// Fleet counters (batching, peers, evictions) already published.
+    fleet_published: Mutex<FleetPublished>,
+}
+
+/// Snapshot of the fleet counters last folded into the metrics
+/// registry, so publishes stay monotonic deltas.
+#[derive(Default, Clone, Copy)]
+struct FleetPublished {
+    batches: u64,
+    batched_requests: u64,
+    bisections: u64,
+    forwards_ok: u64,
+    failovers: u64,
+    evictions: u64,
 }
 
 /// A handle that asks a running [`Server`] to stop accepting and drain.
@@ -183,6 +212,8 @@ impl Server {
             registry,
             cache: ResultCache::new(cfg.cache_entries),
             flight: SingleFlight::new(),
+            batcher: Batcher::new(cfg.batch_max.max(1)),
+            ring: PeerRing::new(addr.to_string(), cfg.peers.clone()),
             trace_gate: obs.tracing().then(|| Mutex::new(())),
             obs,
             shutdown: Arc::clone(&shutdown),
@@ -191,11 +222,13 @@ impl Server {
             default_deadline: cfg.default_deadline,
             brownout: AtomicBool::new(false),
             worker_panics: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
             chaos: cfg.chaos,
             metrics_out: cfg.metrics_out.clone(),
             started: Instant::now(),
             local_addr: addr,
             published: Mutex::new(CacheStats::default()),
+            fleet_published: Mutex::new(FleetPublished::default()),
         });
         let flag = Arc::clone(&shutdown);
         let accept = thread::Builder::new()
@@ -356,6 +389,15 @@ fn register_help(obs: &PipelineObs) {
     m.help("ancstr_serve_brownout_sheds_total", "Cold (cache-miss) extract requests shed during brownout.");
     m.help("ancstr_serve_brownout", "1 while admission control is shedding cold traffic.");
     m.help("ancstr_serve_accept_errors_total", "Errors returned by the listener's accept().");
+    m.help("ancstr_serve_batches_total", "Fused forward passes executed (including bisection retries).");
+    m.help("ancstr_serve_batched_requests_total", "Extract requests that rode a fused pass of size >= 2.");
+    m.help("ancstr_serve_batch_bisections_total", "Failed-batch splits performed to isolate poison requests.");
+    m.help("ancstr_serve_batch_poisoned_total", "Requests isolated as batch poison and answered 500.");
+    m.help("ancstr_serve_bulkhead_sheds_total", "Cold extract requests shed by a tripped per-model bulkhead.");
+    m.help("ancstr_serve_models_resident", "Models currently resident in the registry.");
+    m.help("ancstr_serve_model_evictions_total", "Resident models evicted by the LRU slot bound.");
+    m.help("ancstr_serve_model_bulkhead_tripped", "1 while the model's bulkhead breaker is tripped, by model.");
+    m.help("ancstr_serve_peer_forwards_total", "Cold misses routed to their owning replica, by result.");
 }
 
 /// Handle one admitted connection end-to-end.
@@ -543,9 +585,25 @@ fn extract_route(
         ctx.obs.metrics().counter_add("ancstr_serve_deadline_expired_total", &[], 1);
         return extract_error_response(408, &ExtractError::Cancelled);
     }
-    // Snapshot the model once; the whole request is served by exactly
-    // this entry even if a hot-swap lands mid-flight.
-    let entry = ctx.registry.current();
+    // Route to a resident model (x-ancstr-model header, default entry
+    // otherwise) and snapshot it once; the whole request is served by
+    // exactly this entry even if a hot-swap or eviction lands
+    // mid-flight.
+    let slot = match ctx.registry.resolve(req.header("x-ancstr-model")) {
+        Ok(slot) => slot,
+        Err(err) => {
+            let status = match err {
+                ResolveError::BadFingerprint(_) => 400,
+                ResolveError::NotFound(_) => 404,
+            };
+            return Response::json(
+                status,
+                &Json::obj().set("error", err.to_string()).set("stage", "model_routing"),
+            );
+        }
+    };
+    let entry = slot.entry;
+    let health = slot.health;
     let key = cache_key(&req.body, entry.extractor.config(), entry.fingerprint);
     // Single-flight: at most one worker computes any given key. A
     // follower waits — bounded by its own deadline — for the leader to
@@ -578,25 +636,177 @@ fn extract_route(
         )
         .header("Retry-After", "1");
     }
-    match extract_source_cancellable(source, peer, &entry.extractor, &ctx.obs, cancel) {
-        Ok(reply) => {
-            let reply = Arc::new(reply);
+    // Per-model bulkhead: a tripped model sheds its own cold traffic
+    // (cache hits were already served above) while every other resident
+    // model keeps serving. `admit_cold` lets deterministic probes
+    // through so a healed model closes its breaker.
+    if !health.admit_cold() {
+        ctx.obs.metrics().counter_add(
+            "ancstr_serve_bulkhead_sheds_total",
+            &[("model", &entry.fingerprint_hex())],
+            1,
+        );
+        return Response::json(
+            503,
+            &Json::obj()
+                .set(
+                    "error",
+                    "bulkhead open: this model is failing and its cold traffic is shed",
+                )
+                .set("stage", "bulkhead")
+                .set("model", entry.fingerprint_hex()),
+        )
+        .header("Retry-After", "1");
+    }
+    let chaos = ctx.chaos.then(|| req.header("x-ancstr-chaos")).flatten();
+    // Replica-aware partitioning: if a peer owns this key, fetch from
+    // it under a per-hop deadline; any failure degrades to local
+    // compute (a miss, never an error).
+    if let Some(resp) = peer_fetch(ctx, req, &key, &entry, cancel, chaos) {
+        return resp;
+    }
+    let outcome = ctx.batcher.submit(
+        entry.fingerprint,
+        &entry.extractor,
+        &ctx.obs,
+        BatchJob {
+            source: source.to_owned(),
+            origin: peer.to_owned(),
+            cancel: cancel.clone(),
+            poison: chaos == Some("poison"),
+        },
+    );
+    match outcome {
+        BatchOutcome::Reply(reply) => {
+            health.record_success();
+            let reply = Arc::new(*reply);
             ctx.cache.put(key, Arc::clone(&reply));
             reply_response(&reply, &entry, false)
         }
-        Err(err) => {
+        BatchOutcome::Error(err) => {
             // Parse/elaborate failures indict the client's netlist; an
             // expired deadline is the client's budget; everything
-            // downstream is the server's problem.
+            // downstream is the server's problem (and counts against
+            // the model's bulkhead).
             let status = match err.exit_code() {
                 4 | 5 => 400,
                 10 => {
                     ctx.obs.metrics().counter_add("ancstr_serve_deadline_expired_total", &[], 1);
                     408
                 }
-                _ => 500,
+                _ => {
+                    health.record_failure();
+                    500
+                }
             };
             extract_error_response(status, &err)
+        }
+        BatchOutcome::Poisoned => {
+            ctx.poisoned.fetch_add(1, Ordering::SeqCst);
+            ctx.obs.metrics().counter_add("ancstr_serve_batch_poisoned_total", &[], 1);
+            health.record_failure();
+            Response::json(
+                500,
+                &Json::obj()
+                    .set(
+                        "error",
+                        "this request crashed the pipeline; its batch-mates were unaffected",
+                    )
+                    .set("stage", "batch_poison"),
+            )
+        }
+        BatchOutcome::Budget => {
+            health.record_failure();
+            Response::json(
+                500,
+                &Json::obj()
+                    .set("error", "batch retry budget exhausted before this request succeeded")
+                    .set("stage", "batch_budget"),
+            )
+        }
+    }
+}
+
+/// Try to serve a cold miss from the replica that owns its cache key.
+/// Returns `Some(response)` only when the owning peer answered `200` in
+/// time — the peer's reply bytes are relayed as-is, so a fleet answers
+/// byte-identically no matter which replica the client hit. Every other
+/// path (self-owned key, no peers, dead peer, slow peer, unhealthy
+/// reply, chaos-simulated hop failure) returns `None` and the caller
+/// computes locally: failover is a cache miss, never a client error.
+fn peer_fetch(
+    ctx: &Ctx,
+    req: &Request,
+    key: &str,
+    entry: &ModelEntry,
+    cancel: &CancelToken,
+    chaos: Option<&str>,
+) -> Option<Response> {
+    // Forwarded requests carry x-ancstr-no-forward so a hop terminates
+    // at the owner even if ring views disagree mid-deploy.
+    if req.header("x-ancstr-no-forward").is_some() {
+        return None;
+    }
+    // Chaos-simulated hop failures (test rigs): exercise the failover
+    // path deterministically without needing a dead replica.
+    match chaos {
+        Some("peer-down") => {
+            ctx.ring.count_failover();
+            return None;
+        }
+        // A poison request must detonate *here*: forwarding would strip
+        // the chaos header and neutralize the simulation, which a real
+        // poison input (panicking wherever it is computed) never is.
+        Some("poison") => return None,
+        Some(v) => {
+            if let Some(ms) = v.strip_prefix("slow-peer-ms:").and_then(|n| n.parse::<u64>().ok())
+            {
+                thread::sleep(Duration::from_millis(ms.min(250)));
+                ctx.ring.count_failover();
+                return None;
+            }
+        }
+        None => {}
+    }
+    if !ctx.ring.has_peers() {
+        return None;
+    }
+    let owner = ctx.ring.owner(key)?;
+    let Ok(addr) = owner.parse::<SocketAddr>() else {
+        ctx.ring.count_failover();
+        return None;
+    };
+    // The hop budget is carved from what remains of the request budget:
+    // half the remainder, clamped, so a slow peer can never starve the
+    // local fallback.
+    let remaining = cancel
+        .deadline()
+        .map(|d| d.saturating_duration_since(Instant::now()))
+        .unwrap_or(Duration::from_secs(4));
+    if remaining < Duration::from_millis(20) {
+        return None; // let the local path answer the deadline honestly
+    }
+    let hop = (remaining / 2).clamp(Duration::from_millis(50), Duration::from_secs(2));
+    let hop_ms = hop.as_millis().to_string();
+    let model_hex = entry.fingerprint_hex();
+    let headers = [
+        ("x-ancstr-no-forward", "1"),
+        ("x-ancstr-model", model_hex.as_str()),
+        ("x-ancstr-deadline-ms", hop_ms.as_str()),
+    ];
+    match client::post_with(addr, "/v1/extract", &headers, &req.body, hop) {
+        Ok(reply) if reply.status == 200 => {
+            ctx.ring.count_forward_ok();
+            Some(
+                Response::new(200)
+                    .header("Content-Type", "application/json")
+                    .header("x-ancstr-served-by", owner)
+                    .with_body(reply.body),
+            )
+        }
+        _ => {
+            ctx.ring.count_failover();
+            None
         }
     }
 }
@@ -632,6 +842,20 @@ fn healthz_route(ctx: &Ctx) -> Response {
     let entry = ctx.registry.current();
     let stats = ctx.cache.stats();
     let breaker = ctx.registry.breaker();
+    let models: Vec<Json> = ctx
+        .registry
+        .models()
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .set("fingerprint", s.fingerprint.as_str())
+                .set("generation", s.generation)
+                .set("default", s.is_default)
+                .set("tripped", s.tripped)
+                .set("shed_total", s.shed_total)
+        })
+        .collect();
+    let peers: Vec<Json> = ctx.ring.peers().iter().map(|p| Json::from(p.as_str())).collect();
     Response::json(
         200,
         &Json::obj()
@@ -646,11 +870,28 @@ fn healthz_route(ctx: &Ctx) -> Response {
                     .set("generation", entry.generation)
                     .set("source", entry.source.as_str()),
             )
+            .set("models", models)
             .set(
                 "breaker",
                 Json::obj()
                     .set("quarantined", breaker.quarantined as u64)
                     .set("rejected_total", breaker.rejected_total),
+            )
+            .set(
+                "batching",
+                Json::obj()
+                    .set("batches", ctx.batcher.batches_total())
+                    .set("batched_requests", ctx.batcher.batched_requests_total())
+                    .set("bisections", ctx.batcher.bisections_total())
+                    .set("poisoned", ctx.poisoned.load(Ordering::SeqCst)),
+            )
+            .set(
+                "peers",
+                Json::obj()
+                    .set("self", ctx.ring.self_addr())
+                    .set("configured", peers)
+                    .set("forwards_ok", ctx.ring.forwards_ok_total())
+                    .set("failovers", ctx.ring.failovers_total()),
             )
             .set(
                 "cache",
@@ -675,9 +916,20 @@ fn readyz_route(ctx: &Ctx) -> Response {
         reasons.push("brownout".into());
     }
     let ready = reasons.is_empty();
+    // Tripped bulkheads are surfaced but do not fail readiness: the
+    // other resident models (and every cache hit) still serve, so
+    // pulling the whole replica would amplify a one-model failure.
+    let tripped: Vec<Json> = ctx
+        .registry
+        .models()
+        .iter()
+        .filter(|s| s.tripped)
+        .map(|s| Json::from(s.fingerprint.as_str()))
+        .collect();
     let body = Json::obj()
         .set("status", if ready { "ready" } else { "degraded" })
         .set("reasons", reasons)
+        .set("bulkheads_tripped", tripped)
         .set("quarantined_models", ctx.registry.breaker().quarantined as u64);
     let mut resp = Response::json(if ready { 200 } else { 503 }, &body);
     if !ready {
@@ -707,6 +959,50 @@ fn publish_cache_metrics(ctx: &Ctx) {
     m.counter_add("ancstr_serve_cache_evictions_total", &[], now.evictions - last.evictions);
     m.gauge_set("ancstr_serve_cache_entries", &[], now.entries as f64);
     *last = now;
+    publish_fleet_metrics(ctx);
+}
+
+/// Fold the batching, peer, and registry counters into the Prometheus
+/// registry as monotonic deltas, plus the point-in-time gauges.
+fn publish_fleet_metrics(ctx: &Ctx) {
+    let now = FleetPublished {
+        batches: ctx.batcher.batches_total(),
+        batched_requests: ctx.batcher.batched_requests_total(),
+        bisections: ctx.batcher.bisections_total(),
+        forwards_ok: ctx.ring.forwards_ok_total(),
+        failovers: ctx.ring.failovers_total(),
+        evictions: ctx.registry.evictions(),
+    };
+    let mut last = ctx.fleet_published.lock().unwrap_or_else(|e| e.into_inner());
+    let m = ctx.obs.metrics();
+    m.counter_add("ancstr_serve_batches_total", &[], now.batches - last.batches);
+    m.counter_add(
+        "ancstr_serve_batched_requests_total",
+        &[],
+        now.batched_requests - last.batched_requests,
+    );
+    m.counter_add("ancstr_serve_batch_bisections_total", &[], now.bisections - last.bisections);
+    m.counter_add(
+        "ancstr_serve_peer_forwards_total",
+        &[("result", "ok")],
+        now.forwards_ok - last.forwards_ok,
+    );
+    m.counter_add(
+        "ancstr_serve_peer_forwards_total",
+        &[("result", "failover")],
+        now.failovers - last.failovers,
+    );
+    m.counter_add("ancstr_serve_model_evictions_total", &[], now.evictions - last.evictions);
+    *last = now;
+    let summaries = ctx.registry.models();
+    m.gauge_set("ancstr_serve_models_resident", &[], summaries.len() as f64);
+    for s in &summaries {
+        m.gauge_set(
+            "ancstr_serve_model_bulkhead_tripped",
+            &[("model", &s.fingerprint)],
+            f64::from(u8::from(s.tripped)),
+        );
+    }
 }
 
 fn models_route(ctx: &Ctx, req: &Request, peer: &str) -> Response {
@@ -1053,6 +1349,240 @@ M5 t t vss vss nch w=1u l=0.1u
         assert!(health.text().contains("\"generation\":1"), "{}", health.text());
         assert!(health.text().contains("\"quarantined\":1"), "{}", health.text());
         stop(server);
+    }
+
+    /// The `constraints_text` JSON fragment of an extract reply — the
+    /// bytes that must be identical no matter which replica (or batch)
+    /// computed them.
+    fn constraints_of(body: &str) -> String {
+        let start = body.find("\"constraints_text\":").expect(body) + "\"constraints_text\":".len();
+        body[start..].split("\",\"").next().unwrap().to_owned()
+    }
+
+    #[test]
+    fn requests_route_to_resident_models_by_fingerprint() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let boot_hex = {
+            let m = test_model(11);
+            format!("{:016x}", m.fingerprint())
+        };
+        // Install a second model; it becomes the headerless default.
+        let next = test_model(12);
+        let next_hex = format!("{:016x}", next.fingerprint());
+        let up = client::post(addr, "/v1/models", next.to_text_checksummed().as_bytes(), T).unwrap();
+        assert_eq!(up.status, 200, "{}", up.text());
+        let headerless = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert!(headerless.text().contains(&next_hex), "{}", headerless.text());
+        // Explicit routing reaches the older resident model.
+        let routed = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-model", boot_hex.as_str())],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(routed.status, 200, "{}", routed.text());
+        assert!(routed.text().contains(&boot_hex), "{}", routed.text());
+        // Same netlist, different models: distinct cache keys, and both
+        // models produce a well-formed reply.
+        assert!(routed.text().contains("\"cached\":false"), "{}", routed.text());
+        // Malformed and unknown fingerprints are typed routing errors.
+        let bad = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-model", "zz")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(bad.status, 400, "{}", bad.text());
+        assert!(bad.text().contains("\"stage\":\"model_routing\""), "{}", bad.text());
+        let gone = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-model", "00000000000000aa")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(gone.status, 404, "{}", gone.text());
+        // Both residents show up in /healthz.
+        let health = client::get(addr, "/healthz", T).unwrap().text();
+        assert!(health.contains("\"models\":["), "{health}");
+        assert!(health.contains(&boot_hex) && health.contains(&next_hex), "{health}");
+        stop(server);
+    }
+
+    #[test]
+    fn a_poison_request_fails_alone_with_batch_poison() {
+        let server = start_with(ServeConfig {
+            workers: 2,
+            cache_entries: 8,
+            chaos: true,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        let poisoned = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-chaos", "poison")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(poisoned.status, 500, "{}", poisoned.text());
+        assert!(poisoned.text().contains("\"stage\":\"batch_poison\""), "{}", poisoned.text());
+        // The same netlist without the poison flag serves fine (the
+        // failure was the request's, not the model's — yet).
+        let clean = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(clean.status, 200, "{}", clean.text());
+        let metrics = client::get(addr, "/metrics", T).unwrap().text();
+        assert!(metrics.contains("ancstr_serve_batch_poisoned_total 1"), "{metrics}");
+        stop(server);
+    }
+
+    #[test]
+    fn a_tripped_bulkhead_sheds_cold_traffic_but_serves_cache_hits() {
+        let server = start_with(ServeConfig {
+            workers: 2,
+            cache_entries: 8,
+            chaos: true,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        // Prime one cache entry while the model is healthy.
+        let warm = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(warm.status, 200, "{}", warm.text());
+        // Three consecutive poison 500s trip the model's bulkhead.
+        let cold = NETLIST.replace("w=1u", "w=3u");
+        for _ in 0..crate::registry::BULKHEAD_TRIP_AFTER {
+            let r = client::post_with(
+                addr,
+                "/v1/extract",
+                &[("x-ancstr-chaos", "poison")],
+                cold.as_bytes(),
+                T,
+            )
+            .unwrap();
+            assert_eq!(r.status, 500, "{}", r.text());
+        }
+        // Cold traffic on this model is now shed…
+        let shed = client::post(addr, "/v1/extract", cold.as_bytes(), T).unwrap();
+        assert_eq!(shed.status, 503, "{}", shed.text());
+        assert!(shed.text().contains("\"stage\":\"bulkhead\""), "{}", shed.text());
+        assert_eq!(shed.header("retry-after"), Some("1"));
+        // …but cache hits keep serving.
+        let hit = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(hit.status, 200, "{}", hit.text());
+        assert!(hit.text().contains("\"cached\":true"), "{}", hit.text());
+        // The tripped breaker is surfaced without failing readiness.
+        let ready = client::get(addr, "/healthz/ready", T).unwrap();
+        assert_eq!(ready.status, 200, "{}", ready.text());
+        assert!(ready.text().contains("\"bulkheads_tripped\":[\""), "{}", ready.text());
+        // Deterministic half-open: within one probe window a cold
+        // request is admitted, succeeds, and closes the breaker.
+        let mut healed = false;
+        for _ in 0..crate::registry::BULKHEAD_PROBE_EVERY {
+            let r = client::post(addr, "/v1/extract", cold.as_bytes(), T).unwrap();
+            if r.status == 200 {
+                healed = true;
+                break;
+            }
+            assert_eq!(r.status, 503, "{}", r.text());
+        }
+        assert!(healed, "a probe request must be admitted within one window");
+        let after = client::post(addr, "/v1/extract", cold.as_bytes(), T).unwrap();
+        assert_eq!(after.status, 200, "breaker closed after the probe: {}", after.text());
+        stop(server);
+    }
+
+    #[test]
+    fn chaos_peer_faults_degrade_to_local_compute() {
+        let server = start_with(ServeConfig {
+            workers: 2,
+            cache_entries: 8,
+            chaos: true,
+            ..ServeConfig::default()
+        });
+        let addr = server.local_addr();
+        for (i, chaos) in ["peer-down", "slow-peer-ms:40"].iter().enumerate() {
+            // Distinct bodies: a cache hit would short-circuit before
+            // the peer hop.
+            let cold = NETLIST.replace("w=1u", &format!("w={}u", i + 5));
+            let r = client::post_with(
+                addr,
+                "/v1/extract",
+                &[("x-ancstr-chaos", chaos)],
+                cold.as_bytes(),
+                T,
+            )
+            .unwrap();
+            assert_eq!(r.status, 200, "{chaos}: {}", r.text());
+        }
+        let metrics = client::get(addr, "/metrics", T).unwrap().text();
+        assert!(
+            metrics.contains("ancstr_serve_peer_forwards_total{result=\"failover\"} 2"),
+            "{metrics}"
+        );
+        stop(server);
+    }
+
+    #[test]
+    fn a_two_replica_fleet_forwards_to_owners_and_fails_over_when_one_dies() {
+        // Replica A is standalone; replica B partitions the key space
+        // with A. Keys B does not own are fetched from A; when A dies
+        // they degrade to local compute with identical bytes.
+        let model_text = test_model(11).to_text();
+        let reg_a = Arc::new(ModelRegistry::load(&model_text, "fleet-a").unwrap());
+        let a = Server::start(
+            ServeConfig { workers: 2, ..ServeConfig::default() },
+            reg_a,
+            PipelineObs::new(None),
+        )
+        .unwrap();
+        let reg_b = Arc::new(ModelRegistry::load(&model_text, "fleet-b").unwrap());
+        let b = Server::start(
+            ServeConfig {
+                workers: 2,
+                peers: vec![a.local_addr().to_string()],
+                ..ServeConfig::default()
+            },
+            reg_b,
+            PipelineObs::new(None),
+        )
+        .unwrap();
+        let addr_b = b.local_addr();
+        // Enough distinct keys that, overwhelmingly, at least one is
+        // owned by each replica.
+        let netlists: Vec<String> =
+            (1..=16).map(|i| NETLIST.replace("w=1u", &format!("w={i}u"))).collect();
+        let mut first_pass = Vec::new();
+        for nl in &netlists {
+            let r = client::post(addr_b, "/v1/extract", nl.as_bytes(), T).unwrap();
+            assert_eq!(r.status, 200, "{}", r.text());
+            first_pass.push(constraints_of(&r.text()));
+        }
+        let metrics = client::get(addr_b, "/metrics", T).unwrap().text();
+        assert!(
+            metrics.contains("ancstr_serve_peer_forwards_total{result=\"ok\"}"),
+            "with 16 keys at least one must be peer-owned: {metrics}"
+        );
+        // Kill A mid-fleet; B must keep serving the same bytes.
+        a.shutdown_handle().signal();
+        a.wait();
+        for (nl, before) in netlists.iter().zip(&first_pass) {
+            let r = client::post(addr_b, "/v1/extract", nl.as_bytes(), T).unwrap();
+            assert_eq!(r.status, 200, "after peer death: {}", r.text());
+            assert_eq!(&constraints_of(&r.text()), before, "failover changed reply bytes");
+        }
+        let metrics = client::get(addr_b, "/metrics", T).unwrap().text();
+        assert!(
+            metrics.contains("ancstr_serve_peer_forwards_total{result=\"failover\"}"),
+            "{metrics}"
+        );
+        stop(b);
     }
 
     #[test]
