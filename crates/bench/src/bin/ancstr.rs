@@ -12,6 +12,7 @@
 //! ancstr stats   <netlist.sp>
 //! ancstr obs-check [--trace FILE] [--require-stages a,b,..]
 //!                  [--require-epoch-events] [--prom FILE]
+//! ancstr obs-report <trace.jsonl>...
 //! ancstr serve   --model model.txt [--port N] [--workers N]
 //!                [--queue-depth N] [--cache-entries N]
 //!                [--peers host:port,..] [--batch-max N] [--model-slots N]
@@ -31,9 +32,10 @@
 //!
 //! `bench` times each pipeline stage (graph-build, train, embed,
 //! detect) on the ADC1–ADC5 suite — or on the given netlists — at 1, 2,
-//! and N threads, writes a JSON report (default `BENCH_PR5.json`), and
-//! fails with exit code 1 if any thread count changes the extraction
-//! output hash.
+//! and N threads, writes a JSON report (default `BENCH_PR8.json`) with
+//! per-kernel attribution (matmul/spmm/axpy/row_norms calls, element
+//! counts, and wall time per thread count), and fails with exit code 1
+//! if any thread count changes the extraction output hash.
 //!
 //! `serve` keeps a trained model warm in a long-lived HTTP daemon
 //! (`ancstr-serve`): `POST /v1/extract` takes a SPICE netlist body and
@@ -68,7 +70,11 @@
 //! widen or silence it. With none of these flags set the pipeline runs
 //! the exact pre-observability code path and its outputs are
 //! byte-identical. `obs-check` re-validates a trace file and/or a
-//! `metrics.prom` exposition line-by-line (used by CI).
+//! `metrics.prom` exposition line-by-line (used by CI). `obs-report`
+//! merges one or more JSONL trace files by trace id and renders
+//! per-trace waterfalls plus aggregate per-stage latency quantiles —
+//! feed it the `--trace-out` files from several serve replicas to see
+//! a forwarded request as a single cross-replica timeline.
 //!
 //! Exit codes are stable so scripts can dispatch on the failure stage:
 //! 0 success, 1 failed `obs-check` validation, 2 usage, 3 file I/O,
@@ -95,11 +101,12 @@ use ancstr_netlist::constraint::ConstraintSet;
 use ancstr_netlist::flat::FlatCircuit;
 use ancstr_nn::Matrix;
 use ancstr_obs::{
-    validate_exposition, validate_trace, LogFormat, Logger, Tracer, Verbosity,
+    analyze, validate_exposition, validate_trace, LogFormat, Logger, TraceFile, Tracer,
+    Verbosity,
 };
 
 fn usage() -> &'static str {
-    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--threads N] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--threads N] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--default-deadline-ms N] [--chaos] [--metrics FILE] [--threads N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr bench [netlist.sp...] [-o report.json] [--epochs N] [--seed S] [--threads N]"
+    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--threads N] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--threads N] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]\n  ancstr obs-report <trace.jsonl>...\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--default-deadline-ms N] [--chaos] [--metrics FILE] [--threads N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr bench [netlist.sp...] [-o report.json] [--epochs N] [--seed S] [--threads N]"
 }
 
 /// Everything that can go wrong, sorted by exit code: failed
@@ -169,7 +176,7 @@ impl ObsCtx {
     ///   code path otherwise.
     fn for_command(cmd: &str, args: &Args) -> Result<ObsCtx, CliError> {
         let log = Logger::stderr(args.log_format, args.verbosity);
-        if matches!(cmd, "stats" | "obs-check" | "bench") {
+        if matches!(cmd, "stats" | "obs-check" | "obs-report" | "bench") {
             return Ok(ObsCtx { log, obs: PipelineObs::disabled() });
         }
         let tracer = match &args.trace_out {
@@ -904,12 +911,15 @@ fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
 /// The report is the PR's performance artifact: one record per
 /// `(stage, threads)` with the summed wall time over the suite and the
 /// speedup relative to the single-thread run, plus the per-thread-count
-/// output hash CI gates on.
+/// output hash CI gates on. A `kernels` section attributes each sweep's
+/// time to the individual compute kernels (matmul, spmm, axpy,
+/// row_norms, parallel-region overhead) so a stage-level regression can
+/// be pinned on the kernel that caused it.
 fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     if args.run_dir.is_some() || args.resume {
         return Err(usage_err("bench does not support --run-dir/--resume"));
     }
-    let out_path = args.output.clone().unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+    let out_path = args.output.clone().unwrap_or_else(|| "BENCH_PR8.json".to_owned());
 
     let suite: Vec<(String, FlatCircuit)> = if args.positional.is_empty() {
         ancstr_bench::adc_dataset()
@@ -934,9 +944,15 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     // stage `BENCH_STAGES[s]`.
     let mut wall = vec![[0f64; BENCH_STAGES.len()]; counts.len()];
     let mut hashes = vec![0u64; counts.len()];
+    // kernels[c] = per-kernel counters accumulated over the whole suite
+    // at thread count `counts[c]` — the attribution that says *which*
+    // kernel a stage's wall time went to.
+    let mut kernels = vec![Vec::new(); counts.len()];
+    ancstr_par::profile::set_enabled(true);
 
     for (ci, &t) in counts.iter().enumerate() {
         ancstr_par::set_threads(t);
+        ancstr_par::profile::reset();
         ctx.log.info(format!("bench: {} circuits at {t} thread(s)", suite.len()));
         let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
         for (name, flat) in &suite {
@@ -977,9 +993,11 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
             }
         }
         hashes[ci] = hash;
+        kernels[ci] = ancstr_par::profile::snapshot();
     }
     // Restore the CLI-wide thread cap the sweep overrode.
     ancstr_par::set_threads(args.threads.unwrap_or(0));
+    ancstr_par::profile::set_enabled(false);
 
     let identical = hashes.iter().all(|&h| h == hashes[0]);
     let names: Vec<String> = suite.iter().map(|(n, _)| format!("\"{n}\"")).collect();
@@ -1002,10 +1020,27 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
         .zip(&hashes)
         .map(|(t, h)| format!("\"{t}\": \"{h:016x}\""))
         .collect();
+    let mut kernel_records = String::new();
+    for (ci, &t) in counts.iter().enumerate() {
+        for s in kernels[ci].iter().filter(|s| s.calls > 0) {
+            if !kernel_records.is_empty() {
+                kernel_records.push_str(",\n");
+            }
+            kernel_records.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"threads\": {t}, \"calls\": {}, \
+                 \"elements\": {}, \"wall_ms\": {:.3}}}",
+                s.name,
+                s.calls,
+                s.elems,
+                s.wall_ns as f64 / 1e6,
+            ));
+        }
+    }
     let report = format!(
         "{{\n  \"schema\": \"ancstr-bench-v1\",\n  \"suite\": [{}],\n  \
          \"thread_counts\": {counts:?},\n  \"output_hashes\": {{{}}},\n  \
-         \"identical_across_threads\": {identical},\n  \"records\": [\n{records}\n  ]\n}}\n",
+         \"identical_across_threads\": {identical},\n  \"records\": [\n{records}\n  ],\n  \
+         \"kernels\": [\n{kernel_records}\n  ]\n}}\n",
         names.join(", "),
         hash_entries.join(", "),
     );
@@ -1019,6 +1054,19 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
             let ms = wall[ci][si];
             let speedup = if ms > 0.0 { wall[0][si] / ms } else { 1.0 };
             println!("{stage:<12} {t:>8} {ms:>12.3} {speedup:>8.2}x");
+        }
+    }
+    println!();
+    println!("{:<12} {:>8} {:>10} {:>14} {:>12}", "kernel", "threads", "calls", "elements", "wall_ms");
+    for (ci, &t) in counts.iter().enumerate() {
+        for s in kernels[ci].iter().filter(|s| s.calls > 0) {
+            println!(
+                "{:<12} {t:>8} {:>10} {:>14} {:>12.3}",
+                s.name,
+                s.calls,
+                s.elems,
+                s.wall_ns as f64 / 1e6,
+            );
         }
     }
 
@@ -1085,6 +1133,41 @@ fn cmd_obs_check(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
         })?;
         ctx.log.info(format!("{path}: {samples} valid exposition samples"));
     }
+    Ok(())
+}
+
+/// Merge one or more JSONL trace files — typically one per serve
+/// replica — into per-trace waterfalls plus aggregate per-stage
+/// latency quantiles. Spans sharing a trace id are stitched across
+/// files (a forwarded request shows up as one waterfall spanning both
+/// replicas); clock skew between files is warned about, not fatal.
+/// Exit code 1 when a file fails trace validation, 3 when one cannot
+/// be read.
+fn cmd_obs_report(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
+    if args.positional.is_empty() {
+        return Err(usage_err("obs-report needs at least one trace file"));
+    }
+    let mut inputs = Vec::with_capacity(args.positional.len());
+    for path in &args.positional {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
+        let label = Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        inputs.push(TraceFile { label, text });
+    }
+    let report = analyze(&inputs).map_err(CliError::Validation)?;
+    print!("{}", report.rendered);
+    for w in &report.warnings {
+        ctx.log.warn(w.clone());
+    }
+    ctx.log.info(format!(
+        "{} trace(s) across {} file(s), {} stitched from multiple replicas",
+        report.traces,
+        inputs.len(),
+        report.merged,
+    ));
     Ok(())
 }
 
@@ -1238,6 +1321,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&ctx, args),
         "stats" => cmd_stats(&ctx, args),
         "obs-check" => cmd_obs_check(&ctx, args),
+        "obs-report" => cmd_obs_report(&ctx, args),
         "serve" => cmd_serve(&ctx, args),
         "bench" => cmd_bench(&ctx, args),
         other => Err(usage_err(format!("unknown command `{other}`"))),

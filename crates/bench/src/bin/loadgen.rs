@@ -15,10 +15,16 @@
 //! Two invariants are checked on every run and fail the process
 //! (exit 1) when violated:
 //!
-//! 1. every request must succeed with `200`, and
+//! 1. every request must succeed with `200`,
 //! 2. every response must carry the same `constraints_text` — the
 //!    daemon is deterministic, so divergence under concurrency is a
-//!    bug, not noise.
+//!    bug, not noise — and
+//! 3. every request is sent with a freshly minted `x-ancstr-trace-id`
+//!    (logged per request); when the daemon traces it must echo the id
+//!    back verbatim on every `200`, so a dropped or rewritten id is a
+//!    broken trace, not noise. A daemon running without `--trace-out`
+//!    echoes nothing, which is tolerated — but once any response
+//!    carries the header, every `200` must.
 //!
 //! `--expect-cached` additionally requires at least one response served
 //! from the result cache (used by the CI smoke job to prove the cache
@@ -59,6 +65,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ancstr_core::{plan_serve_fault, ALL_SERVE_FAULTS};
+use ancstr_obs::{is_trace_id, mint_trace_id};
 use ancstr_serve::client::{self, RetryPolicy};
 
 fn usage() -> &'static str {
@@ -182,6 +189,11 @@ struct Sample {
     /// The `constraints_text` JSON field, still escaped — byte equality
     /// of the escaped form implies byte equality of the text itself.
     constraints: Option<String>,
+    /// The trace id minted for this request and sent in
+    /// `x-ancstr-trace-id`.
+    trace: String,
+    /// The trace id the daemon echoed back, if it traces.
+    echo: Option<String>,
 }
 
 /// Pull a string field out of a flat JSON object without re-parsing:
@@ -225,12 +237,13 @@ fn run(opts: &Options) -> Result<bool, String> {
                     // deterministic retry schedule, and distinct
                     // requests de-synchronize instead of stampeding.
                     let policy = RetryPolicy::new(opts.retry_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    let trace = mint_trace_id();
                     let t0 = Instant::now();
                     let sample = match client::request_with_retry(
                         opts.addr,
                         "POST",
                         "/v1/extract",
-                        &[],
+                        &[("x-ancstr-trace-id", trace.as_str())],
                         &body,
                         Duration::from_secs(60),
                         &policy,
@@ -242,6 +255,8 @@ fn run(opts: &Options) -> Result<bool, String> {
                                 cached: text.contains("\"cached\":true"),
                                 latency: t0.elapsed(),
                                 constraints: raw_field(&text, "constraints_text"),
+                                echo: reply.header("x-ancstr-trace-id").map(str::to_owned),
+                                trace,
                             }
                         }
                         Err(_) => Sample {
@@ -249,8 +264,16 @@ fn run(opts: &Options) -> Result<bool, String> {
                             cached: false,
                             latency: t0.elapsed(),
                             constraints: None,
+                            echo: None,
+                            trace,
                         },
                     };
+                    println!(
+                        "trace {} status {} latency_ms {:.2}",
+                        sample.trace,
+                        sample.status,
+                        sample.latency.as_secs_f64() * 1e3
+                    );
                     samples.lock().unwrap().push(sample);
                 }
             });
@@ -273,11 +296,34 @@ fn run(opts: &Options) -> Result<bool, String> {
         .filter_map(|s| s.constraints.as_deref())
         .collect();
 
+    let echoed = samples.iter().filter(|s| s.echo.is_some()).count();
     println!("requests {}  ok {ok}  cached {cached}  errors {errors}", samples.len());
     println!("throughput {:.1} req/s", samples.len() as f64 / elapsed.as_secs_f64());
     println!("latency_ms p50 {:.2} p95 {:.2} max {:.2}", pct(0.50), pct(0.95), pct(1.0));
+    println!("trace ids: {} minted, {echoed} echoed by the daemon", samples.len());
 
     let mut healthy = true;
+    for s in samples.iter() {
+        match &s.echo {
+            Some(e) if !is_trace_id(e) => {
+                eprintln!("error: daemon echoed malformed trace id `{e}`");
+                healthy = false;
+            }
+            Some(e) if e != &s.trace => {
+                eprintln!("error: trace id rewritten in flight: sent {} got {e}", s.trace);
+                healthy = false;
+            }
+            Some(_) => {}
+            // A daemon without tracing echoes nothing; but once any
+            // response proved tracing is on, a silent 200 is a hole in
+            // the trace.
+            None if echoed > 0 && s.status == 200 => {
+                eprintln!("error: trace {} got a 200 with no echoed trace id", s.trace);
+                healthy = false;
+            }
+            None => {}
+        }
+    }
     if errors > 0 {
         eprintln!("error: {errors} request(s) did not return 200");
         healthy = false;
@@ -333,6 +379,10 @@ fn run_chaos(opts: &Options, seed: u64) -> Result<bool, String> {
     };
     let mut last_total = 0u64;
     let mut faults_run = 0usize;
+    // Set once any recovery probe echoes a trace id: from then on a
+    // 200 without one is an incomplete trace, not a daemon that simply
+    // runs untraced.
+    let mut tracing_proven = false;
     let policy = RetryPolicy::new(seed);
 
     for round in 0..opts.requests {
@@ -362,15 +412,34 @@ fn run_chaos(opts: &Options, seed: u64) -> Result<bool, String> {
 
             // Invariant: the daemon is not wedged — a clean request on
             // a fresh connection succeeds (retrying through shed
-            // replies) and reproduces the baseline bytes.
+            // replies) and reproduces the baseline bytes. The probe
+            // carries a fresh trace id; a tracing daemon must echo it
+            // on every 200 (trace completeness under faults).
+            let trace = mint_trace_id();
             match client::request_with_retry(
-                opts.addr, "POST", "/v1/extract", &[], &body, T, &policy,
+                opts.addr,
+                "POST",
+                "/v1/extract",
+                &[("x-ancstr-trace-id", trace.as_str())],
+                &body,
+                T,
+                &policy,
             ) {
                 Ok(probe) if probe.status == 200 => {
                     if raw_field(&probe.text(), "constraints_text").as_deref()
                         != Some(baseline_constraints.as_str())
                     {
                         fail(format!("{fault:?}: recovery reply diverged from the baseline"));
+                    }
+                    match probe.header("x-ancstr-trace-id") {
+                        Some(e) if e == trace => tracing_proven = true,
+                        Some(e) => fail(format!(
+                            "{fault:?}: trace id rewritten in flight: sent {trace} got {e}"
+                        )),
+                        None if tracing_proven => fail(format!(
+                            "{fault:?}: 200 recovery reply lost its trace id {trace}"
+                        )),
+                        None => {}
                     }
                 }
                 Ok(probe) => fail(format!(
@@ -402,6 +471,9 @@ fn run_chaos(opts: &Options, seed: u64) -> Result<bool, String> {
         opts.requests,
         ALL_SERVE_FAULTS.len(),
     );
+    if tracing_proven {
+        println!("trace completeness held: every 200 echoed its minted trace id");
+    }
     if healthy {
         println!("all resilience invariants held");
     }
@@ -538,6 +610,10 @@ fn run_ramp(opts: &Options) -> Result<bool, String> {
                                 } else {
                                     raw_field(&text, "constraints_text")
                                 },
+                                // The ramp probe measures saturation,
+                                // not tracing; it sends no trace ids.
+                                trace: String::new(),
+                                echo: None,
                             }
                         }
                         Err(_) => Sample {
@@ -545,6 +621,8 @@ fn run_ramp(opts: &Options) -> Result<bool, String> {
                             cached: false,
                             latency: t0.elapsed(),
                             constraints: None,
+                            trace: String::new(),
+                            echo: None,
                         },
                     };
                     samples.lock().unwrap().push(sample);

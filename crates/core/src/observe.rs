@@ -88,6 +88,13 @@ impl PipelineObs {
         self.tracer.is_some()
     }
 
+    /// The raw tracer, when one is attached. The serving layer uses it
+    /// to open request-lifecycle spans (queue wait, forward hops) that
+    /// do not map onto pipeline stages.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
     /// Whether observation is wanted at all. The `*_observed` pipeline
     /// entry points use this to pick the exact pre-observability code
     /// path when nobody is watching.

@@ -160,6 +160,10 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, other.cols);
         let inner = self.cols;
         let n = other.cols;
+        let _prof = ancstr_par::profile::time(
+            ancstr_par::profile::Kernel::Matmul,
+            (self.rows * inner * n) as u64,
+        );
         par_row_chunks(
             self.rows,
             n,
@@ -337,6 +341,10 @@ impl Matrix {
     /// [`cosine_similarity`] computes its per-vector norms (sum of
     /// squares in index order, then square root).
     pub fn row_norms(&self) -> Vec<f64> {
+        let _prof = ancstr_par::profile::time(
+            ancstr_par::profile::Kernel::RowNorms,
+            (self.rows * self.cols) as u64,
+        );
         ancstr_par::map_chunks(self.rows, min_rows_for(self.cols), |rows| {
             rows.map(|r| {
                 self.row(r).iter().map(|x| x * x).sum::<f64>().sqrt()
@@ -532,6 +540,10 @@ fn matmul_rows(
 /// Panics on a length mismatch.
 pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
     assert_eq!(y.len(), x.len(), "axpy length mismatch");
+    let _prof = ancstr_par::profile::time(
+        ancstr_par::profile::Kernel::Axpy,
+        y.len() as u64,
+    );
     for (yv, &xv) in y.iter_mut().zip(x) {
         *yv += a * xv;
     }

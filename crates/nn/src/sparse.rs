@@ -107,6 +107,10 @@ impl SparseMatrix {
         if self.triplets.is_empty() {
             return out;
         }
+        let _prof = ancstr_par::profile::time(
+            ancstr_par::profile::Kernel::Spmm,
+            (self.triplets.len() * cols) as u64,
+        );
         let avg_work = (self.triplets.len() * cols.max(1)) / out_rows.max(1);
         let min_rows = min_rows_for(avg_work);
         // The grouping pass only earns its keep when rows actually fan

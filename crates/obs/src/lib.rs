@@ -37,6 +37,7 @@
 pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod report;
 pub mod trace;
 
 pub use json::Json;
@@ -44,4 +45,8 @@ pub use log::{LogFormat, Logger, Verbosity};
 pub use metrics::{
     validate_exposition, Registry, DURATION_BUCKETS_S, GRAD_NORM_BUCKETS,
 };
-pub use trace::{validate_line, validate_trace, Span, TraceBuffer, TraceEvent, Tracer, Value};
+pub use report::{analyze, Report, TraceFile};
+pub use trace::{
+    is_trace_id, mint_trace_id, validate_line, validate_trace, Span, TraceBuffer, TraceEvent,
+    Tracer, Value,
+};

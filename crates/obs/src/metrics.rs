@@ -209,15 +209,20 @@ fn fmt_f64(v: f64) -> String {
 ///
 /// Checks that every non-comment line is `name[{labels}] value`, that
 /// metric names are legal, that every sample's family has a preceding
-/// `# TYPE` header, and that histogram `_bucket` cumulative counts are
-/// non-decreasing and end with `+Inf` equal to `_count`. Returns the
-/// number of samples.
+/// `# TYPE` header, and that histogram `_bucket` series — per label set
+/// within a family, so labeled histograms are each checked
+/// independently — carry strictly increasing `le` bounds (`+Inf` last),
+/// non-decreasing cumulative counts, and a `+Inf` bucket equal to
+/// `_count`. Returns the number of samples.
 pub fn validate_exposition(text: &str) -> Result<usize, String> {
     let mut typed: BTreeMap<String, String> = BTreeMap::new();
     let mut samples = 0usize;
     // (family, labels-without-le) -> (last cumulative, inf seen)
     let mut bucket_state: BTreeMap<(String, String), u64> = BTreeMap::new();
     let mut inf_counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+    // (family, labels-without-le) -> last `le` bound seen, so each
+    // labeled series is checked for monotone bucket order on its own.
+    let mut le_state: BTreeMap<(String, String), f64> = BTreeMap::new();
 
     for (lineno, line) in text.lines().enumerate() {
         let n = lineno + 1;
@@ -255,6 +260,27 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
                 .map(|(_, v)| v.clone())
                 .ok_or(format!("line {n}: `_bucket` sample without `le` label"))?;
             let others = label_key_without_le(&labels);
+            let bound = match le.as_str() {
+                "+Inf" => f64::INFINITY,
+                s => s
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {n}: bad `le` bound `{s}`"))?,
+            };
+            if let Some(prev_le) = le_state.get(&(fam.clone(), others.clone())) {
+                if *prev_le == f64::INFINITY {
+                    return Err(format!(
+                        "line {n}: `_bucket` sample after the `+Inf` bucket"
+                    ));
+                }
+                if bound <= *prev_le {
+                    return Err(format!(
+                        "line {n}: non-monotone `le` buckets ({} after {})",
+                        fmt_f64(bound),
+                        fmt_f64(*prev_le)
+                    ));
+                }
+            }
+            le_state.insert((fam.clone(), others.clone()), bound);
             let cum = value as u64;
             let prev = bucket_state
                 .get(&(fam.clone(), others.clone()))
@@ -432,6 +458,39 @@ mod tests {
         ] {
             assert!(validate_exposition(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_le_buckets_per_label_set() {
+        // Bounds out of order within one label set.
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{route=\"a\",le=\"1\"} 1\n\
+                   h_bucket{route=\"a\",le=\"0.5\"} 1\n";
+        let err = validate_exposition(bad).unwrap_err();
+        assert!(err.contains("non-monotone `le`"), "{err}");
+        // A duplicate bound is also non-monotone.
+        let dup = "# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 1\nh_bucket{le=\"1\"} 1\n";
+        assert!(validate_exposition(dup).is_err());
+        // A finite bucket after +Inf is rejected.
+        let tail = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 1\nh_bucket{le=\"2\"} 1\n";
+        let err = validate_exposition(tail).unwrap_err();
+        assert!(err.contains("after the `+Inf`"), "{err}");
+        // An unparsable bound is rejected.
+        let junk = "# TYPE h histogram\nh_bucket{le=\"abc\"} 1\n";
+        assert!(validate_exposition(junk).is_err());
+        // Two label sets are independent: each restarts its bounds.
+        let ok = "# TYPE h histogram\n\
+                  h_bucket{route=\"a\",le=\"0.5\"} 1\n\
+                  h_bucket{route=\"a\",le=\"1\"} 2\n\
+                  h_bucket{route=\"a\",le=\"+Inf\"} 2\n\
+                  h_sum{route=\"a\"} 1\nh_count{route=\"a\"} 2\n\
+                  h_bucket{route=\"b\",le=\"0.5\"} 0\n\
+                  h_bucket{route=\"b\",le=\"1\"} 1\n\
+                  h_bucket{route=\"b\",le=\"+Inf\"} 1\n\
+                  h_sum{route=\"b\"} 0.7\nh_count{route=\"b\"} 1\n";
+        validate_exposition(ok).unwrap();
     }
 
     #[test]

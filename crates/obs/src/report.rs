@@ -1,0 +1,422 @@
+//! Offline trace analysis: merge JSONL traces from one or more
+//! replicas, group spans by trace id, and render per-trace waterfalls
+//! plus aggregate per-span latency quantiles.
+//!
+//! Each replica's tracer stamps timestamps against its **own** process
+//! epoch (`std::time::Instant` at tracer creation), so raw `ts_ns`
+//! values from different files are incomparable. The merge therefore
+//! aligns a remote subtree by anchoring its root at the start of the
+//! `forward` hop span that produced it on the origin replica — the only
+//! causal ordering the traces themselves guarantee. When the remote
+//! subtree claims to have lasted *longer* than the hop that contains it
+//! the clocks (or the files) are inconsistent; that is reported as a
+//! clock-skew **warning**, never an error, because partial traces from
+//! a degraded fleet are exactly when the tool is most needed.
+//!
+//! Trace identity rides in span `fields` under the `"trace"` key and is
+//! inherited down the parent chain within a file, so only the root
+//! span of a request needs stamping.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::trace::{validate_trace, TraceEvent};
+
+/// One input trace file: a display label (typically the file name or
+/// replica name) plus its full JSONL contents.
+pub struct TraceFile {
+    /// Short name shown in waterfall rows, e.g. `replica-a`.
+    pub label: String,
+    /// The raw JSONL trace text.
+    pub text: String,
+}
+
+/// The result of analyzing one or more trace files.
+#[derive(Debug)]
+pub struct Report {
+    /// Human-readable waterfalls + aggregate table.
+    pub rendered: String,
+    /// Non-fatal inconsistencies (clock skew, unalignable subtrees).
+    pub warnings: Vec<String>,
+    /// Number of distinct trace ids seen.
+    pub traces: usize,
+    /// Number of traces whose spans appear in more than one file.
+    pub merged: usize,
+}
+
+/// A reconstructed span within one file.
+struct SpanRec {
+    name: String,
+    start_ts: u64,
+    dur_ns: Option<u64>,
+    parent: u64,
+    trace: Option<String>,
+    children: Vec<u64>,
+}
+
+/// Per-file span forest keyed by span id.
+struct FileSpans {
+    label: String,
+    spans: BTreeMap<u64, SpanRec>,
+}
+
+fn build_file(label: &str, events: &[TraceEvent]) -> FileSpans {
+    let mut spans: BTreeMap<u64, SpanRec> = BTreeMap::new();
+    for ev in events {
+        match ev.kind.as_str() {
+            "span_start" => {
+                let trace = ev.fields.get("trace").and_then(Json::as_str).map(str::to_string);
+                spans.insert(
+                    ev.id,
+                    SpanRec {
+                        name: ev.span.clone(),
+                        start_ts: ev.ts_ns,
+                        dur_ns: None,
+                        parent: ev.parent,
+                        trace,
+                        children: Vec::new(),
+                    },
+                );
+            }
+            "span_end" => {
+                if let Some(rec) = spans.get_mut(&ev.id) {
+                    rec.dur_ns = ev.dur_ns;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Inherit trace ids down the parent chain; ids are allocated in
+    // increasing order so a single forward pass suffices.
+    let ids: Vec<u64> = spans.keys().copied().collect();
+    for id in &ids {
+        let inherited = {
+            let rec = &spans[id];
+            if rec.trace.is_some() || rec.parent == 0 {
+                None
+            } else {
+                spans.get(&rec.parent).and_then(|p| p.trace.clone())
+            }
+        };
+        if let Some(t) = inherited {
+            spans.get_mut(id).unwrap().trace = Some(t);
+        }
+    }
+    for id in &ids {
+        let parent = spans[id].parent;
+        if parent != 0 && spans.contains_key(&parent) {
+            spans.get_mut(&parent).unwrap().children.push(*id);
+        }
+    }
+    FileSpans { label: label.to_string(), spans }
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+/// Nearest-rank percentile of a sorted duration list.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct Walker<'a> {
+    files: &'a [FileSpans],
+    out: String,
+    warnings: Vec<String>,
+    /// Remote roots of the current trace still waiting to be anchored
+    /// under a `forward` hop span, as (file index, span id).
+    pending: Vec<(usize, u64)>,
+}
+
+impl Walker<'_> {
+    /// Render the subtree rooted at `id` in file `fi`. `shift` maps the
+    /// file's own clock onto the trace-root timeline; `base` is the
+    /// trace root's aligned start.
+    fn walk(&mut self, fi: usize, id: u64, depth: usize, shift: i128, base: i128) {
+        let (name, start_ts, dur_ns, children) = {
+            let rec = &self.files[fi].spans[&id];
+            (rec.name.clone(), rec.start_ts, rec.dur_ns, rec.children.clone())
+        };
+        let aligned = start_ts as i128 + shift;
+        let offset = (aligned - base).max(0) as u64;
+        let dur = dur_ns.map(fmt_ms).unwrap_or_else(|| "open".to_string());
+        let _ = writeln!(
+            self.out,
+            "  [{}] {:indent$}{:<24} +{:>12} {:>12}",
+            self.files[fi].label,
+            "",
+            name,
+            fmt_ms(offset),
+            dur,
+            indent = depth * 2,
+        );
+        for child in children {
+            self.walk(fi, child, depth + 1, shift, base);
+        }
+        // A forward hop anchors the next pending remote subtree: the
+        // remote work happened strictly inside this span, so its root
+        // is aligned to the hop's start.
+        if name == "forward" {
+            if let Some((rfi, rid)) = self.take_pending() {
+                let remote_start = self.files[rfi].spans[&rid].start_ts;
+                let remote_shift = aligned - remote_start as i128;
+                if let (Some(hop), Some(remote)) = (dur_ns, self.files[rfi].spans[&rid].dur_ns) {
+                    if remote > hop {
+                        self.warnings.push(format!(
+                            "clock skew: remote span `{}` in [{}] lasted {} but the \
+                             forward hop in [{}] lasted only {}",
+                            self.files[rfi].spans[&rid].name,
+                            self.files[rfi].label,
+                            fmt_ms(remote),
+                            self.files[fi].label,
+                            fmt_ms(hop),
+                        ));
+                    }
+                }
+                self.walk(rfi, rid, depth + 1, remote_shift, base);
+            }
+        }
+    }
+
+    fn take_pending(&mut self) -> Option<(usize, u64)> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.pending.remove(0))
+        }
+    }
+}
+
+/// Analyze one or more JSONL trace files.
+///
+/// Every file must pass [`validate_trace`]; a schema or nesting
+/// violation in any file is a hard error naming the offending file.
+/// Cross-file inconsistencies (clock skew, remote subtrees with no
+/// forward hop to anchor under) are collected as warnings.
+pub fn analyze(inputs: &[TraceFile]) -> Result<Report, String> {
+    let mut files = Vec::with_capacity(inputs.len());
+    for f in inputs {
+        let events =
+            validate_trace(&f.text).map_err(|e| format!("{}: {e}", f.label))?;
+        files.push(build_file(&f.label, &events));
+    }
+
+    // trace id -> per-file root span ids, in file order.
+    let mut roots: BTreeMap<String, Vec<(usize, u64)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (id, rec) in &file.spans {
+            let Some(trace) = &rec.trace else { continue };
+            let parent_trace = (rec.parent != 0)
+                .then(|| file.spans.get(&rec.parent).and_then(|p| p.trace.as_deref()))
+                .flatten();
+            if parent_trace != Some(trace.as_str()) {
+                roots.entry(trace.clone()).or_default().push((fi, *id));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let mut warnings = Vec::new();
+    let mut merged = 0usize;
+    for (trace, trace_roots) in &roots {
+        let file_set: Vec<usize> = {
+            let mut v: Vec<usize> = trace_roots.iter().map(|&(fi, _)| fi).collect();
+            v.dedup();
+            v
+        };
+        if file_set.len() > 1 {
+            merged += 1;
+        }
+        let file_names: Vec<&str> =
+            file_set.iter().map(|&fi| files[fi].label.as_str()).collect();
+        let span_count: usize = files
+            .iter()
+            .map(|f| f.spans.values().filter(|s| s.trace.as_deref() == Some(trace)).count())
+            .sum();
+        let _ = writeln!(
+            out,
+            "trace {trace} · {span_count} spans · {} file(s): {}",
+            file_set.len(),
+            file_names.join(","),
+        );
+        // The primary root is the one whose subtree contains a
+        // `forward` hop (the origin replica); remaining roots are
+        // remote subtrees queued for anchoring.
+        let has_forward = |fi: usize, root: u64| -> bool {
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                let rec = &files[fi].spans[&id];
+                if rec.name == "forward" {
+                    return true;
+                }
+                stack.extend(rec.children.iter().copied());
+            }
+            false
+        };
+        let primary_pos = trace_roots
+            .iter()
+            .position(|&(fi, id)| has_forward(fi, id))
+            .unwrap_or(0);
+        let (pfi, pid) = trace_roots[primary_pos];
+        let mut pending: Vec<(usize, u64)> = trace_roots
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != primary_pos)
+            .map(|(_, &r)| r)
+            .collect();
+        // Same-file secondary roots (e.g. a retry) render standalone.
+        pending.retain(|&(fi, _)| fi != pfi);
+        let base = files[pfi].spans[&pid].start_ts as i128;
+        let mut walker = Walker { files: &files, out, warnings, pending };
+        walker.walk(pfi, pid, 0, 0, base);
+        for (rfi, rid) in std::mem::take(&mut walker.pending) {
+            walker.warnings.push(format!(
+                "trace {trace}: root `{}` in [{}] has no forward hop to align under; \
+                 rendered at trace start",
+                walker.files[rfi].spans[&rid].name, walker.files[rfi].label,
+            ));
+            let shift = base - walker.files[rfi].spans[&rid].start_ts as i128;
+            walker.walk(rfi, rid, 1, shift, base);
+        }
+        for &(fi, id) in trace_roots.iter().filter(|&&(fi, _)| fi == pfi) {
+            if id != pid {
+                walker.walk(fi, id, 0, 0, base);
+            }
+        }
+        out = walker.out;
+        warnings = walker.warnings;
+        out.push('\n');
+    }
+
+    // Aggregate per-span-name latency quantiles across all files,
+    // including spans with no trace id (pipeline runs outside serve).
+    let mut by_name: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for file in &files {
+        for rec in file.spans.values() {
+            if let Some(d) = rec.dur_ns {
+                by_name.entry(rec.name.as_str()).or_default().push(d);
+            }
+        }
+    }
+    let _ = writeln!(out, "{:<24} {:>8} {:>12} {:>12}", "span", "count", "p50", "p95");
+    for (name, durs) in &mut by_name {
+        durs.sort_unstable();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12} {:>12}",
+            name,
+            durs.len(),
+            fmt_ms(percentile(durs, 50.0)),
+            fmt_ms(percentile(durs, 95.0)),
+        );
+    }
+    if !warnings.is_empty() {
+        out.push('\n');
+        for w in &warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
+    }
+    Ok(Report { rendered: out, warnings, traces: roots.len(), merged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{mint_trace_id, Tracer};
+
+    /// A fabricated origin-replica trace: serve → queue_wait + forward.
+    fn origin_trace(trace_id: &str) -> String {
+        let (tracer, buf) = Tracer::in_memory();
+        {
+            let serve = tracer.span("serve", "serve", &[("trace", trace_id.into())]);
+            let _ = serve.id();
+            tracer.span("serve", "queue_wait", &[]).close();
+            tracer.span("serve", "forward", &[("peer", "b".into())]).close();
+        }
+        tracer.flush();
+        buf.contents()
+    }
+
+    /// A fabricated owner-replica trace for the same request.
+    fn remote_trace(trace_id: &str) -> String {
+        let (tracer, buf) = Tracer::in_memory();
+        {
+            let _serve = tracer.span("serve", "serve", &[("trace", trace_id.into())]);
+            tracer.span("parse", "parse", &[]).close();
+        }
+        tracer.flush();
+        buf.contents()
+    }
+
+    #[test]
+    fn two_files_sharing_a_trace_id_merge_into_one_waterfall() {
+        let id = mint_trace_id();
+        let files = [
+            TraceFile { label: "a".into(), text: origin_trace(&id) },
+            TraceFile { label: "b".into(), text: remote_trace(&id) },
+        ];
+        let report = analyze(&files).unwrap();
+        assert_eq!(report.traces, 1, "{}", report.rendered);
+        assert_eq!(report.merged, 1, "{}", report.rendered);
+        assert!(report.rendered.contains("2 file(s): a,b"), "{}", report.rendered);
+        assert!(report.rendered.contains("forward"), "{}", report.rendered);
+        // The remote serve span renders nested under the forward hop.
+        let fwd = report.rendered.find("forward").unwrap();
+        let remote = report.rendered.rfind("[b] ").unwrap();
+        assert!(remote > fwd, "{}", report.rendered);
+    }
+
+    #[test]
+    fn clock_skew_is_warned_not_fatal() {
+        // Remote root lasts 10ms but the forward hop lasted ~0 —
+        // impossible causally, so it must warn.
+        let id = "00112233445566778899aabbccddeeff";
+        let origin = origin_trace(id);
+        let remote = format!(
+            concat!(
+                r#"{{"ts_ns":0,"kind":"span_start","span":"serve","stage":"serve","id":1,"parent":0,"fields":{{"trace":"{id}"}}}}"#,
+                "\n",
+                r#"{{"ts_ns":10000000,"kind":"span_end","span":"serve","stage":"serve","id":1,"parent":0,"dur_ns":10000000,"fields":{{}}}}"#,
+                "\n",
+            ),
+            id = id,
+        );
+        let files = [
+            TraceFile { label: "a".into(), text: origin },
+            TraceFile { label: "b".into(), text: remote },
+        ];
+        let report = analyze(&files).unwrap();
+        assert_eq!(report.merged, 1, "{}", report.rendered);
+        assert!(
+            report.warnings.iter().any(|w| w.contains("clock skew")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn invalid_files_fail_naming_the_file() {
+        let files = [TraceFile { label: "bad.jsonl".into(), text: "not json\n".into() }];
+        let err = analyze(&files).unwrap_err();
+        assert!(err.starts_with("bad.jsonl:"), "{err}");
+    }
+
+    #[test]
+    fn aggregates_cover_untrace_spans_and_quantiles_are_ranked() {
+        let (tracer, buf) = Tracer::in_memory();
+        for _ in 0..3 {
+            tracer.span("detect", "detect", &[]).close();
+        }
+        tracer.flush();
+        let report = analyze(&[TraceFile { label: "x".into(), text: buf.contents() }]).unwrap();
+        assert_eq!(report.traces, 0);
+        assert!(report.rendered.contains("detect"), "{}", report.rendered);
+        assert!(report.rendered.contains("p95"), "{}", report.rendered);
+    }
+}

@@ -158,6 +158,28 @@ impl Tracer {
         let _ = writeln!(inner.out, "{line}");
     }
 
+    /// Emit an already-measured span as an adjacent `span_start` /
+    /// `span_end` pair carrying `dur_ns`.
+    ///
+    /// For work whose duration was measured before a span could be
+    /// opened — queue wait ends the moment the handler starts running,
+    /// so the handler back-dates it here. Both lines share one
+    /// timestamp and the pair closes immediately, so LIFO nesting and
+    /// timestamp monotonicity hold by construction ([`validate_trace`]
+    /// deliberately does not cross-check `dur_ns` against timestamp
+    /// deltas).
+    pub fn completed_span(&self, stage: &str, name: &str, dur_ns: u64, fields: &[(&str, Value)]) {
+        let mut inner = self.lock();
+        let ts = inner.epoch.elapsed().as_nanos() as u64;
+        let id = inner.next_id + 1;
+        inner.next_id = id;
+        let parent = inner.stack.last().copied().unwrap_or(0);
+        let line = render_line(ts, "span_start", name, stage, id, parent, None, fields);
+        let _ = writeln!(inner.out, "{line}");
+        let line = render_line(ts, "span_end", name, stage, id, parent, Some(dur_ns), &[]);
+        let _ = writeln!(inner.out, "{line}");
+    }
+
     /// Flush buffered output to the underlying writer.
     pub fn flush(&self) {
         let _ = self.lock().out.flush();
@@ -234,6 +256,16 @@ impl Span {
 
     /// Close the span now (equivalent to dropping it).
     pub fn close(self) {}
+
+    /// The span's unique id within its tracer's stream.
+    ///
+    /// Lets callers hand the id to a remote party (the
+    /// `x-ancstr-parent-span` forward header) so spans emitted by
+    /// another process can be linked back to this one when traces are
+    /// merged offline.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 impl Drop for Span {
@@ -261,6 +293,43 @@ impl Drop for Span {
         );
         let _ = writeln!(inner.out, "{line}");
     }
+}
+
+/// Mint a process-unique 128-bit trace id as 32 lowercase hex digits.
+///
+/// Combines wall-clock nanoseconds, the process id, a process-wide
+/// counter and the per-process random keys behind
+/// [`std::collections::hash_map::RandomState`], so two replicas minting
+/// concurrently do not collide and no new dependency (a real RNG crate)
+/// is needed. The id is opaque: nothing parses it back, it only has to
+/// be unique and stable for the lifetime of a request.
+pub fn mint_trace_id() -> String {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut hi = RandomState::new().build_hasher();
+    hi.write_u64(now);
+    hi.write_u64(seq);
+    hi.write_u64(u64::from(std::process::id()));
+    let hi = hi.finish();
+    let mut lo = RandomState::new().build_hasher();
+    lo.write_u64(hi);
+    lo.write_u64(now.rotate_left(17) ^ seq);
+    format!("{hi:016x}{:016x}", lo.finish())
+}
+
+/// Whether `s` is a well-formed trace id (32 lowercase hex digits).
+///
+/// Used to decide if an inbound `x-ancstr-trace-id` header can be
+/// adopted as-is or must be replaced with a freshly minted id.
+pub fn is_trace_id(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
 }
 
 /// Shared in-memory trace sink returned by [`Tracer::in_memory`].
@@ -488,6 +557,34 @@ mod tests {
             r#"{"ts_ns":1,"kind":"event","span":"s","stage":"t","id":1,"parent":0,"dur_ns":4,"fields":{}}"#,
         ] {
             assert!(validate_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn completed_spans_backdate_durations_and_keep_nesting_valid() {
+        let (tracer, buf) = Tracer::in_memory();
+        {
+            let _serve = tracer.span("serve", "serve", &[]);
+            tracer.completed_span("serve", "queue_wait", 42_000, &[]);
+        }
+        tracer.flush();
+        let events = validate_trace(&buf.contents()).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[1].span, "queue_wait");
+        assert_eq!(events[1].parent, events[0].id);
+        assert_eq!(events[2].dur_ns, Some(42_000), "back-dated duration survives");
+        assert_eq!(events[1].ts_ns, events[2].ts_ns, "the pair shares one timestamp");
+    }
+
+    #[test]
+    fn minted_trace_ids_are_well_formed_and_distinct() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert!(is_trace_id(&a), "{a}");
+        assert!(is_trace_id(&b), "{b}");
+        assert_ne!(a, b);
+        for bad in ["", "xyz", &a[..31], &format!("{}A", &a[..31])] {
+            assert!(!is_trace_id(bad), "accepted {bad:?}");
         }
     }
 

@@ -43,6 +43,8 @@
 //! means [`available_parallelism`]. Setting it to 1 disables the pool
 //! entirely.
 
+pub mod profile;
+
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -319,6 +321,7 @@ mod pool {
     /// `workers` threads (including the calling thread). Returns after
     /// all chunks have completed; re-raises any chunk panic.
     pub(super) fn run(chunks: usize, workers: usize, runner: &(dyn Fn(usize) + Sync)) {
+        let _prof = profile::time(profile::Kernel::ParRegion, chunks as u64);
         let p = pool();
         let _batch = p.submit.lock().unwrap_or_else(|e| e.into_inner());
         // Never more helpers than there are chunks beyond our own share.

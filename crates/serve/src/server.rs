@@ -34,6 +34,7 @@
 //! the `catch_unwind` around routing, so a panicking route cannot
 //! poison it.
 
+use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -44,7 +45,7 @@ use std::time::{Duration, Instant};
 
 use ancstr_core::{cache_key, write_atomic, CancelToken, ExtractError, PipelineObs, ServiceReply};
 use ancstr_obs::metrics::DURATION_BUCKETS_S;
-use ancstr_obs::Json;
+use ancstr_obs::{is_trace_id, mint_trace_id, Json, Value};
 
 use crate::batch::{BatchJob, BatchOutcome, Batcher};
 use crate::cache::{CacheStats, ResultCache};
@@ -153,6 +154,86 @@ struct Ctx {
     published: Mutex<CacheStats>,
     /// Fleet counters (batching, peers, evictions) already published.
     fleet_published: Mutex<FleetPublished>,
+    /// Kernel profiling counters already published. Initialized to the
+    /// process-wide counters at server start, so a daemon sharing its
+    /// process with other instrumented work (tests, `bench`) exposes
+    /// only what accumulated on its own watch.
+    kernels_published: Mutex<Vec<KernelPublished>>,
+}
+
+/// Kernel-profile counters last folded into the metrics registry.
+#[derive(Default, Clone, Copy)]
+struct KernelPublished {
+    calls: u64,
+    elems: u64,
+    wall_ns: u64,
+}
+
+/// The process-wide kernel counters as a publish baseline.
+fn kernel_baseline() -> Vec<KernelPublished> {
+    ancstr_par::profile::snapshot()
+        .iter()
+        .map(|s| KernelPublished { calls: s.calls, elems: s.elems, wall_ns: s.wall_ns })
+        .collect()
+}
+
+/// Per-request telemetry threaded from the connection handler through
+/// routing into [`finish`]: the request's trace identity (present iff
+/// tracing is enabled), per-stage timings for the `x-ancstr-timing`
+/// summary header, and the cache-temperature / model labels for the
+/// request-duration histogram. Interior mutability because the route
+/// handlers run inside `catch_unwind` holding only a shared reference.
+struct ReqTelemetry {
+    /// The request's 128-bit trace id — adopted from a well-formed
+    /// `x-ancstr-trace-id` header or freshly minted. `None` whenever
+    /// tracing is disabled, which is what keeps responses byte-free of
+    /// trace headers in that mode.
+    trace_id: Option<String>,
+    /// `(stage, nanoseconds)` pairs in completion order.
+    timings: Mutex<Vec<(&'static str, u64)>>,
+    /// Cache temperature: `hit`, `miss`, or `none` (non-extract routes
+    /// and requests rejected before the cache lookup).
+    cache: Mutex<&'static str>,
+    /// Model fingerprint serving the request, once resolved.
+    model: Mutex<Option<String>>,
+}
+
+impl ReqTelemetry {
+    fn new(trace_id: Option<String>) -> ReqTelemetry {
+        ReqTelemetry {
+            trace_id,
+            timings: Mutex::new(Vec::new()),
+            cache: Mutex::new("none"),
+            model: Mutex::new(None),
+        }
+    }
+
+    fn time(&self, stage: &'static str, dur: Duration) {
+        self.timings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((stage, dur.as_nanos() as u64));
+    }
+
+    fn set_cache(&self, temperature: &'static str) {
+        *self.cache.lock().unwrap_or_else(|e| e.into_inner()) = temperature;
+    }
+
+    fn set_model(&self, fingerprint_hex: String) {
+        *self.model.lock().unwrap_or_else(|e| e.into_inner()) = Some(fingerprint_hex);
+    }
+
+    /// The `x-ancstr-timing` value, Server-Timing style:
+    /// `queue_wait;dur=0.12, batch;dur=45.3, total;dur=45.8` (ms).
+    fn timing_header(&self, total: Duration) -> String {
+        let timings = self.timings.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (stage, ns) in timings.iter() {
+            let _ = write!(out, "{stage};dur={:.3}, ", *ns as f64 / 1e6);
+        }
+        let _ = write!(out, "total;dur={:.3}", total.as_secs_f64() * 1e3);
+        out
+    }
 }
 
 /// Snapshot of the fleet counters last folded into the metrics
@@ -207,6 +288,12 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         register_help(&obs);
+        // Kernel attribution rides the same switch as the rest of the
+        // daemon's observability; when obs is disabled the compute
+        // kernels pay only a relaxed load per call.
+        if obs.enabled() {
+            ancstr_par::profile::set_enabled(true);
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         let ctx = Arc::new(Ctx {
             registry,
@@ -229,6 +316,7 @@ impl Server {
             local_addr: addr,
             published: Mutex::new(CacheStats::default()),
             fleet_published: Mutex::new(FleetPublished::default()),
+            kernels_published: Mutex::new(kernel_baseline()),
         });
         let flag = Arc::clone(&shutdown);
         let accept = thread::Builder::new()
@@ -364,7 +452,11 @@ fn update_brownout(ctx: &Ctx, depth: usize, high: usize, low: usize) {
 /// funnels through here, so operators get a complete final snapshot
 /// even on unhappy paths.
 fn drain_flush(ctx: &Ctx) {
-    publish_cache_metrics(ctx);
+    // Publish *everything* a `/metrics` scrape would, not just the
+    // counters: families first observed mid-flight (the par-threads
+    // gauge, kernel attribution) must appear in the final snapshot even
+    // when nothing ever scraped the live endpoint.
+    publish_scrape_metrics(ctx);
     if let Some(path) = &ctx.metrics_out {
         let _ = write_atomic(path, &ctx.obs.metrics().render());
     }
@@ -398,6 +490,11 @@ fn register_help(obs: &PipelineObs) {
     m.help("ancstr_serve_model_evictions_total", "Resident models evicted by the LRU slot bound.");
     m.help("ancstr_serve_model_bulkhead_tripped", "1 while the model's bulkhead breaker is tripped, by model.");
     m.help("ancstr_serve_peer_forwards_total", "Cold misses routed to their owning replica, by result.");
+    m.help("ancstr_serve_request_duration_seconds", "End-to-end request time, by route, status code, cache temperature and model.");
+    m.help("ancstr_kernel_calls_total", "Instrumented compute-kernel invocations, by kernel.");
+    m.help("ancstr_kernel_elements_total", "Elements processed inside instrumented kernels (mul-adds for matmul/spmm), by kernel.");
+    m.help("ancstr_kernel_wall_ns_total", "Wall nanoseconds spent inside instrumented kernels, by kernel.");
+    m.help("ancstr_kernel_threads", "Thread count configured at the kernel's most recent call, by kernel.");
 }
 
 /// Handle one admitted connection end-to-end.
@@ -420,6 +517,7 @@ fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant, shed_cold: b
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "unknown".to_owned());
 
+    let queue_wait = accepted.elapsed();
     let started = Instant::now();
     // Framing limits: body size, header count/length, and the hard
     // deadline — a slowloris client dripping bytes is cut off at the
@@ -439,10 +537,23 @@ fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant, shed_cold: b
                     return;
                 }
             };
-            finish(ctx, &mut stream, route, started, error_response(status, &err.to_string()));
+            // No request headers to adopt a trace id from.
+            let telemetry = ReqTelemetry::new(None);
+            let resp = error_response(status, &err.to_string());
+            finish(ctx, &mut stream, route, started, resp, &telemetry);
             return;
         }
     };
+
+    // Trace identity is minted (or adopted from the caller) only when
+    // tracing is active — with it disabled, no trace work happens and
+    // no trace headers appear on the wire.
+    let telemetry = ReqTelemetry::new(ctx.obs.tracing().then(|| {
+        req.header("x-ancstr-trace-id")
+            .filter(|v| is_trace_id(v))
+            .map(str::to_owned)
+            .unwrap_or_else(mint_trace_id)
+    }));
 
     // Chaos hook exercising the *pool* supervision layer: the panic
     // escapes the dispatch-level catch below, so the client sees a torn
@@ -471,12 +582,33 @@ fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant, shed_cold: b
         .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()));
     let route = route_label(&req);
     let response = {
-        let _span = ctx
-            .obs
-            .stage_with("serve", &[("route", route.into()), ("peer", peer.as_str().into())]);
+        // The root request span. When tracing, it carries the trace id
+        // (inherited by every child span at merge time) and, on
+        // forwarded requests, the upstream span id that the offline
+        // merger links this subtree under.
+        let mut span_fields: Vec<(&str, Value)> =
+            vec![("route", route.into()), ("peer", peer.as_str().into())];
+        if let Some(id) = &telemetry.trace_id {
+            span_fields.push(("trace", id.as_str().into()));
+            if let Some(parent) = req
+                .header("x-ancstr-parent-span")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+            {
+                span_fields.push(("remote_parent", parent.into()));
+            }
+        }
+        let _span = ctx.obs.stage_with("serve", &span_fields);
+        // Queue wait ended before any span could open; back-date it as
+        // the serve span's first child.
+        if let Some(tracer) = ctx.obs.tracer() {
+            tracer.completed_span("serve", "queue_wait", queue_wait.as_nanos() as u64, &[]);
+        }
+        telemetry.time("queue_wait", queue_wait);
         // Panic isolation, layer one: a handler panic becomes a clean
         // 500 on this connection and the worker keeps its slot.
-        panic::catch_unwind(AssertUnwindSafe(|| dispatch(ctx, &req, &peer, &cancel, shed_cold)))
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            dispatch(ctx, &req, &peer, &cancel, shed_cold, &telemetry)
+        }))
             .unwrap_or_else(|_| {
                 ctx.worker_panics.fetch_add(1, Ordering::SeqCst);
                 ctx.obs.metrics().counter_add(
@@ -492,23 +624,50 @@ fn handle_conn(ctx: &Ctx, mut stream: TcpStream, accepted: Instant, shed_cold: b
                 )
             })
     };
-    finish(ctx, &mut stream, route, started, response);
+    finish(ctx, &mut stream, route, started, response, &telemetry);
 }
 
-/// Record request metrics and write the response.
-fn finish(ctx: &Ctx, stream: &mut TcpStream, route: &str, started: Instant, response: Response) {
+/// Record request metrics, attach the trace/timing response headers
+/// (iff tracing is active), and write the response.
+fn finish(
+    ctx: &Ctx,
+    stream: &mut TcpStream,
+    route: &str,
+    started: Instant,
+    mut response: Response,
+    telemetry: &ReqTelemetry,
+) {
+    let elapsed = started.elapsed();
+    let code = response.status.to_string();
     let metrics = ctx.obs.metrics();
-    metrics.counter_add(
-        "ancstr_http_requests_total",
-        &[("route", route), ("code", &response.status.to_string())],
-        1,
-    );
+    metrics.counter_add("ancstr_http_requests_total", &[("route", route), ("code", &code)], 1);
     metrics.observe(
         "ancstr_http_request_seconds",
         &[("route", route)],
         &DURATION_BUCKETS_S,
-        started.elapsed().as_secs_f64(),
+        elapsed.as_secs_f64(),
     );
+    // Stage-latency attribution: the same duration, sliced by what the
+    // request actually was — which route, what it answered, whether the
+    // cache saved the pipeline run, and which model served it.
+    let cache = *telemetry.cache.lock().unwrap_or_else(|e| e.into_inner());
+    let model = telemetry
+        .model
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+        .unwrap_or_else(|| "none".to_owned());
+    metrics.observe(
+        "ancstr_serve_request_duration_seconds",
+        &[("route", route), ("code", &code), ("cache", cache), ("model", &model)],
+        &DURATION_BUCKETS_S,
+        elapsed.as_secs_f64(),
+    );
+    if let Some(id) = &telemetry.trace_id {
+        response = response
+            .header("x-ancstr-trace-id", id)
+            .header("x-ancstr-timing", &telemetry.timing_header(elapsed));
+    }
     let _ = response.write_to(stream);
 }
 
@@ -527,7 +686,14 @@ fn route_label(req: &Request) -> &'static str {
     }
 }
 
-fn dispatch(ctx: &Ctx, req: &Request, peer: &str, cancel: &CancelToken, shed_cold: bool) -> Response {
+fn dispatch(
+    ctx: &Ctx,
+    req: &Request,
+    peer: &str,
+    cancel: &CancelToken,
+    shed_cold: bool,
+    telemetry: &ReqTelemetry,
+) -> Response {
     if ctx.chaos {
         match req.header("x-ancstr-chaos") {
             // Exercises the dispatch-level catch: clean 500, same
@@ -544,7 +710,7 @@ fn dispatch(ctx: &Ctx, req: &Request, peer: &str, cancel: &CancelToken, shed_col
         }
     }
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/extract") => extract_route(ctx, req, peer, cancel, shed_cold),
+        ("POST", "/v1/extract") => extract_route(ctx, req, peer, cancel, shed_cold, telemetry),
         ("GET", "/healthz") => healthz_route(ctx),
         ("GET", "/healthz/live") => Response::json(200, &Json::obj().set("status", "alive")),
         ("GET", "/healthz/ready") => readyz_route(ctx),
@@ -571,6 +737,7 @@ fn extract_route(
     peer: &str,
     cancel: &CancelToken,
     shed_cold: bool,
+    telemetry: &ReqTelemetry,
 ) -> Response {
     let Ok(source) = std::str::from_utf8(&req.body) else {
         return error_response(400, "request body is not valid UTF-8");
@@ -604,12 +771,14 @@ fn extract_route(
     };
     let entry = slot.entry;
     let health = slot.health;
+    telemetry.set_model(entry.fingerprint_hex());
     let key = cache_key(&req.body, entry.extractor.config(), entry.fingerprint);
     // Single-flight: at most one worker computes any given key. A
     // follower waits — bounded by its own deadline — for the leader to
     // publish, then takes leadership itself just long enough to read
     // the cache. This turns N identical cold requests into one
     // pipeline run and makes the hit/miss counters deterministic.
+    let flight_started = Instant::now();
     let _lead = loop {
         match ctx.flight.begin(&key) {
             Some(guard) => break guard,
@@ -622,10 +791,17 @@ fn extract_route(
             }
         }
     };
+    let flight_wait = flight_started.elapsed();
+    if let Some(tracer) = ctx.obs.tracer() {
+        tracer.completed_span("serve", "single_flight", flight_wait.as_nanos() as u64, &[]);
+    }
+    telemetry.time("single_flight", flight_wait);
     if let Some(reply) = ctx.cache.get(&key) {
         // Cache hits are cheap; brownout never sheds them.
+        telemetry.set_cache("hit");
         return reply_response(&reply, &entry, true);
     }
+    telemetry.set_cache("miss");
     if shed_cold {
         ctx.obs.metrics().counter_add("ancstr_serve_brownout_sheds_total", &[], 1);
         return Response::json(
@@ -662,20 +838,33 @@ fn extract_route(
     // Replica-aware partitioning: if a peer owns this key, fetch from
     // it under a per-hop deadline; any failure degrades to local
     // compute (a miss, never an error).
-    if let Some(resp) = peer_fetch(ctx, req, &key, &entry, cancel, chaos) {
+    if let Some(resp) = peer_fetch(ctx, req, &key, &entry, cancel, chaos, telemetry) {
         return resp;
     }
+    // The origin label is diagnostic-only (it becomes the parse span's
+    // `path` field), which makes it the safe channel for linking the
+    // batch lane's pipeline spans back to this requester's trace.
+    let origin = match &telemetry.trace_id {
+        Some(id) => format!("{peer} trace={id}"),
+        None => peer.to_owned(),
+    };
+    let batch_started = Instant::now();
+    let batch_span = ctx.obs.tracer().map(|t| {
+        t.span("serve", "batch", &[("model", entry.fingerprint_hex().into())])
+    });
     let outcome = ctx.batcher.submit(
         entry.fingerprint,
         &entry.extractor,
         &ctx.obs,
         BatchJob {
             source: source.to_owned(),
-            origin: peer.to_owned(),
+            origin,
             cancel: cancel.clone(),
             poison: chaos == Some("poison"),
         },
     );
+    drop(batch_span);
+    telemetry.time("batch", batch_started.elapsed());
     match outcome {
         BatchOutcome::Reply(reply) => {
             health.record_success();
@@ -734,6 +923,7 @@ fn extract_route(
 /// path (self-owned key, no peers, dead peer, slow peer, unhealthy
 /// reply, chaos-simulated hop failure) returns `None` and the caller
 /// computes locally: failover is a cache miss, never a client error.
+#[allow(clippy::too_many_arguments)]
 fn peer_fetch(
     ctx: &Ctx,
     req: &Request,
@@ -741,6 +931,7 @@ fn peer_fetch(
     entry: &ModelEntry,
     cancel: &CancelToken,
     chaos: Option<&str>,
+    telemetry: &ReqTelemetry,
 ) -> Option<Response> {
     // Forwarded requests carry x-ancstr-no-forward so a hop terminates
     // at the owner even if ring views disagree mid-deploy.
@@ -789,12 +980,27 @@ fn peer_fetch(
     let hop = (remaining / 2).clamp(Duration::from_millis(50), Duration::from_secs(2));
     let hop_ms = hop.as_millis().to_string();
     let model_hex = entry.fingerprint_hex();
-    let headers = [
+    let mut headers = vec![
         ("x-ancstr-no-forward", "1"),
         ("x-ancstr-model", model_hex.as_str()),
         ("x-ancstr-deadline-ms", hop_ms.as_str()),
     ];
-    match client::post_with(addr, "/v1/extract", &headers, &req.body, hop) {
+    // Propagate trace context across the hop: the owner adopts our
+    // trace id, and the forward span's id becomes its remote parent so
+    // the offline merger can hang the remote subtree under this hop.
+    let span = ctx.obs.tracer().zip(telemetry.trace_id.as_deref()).map(|(t, id)| {
+        t.span("serve", "forward", &[("peer", owner.into()), ("trace", id.into())])
+    });
+    let span_id = span.as_ref().map(|s| s.id().to_string());
+    if let (Some(id), Some(span_id)) = (telemetry.trace_id.as_deref(), span_id.as_deref()) {
+        headers.push(("x-ancstr-trace-id", id));
+        headers.push(("x-ancstr-parent-span", span_id));
+    }
+    let hop_started = Instant::now();
+    let result = client::post_with(addr, "/v1/extract", &headers, &req.body, hop);
+    drop(span);
+    telemetry.time("forward", hop_started.elapsed());
+    match result {
         Ok(reply) if reply.status == 200 => {
             ctx.ring.count_forward_ok();
             Some(
@@ -939,13 +1145,42 @@ fn readyz_route(ctx: &Ctx) -> Response {
 }
 
 fn metrics_route(ctx: &Ctx) -> Response {
-    publish_cache_metrics(ctx);
-    // Effective compute-layer thread count (the `--threads` flag, or
-    // the machine's available parallelism when unset).
-    ctx.obs.metrics().gauge_set("ancstr_par_threads", &[], ancstr_par::threads() as f64);
+    publish_scrape_metrics(ctx);
     Response::new(200)
         .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
         .with_body(ctx.obs.metrics().render().into_bytes())
+}
+
+/// Everything a scrape publishes on demand: the cache/fleet deltas,
+/// the effective compute-layer thread count (the `--threads` flag, or
+/// the machine's available parallelism when unset), and kernel
+/// attribution. The drain path reuses this so the final snapshot is a
+/// superset of what any live scrape would have shown.
+fn publish_scrape_metrics(ctx: &Ctx) {
+    publish_cache_metrics(ctx);
+    publish_kernel_metrics(ctx);
+    ctx.obs.metrics().gauge_set("ancstr_par_threads", &[], ancstr_par::threads() as f64);
+}
+
+/// Fold the process-wide kernel profiling counters into the registry
+/// as monotonic deltas since this daemon's baseline. Saturating
+/// subtraction because `bench` (sharing the process in tests) may
+/// reset the counters between publishes.
+fn publish_kernel_metrics(ctx: &Ctx) {
+    if !ancstr_par::profile::enabled() {
+        return;
+    }
+    let snap = ancstr_par::profile::snapshot();
+    let mut last = ctx.kernels_published.lock().unwrap_or_else(|e| e.into_inner());
+    let m = ctx.obs.metrics();
+    for (s, prev) in snap.iter().zip(last.iter_mut()) {
+        let labels = [("kernel", s.name)];
+        m.counter_add("ancstr_kernel_calls_total", &labels, s.calls.saturating_sub(prev.calls));
+        m.counter_add("ancstr_kernel_elements_total", &labels, s.elems.saturating_sub(prev.elems));
+        m.counter_add("ancstr_kernel_wall_ns_total", &labels, s.wall_ns.saturating_sub(prev.wall_ns));
+        m.gauge_set("ancstr_kernel_threads", &labels, s.threads as f64);
+        *prev = KernelPublished { calls: s.calls, elems: s.elems, wall_ns: s.wall_ns };
+    }
 }
 
 /// Fold the cache's counters into the Prometheus registry as monotonic
@@ -1612,6 +1847,146 @@ M5 t t vss vss nch w=1u l=0.1u
         let snapshot = std::fs::read_to_string(&out).unwrap();
         assert!(snapshot.contains("ancstr_serve_cache_misses_total 1"), "{snapshot}");
         assert!(snapshot.contains("ancstr_http_requests_total"), "{snapshot}");
+        // Regression: families first observed mid-flight (gauges and
+        // histograms that no startup registration creates) must appear
+        // in the drain snapshot even though /metrics was never scraped.
+        assert!(snapshot.contains("ancstr_par_threads"), "{snapshot}");
+        assert!(snapshot.contains("ancstr_serve_request_duration_seconds_bucket"), "{snapshot}");
+        assert!(snapshot.contains("ancstr_kernel_calls_total{kernel=\"matmul\"}"), "{snapshot}");
+        ancstr_obs::metrics::validate_exposition(&snapshot).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracing_mints_and_echoes_trace_context() {
+        let (tracer, buf) = ancstr_obs::Tracer::in_memory();
+        let registry =
+            Arc::new(ModelRegistry::load(&test_model(11).to_text(), "unit-test").unwrap());
+        let server = Server::start(
+            ServeConfig { workers: 2, cache_entries: 8, ..ServeConfig::default() },
+            registry,
+            PipelineObs::new(Some(tracer)),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // No inbound id: the daemon mints one and echoes it, with the
+        // per-stage timing summary alongside.
+        let minted = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(minted.status, 200, "{}", minted.text());
+        let id = minted.header("x-ancstr-trace-id").expect("trace id echoed").to_owned();
+        assert!(is_trace_id(&id), "{id}");
+        let timing = minted.header("x-ancstr-timing").expect("timing summary").to_owned();
+        assert!(timing.contains("queue_wait;dur="), "{timing}");
+        assert!(timing.contains("batch;dur="), "{timing}");
+        assert!(timing.contains("total;dur="), "{timing}");
+        // A well-formed inbound id is adopted verbatim; a malformed one
+        // is replaced, never parroted back.
+        let chosen = mint_trace_id();
+        let adopted = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-trace-id", chosen.as_str())],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(adopted.header("x-ancstr-trace-id"), Some(chosen.as_str()));
+        let replaced = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-trace-id", "not-a-trace-id")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        let got = replaced.header("x-ancstr-trace-id").unwrap();
+        assert!(is_trace_id(got) && got != "not-a-trace-id", "{got}");
+        stop(server);
+        // The trace stream validates end-to-end and links the adopted
+        // id to a serve span with the request-lifecycle children.
+        let text = buf.contents();
+        let events = ancstr_obs::validate_trace(&text).unwrap();
+        assert!(
+            events.iter().any(|e| {
+                e.kind == "span_start"
+                    && e.span == "serve"
+                    && e.fields.get("trace").and_then(|v| v.as_str()) == Some(chosen.as_str())
+            }),
+            "{text}"
+        );
+        for child in ["queue_wait", "single_flight", "batch"] {
+            assert!(events.iter().any(|e| e.span == child), "missing {child} span:\n{text}");
+        }
+    }
+
+    #[test]
+    fn no_trace_headers_appear_when_tracing_is_disabled() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        let id = mint_trace_id();
+        // Even an explicit inbound trace id is ignored: responses stay
+        // byte-identical to the untraced daemon.
+        let reply = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("x-ancstr-trace-id", id.as_str())],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.text());
+        assert_eq!(reply.header("x-ancstr-trace-id"), None);
+        assert_eq!(reply.header("x-ancstr-timing"), None);
+        stop(server);
+    }
+
+    #[test]
+    fn a_forwarded_miss_carries_one_trace_id_across_both_replicas() {
+        let model_text = test_model(11).to_text();
+        let (tracer_a, buf_a) = ancstr_obs::Tracer::in_memory();
+        let a = Server::start(
+            ServeConfig { workers: 2, ..ServeConfig::default() },
+            Arc::new(ModelRegistry::load(&model_text, "fleet-a").unwrap()),
+            PipelineObs::new(Some(tracer_a)),
+        )
+        .unwrap();
+        let (tracer_b, buf_b) = ancstr_obs::Tracer::in_memory();
+        let b = Server::start(
+            ServeConfig {
+                workers: 2,
+                peers: vec![a.local_addr().to_string()],
+                ..ServeConfig::default()
+            },
+            Arc::new(ModelRegistry::load(&model_text, "fleet-b").unwrap()),
+            PipelineObs::new(Some(tracer_b)),
+        )
+        .unwrap();
+        let addr_b = b.local_addr();
+        // Distinct cold keys until one is peer-owned and forwarded.
+        let mut forwarded_id = None;
+        for i in 1..=16 {
+            let nl = NETLIST.replace("w=1u", &format!("w={i}u"));
+            let r = client::post(addr_b, "/v1/extract", nl.as_bytes(), T).unwrap();
+            assert_eq!(r.status, 200, "{}", r.text());
+            if r.header("x-ancstr-served-by").is_some() {
+                forwarded_id =
+                    Some(r.header("x-ancstr-trace-id").expect("trace id echoed").to_owned());
+                break;
+            }
+        }
+        let id = forwarded_id.expect("with 16 distinct keys at least one must be peer-owned");
+        stop(b);
+        stop(a);
+        // One trace id landed in both replicas' streams, and the merger
+        // stitches them into a single waterfall around the forward hop.
+        let (text_a, text_b) = (buf_a.contents(), buf_b.contents());
+        assert!(text_a.contains(&id) && text_b.contains(&id), "{id}\n--- a:\n{text_a}");
+        let report = ancstr_obs::analyze(&[
+            ancstr_obs::TraceFile { label: "a".into(), text: text_a },
+            ancstr_obs::TraceFile { label: "b".into(), text: text_b },
+        ])
+        .unwrap();
+        assert_eq!(report.merged, 1, "one trace spans both replicas:\n{}", report.rendered);
+        assert!(report.rendered.contains("forward"), "{}", report.rendered);
     }
 }
