@@ -3,6 +3,7 @@
 //! ```text
 //! ancstr extract <netlist.sp> [-o constraints.txt] [--model model.txt]
 //!                [--epochs N] [--seed S] [--groups]
+//!                [--constraint-format magical|align-json]
 //!                [--run-dir DIR] [--resume] [--checkpoint-every N]
 //!                [--time-budget SECS] [--trace-out FILE]
 //!                [--log-format text|json] [-v|--quiet]
@@ -10,15 +11,16 @@
 //!                [--run-dir DIR] [--resume] [--checkpoint-every N]
 //!                [--time-budget SECS] [--trace-out FILE]
 //! ancstr stats   <netlist.sp>
+//! ancstr corpus  --devices N [--seed S] [-o netlist.sp]
 //! ancstr obs-check [--trace FILE] [--require-stages a,b,..]
-//!                  [--require-epoch-events] [--prom FILE]
+//!                  [--require-epoch-events] [--prom FILE] [--align FILE]
 //! ancstr obs-report <trace.jsonl>...
 //! ancstr serve   --model model.txt [--port N] [--workers N]
 //!                [--queue-depth N] [--cache-entries N]
 //!                [--peers host:port,..] [--batch-max N] [--model-slots N]
 //!                [--trace-out FILE] [--log-format text|json] [-v|--quiet]
 //! ancstr bench   [netlist.sp...] [-o report.json] [--epochs N] [--seed S]
-//!                [--threads N]
+//!                [--threads N] [--stress-devices N]
 //! ```
 //!
 //! `extract` trains on the input itself unless `--model` supplies a
@@ -30,12 +32,24 @@
 //! byte-identical at every thread count — `--threads 1` runs the exact
 //! same computation sequentially.
 //!
+//! `extract` writes the MAGICAL-style constraint text by default;
+//! `--constraint-format align-json` emits the ALIGN-compatible JSON
+//! document (`SymmBlock`/`SymmNet`/`Align` arrays) produced by
+//! `ancstr-hier` instead. `corpus` generates a seeded scale-sweep
+//! stress netlist (a time-interleaved ADC array sized to `--devices`
+//! primitives, exact hierarchical ground truth included) for
+//! throughput experiments.
+//!
 //! `bench` times each pipeline stage (graph-build, train, embed,
 //! detect) on the ADC1–ADC5 suite — or on the given netlists — at 1, 2,
-//! and N threads, writes a JSON report (default `BENCH_PR8.json`) with
+//! and N threads, writes a JSON report (default `BENCH_PR9.json`) with
 //! per-kernel attribution (matmul/spmm/axpy/row_norms calls, element
 //! counts, and wall time per thread count), and fails with exit code 1
-//! if any thread count changes the extraction output hash.
+//! if any thread count changes the extraction output hash. A `stress`
+//! stage additionally times inductive extraction (graph-build + embed +
+//! detect) over a generated `--stress-devices` corpus (default 10000;
+//! 0 disables the stage's work but keeps its rows so report consumers
+//! see a stable stage set).
 //!
 //! `serve` keeps a trained model warm in a long-lived HTTP daemon
 //! (`ancstr-serve`): `POST /v1/extract` takes a SPICE netlist body and
@@ -89,7 +103,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use ancstr_core::groups::merge_groups;
+use ancstr_core::groups::merged_groups_sorted;
 use ancstr_core::runstore::{DurableFit, RunError, RunOptions, RunSession};
 use ancstr_core::{
     detect_constraints, load_netlist_observed, read_constraints, render_groups,
@@ -106,7 +120,7 @@ use ancstr_obs::{
 };
 
 fn usage() -> &'static str {
-    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--threads N] [--groups] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--threads N] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE]\n  ancstr obs-report <trace.jsonl>...\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--default-deadline-ms N] [--chaos] [--metrics FILE] [--threads N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr bench [netlist.sp...] [-o report.json] [--epochs N] [--seed S] [--threads N]"
+    "usage:\n  ancstr extract <netlist.sp> [-o FILE] [--model FILE] [--epochs N] [--seed S] [--threads N] [--groups] [--constraint-format magical|align-json] [--dot FILE] [--metrics FILE] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr train <netlist.sp>... --model-out FILE [--epochs N] [--seed S] [--threads N] [--run-dir DIR] [--resume] [--checkpoint-every N] [--time-budget SECS] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr stats <netlist.sp>\n  ancstr corpus --devices N [--seed S] [-o FILE]\n  ancstr obs-check [--trace FILE] [--require-stages a,b,..] [--require-epoch-events] [--prom FILE] [--align FILE]\n  ancstr obs-report <trace.jsonl>...\n  ancstr serve --model FILE [--port N] [--workers N] [--queue-depth N] [--cache-entries N] [--default-deadline-ms N] [--chaos] [--metrics FILE] [--threads N] [--trace-out FILE] [--log-format text|json] [-v|--quiet]\n  ancstr bench [netlist.sp...] [-o report.json] [--epochs N] [--seed S] [--threads N] [--stress-devices N]"
 }
 
 /// Everything that can go wrong, sorted by exit code: failed
@@ -176,7 +190,7 @@ impl ObsCtx {
     ///   code path otherwise.
     fn for_command(cmd: &str, args: &Args) -> Result<ObsCtx, CliError> {
         let log = Logger::stderr(args.log_format, args.verbosity);
-        if matches!(cmd, "stats" | "obs-check" | "obs-report" | "bench") {
+        if matches!(cmd, "stats" | "corpus" | "obs-check" | "obs-report" | "bench") {
             return Ok(ObsCtx { log, obs: PipelineObs::disabled() });
         }
         let tracer = match &args.trace_out {
@@ -225,6 +239,15 @@ fn report_health(log: &Logger, health: &HealthReport) {
     }
 }
 
+/// Constraint serialization selected by `--constraint-format`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConstraintFormat {
+    /// The MAGICAL-style text exporter (the default).
+    Magical,
+    /// The ALIGN-compatible JSON document from `ancstr-hier`.
+    AlignJson,
+}
+
 struct Args {
     positional: Vec<String>,
     output: Option<String>,
@@ -233,6 +256,7 @@ struct Args {
     epochs: Option<usize>,
     seed: Option<u64>,
     groups: bool,
+    constraint_format: ConstraintFormat,
     dot: Option<String>,
     metrics: Option<String>,
     run_dir: Option<String>,
@@ -245,8 +269,12 @@ struct Args {
     // obs-check inputs
     trace: Option<String>,
     prom: Option<String>,
+    align: Option<String>,
     require_stages: Option<String>,
     require_epoch_events: bool,
+    // corpus / bench stress sizing
+    devices: Option<usize>,
+    stress_devices: Option<usize>,
     // serve tunables
     port: Option<u16>,
     workers: Option<usize>,
@@ -270,6 +298,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         epochs: None,
         seed: None,
         groups: false,
+        constraint_format: ConstraintFormat::Magical,
         dot: None,
         metrics: None,
         run_dir: None,
@@ -281,8 +310,11 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         verbosity: Verbosity::Normal,
         trace: None,
         prom: None,
+        align: None,
         require_stages: None,
         require_epoch_events: false,
+        devices: None,
+        stress_devices: None,
         port: None,
         workers: None,
         queue_depth: None,
@@ -314,6 +346,35 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--seed" => args.seed = Some(take("--seed")?.parse().map_err(|_| "bad --seed")?),
             "--groups" => args.groups = true,
+            "--constraint-format" => {
+                let v = take("--constraint-format")?;
+                args.constraint_format = match v.as_str() {
+                    "magical" => ConstraintFormat::Magical,
+                    "align-json" => ConstraintFormat::AlignJson,
+                    _ => {
+                        return Err(format!(
+                            "bad --constraint-format `{v}` (want magical or align-json)"
+                        ))
+                    }
+                };
+            }
+            "--devices" => {
+                let n: usize = take("--devices")?
+                    .parse()
+                    .map_err(|_| "bad --devices (want a positive integer)")?;
+                if n == 0 {
+                    return Err("--devices must be at least 1".to_owned());
+                }
+                args.devices = Some(n);
+            }
+            "--stress-devices" => {
+                args.stress_devices = Some(
+                    take("--stress-devices")?
+                        .parse()
+                        .map_err(|_| "bad --stress-devices (want an integer; 0 disables)")?,
+                );
+            }
+            "--align" => args.align = Some(take("--align")?),
             "--dot" => args.dot = Some(take("--dot")?),
             "--metrics" => args.metrics = Some(take("--metrics")?),
             "--run-dir" => args.run_dir = Some(take("--run-dir")?),
@@ -520,10 +581,20 @@ fn emit_outputs(
         write_prom_checkpoint(ctx, dir);
     }
 
-    let text = if args.groups {
-        render_groups(flat, &merge_groups(constraints))
-    } else {
-        write_constraints(flat, constraints)
+    let text = match args.constraint_format {
+        ConstraintFormat::AlignJson => {
+            if args.groups {
+                return Err(usage_err(
+                    "--groups selects the MAGICAL group view; the ALIGN document already \
+                     carries merged groups — drop one of the flags",
+                ));
+            }
+            ancstr_hier::align::export_align(flat, constraints)
+        }
+        ConstraintFormat::Magical if args.groups => {
+            render_groups(flat, &merged_groups_sorted(flat, constraints))
+        }
+        ConstraintFormat::Magical => write_constraints(flat, constraints),
     };
     match &args.output {
         Some(path) => {
@@ -891,8 +962,42 @@ fn cmd_stats(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Names of the timed pipeline stages, in execution order.
-const BENCH_STAGES: [&str; 5] = ["graph-build", "train", "embed", "detect", "total"];
+/// Generate a seeded stress netlist (`stress_system`) and write it to
+/// `-o` or stdout. The corpus is a pure function of `(devices, seed)`,
+/// so reruns with the same arguments are byte-identical — what lets CI
+/// pin extraction wall times against a reproducible 10k–100k-device
+/// input.
+fn cmd_corpus(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
+    if !args.positional.is_empty() {
+        return Err(usage_err("corpus takes no positional arguments"));
+    }
+    let Some(devices) = args.devices else {
+        return Err(usage_err("corpus needs --devices"));
+    };
+    let floor = ancstr_circuits::stress::min_stress_devices();
+    if devices < floor {
+        return Err(usage_err(format!(
+            "--devices {devices} is below one stress channel ({floor} devices)"
+        )));
+    }
+    let seed = args.seed.unwrap_or(7);
+    let nl = ancstr_circuits::stress::stress_system(devices, seed);
+    let text = ancstr_netlist::write::write_spice(&nl);
+    match &args.output {
+        Some(path) => {
+            fs::write(path, &text)
+                .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
+            ctx.log.info(format!("wrote {path} ({devices} devices, seed {seed})"));
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Names of the timed pipeline stages, in execution order. `stress` is
+/// the scale-sweep stage: inductive extraction (graph-build + embed +
+/// detect) over a generated `--stress-devices` corpus.
+const BENCH_STAGES: [&str; 6] = ["graph-build", "train", "embed", "detect", "stress", "total"];
 
 /// FNV-1a over a byte slice, continuing from `hash` — the bench report's
 /// output fingerprint (constraints text, scores, warnings).
@@ -919,7 +1024,7 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     if args.run_dir.is_some() || args.resume {
         return Err(usage_err("bench does not support --run-dir/--resume"));
     }
-    let out_path = args.output.clone().unwrap_or_else(|| "BENCH_PR8.json".to_owned());
+    let out_path = args.output.clone().unwrap_or_else(|| "BENCH_PR9.json".to_owned());
 
     let suite: Vec<(String, FlatCircuit)> = if args.positional.is_empty() {
         ancstr_bench::adc_dataset()
@@ -939,6 +1044,23 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     let mut counts = vec![1usize, 2, max_threads];
     counts.sort_unstable();
     counts.dedup();
+
+    // The scale-sweep corpus: generated once (deterministic in devices
+    // and seed), then extracted inductively at every thread count.
+    let stress_devices = args.stress_devices.unwrap_or(10_000);
+    let stress_flat = if stress_devices > 0 {
+        let seed = args.seed.unwrap_or(7);
+        ctx.log.info(format!(
+            "bench: generating {stress_devices}-device stress corpus (seed {seed})"
+        ));
+        let nl = ancstr_circuits::stress::stress_system(stress_devices, seed);
+        Some(FlatCircuit::elaborate(&nl).map_err(|err| CliError::Pipeline {
+            path: "stress".to_owned(),
+            err: ExtractError::Elaborate(err),
+        })?)
+    } else {
+        None
+    };
 
     // wall[c][s] = summed milliseconds for thread count `counts[c]`,
     // stage `BENCH_STAGES[s]`.
@@ -978,7 +1100,7 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
             let t3 = Instant::now();
             let detection = detect_constraints(flat, &z, &config.thresholds, &config.embed);
             wall[ci][3] += t3.elapsed().as_secs_f64() * 1e3;
-            wall[ci][4] += total0.elapsed().as_secs_f64() * 1e3;
+            wall[ci][5] += total0.elapsed().as_secs_f64() * 1e3;
 
             // Fingerprint everything detection produced, in order:
             // exported constraints, every score bit pattern, warnings.
@@ -991,6 +1113,25 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
             for w in &detection.warnings {
                 hash = fnv1a(hash, w.to_string().as_bytes());
             }
+        }
+        // Stress stage: inductive extraction (no training — the seeded
+        // initial model is deterministic, which is all the identity
+        // check needs) over the generated corpus.
+        if let Some(flat) = &stress_flat {
+            let pipeline =
+                |err: ExtractError| CliError::Pipeline { path: "stress".to_owned(), err };
+            let t4 = Instant::now();
+            let extractor = SymmetryExtractor::try_new(config.clone()).map_err(pipeline)?;
+            let tg = extractor.train_graph(flat);
+            let z = extractor.model().embed(&tg.tensors, &tg.features);
+            let detection = detect_constraints(flat, &z, &config.thresholds, &config.embed);
+            wall[ci][4] += t4.elapsed().as_secs_f64() * 1e3;
+            hash = fnv1a(hash, write_constraints(flat, &detection.constraints).as_bytes());
+            ctx.log.info(format!(
+                "bench: stress {} devices -> {} constraints at {t} thread(s)",
+                flat.devices().len(),
+                detection.constraints.len()
+            ));
         }
         hashes[ci] = hash;
         kernels[ci] = ancstr_par::profile::snapshot();
@@ -1038,6 +1179,7 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
     }
     let report = format!(
         "{{\n  \"schema\": \"ancstr-bench-v1\",\n  \"suite\": [{}],\n  \
+         \"stress_devices\": {stress_devices},\n  \
          \"thread_counts\": {counts:?},\n  \"output_hashes\": {{{}}},\n  \
          \"identical_across_threads\": {identical},\n  \"records\": [\n{records}\n  ],\n  \
          \"kernels\": [\n{kernel_records}\n  ]\n}}\n",
@@ -1086,8 +1228,8 @@ fn cmd_bench(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
 /// per-epoch telemetry) and/or a Prometheus text exposition. Exit code
 /// 1 on any validation failure, so CI can gate on it.
 fn cmd_obs_check(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
-    if args.trace.is_none() && args.prom.is_none() {
-        return Err(usage_err("obs-check needs --trace and/or --prom"));
+    if args.trace.is_none() && args.prom.is_none() && args.align.is_none() {
+        return Err(usage_err("obs-check needs --trace, --prom, and/or --align"));
     }
     if let Some(path) = &args.trace {
         let text = fs::read_to_string(path)
@@ -1132,6 +1274,29 @@ fn cmd_obs_check(ctx: &ObsCtx, args: Args) -> Result<(), CliError> {
             CliError::Validation(format!("`{path}` is not valid Prometheus exposition: {e}"))
         })?;
         ctx.log.info(format!("{path}: {samples} valid exposition samples"));
+    }
+    if let Some(path) = &args.align {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CliError::Io { path: path.clone(), detail: e.to_string() })?;
+        let doc = ancstr_hier::align::AlignDoc::parse(&text).map_err(|e| {
+            CliError::Validation(format!("`{path}` is not a valid ALIGN document: {e}"))
+        })?;
+        // The exporter is canonical: a valid document re-renders to the
+        // exact bytes on disk. Anything else means the file was edited
+        // or produced by a non-canonical writer.
+        if doc.render() != text {
+            return Err(CliError::Validation(format!(
+                "`{path}` parses but is not in canonical form (re-render differs)"
+            )));
+        }
+        ctx.log.info(format!(
+            "{path}: valid ALIGN document for `{}` ({} symmetry blocks, {} symmetry nets, \
+             {} arrays)",
+            doc.circuit,
+            doc.symm_blocks.len(),
+            doc.symm_nets.len(),
+            doc.arrays.len()
+        ));
     }
     Ok(())
 }
@@ -1320,6 +1485,7 @@ fn main() -> ExitCode {
         "extract" => cmd_extract(&ctx, args),
         "train" => cmd_train(&ctx, args),
         "stats" => cmd_stats(&ctx, args),
+        "corpus" => cmd_corpus(&ctx, args),
         "obs-check" => cmd_obs_check(&ctx, args),
         "obs-report" => cmd_obs_report(&ctx, args),
         "serve" => cmd_serve(&ctx, args),

@@ -49,7 +49,7 @@ pub fn template_device_count(nl: &Netlist, name: &str) -> usize {
 
 /// A bias-generation cell: mirror ladder distributing `ibias` — 10
 /// devices.
-fn bias_cell() -> Subckt {
+pub(crate) fn bias_cell() -> Subckt {
     CellBuilder::new("biasgen", ["ibias", "vb1", "vb2", "vbn", "vdd", "vss"])
         .class(CircuitClass::Bias)
         .mos("M1", DeviceType::Nch, "ibias", "ibias", "vss", "vss", 2.0, 0.5)
@@ -66,7 +66,7 @@ fn bias_cell() -> Subckt {
 }
 
 /// A bootstrapped sampling switch — 10 devices.
-fn bootstrap_cell() -> Subckt {
+pub(crate) fn bootstrap_cell() -> Subckt {
     CellBuilder::new("bootsw", ["in", "out", "ck", "ckb", "vdd", "vss"])
         .class(CircuitClass::Switch)
         .mos("Msw", DeviceType::NchLvt, "out", "g", "in", "vss", 8.0, 0.1)
@@ -85,7 +85,7 @@ fn bootstrap_cell() -> Subckt {
 
 /// An active-RC integrator template wrapping an OTA instance with
 /// matched input resistors and integration capacitors.
-fn integrator_cell(name: &str, ota_template: &str, r_kohm: f64, c_pf: f64) -> Subckt {
+pub(crate) fn integrator_cell(name: &str, ota_template: &str, r_kohm: f64, c_pf: f64) -> Subckt {
     CellBuilder::new(
         name,
         ["inp", "inn", "outp", "outn", "vcm", "ibias", "vdd", "vss"],
@@ -260,7 +260,7 @@ fn decap_banks(nl: &mut Netlist, prefix: &str, fill: usize) -> Vec<(String, Stri
 
 /// Probe the device count of `top`, add decap banks covering the gap to
 /// `target`, instantiate them, and finish the netlist.
-fn finish_with_fill(
+pub(crate) fn finish_with_fill(
     mut nl: Netlist,
     mut top: CellBuilder,
     name: &str,

@@ -15,6 +15,8 @@
 //! * [`latch::latch1`] — the 24-device latch;
 //! * [`adc`] — ADC1–ADC5 system assemblers hitting the published device
 //!   counts (285/345/347/731/1233) exactly;
+//! * [`stress`] — seeded scale-sweep systems (10k–100k devices) with
+//!   exact hierarchical ground truth for throughput benchmarking;
 //! * [`clock::clock_circuit`] — the Fig. 2 sizing-aware clock example.
 //!
 //! Ground truth comes from `*.symmetry` annotations placed by the
@@ -45,6 +47,7 @@ pub mod digital;
 pub mod extras;
 pub mod latch;
 pub mod ota;
+pub mod stress;
 pub mod variants;
 
 use ancstr_netlist::Netlist;

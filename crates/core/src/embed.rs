@@ -28,7 +28,16 @@ impl Default for EmbedOptions {
         EmbedOptions {
             m: 10,
             pagerank: PageRankOptions::default(),
-            build: BuildOptions::default(),
+            // Algorithm 1's clique construction is quadratic in net
+            // fanout: a flattened supply rail touching every device of a
+            // 100k-device corpus materializes O(n²) multigraph edges in
+            // the root block's subgraph before the simple-digraph
+            // collapse can dedup them. No hand-built benchmark has a
+            // block-local net over 551 pins, so pruning at 1024 leaves
+            // every committed result bit-identical while keeping
+            // synthetic-scale embedding linear. (The training graph
+            // prunes harder, at 64 — see `ExtractorConfig::default`.)
+            build: BuildOptions { max_net_degree: Some(1024) },
         }
     }
 }

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use ancstr_netlist::flat::{FlatCircuit, HierNodeId};
 use ancstr_netlist::{ConstraintSet, SymmetryConstraint, SymmetryKind};
 
-use crate::groups::{merge_groups, SymmetryGroup};
+use crate::groups::{merged_groups_sorted, SymmetryGroup};
 
 /// Error returned when parsing a constraint file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,7 +35,7 @@ impl std::error::Error for ParseConstraintError {}
 /// Serialize a detection's constraints, grouped per hierarchy and merged
 /// into symmetry groups.
 pub fn write_constraints(flat: &FlatCircuit, constraints: &ConstraintSet) -> String {
-    let groups = merge_groups(constraints);
+    let groups = merged_groups_sorted(flat, constraints);
     let mut out = String::new();
     let mut current: Option<HierNodeId> = None;
     for g in &groups {

@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use ancstr_netlist::flat::{FlatCircuit, HierNodeId};
+use ancstr_netlist::order::natural_cmp;
 use ancstr_netlist::{ConstraintSet, SymmetryKind};
 
 /// A maximal matched group under one hierarchy node.
@@ -106,6 +107,31 @@ pub fn merge_groups(constraints: &ConstraintSet) -> Vec<SymmetryGroup> {
     groups
 }
 
+/// Re-order `groups` by hierarchical path: members within each group
+/// sort by their node's natural path order (digit runs by value, so
+/// `Cu2` precedes `Cu10`), and the groups themselves by their
+/// hierarchy path, then first member path. Node ids are an artifact of
+/// elaboration order; paths are the stable, human-meaningful key, so
+/// every exporter funnels through this before serializing.
+pub fn sort_groups_by_path(flat: &FlatCircuit, groups: &mut [SymmetryGroup]) {
+    let path = |id: HierNodeId| flat.node(id).path.as_str();
+    for g in groups.iter_mut() {
+        g.members.sort_by(|&a, &b| natural_cmp(path(a), path(b)));
+    }
+    groups.sort_by(|a, b| {
+        natural_cmp(path(a.hierarchy), path(b.hierarchy))
+            .then_with(|| natural_cmp(path(a.members[0]), path(b.members[0])))
+    });
+}
+
+/// [`merge_groups`] followed by [`sort_groups_by_path`] — the form
+/// every serializer (MAGICAL text, ALIGN JSON, group reports) consumes.
+pub fn merged_groups_sorted(flat: &FlatCircuit, constraints: &ConstraintSet) -> Vec<SymmetryGroup> {
+    let mut groups = merge_groups(constraints);
+    sort_groups_by_path(flat, &mut groups);
+    groups
+}
+
 /// Render groups with full hierarchical paths (human-readable report).
 pub fn render_groups(flat: &FlatCircuit, groups: &[SymmetryGroup]) -> String {
     let mut out = String::new();
@@ -126,6 +152,7 @@ pub fn render_groups(flat: &FlatCircuit, groups: &[SymmetryGroup]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ancstr_netlist::parse::parse_spice;
     use ancstr_netlist::SymmetryConstraint;
 
     fn n(i: usize) -> HierNodeId {
@@ -164,6 +191,39 @@ mod tests {
     #[test]
     fn empty_input_empty_output() {
         assert!(merge_groups(&ConstraintSet::new()).is_empty());
+    }
+
+    /// Members are declared in an order whose node ids disagree with
+    /// natural path order (`C10` before `C2`); the exported order must
+    /// follow paths, not ids. This pins the `sym_group` determinism fix.
+    #[test]
+    fn groups_sort_by_natural_path_not_node_id() {
+        let nl = parse_spice(
+            "\
+.subckt top a vdd vss
+C10 a vss 10f
+C2 a vss 10f
+C1 a vss 10f
+*.symmetry C10 C2
+*.symmetry C2 C1
+.ends
+",
+        )
+        .unwrap();
+        let flat = FlatCircuit::elaborate(&nl).unwrap();
+        let groups = merged_groups_sorted(&flat, flat.ground_truth());
+        assert_eq!(groups.len(), 1);
+        let names: Vec<&str> = groups[0]
+            .members
+            .iter()
+            .map(|&m| flat.node(m).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["C1", "C2", "C10"], "path order, digit runs by value");
+        // Node-id (declaration) order would have been C10, C2, C1.
+        let ids: Vec<HierNodeId> = groups[0].members.clone();
+        let mut by_id = ids.clone();
+        by_id.sort();
+        assert_ne!(ids, by_id, "the fixture really does distinguish the two orders");
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub use detect::{
 };
 pub use embed::{embed_all_blocks, embed_circuit, EmbedOptions};
 pub use export::{read_constraints, write_constraints, ParseConstraintError};
-pub use groups::{merge_groups, render_groups, SymmetryGroup};
+pub use groups::{merge_groups, merged_groups_sorted, render_groups, sort_groups_by_path, SymmetryGroup};
 pub use features::{circuit_features, init_features, FeatureConfig, FEATURE_DIM};
 pub use metrics::{
     confusion_from_decisions, level_confusions, pr_curve, render_metrics_table, roc_curve,
@@ -82,7 +82,8 @@ pub use pipeline::{
 pub use recover::ExtractError;
 pub use service::{
     cache_key, extract_source, extract_source_batch, extract_source_batch_cancellable,
-    extract_source_cancellable, ServiceReply,
+    extract_source_batch_cancellable_with, extract_source_cancellable,
+    extract_source_cancellable_with, AltFormatter, ServiceReply,
 };
 pub use runstore::{
     config_hash, write_atomic, CancelToken, DurableFit, RunError, RunManifest, RunOptions,

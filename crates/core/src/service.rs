@@ -20,7 +20,7 @@
 use std::time::Duration;
 
 use ancstr_netlist::parse::parse_spice;
-use ancstr_netlist::FlatCircuit;
+use ancstr_netlist::{ConstraintSet, FlatCircuit};
 
 use crate::detect::detect_constraints;
 use crate::export::write_constraints;
@@ -48,7 +48,18 @@ pub struct ServiceReply {
     /// Inference + detection wall-clock time (training excluded,
     /// matching the paper's reporting).
     pub runtime: Duration,
+    /// The constraints rendered by the caller-supplied alternate
+    /// formatter (the serving layer threads the ALIGN-JSON exporter
+    /// through here), or `None` on the plain paths. Computed at extract
+    /// time so a cached reply can answer either format.
+    pub align_json: Option<String>,
 }
+
+/// An alternate constraint serializer threaded through the `_with`
+/// entry points. Core cannot depend on the hierarchical exporter (it
+/// layers *on* core), so services inject it as a function of the
+/// elaborated circuit and the detected constraints.
+pub type AltFormatter = dyn Fn(&FlatCircuit, &ConstraintSet) -> String + Sync;
 
 /// Run the full extraction pipeline on in-memory SPICE text with a
 /// warm, pre-trained extractor. `origin` is a diagnostic label for the
@@ -88,6 +99,25 @@ pub fn extract_source_cancellable(
     obs: &PipelineObs,
     cancel: &CancelToken,
 ) -> Result<ServiceReply, ExtractError> {
+    extract_source_cancellable_with(source, origin, extractor, obs, cancel, None)
+}
+
+/// [`extract_source_cancellable`] plus an optional [`AltFormatter`]:
+/// when `alt` is `Some`, its rendering of the detected constraints is
+/// stored in [`ServiceReply::align_json`] alongside the canonical text.
+/// With `alt = None` this is exactly [`extract_source_cancellable`].
+///
+/// # Errors
+///
+/// Exactly those of [`extract_source_cancellable`].
+pub fn extract_source_cancellable_with(
+    source: &str,
+    origin: &str,
+    extractor: &SymmetryExtractor,
+    obs: &PipelineObs,
+    cancel: &CancelToken,
+    alt: Option<&AltFormatter>,
+) -> Result<ServiceReply, ExtractError> {
     if cancel.is_cancelled() {
         return Err(ExtractError::Cancelled);
     }
@@ -122,6 +152,7 @@ pub fn extract_source_cancellable(
         constraints: extraction.detection.constraints.len(),
         warnings,
         runtime: extraction.runtime,
+        align_json: alt.map(|f| f(&flat, &extraction.detection.constraints)),
     })
 }
 
@@ -168,6 +199,23 @@ pub fn extract_source_batch_cancellable(
     extractor: &SymmetryExtractor,
     obs: &PipelineObs,
     cancel: &CancelToken,
+) -> Result<Vec<Result<ServiceReply, ExtractError>>, ExtractError> {
+    extract_source_batch_cancellable_with(items, extractor, obs, cancel, None)
+}
+
+/// [`extract_source_batch_cancellable`] plus an optional
+/// [`AltFormatter`], applied per item exactly as on the solo path.
+/// With `alt = None` this is exactly the plain batch entry point.
+///
+/// # Errors
+///
+/// Exactly those of [`extract_source_batch_cancellable`].
+pub fn extract_source_batch_cancellable_with(
+    items: &[(&str, &str)],
+    extractor: &SymmetryExtractor,
+    obs: &PipelineObs,
+    cancel: &CancelToken,
+    alt: Option<&AltFormatter>,
 ) -> Result<Vec<Result<ServiceReply, ExtractError>>, ExtractError> {
     use ancstr_gnn::{EmbedError, TrainGraph};
 
@@ -281,6 +329,7 @@ pub fn extract_source_batch_cancellable(
                 constraints: detection.constraints.len(),
                 warnings,
                 runtime: start.elapsed(),
+                align_json: alt.map(|f| f(&p.flat, &detection.constraints)),
             })
         })
         .collect())

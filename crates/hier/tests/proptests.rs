@@ -1,0 +1,230 @@
+//! Property tests for the hierarchical constraint layer: the ALIGN JSON
+//! document must round-trip byte-identically (generated documents and
+//! real exports alike), and on construction ground truth the group +
+//! array structure must reproduce the annotated pairs with precision
+//! and recall both exactly 1.0 — the acceptance bar for the
+//! hierarchical extraction subsystem.
+
+use std::collections::BTreeSet;
+
+use ancstr_circuits::{dac, stress};
+use ancstr_hier::align::{export_align, AlignArray, AlignDoc, SymmBlock, SymmNet};
+use ancstr_hier::HierAnalysis;
+use ancstr_netlist::flat::FlatCircuit;
+use ancstr_netlist::Netlist;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generated-document round trip: any document in the schema's domain
+// renders to text that parses back to the same value and re-renders to
+// the same bytes.
+// ---------------------------------------------------------------------------
+
+/// Field text: printable characters, including quotes, backslashes, and
+/// non-ASCII — the JSON escaping layer must carry all of them.
+fn name() -> impl Strategy<Value = String> {
+    "\\PC{0,12}"
+}
+
+fn level() -> impl Strategy<Value = String> {
+    (0u8..2).prop_map(|b| if b == 0 { "system" } else { "device" }.to_owned())
+}
+
+fn symm_block() -> impl Strategy<Value = SymmBlock> {
+    (
+        name(),
+        level(),
+        name(),
+        prop::collection::vec((name(), name()), 0..3),
+        prop::collection::vec(name(), 0..4),
+    )
+        .prop_map(|(hierarchy, level, axis, pairs, blocks)| SymmBlock {
+            hierarchy,
+            level,
+            axis,
+            pairs,
+            blocks,
+        })
+}
+
+fn symm_net() -> impl Strategy<Value = SymmNet> {
+    (name(), name(), name()).prop_map(|(hierarchy, net1, net2)| SymmNet {
+        hierarchy,
+        net1,
+        net2,
+    })
+}
+
+fn align_array() -> impl Strategy<Value = AlignArray> {
+    (name(), level(), name(), prop::collection::vec(name(), 0..5)).prop_map(
+        |(hierarchy, level, unit, instances)| AlignArray {
+            hierarchy,
+            level,
+            unit,
+            count: instances.len(),
+            instances,
+        },
+    )
+}
+
+fn align_doc() -> impl Strategy<Value = AlignDoc> {
+    (
+        name(),
+        prop::collection::vec(symm_block(), 0..4),
+        prop::collection::vec(symm_net(), 0..4),
+        prop::collection::vec(align_array(), 0..3),
+        prop::collection::vec(name(), 0..3),
+    )
+        .prop_map(|(circuit, symm_blocks, symm_nets, arrays, warnings)| AlignDoc {
+            circuit,
+            symm_blocks,
+            symm_nets,
+            arrays,
+            warnings,
+        })
+}
+
+proptest! {
+    /// render → parse is the identity on documents, and the re-render
+    /// reproduces the exact bytes (the canonical-form guarantee the CLI's
+    /// `obs-check --align` validator relies on).
+    #[test]
+    fn generated_documents_round_trip_byte_identically(doc in align_doc()) {
+        let text = doc.render();
+        let back = AlignDoc::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e} in {text}")))?;
+        prop_assert_eq!(&back, &doc);
+        prop_assert_eq!(back.render(), text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Real exports round-trip too: the exporter only emits documents
+    /// inside the parser's domain, at any generator parameterization.
+    #[test]
+    fn circuit_exports_round_trip_byte_identically(
+        units in 2usize..7,
+        bits in 1usize..5,
+        seed in 0u64..64,
+    ) {
+        for flat in [
+            FlatCircuit::elaborate(&stress::integrator_bank(units, seed)).unwrap(),
+            FlatCircuit::elaborate(&cap_dac_netlist(bits)).unwrap(),
+        ] {
+            let text = export_align(&flat, flat.ground_truth());
+            let doc = AlignDoc::parse(&text).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(doc.render(), text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Precision/recall against construction ground truth.
+// ---------------------------------------------------------------------------
+
+fn cap_dac_netlist(bits: usize) -> Netlist {
+    let mut nl = Netlist::new("capdac");
+    nl.add_subckt(dac::cap_dac_cell("capdac", bits)).expect("fresh");
+    nl
+}
+
+/// The unordered pair set of a constraint collection, keyed by node
+/// path (paths are unique in a `FlatCircuit`).
+fn pair_key(flat: &FlatCircuit, a: ancstr_netlist::flat::HierNodeId, b: ancstr_netlist::flat::HierNodeId) -> (String, String) {
+    let (pa, pb) = (flat.node(a).path.clone(), flat.node(b).path.clone());
+    if pa <= pb { (pa, pb) } else { (pb, pa) }
+}
+
+fn constraint_pairs(flat: &FlatCircuit) -> BTreeSet<(String, String)> {
+    flat.ground_truth()
+        .iter()
+        .map(|c| pair_key(flat, c.pair.lo(), c.pair.hi()))
+        .collect()
+}
+
+/// Expand the analysis's groups back into unordered member pairs.
+fn group_pairs(flat: &FlatCircuit, analysis: &HierAnalysis) -> BTreeSet<(String, String)> {
+    let mut pairs = BTreeSet::new();
+    for g in &analysis.groups {
+        for (i, &a) in g.members.iter().enumerate() {
+            for &b in &g.members[i + 1..] {
+                pairs.insert(pair_key(flat, a, b));
+            }
+        }
+    }
+    pairs
+}
+
+/// Assert precision and recall of the group/array structure against
+/// the construction ground truth are both exactly 1.0.
+fn assert_pr_is_exact(flat: &FlatCircuit) -> HierAnalysis {
+    let analysis = HierAnalysis::analyze(flat, flat.ground_truth());
+    let truth = constraint_pairs(flat);
+    let predicted = group_pairs(flat, &analysis);
+    let tp = truth.intersection(&predicted).count();
+    let precision = tp as f64 / predicted.len() as f64;
+    let recall = tp as f64 / truth.len() as f64;
+    assert_eq!(precision, 1.0, "false pairs: {:?}", predicted.difference(&truth).take(4).collect::<Vec<_>>());
+    assert_eq!(recall, 1.0, "missed pairs: {:?}", truth.difference(&predicted).take(4).collect::<Vec<_>>());
+    // Arrays are a sub-view of groups, so exact groups imply exact
+    // arrays — but pin that every array really is a ground-truth clique.
+    for a in &analysis.arrays {
+        for (i, &m) in a.order.iter().enumerate() {
+            for &n in &a.order[i + 1..] {
+                assert!(flat.ground_truth().contains_pair(m, n));
+            }
+        }
+    }
+    assert!(analysis.warnings.is_empty(), "{:?}", analysis.warnings);
+    analysis
+}
+
+#[test]
+fn integrator_bank_groups_have_exact_precision_and_recall() {
+    for units in [3usize, 5, 8] {
+        let flat = FlatCircuit::elaborate(&stress::integrator_bank(units, 2)).unwrap();
+        let analysis = assert_pr_is_exact(&flat);
+        // Construction knowledge: the bank itself is the one array —
+        // `units` instances of the integ_u template at the top level.
+        assert_eq!(analysis.arrays.len(), 1, "units={units}");
+        let arr = &analysis.arrays[0];
+        assert_eq!(arr.unit, "integ_u");
+        assert_eq!(arr.count, units);
+        assert_eq!(flat.node(arr.hierarchy).path, "integ_bank");
+    }
+}
+
+#[test]
+fn cap_dac_bank_groups_have_exact_precision_and_recall() {
+    for bits in [2usize, 3, 4] {
+        let flat = FlatCircuit::elaborate(&cap_dac_netlist(bits)).unwrap();
+        let analysis = assert_pr_is_exact(&flat);
+        // Construction knowledge: one unit-capacitor bank of 2^bits
+        // matched cfmom units (the dummy plus the binary-weighted runs).
+        assert_eq!(analysis.arrays.len(), 1, "bits={bits}");
+        let arr = &analysis.arrays[0];
+        assert_eq!(arr.unit, "cfmom");
+        assert_eq!(arr.count, 1 << bits);
+    }
+}
+
+#[test]
+fn stress_channel_promotes_the_integrator_bank_array() {
+    let flat = FlatCircuit::elaborate(&stress::stress_system(1200, 3)).unwrap();
+    let analysis = assert_pr_is_exact(&flat);
+    // Every channel contributes its 4-slice integrator bank as a block
+    // array of integ_s units.
+    let banks: Vec<&_> = analysis
+        .arrays
+        .iter()
+        .filter(|a| a.unit == "integ_s" && a.count == 4)
+        .collect();
+    let channels = flat
+        .blocks()
+        .filter(|n| matches!(&n.kind, ancstr_netlist::flat::HierNodeKind::Block { subckt, .. } if subckt == "channel"))
+        .count();
+    assert!(channels >= 2, "stress system should replicate channels");
+    assert_eq!(banks.len(), channels, "one integrator-bank array per channel");
+}

@@ -45,6 +45,7 @@ pub mod device;
 pub mod error;
 pub mod flat;
 pub mod netlist;
+pub mod order;
 pub mod parse;
 pub mod subckt;
 pub mod units;

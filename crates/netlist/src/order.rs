@@ -1,0 +1,111 @@
+//! Natural ordering for hierarchical paths.
+//!
+//! Generated members are named with numeric suffixes (`Cu0`, `Cu1`, …,
+//! `Cu10`), so plain lexicographic ordering interleaves them
+//! (`Cu0 < Cu10 < Cu1`) and any export keyed on it scrambles the
+//! physical array order. [`natural_cmp`] compares digit runs by value
+//! and everything else byte-wise, which sorts `Cu2` before `Cu10` and
+//! keeps `top/X2/C1` stable against `top/X10/C1`.
+
+use std::cmp::Ordering;
+
+/// Compare two strings with digit runs ordered numerically.
+///
+/// Digit runs are compared as unsigned magnitudes (longer run of equal
+/// leading value wins only via its digits, so `07` and `7` compare by
+/// value first, then by length for total-order stability). Non-digit
+/// bytes compare as usual.
+///
+/// # Example
+///
+/// ```
+/// use ancstr_netlist::order::natural_cmp;
+/// use std::cmp::Ordering;
+///
+/// assert_eq!(natural_cmp("Cu2", "Cu10"), Ordering::Less);
+/// assert_eq!(natural_cmp("top/X9/M1", "top/X10/M1"), Ordering::Less);
+/// assert_eq!(natural_cmp("a", "b"), Ordering::Less);
+/// ```
+pub fn natural_cmp(a: &str, b: &str) -> Ordering {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ca, cb) = (a[i], b[j]);
+        if ca.is_ascii_digit() && cb.is_ascii_digit() {
+            let (ia, va) = digit_run(a, i);
+            let (jb, vb) = digit_run(b, j);
+            match va.cmp(&vb) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+            // Equal values, possibly different spellings (`07` vs `7`):
+            // fall back to run length so the order stays total.
+            match (ia - i).cmp(&(jb - j)) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+            i = ia;
+            j = jb;
+        } else {
+            match ca.cmp(&cb) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    (a.len() - i).cmp(&(b.len() - j))
+}
+
+/// Scan the digit run starting at `start`; returns (end index, value).
+/// Values saturate at `u64::MAX` — beyond any generated index.
+fn digit_run(s: &[u8], start: usize) -> (usize, u64) {
+    let mut end = start;
+    let mut value: u64 = 0;
+    while end < s.len() && s[end].is_ascii_digit() {
+        value = value
+            .saturating_mul(10)
+            .saturating_add(u64::from(s[end] - b'0'));
+        end += 1;
+    }
+    (end, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_runs_compare_by_value() {
+        let mut names = vec!["Cu10", "Cu2", "Cu0", "Cu1", "Cu21"];
+        names.sort_by(|a, b| natural_cmp(a, b));
+        assert_eq!(names, vec!["Cu0", "Cu1", "Cu2", "Cu10", "Cu21"]);
+    }
+
+    #[test]
+    fn non_digit_text_stays_lexicographic() {
+        assert_eq!(natural_cmp("abc", "abd"), Ordering::Less);
+        assert_eq!(natural_cmp("abc", "abc"), Ordering::Equal);
+        assert_eq!(natural_cmp("b", "ab"), Ordering::Greater);
+    }
+
+    #[test]
+    fn prefix_orders_before_extension() {
+        assert_eq!(natural_cmp("top/X1", "top/X1/M1"), Ordering::Less);
+    }
+
+    #[test]
+    fn equal_values_with_different_spellings_stay_total() {
+        assert_eq!(natural_cmp("a07", "a7"), Ordering::Greater);
+        assert_eq!(natural_cmp("a7", "a07"), Ordering::Less);
+        assert_eq!(natural_cmp("a07b", "a7c"), Ordering::Greater);
+    }
+
+    #[test]
+    fn paths_with_multiple_runs() {
+        let mut paths = vec!["t/X10/C2", "t/X2/C10", "t/X2/C2", "t/X10/C1"];
+        paths.sort_by(|a, b| natural_cmp(a, b));
+        assert_eq!(paths, vec!["t/X2/C2", "t/X2/C10", "t/X10/C1", "t/X10/C2"]);
+    }
+}

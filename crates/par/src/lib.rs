@@ -56,6 +56,20 @@ use std::sync::{Condvar, Mutex, OnceLock};
 /// so chunk boundaries never depend on the thread count.
 pub const MAX_CHUNKS: usize = 64;
 
+/// Smallest region (in items) worth handing to the worker pool.
+///
+/// The BENCH_PR8 kernel attribution showed `par_region` batch setup
+/// (condvar wake + join) growing with thread count while the
+/// matmul/spmm/axpy wall times stayed flat from 1 to 8 threads — the
+/// Table III suite's detect and graph-build stages were paying pool
+/// dispatch on regions of a few hundred items. Regions below this
+/// floor now run on the submitting thread instead. Chunk boundaries
+/// are computed exactly as before ([`chunk_size`] ignores the floor),
+/// so per-chunk partials and every downstream output stay bit-identical
+/// — only the schedule changes. The full SIMD-kernel fix remains a
+/// roadmap item; this is the one-constant mitigation.
+pub const PAR_ITEM_FLOOR: usize = 2048;
+
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Set the process-wide thread count. `0` restores the default
@@ -112,14 +126,16 @@ thread_local! {
 /// Would a region over `0..n` with this `min_chunk` actually fan out
 /// right now?
 ///
-/// True only when it splits into more than one chunk, more than one
-/// worker is configured, and the caller is not already inside a
-/// parallel region. Callers with a cheaper sequential formulation that
-/// is *bit-identical* to the chunked one (e.g. skipping a grouping
-/// pass) may use this to pick it — the choice must never be observable
-/// in the output, only in the wall clock.
+/// True only when the region is at least [`PAR_ITEM_FLOOR`] items, it
+/// splits into more than one chunk, more than one worker is
+/// configured, and the caller is not already inside a parallel region.
+/// Callers with a cheaper sequential formulation that is
+/// *bit-identical* to the chunked one (e.g. skipping a grouping pass)
+/// may use this to pick it — the choice must never be observable in
+/// the output, only in the wall clock.
 pub fn would_parallelize(n: usize, min_chunk: usize) -> bool {
-    chunk_count(n, min_chunk) > 1
+    n >= PAR_ITEM_FLOOR
+        && chunk_count(n, min_chunk) > 1
         && threads() > 1
         && !IN_PARALLEL_REGION.with(|c| c.get())
 }
@@ -138,7 +154,7 @@ pub fn for_each_chunk(n: usize, min_chunk: usize, f: impl Fn(Range<usize>) + Syn
     }
     let nested = IN_PARALLEL_REGION.with(|c| c.get());
     let workers = threads();
-    if chunks == 1 || workers <= 1 || nested {
+    if chunks == 1 || workers <= 1 || nested || n < PAR_ITEM_FLOOR {
         for idx in 0..chunks {
             f(chunk_range(n, size, idx));
         }
@@ -454,9 +470,11 @@ mod tests {
 
     #[test]
     fn nested_regions_run_inline_without_deadlock() {
+        // Above the item floor so the outer region really uses the pool.
+        let n = 4 * PAR_ITEM_FLOOR;
         let before = threads();
         set_threads(4);
-        let total: u64 = map_chunks(256, 1, |outer| {
+        let total: u64 = map_chunks(n, 1, |outer| {
             // Nested call from inside a chunk body: must not deadlock.
             map_chunks(outer.len(), 1, |inner| inner.len() as u64)
                 .into_iter()
@@ -464,17 +482,20 @@ mod tests {
         })
         .into_iter()
         .sum();
-        assert_eq!(total, 256);
+        assert_eq!(total, n as u64);
         set_threads(before);
     }
 
     #[test]
     fn chunk_panics_propagate_to_the_submitter() {
+        // Above the item floor so the panic crosses the pool boundary,
+        // not just an inline call stack.
+        let n = 2 * PAR_ITEM_FLOOR;
         let before = threads();
         set_threads(4);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            for_each_chunk(64, 1, |r| {
-                if r.contains(&40) {
+            for_each_chunk(n, 1, |r| {
+                if r.contains(&(n / 2)) {
                     panic!("boom");
                 }
             });
@@ -482,8 +503,21 @@ mod tests {
         set_threads(before);
         assert!(result.is_err(), "panic must cross the pool boundary");
         // The pool must still be usable after a panicked batch.
-        let ok: usize = map_chunks(128, 1, |r| r.len()).into_iter().sum();
-        assert_eq!(ok, 128);
+        let ok: usize = map_chunks(2 * PAR_ITEM_FLOOR, 1, |r| r.len()).into_iter().sum();
+        assert_eq!(ok, 2 * PAR_ITEM_FLOOR);
+    }
+
+    #[test]
+    fn regions_below_the_item_floor_stay_inline() {
+        let before = threads();
+        set_threads(8);
+        assert!(!would_parallelize(PAR_ITEM_FLOOR - 1, 1));
+        assert!(would_parallelize(PAR_ITEM_FLOOR, 1));
+        // Inline scheduling is invisible in the results.
+        let small: usize =
+            map_chunks(PAR_ITEM_FLOOR - 1, 1, |r| r.len()).into_iter().sum();
+        assert_eq!(small, PAR_ITEM_FLOOR - 1);
+        set_threads(before);
     }
 
     #[test]

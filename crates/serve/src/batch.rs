@@ -27,9 +27,19 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 use ancstr_core::{
-    extract_source_batch_cancellable, CancelToken, ExtractError, PipelineObs, ServiceReply,
+    extract_source_batch_cancellable_with, CancelToken, ExtractError, PipelineObs, ServiceReply,
     SymmetryExtractor,
 };
+
+/// Every pass renders the ALIGN-JSON view alongside the canonical text,
+/// so a cached [`ServiceReply`] can answer either `Accept` format
+/// without recomputing the pipeline.
+fn align_formatter(
+    flat: &ancstr_netlist::FlatCircuit,
+    constraints: &ancstr_netlist::ConstraintSet,
+) -> String {
+    ancstr_hier::align::export_align(flat, constraints)
+}
 
 /// How long a queued follower sleeps between checks for a finished
 /// result, a free leader slot, or its own deadline. Purely a poll
@@ -282,7 +292,13 @@ impl Batcher {
                 .iter()
                 .map(|p| (p.job.source.as_str(), p.job.origin.as_str()))
                 .collect();
-            extract_source_batch_cancellable(&items, extractor, obs, &lead_cancel)
+            extract_source_batch_cancellable_with(
+                &items,
+                extractor,
+                obs,
+                &lead_cancel,
+                Some(&align_formatter),
+            )
         }));
         match run {
             Ok(Ok(results)) => {

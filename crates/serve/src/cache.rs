@@ -137,6 +137,7 @@ mod tests {
             nets: 1,
             constraints: 0,
             runtime: Duration::ZERO,
+            align_json: None,
         })
     }
 

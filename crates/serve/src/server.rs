@@ -731,6 +731,52 @@ fn error_response(status: u16, message: &str) -> Response {
     Response::json(status, &Json::obj().set("error", message))
 }
 
+/// Media type of the raw ALIGN-JSON constraint document.
+const ALIGN_MEDIA_TYPE: &str = "application/vnd.align+json";
+
+/// Which representation of a [`ServiceReply`] the client asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplyFormat {
+    /// The existing wrapper object (`constraints_text`, counters, …).
+    Wrapper,
+    /// The raw ALIGN-JSON constraint document.
+    AlignJson,
+}
+
+/// Content negotiation for `POST /v1/extract`: an absent `Accept`, or
+/// one naming `application/json` / `application/*` / `*/*`, selects the
+/// wrapper; `application/vnd.align+json` (anywhere in the list, taking
+/// precedence as the more specific type) selects the raw ALIGN
+/// document; anything else is `406`. Quality parameters are ignored —
+/// two formats do not need a preference lattice.
+fn negotiate_format(req: &Request) -> Result<ReplyFormat, Response> {
+    let Some(accept) = req.header("accept") else {
+        return Ok(ReplyFormat::Wrapper);
+    };
+    let mut wrapper_ok = false;
+    for part in accept.split(',') {
+        let media = part.split(';').next().unwrap_or("").trim().to_ascii_lowercase();
+        match media.as_str() {
+            ALIGN_MEDIA_TYPE => return Ok(ReplyFormat::AlignJson),
+            "application/json" | "application/*" | "*/*" | "" => wrapper_ok = true,
+            _ => {}
+        }
+    }
+    if wrapper_ok {
+        Ok(ReplyFormat::Wrapper)
+    } else {
+        Err(Response::json(
+            406,
+            &Json::obj()
+                .set(
+                    "error",
+                    format!("no acceptable representation: this endpoint offers application/json and {ALIGN_MEDIA_TYPE}"),
+                )
+                .set("stage", "content_negotiation"),
+        ))
+    }
+}
+
 fn extract_route(
     ctx: &Ctx,
     req: &Request,
@@ -745,6 +791,10 @@ fn extract_route(
     if source.trim().is_empty() {
         return error_response(400, "empty netlist body");
     }
+    let format = match negotiate_format(req) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
     // An already-expired budget is 408 even when the answer is cached:
     // the client stopped waiting, and a deterministic status beats a
     // reply whose fate depends on cache temperature.
@@ -799,7 +849,7 @@ fn extract_route(
     if let Some(reply) = ctx.cache.get(&key) {
         // Cache hits are cheap; brownout never sheds them.
         telemetry.set_cache("hit");
-        return reply_response(&reply, &entry, true);
+        return reply_response(&reply, &entry, true, format);
     }
     telemetry.set_cache("miss");
     if shed_cold {
@@ -838,7 +888,7 @@ fn extract_route(
     // Replica-aware partitioning: if a peer owns this key, fetch from
     // it under a per-hop deadline; any failure degrades to local
     // compute (a miss, never an error).
-    if let Some(resp) = peer_fetch(ctx, req, &key, &entry, cancel, chaos, telemetry) {
+    if let Some(resp) = peer_fetch(ctx, req, &key, &entry, cancel, chaos, telemetry, format) {
         return resp;
     }
     // The origin label is diagnostic-only (it becomes the parse span's
@@ -870,7 +920,7 @@ fn extract_route(
             health.record_success();
             let reply = Arc::new(*reply);
             ctx.cache.put(key, Arc::clone(&reply));
-            reply_response(&reply, &entry, false)
+            reply_response(&reply, &entry, false, format)
         }
         BatchOutcome::Error(err) => {
             // Parse/elaborate failures indict the client's netlist; an
@@ -932,6 +982,7 @@ fn peer_fetch(
     cancel: &CancelToken,
     chaos: Option<&str>,
     telemetry: &ReqTelemetry,
+    format: ReplyFormat,
 ) -> Option<Response> {
     // Forwarded requests carry x-ancstr-no-forward so a hop terminates
     // at the owner even if ring views disagree mid-deploy.
@@ -985,6 +1036,12 @@ fn peer_fetch(
         ("x-ancstr-model", model_hex.as_str()),
         ("x-ancstr-deadline-ms", hop_ms.as_str()),
     ];
+    // The negotiated format crosses the hop so the owner answers in the
+    // representation this client asked for; the relayed Content-Type
+    // below matches it.
+    if format == ReplyFormat::AlignJson {
+        headers.push(("accept", ALIGN_MEDIA_TYPE));
+    }
     // Propagate trace context across the hop: the owner adopts our
     // trace id, and the forward span's id becomes its remote parent so
     // the offline merger can hang the remote subtree under this hop.
@@ -1003,9 +1060,13 @@ fn peer_fetch(
     match result {
         Ok(reply) if reply.status == 200 => {
             ctx.ring.count_forward_ok();
+            let content_type = match format {
+                ReplyFormat::Wrapper => "application/json",
+                ReplyFormat::AlignJson => ALIGN_MEDIA_TYPE,
+            };
             Some(
                 Response::new(200)
-                    .header("Content-Type", "application/json")
+                    .header("Content-Type", content_type)
                     .header("x-ancstr-served-by", owner)
                     .with_body(reply.body),
             )
@@ -1027,7 +1088,23 @@ fn extract_error_response(status: u16, err: &ExtractError) -> Response {
     )
 }
 
-fn reply_response(reply: &ServiceReply, entry: &ModelEntry, cached: bool) -> Response {
+fn reply_response(
+    reply: &ServiceReply,
+    entry: &ModelEntry,
+    cached: bool,
+    format: ReplyFormat,
+) -> Response {
+    if format == ReplyFormat::AlignJson {
+        // The batcher renders the ALIGN view on every pass, so cached
+        // and fresh replies alike carry it; the defensive fallback only
+        // guards replies minted by an older build sharing the cache.
+        if let Some(doc) = &reply.align_json {
+            return Response::new(200)
+                .header("Content-Type", ALIGN_MEDIA_TYPE)
+                .header("x-ancstr-cached", if cached { "1" } else { "0" })
+                .with_body(doc.clone().into_bytes());
+        }
+    }
     let warnings: Vec<Json> = reply.warnings.iter().map(|w| Json::from(w.as_str())).collect();
     Response::json(
         200,
@@ -1376,6 +1453,53 @@ M5 t t vss vss nch w=1u l=0.1u
         assert!(metrics.contains("ancstr_serve_cache_misses_total 1"), "{metrics}");
         assert!(metrics.contains("ancstr_http_requests_total"), "{metrics}");
         assert!(metrics.contains("ancstr_par_threads"), "{metrics}");
+        stop(server);
+    }
+
+    #[test]
+    fn accept_negotiation_selects_the_align_document() {
+        let server = start_server(8);
+        let addr = server.local_addr();
+        // Explicit application/json and an absent Accept agree byte-wise.
+        let plain = client::post(addr, "/v1/extract", NETLIST.as_bytes(), T).unwrap();
+        assert_eq!(plain.status, 200, "{}", plain.text());
+        let align = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("accept", "application/vnd.align+json")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(align.status, 200, "{}", align.text());
+        let doc = align.text();
+        assert!(doc.starts_with('{') && doc.contains("\"schema\":\"ancstr-align-v1\""), "{doc}");
+        assert!(doc.contains("\"SymmBlock\""), "{doc}");
+        assert!(
+            !doc.contains("constraints_text"),
+            "the raw document is not the wrapper: {doc}"
+        );
+        // The cached entry serves both formats.
+        let wrapped = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("accept", "application/json")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(wrapped.status, 200);
+        assert!(wrapped.text().contains("\"cached\":true"), "{}", wrapped.text());
+        // An unservable Accept is a clean 406.
+        let nope = client::post_with(
+            addr,
+            "/v1/extract",
+            &[("accept", "text/html")],
+            NETLIST.as_bytes(),
+            T,
+        )
+        .unwrap();
+        assert_eq!(nope.status, 406, "{}", nope.text());
         stop(server);
     }
 
