@@ -170,9 +170,12 @@ impl GnnModel {
             tensors.vertex_count(),
             "one feature row per vertex"
         );
+        // Shared handles: every pass over this graph reuses the same
+        // operators, so their cached CSR views are built exactly once
+        // per graph instead of re-sorted per GRU step.
         let adj: Vec<_> = PortType::ALL
             .iter()
-            .map(|&p| tape.sparse(tensors.adjacency(p).clone()))
+            .map(|&p| tape.sparse(tensors.adjacency_shared(p)))
             .collect();
 
         let mut h = tape.leaf(features.clone());

@@ -1,6 +1,8 @@
 //! Tensor form of a circuit multigraph: one sparse adjacency operator
 //! per edge type, plus the neighbour lists the loss needs.
 
+use std::sync::Arc;
+
 use ancstr_graph::HetMultigraph;
 use ancstr_netlist::PortType;
 use ancstr_nn::SparseMatrix;
@@ -11,10 +13,15 @@ use ancstr_nn::SparseMatrix;
 /// message matrix is `Σ_τ A_τ · (H · W_τ)` — parallel edges contribute
 /// multiple times, exactly as the Eq. 1 sum over `N_in(v)` does when a
 /// neighbour connects through several nets.
+///
+/// Operators are held behind `Arc` so every tape recorded over this
+/// graph shares the same [`SparseMatrix`] instances — and therefore the
+/// same lazily built CSR views, constructed once per graph instead of
+/// once per forward pass.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GraphTensors {
     n: usize,
-    adjacency: Vec<SparseMatrix>,
+    adjacency: Vec<Arc<SparseMatrix>>,
     in_neighbors: Vec<Vec<usize>>,
     in_degree: Vec<usize>,
 }
@@ -29,7 +36,7 @@ impl GraphTensors {
         }
         let adjacency = triplets
             .into_iter()
-            .map(|t| SparseMatrix::from_triplets(n, n, t))
+            .map(|t| Arc::new(SparseMatrix::from_triplets(n, n, t)))
             .collect();
         let in_neighbors: Vec<Vec<usize>> = (0..n)
             .map(|v| {
@@ -55,6 +62,14 @@ impl GraphTensors {
         &self.adjacency[port.index()]
     }
 
+    /// The adjacency operator as a shared handle — what
+    /// [`Tape::sparse`](ancstr_nn::Tape::sparse) wants, so repeated
+    /// forward passes reuse one operator (and its cached CSR views)
+    /// instead of cloning the triplets per pass.
+    pub fn adjacency_shared(&self, port: PortType) -> Arc<SparseMatrix> {
+        Arc::clone(&self.adjacency[port.index()])
+    }
+
     /// Distinct 1-hop in-neighbours of `v` (the positive-pair set of
     /// Eq. 2).
     ///
@@ -77,7 +92,7 @@ impl GraphTensors {
 
     /// Total number of typed edges.
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(SparseMatrix::nnz).sum()
+        self.adjacency.iter().map(|a| a.nnz()).sum()
     }
 
     /// Fuse independent graphs into one: part `k`'s vertices are
@@ -95,8 +110,8 @@ impl GraphTensors {
         let adjacency = (0..PortType::COUNT)
             .map(|t| {
                 let blocks: Vec<&SparseMatrix> =
-                    parts.iter().map(|p| &p.adjacency[t]).collect();
-                SparseMatrix::block_diagonal(&blocks)
+                    parts.iter().map(|p| &*p.adjacency[t]).collect();
+                Arc::new(SparseMatrix::block_diagonal(&blocks))
             })
             .collect();
         let mut in_neighbors = Vec::with_capacity(n);
@@ -147,7 +162,7 @@ impl GraphTensors {
             n: self.n,
             adjacency: triplets
                 .into_iter()
-                .map(|t| SparseMatrix::from_triplets(self.n, self.n, t))
+                .map(|t| Arc::new(SparseMatrix::from_triplets(self.n, self.n, t)))
                 .collect(),
             in_neighbors: self.in_neighbors.clone(),
             in_degree: self.in_degree.clone(),

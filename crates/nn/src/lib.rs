@@ -7,6 +7,9 @@
 //! (feature dimension 18, two layers, graphs of ≤ a few thousand
 //! vertices):
 //!
+//! * [`Backend`] — runtime-dispatched kernel backends (cache-blocked
+//!   scalar reference vs. SIMD fixed-width lanes, byte-identical by
+//!   contract, selected via `ANCSTR_BACKEND`/[`set_backend`]);
 //! * [`Matrix`] — dense row-major `f64` linear algebra;
 //! * [`SparseMatrix`] — triplet sparse matrices for the per-edge-type
 //!   adjacency operators;
@@ -37,18 +40,21 @@
 //! assert!(w.max_abs() < 1e-2);
 //! ```
 
+pub mod backend;
 pub mod error;
 pub mod gru;
 pub mod init;
 pub mod linalg;
 pub mod matrix;
 pub mod optim;
+pub mod simd;
 pub mod sparse;
 pub mod tape;
 
+pub use backend::{set_backend, Backend, BackendKind};
 pub use error::NnError;
 pub use gru::{GruCell, GruLeaves};
-pub use matrix::{axpy, cosine_similarity, dot, Matrix};
+pub use matrix::{axpy, cosine_similarity, dot, row_norm, Matrix};
 pub use optim::Adam;
 pub use sparse::SparseMatrix;
 pub use tape::{log_sigmoid, sigmoid, Gradients, NodeId, SparseId, Tape};

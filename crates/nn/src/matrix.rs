@@ -16,9 +16,16 @@
 //! * the `a == 0.0` multiplicand skip is applied identically
 //!   everywhere (skipping is *not* the same as multiplying when the
 //!   other operand holds an `inf`/`NaN`, so every variant must agree).
+//!
+//! The kernel arithmetic itself lives behind the [`crate::backend`]
+//! dispatch point (scalar reference vs. SIMD lanes, byte-identical by
+//! contract); this module owns shapes, profiling, and the parallel
+//! row-chunk scheduling.
 
 use std::fmt;
 use std::ops::{Index, IndexMut, Range};
+
+use crate::backend;
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -164,12 +171,13 @@ impl Matrix {
             ancstr_par::profile::Kernel::Matmul,
             (self.rows * inner * n) as u64,
         );
+        let be = backend::active();
         par_row_chunks(
             self.rows,
             n,
             &mut out.data,
             min_rows_for(inner * n),
-            |rows, chunk| matmul_rows(&self.data, inner, rows, &other.data, n, chunk),
+            |rows, chunk| be.matmul_rows(&self.data, inner, rows, &other.data, n, chunk),
         );
         out
     }
@@ -345,11 +353,9 @@ impl Matrix {
             ancstr_par::profile::Kernel::RowNorms,
             (self.rows * self.cols) as u64,
         );
+        let be = backend::active();
         ancstr_par::map_chunks(self.rows, min_rows_for(self.cols), |rows| {
-            rows.map(|r| {
-                self.row(r).iter().map(|x| x * x).sum::<f64>().sqrt()
-            })
-            .collect::<Vec<f64>>()
+            rows.map(|r| be.row_norm(self.row(r))).collect::<Vec<f64>>()
         })
         .into_iter()
         .flatten()
@@ -451,14 +457,6 @@ impl fmt::Display for Matrix {
     }
 }
 
-/// Column-block width for the blocked matmul tiles: sized so one
-/// output-row block plus one RHS-row block stay L1-resident.
-const J_BLOCK: usize = 256;
-
-/// Inner-dimension block depth: bounds the RHS tile (`K_BLOCK ×
-/// J_BLOCK` doubles ≈ 512 KiB) touched per output-row block.
-const K_BLOCK: usize = 256;
-
 /// Minimum elements per chunk for parallel element-wise maps; sized so
 /// a chunk of transcendentals clearly outweighs pool dispatch.
 const MAP_PAR_MIN_CHUNK: usize = 2048;
@@ -495,65 +493,38 @@ pub(crate) fn par_row_chunks(
     });
 }
 
-/// The ikj matmul kernel for one block of output rows, cache-blocked
-/// over the inner dimension and the output columns.
-///
-/// `out` must be zeroed and cover exactly `rows`. Per output element
-/// the accumulation visits `k` in globally ascending order — tiles
-/// advance in ascending `k` and column blocks partition independent
-/// elements — so the result is bit-identical to the unblocked ikj loop
-/// (and the naive ijk loop) with the same `a == 0.0` skip.
-fn matmul_rows(
-    a: &[f64],
-    inner: usize,
-    rows: Range<usize>,
-    b: &[f64],
-    n: usize,
-    out: &mut [f64],
-) {
-    for (li, i) in rows.enumerate() {
-        let arow = &a[i * inner..(i + 1) * inner];
-        let orow = &mut out[li * n..(li + 1) * n];
-        for k0 in (0..inner).step_by(K_BLOCK) {
-            let k1 = (k0 + K_BLOCK).min(inner);
-            for j0 in (0..n).step_by(J_BLOCK) {
-                let j1 = (j0 + J_BLOCK).min(n);
-                for (k, &av) in (k0..k1).zip(&arow[k0..k1]) {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[k * n + j0..k * n + j1];
-                    for (o, &bv) in orow[j0..j1].iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-    }
-}
-
 /// Fused AXPY: `y += a · x`, the accumulation primitive the sparse
-/// kernels share.
+/// kernels share. Dispatches to the active [`crate::backend`].
 ///
 /// # Panics
 ///
 /// Panics on a length mismatch.
 pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
-    assert_eq!(y.len(), x.len(), "axpy length mismatch");
     let _prof = ancstr_par::profile::time(
         ancstr_par::profile::Kernel::Axpy,
         y.len() as u64,
     );
-    for (yv, &xv) in y.iter_mut().zip(x) {
-        *yv += a * xv;
-    }
+    backend::active().axpy(y, a, x);
 }
 
 /// Dot product in ascending index order — the exact accumulation
 /// [`cosine_similarity`] uses for its numerator, so callers that cache
 /// [`Matrix::row_norms`] can reproduce its quotient bit-for-bit.
+///
+/// Sequential on every backend: lane-splitting a loop-carried sum
+/// would reassociate it (see the [`crate::backend`] docs).
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    backend::active().dot(a, b)
+}
+
+/// L2 norm of one vector, computed exactly as [`cosine_similarity`]
+/// computes its per-vector denominators (and as [`Matrix::row_norms`]
+/// computes each row's norm). The single source of truth for norm
+/// arithmetic: callers that hoist norms out of pair loops — constraint
+/// detection scores O(n²) pairs over n vectors — get quotients
+/// bit-identical to calling [`cosine_similarity`] per pair.
+pub fn row_norm(x: &[f64]) -> f64 {
+    backend::active().row_norm(x)
 }
 
 /// Cosine similarity between two equal-or-different-length vectors; the
@@ -571,13 +542,9 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// assert!((cosine_similarity(&[1.0, 1.0], &[1.0, 1.0, 0.0]) - 1.0).abs() < 1e-12);
 /// ```
 pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
-    let dot: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
-    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
-    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
-    if na == 0.0 || nb == 0.0 {
-        return 0.0;
-    }
-    dot / (na * nb)
+    let be = backend::active();
+    let (na, nb) = (be.row_norm(a), be.row_norm(b));
+    be.cosine_with_norms(a, b, na, nb)
 }
 
 #[cfg(test)]

@@ -1,0 +1,242 @@
+//! The SIMD-friendly backend: register-tiled kernels over fixed-width
+//! `[f64; 4]` lanes, zero-dependency stable Rust.
+//!
+//! No intrinsics — the kernels are written so the compiler's
+//! autovectorizer sees independent, fixed-width lane operations
+//! (`[f64; 4]` accumulators, `chunks_exact` bodies with no bounds
+//! checks or carried dependence) and emits packed SSE2/AVX on its own.
+//!
+//! Bit-identity with [`crate::backend::ScalarBackend`] is structural,
+//! not incidental (see the `backend` module docs): the matmul tile
+//! performs the same adds on the same elements in the same ascending-`k`
+//! order — it only keeps a 4-wide strip of the output row in registers
+//! across 4 `k` steps instead of round-tripping through memory per
+//! step, and memory round trips do not change `f64` bits. Reductions
+//! that would need reassociation to vectorize (`dot`, `sum_squares`)
+//! are inherited sequential from the trait.
+
+use std::ops::Range;
+
+use crate::backend::{Backend, J_BLOCK, K_BLOCK};
+
+/// Lane width: 4 × f64 = one AVX register (or two SSE2 registers).
+const LANES: usize = 4;
+
+/// The register-tiled fixed-width-lane backend.
+pub struct SimdBackend;
+
+impl Backend for SimdBackend {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    /// Cache-blocked ikj matmul with a 4×4 register tile: `k` advances
+    /// in groups of 4 and a `[f64; 4]` strip of the output row stays in
+    /// registers across the group.
+    ///
+    /// Per output element the contributions are still four *separate*
+    /// adds in ascending `k` order — never a fused
+    /// `a0*b0 + a1*b1 + …` expression, which would reassociate the
+    /// rounding. The all-nonzero fast path is taken per `k`-group; any
+    /// zero in the group falls back to the per-`k` scalar loop so the
+    /// `a == 0.0` skip semantics (inf/NaN in `b` stays untouched) match
+    /// the reference exactly.
+    fn matmul_rows(
+        &self,
+        a: &[f64],
+        inner: usize,
+        rows: Range<usize>,
+        b: &[f64],
+        n: usize,
+        out: &mut [f64],
+    ) {
+        for (li, i) in rows.enumerate() {
+            let arow = &a[i * inner..(i + 1) * inner];
+            let orow = &mut out[li * n..(li + 1) * n];
+            for k0 in (0..inner).step_by(K_BLOCK) {
+                let k1 = (k0 + K_BLOCK).min(inner);
+                for j0 in (0..n).step_by(J_BLOCK) {
+                    let j1 = (j0 + J_BLOCK).min(n);
+                    let mut k = k0;
+                    while k + LANES <= k1 {
+                        let ak: [f64; LANES] =
+                            arow[k..k + LANES].try_into().expect("lane slice");
+                        if ak.iter().all(|&v| v != 0.0) {
+                            kgroup_tile(ak, &b[k * n..(k + LANES) * n], n, j0, j1, orow);
+                        } else {
+                            kgroup_scalar(&ak, k, b, n, j0, j1, orow);
+                        }
+                        k += LANES;
+                    }
+                    // Inner-dimension remainder: the reference loop.
+                    for (kk, &av) in (k..k1).zip(&arow[k..k1]) {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n + j0..kk * n + j1];
+                        for (o, &bv) in orow[j0..j1].iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// AXPY over `[f64; 4]` chunks; every element is independent, so
+    /// lane grouping cannot change bits.
+    fn axpy(&self, y: &mut [f64], a: f64, x: &[f64]) {
+        assert_eq!(y.len(), x.len(), "axpy length mismatch");
+        let mut yc = y.chunks_exact_mut(LANES);
+        let mut xc = x.chunks_exact(LANES);
+        for (yl, xl) in (&mut yc).zip(&mut xc) {
+            let yl: &mut [f64; LANES] = yl.try_into().expect("lane slice");
+            let xl: &[f64; LANES] = xl.try_into().expect("lane slice");
+            for l in 0..LANES {
+                yl[l] += a * xl[l];
+            }
+        }
+        for (yv, &xv) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+            *yv += a * xv;
+        }
+    }
+}
+
+/// One all-nonzero `k`-group over one column block: accumulate 4 `k`
+/// steps into a register-resident strip of the output row.
+///
+/// `bgroup` holds the 4 RHS rows of the group (`bgroup[l*n + j]` =
+/// `b[(k+l)*n + j]`).
+#[inline]
+fn kgroup_tile(ak: [f64; LANES], bgroup: &[f64], n: usize, j0: usize, j1: usize, orow: &mut [f64]) {
+    let width = j1 - j0;
+    let out = &mut orow[j0..j1];
+    let rows: [&[f64]; LANES] = [
+        &bgroup[j0..j1],
+        &bgroup[n + j0..n + j1],
+        &bgroup[2 * n + j0..2 * n + j1],
+        &bgroup[3 * n + j0..3 * n + j1],
+    ];
+    let mut j = 0;
+    while j + LANES <= width {
+        let mut acc: [f64; LANES] = out[j..j + LANES].try_into().expect("lane slice");
+        // Four separate adds per element, ascending k — identical
+        // rounding sequence to the scalar reference.
+        for (&av, brow) in ak.iter().zip(rows) {
+            let bl: &[f64; LANES] = brow[j..j + LANES].try_into().expect("lane slice");
+            for l in 0..LANES {
+                acc[l] += av * bl[l];
+            }
+        }
+        out[j..j + LANES].copy_from_slice(&acc);
+        j += LANES;
+    }
+    // Column remainder: same per-element add order, one lane at a time.
+    for jj in j..width {
+        let mut acc = out[jj];
+        for (&av, brow) in ak.iter().zip(rows) {
+            acc += av * brow[jj];
+        }
+        out[jj] = acc;
+    }
+}
+
+/// Fallback for a `k`-group containing zeros: the reference per-`k`
+/// loop with the `a == 0.0` skip.
+#[inline]
+fn kgroup_scalar(
+    ak: &[f64; LANES],
+    k: usize,
+    b: &[f64],
+    n: usize,
+    j0: usize,
+    j1: usize,
+    orow: &mut [f64],
+) {
+    for (l, &av) in ak.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let kk = k + l;
+        let brow = &b[kk * n + j0..kk * n + j1];
+        for (o, &bv) in orow[j0..j1].iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ScalarBackend;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+    }
+
+    #[test]
+    fn matmul_rows_is_bit_identical_to_scalar() {
+        let mut seed = 41u64;
+        // Shapes straddling the lane width, the tile width, and the
+        // cache-block boundaries; plus planted zeros to force the
+        // mixed-group fallback inside otherwise-vectorized groups.
+        for (m, inner, n) in
+            [(1, 1, 1), (3, 18, 18), (7, 19, 23), (5, 260, 270), (2, 300, 9), (4, 257, 31)]
+        {
+            let mut a: Vec<f64> = (0..m * inner).map(|_| lcg(&mut seed)).collect();
+            for idx in (0..a.len()).step_by(7) {
+                a[idx] = 0.0;
+            }
+            let b: Vec<f64> = (0..inner * n).map(|_| lcg(&mut seed)).collect();
+            let mut got = vec![0.0; m * n];
+            let mut want = vec![0.0; m * n];
+            SimdBackend.matmul_rows(&a, inner, 0..m, &b, n, &mut got);
+            ScalarBackend.matmul_rows(&a, inner, 0..m, &b, n, &mut want);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "shape ({m},{inner},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_rows_preserves_zero_skip_semantics() {
+        // A zero LHS element must skip an inf/NaN RHS row entirely,
+        // in both the mixed k-group and the k remainder.
+        for inner in [3usize, 5, 9] {
+            let mut a = vec![1.0; inner];
+            a[1] = 0.0;
+            let n = 6;
+            let mut b = vec![2.0; inner * n];
+            for v in &mut b[n..2 * n] {
+                *v = f64::INFINITY;
+            }
+            let mut got = vec![0.0; n];
+            SimdBackend.matmul_rows(&a, inner, 0..1, &b, n, &mut got);
+            assert!(got.iter().all(|v| v.is_finite()), "inner={inner}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise() {
+        let mut seed = 9u64;
+        for len in [0usize, 1, 3, 4, 5, 18, 127] {
+            let x: Vec<f64> = (0..len).map(|_| lcg(&mut seed)).collect();
+            let y0: Vec<f64> = (0..len).map(|_| lcg(&mut seed)).collect();
+            let a = lcg(&mut seed);
+            let mut ys = y0.clone();
+            let mut yv = y0.clone();
+            ScalarBackend.axpy(&mut ys, a, &x);
+            SimdBackend.axpy(&mut yv, a, &x);
+            for (s, v) in ys.iter().zip(&yv) {
+                assert_eq!(s.to_bits(), v.to_bits(), "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy length mismatch")]
+    fn axpy_checks_lengths() {
+        SimdBackend.axpy(&mut [0.0; 3], 1.0, &[1.0; 4]);
+    }
+}

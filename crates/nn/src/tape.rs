@@ -22,6 +22,8 @@
 //! assert_eq!(grads.grad(x).unwrap()[(0, 0)], 4.0);
 //! ```
 
+use std::sync::Arc;
+
 use crate::matrix::Matrix;
 use crate::sparse::SparseMatrix;
 
@@ -81,7 +83,7 @@ impl Gradients {
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
-    sparses: Vec<SparseMatrix>,
+    sparses: Vec<Arc<SparseMatrix>>,
 }
 
 /// Numerically stable `σ(x)`.
@@ -134,8 +136,14 @@ impl Tape {
     }
 
     /// Register a constant sparse operand for [`Tape::spmm`].
-    pub fn sparse(&mut self, s: SparseMatrix) -> SparseId {
-        self.sparses.push(s);
+    ///
+    /// Accepts an owned [`SparseMatrix`] or an `Arc<SparseMatrix>`.
+    /// Callers that record many tapes over the same operator (the
+    /// trainer re-records every epoch) should pass a shared `Arc` so
+    /// the operator's cached CSR views are built once per graph and
+    /// reused across every GRU step of every epoch.
+    pub fn sparse(&mut self, s: impl Into<Arc<SparseMatrix>>) -> SparseId {
+        self.sparses.push(s.into());
         SparseId(self.sparses.len() - 1)
     }
 

@@ -237,6 +237,7 @@ impl<T> SendPtr<T> {
 
 mod pool {
     use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
 
     /// Lifetime-erased reference to the borrowed chunk runner. Valid
     /// for the whole batch because [`run`] does not return until every
@@ -244,18 +245,21 @@ mod pool {
     #[derive(Clone, Copy)]
     struct JobFn(&'static (dyn Fn(usize) + Sync));
 
-    struct Job {
+    /// What a parked worker copies out under the state lock, once per
+    /// batch; all per-chunk traffic then goes through the lock-free
+    /// ticket.
+    #[derive(Clone, Copy)]
+    struct Batch {
         func: JobFn,
         chunks: usize,
-        /// Next unclaimed chunk index.
-        next: usize,
-        /// Chunks whose bodies have returned (or panicked).
-        done: usize,
-        panicked: bool,
+        generation: u32,
     }
 
     struct State {
-        job: Option<Job>,
+        batch: Option<Batch>,
+        /// Bumped per installed batch; parked workers use it to tell a
+        /// new batch from a spurious wakeup.
+        generation: u32,
         spawned: usize,
     }
 
@@ -265,6 +269,16 @@ mod pool {
         done_cv: Condvar,
         /// Serializes batches: one parallel region at a time.
         submit: Mutex<()>,
+        /// Generation-tagged claim ticket: `(generation << 32) | next
+        /// unclaimed chunk`. Claiming is a CAS that only advances the
+        /// chunk counter when the generation still matches, so a worker
+        /// waking late from a finished batch can never claim (or even
+        /// perturb the counter of) the next one.
+        ticket: AtomicU64,
+        /// Chunks whose bodies have returned (or panicked) in the
+        /// current batch.
+        done: AtomicUsize,
+        panicked: AtomicBool,
     }
 
     static POOL: OnceLock<&'static Pool> = OnceLock::new();
@@ -272,52 +286,80 @@ mod pool {
     fn pool() -> &'static Pool {
         POOL.get_or_init(|| {
             Box::leak(Box::new(Pool {
-                state: Mutex::new(State { job: None, spawned: 0 }),
+                state: Mutex::new(State { batch: None, generation: 0, spawned: 0 }),
                 work_cv: Condvar::new(),
                 done_cv: Condvar::new(),
                 submit: Mutex::new(()),
+                ticket: AtomicU64::new(0),
+                done: AtomicUsize::new(0),
+                panicked: AtomicBool::new(false),
             }))
         })
     }
 
-    /// Claim the next chunk of the current job, if any.
-    fn claim(state: &mut State) -> Option<(JobFn, usize)> {
-        let job = state.job.as_mut()?;
-        if job.next >= job.chunks {
-            return None;
+    /// Claim the next chunk of batch `generation`, without taking the
+    /// state lock. Fails once the batch is exhausted or superseded.
+    /// (Generations wrap at 2³² — a worker would have to sleep through
+    /// 4 billion batches to alias one, at which point `chunks` would
+    /// also have to match; accepted.)
+    fn claim(p: &Pool, generation: u32, chunks: usize) -> Option<usize> {
+        let mut cur = p.ticket.load(Ordering::Acquire);
+        loop {
+            if (cur >> 32) as u32 != generation {
+                return None;
+            }
+            let idx = (cur & u32::MAX as u64) as usize;
+            if idx >= chunks {
+                return None;
+            }
+            match p.ticket.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(idx),
+                Err(seen) => cur = seen,
+            }
         }
-        let idx = job.next;
-        job.next += 1;
-        Some((job.func, idx))
     }
 
-    /// Run one claimed chunk outside the lock and record completion.
-    fn execute(p: &Pool, func: JobFn, idx: usize) {
-        let result = catch_unwind(AssertUnwindSafe(|| (func.0)(idx)));
-        let mut state = p.state.lock().unwrap_or_else(|e| e.into_inner());
-        let job = state.job.as_mut().expect("job alive while chunks run");
-        job.done += 1;
+    /// Run one claimed chunk and record completion; the last chunk of
+    /// the batch wakes the submitter. The brief state lock before the
+    /// notify pairs with the submitter's wait loop so the wakeup cannot
+    /// be lost.
+    fn execute(p: &Pool, batch: Batch, idx: usize) {
+        let result = catch_unwind(AssertUnwindSafe(|| (batch.func.0)(idx)));
         if result.is_err() {
-            job.panicked = true;
+            p.panicked.store(true, Ordering::Release);
         }
-        if job.done == job.chunks {
+        if p.done.fetch_add(1, Ordering::AcqRel) + 1 == batch.chunks {
+            drop(p.state.lock().unwrap_or_else(|e| e.into_inner()));
             p.done_cv.notify_all();
         }
     }
 
     fn worker_loop(p: &'static Pool) {
         IN_PARALLEL_REGION.with(|c| c.set(true));
+        let mut seen_generation = 0u32;
         loop {
-            let claimed = {
+            let batch = {
                 let mut state = p.state.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
-                    if let Some(c) = claim(&mut state) {
-                        break c;
+                    if state.generation != seen_generation {
+                        seen_generation = state.generation;
+                        // A batch may already be gone by the time we
+                        // wake; note the generation and keep waiting.
+                        if let Some(b) = state.batch {
+                            break b;
+                        }
                     }
                     state = p.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            execute(p, claimed.0, claimed.1);
+            while let Some(idx) = claim(p, batch.generation, batch.chunks) {
+                execute(p, batch, idx);
+            }
         }
     }
 
@@ -339,9 +381,18 @@ mod pool {
     pub(super) fn run(chunks: usize, workers: usize, runner: &(dyn Fn(usize) + Sync)) {
         let _prof = profile::time(profile::Kernel::ParRegion, chunks as u64);
         let p = pool();
-        let _batch = p.submit.lock().unwrap_or_else(|e| e.into_inner());
-        // Never more helpers than there are chunks beyond our own share.
-        ensure_workers(p, workers.min(chunks).saturating_sub(1));
+        let _batch_guard = p.submit.lock().unwrap_or_else(|e| e.into_inner());
+        // Helper-thread budget: never more than there are chunks beyond
+        // our own share, and never more threads than hardware — the
+        // BENCH_PR9 profile showed `--threads 8` on fewer cores spending
+        // more wall in scheduler thrash than in kernels. Chunk
+        // boundaries don't depend on the thread count, so capping is
+        // schedule-only and bit-identical.
+        let helpers = workers
+            .min(available_parallelism())
+            .min(chunks)
+            .saturating_sub(1);
+        ensure_workers(p, helpers);
 
         // Lifetime erasure: sound because we block below until
         // `done == chunks`, so no worker can touch `runner` after we
@@ -349,35 +400,38 @@ mod pool {
         let func = JobFn(unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(runner)
         });
-        {
+        let batch = {
             let mut state = p.state.lock().unwrap_or_else(|e| e.into_inner());
-            debug_assert!(state.job.is_none(), "batches are serialized by `submit`");
-            state.job = Some(Job { func, chunks, next: 0, done: 0, panicked: false });
+            debug_assert!(state.batch.is_none(), "batches are serialized by `submit`");
+            state.generation = state.generation.wrapping_add(1);
+            let batch = Batch { func, chunks, generation: state.generation };
+            // Publish the reset counters before the ticket enables
+            // claims for this generation.
+            p.done.store(0, Ordering::Relaxed);
+            p.panicked.store(false, Ordering::Relaxed);
+            p.ticket.store((batch.generation as u64) << 32, Ordering::Release);
+            state.batch = Some(batch);
+            batch
+        };
+        if helpers > 0 {
+            p.work_cv.notify_all();
         }
-        p.work_cv.notify_all();
 
         // The submitter participates instead of idling.
         IN_PARALLEL_REGION.with(|c| c.set(true));
-        loop {
-            let claimed = {
-                let mut state = p.state.lock().unwrap_or_else(|e| e.into_inner());
-                claim(&mut state)
-            };
-            match claimed {
-                Some((func, idx)) => execute(p, func, idx),
-                None => break,
-            }
+        while let Some(idx) = claim(p, batch.generation, batch.chunks) {
+            execute(p, batch, idx);
         }
         IN_PARALLEL_REGION.with(|c| c.set(false));
 
-        let panicked = {
+        {
             let mut state = p.state.lock().unwrap_or_else(|e| e.into_inner());
-            while state.job.as_ref().expect("job installed above").done < chunks {
+            while p.done.load(Ordering::Acquire) < chunks {
                 state = p.done_cv.wait(state).unwrap_or_else(|e| e.into_inner());
             }
-            state.job.take().expect("job installed above").panicked
-        };
-        if panicked {
+            state.batch = None;
+        }
+        if p.panicked.load(Ordering::Acquire) {
             panic!("ancstr-par: a parallel chunk panicked");
         }
     }
